@@ -1,0 +1,14 @@
+# Bench binaries land in ${CMAKE_BINARY_DIR}/bench so that
+#   for b in build/bench/*; do $b; done
+# executes exactly the benches (table/figure reproductions + micro).
+
+file(GLOB SIXDUST_BENCH_SOURCES CONFIGURE_DEPENDS
+     ${CMAKE_SOURCE_DIR}/bench/bench_*.cpp)
+
+foreach(src ${SIXDUST_BENCH_SOURCES})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(${name} ${src} ${CMAKE_SOURCE_DIR}/bench/support.cpp)
+  target_link_libraries(${name} PRIVATE sixdust benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

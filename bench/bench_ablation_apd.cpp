@@ -1,0 +1,77 @@
+// Ablation: the aliased-prefix detection's design choices. The hitlist
+// merges detection probes across two protocols and with the previous
+// three rounds specifically to survive probe loss (Sec. 3.1: "This
+// reduces misclassification of prefixes, e.g., due to random network
+// events or packet loss"). This bench quantifies that choice: detection
+// completeness as a function of probe loss and history depth.
+
+#include <cstdio>
+
+#include "alias/apd.hpp"
+#include "analysis/report.hpp"
+#include "support.hpp"
+#include "topo/aliased_region.hpp"
+
+using namespace sixdust;
+
+namespace {
+
+std::vector<Prefix> truth_units(const World& world, ScanDate d) {
+  std::vector<Prefix> units;
+  for (const auto& dep : world.deployments()) {
+    const auto* region = dynamic_cast<const AliasedRegion*>(dep.get());
+    if (region == nullptr) continue;
+    for (const auto& u : region->truth_aliased_units(d)) units.push_back(u);
+  }
+  return units;
+}
+
+}  // namespace
+
+int main() {
+  bench_banner("A1", "Ablation — APD history merging vs probe loss");
+  auto world = build_test_world(100);
+  const ScanDate date{45};
+  const auto units = truth_units(*world, date);
+
+  std::vector<Ipv6> input;
+  input.reserve(units.size());
+  for (const auto& u : units) input.push_back(u.random_address(0xAB1A));
+  std::printf("ground truth: %zu aliased units\n\n", units.size());
+
+  Table table({"loss", "rounds=1", "rounds=2", "rounds=3", "rounds=4"});
+  double single_round_10 = 0;
+  double merged_10 = 0;
+  for (const double loss : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    std::vector<std::string> cells{fmt_pct(loss, 0)};
+    for (int rounds = 1; rounds <= 4; ++rounds) {
+      AliasDetector det(AliasDetector::Config{
+          .seed = 77, .history = rounds, .loss = loss});
+      AliasDetector::Detection last;
+      // Always end on the ground-truth date so every variant sees the same
+      // world; only the merge depth differs.
+      for (int r = 0; r < rounds; ++r)
+        last = det.detect(*world, input, ScanDate{date.index - rounds + 1 + r});
+      std::size_t found = 0;
+      for (const auto& u : units)
+        if (last.aliased_set.covers(u.random_address(0xF00)))
+          ++found;
+      const double recall =
+          static_cast<double>(found) / static_cast<double>(units.size());
+      if (loss == 0.10 && rounds == 1) single_round_10 = recall;
+      if (loss == 0.10 && rounds == 3) merged_10 = recall;
+      cells.push_back(fmt_pct(recall));
+    }
+    table.row(std::move(cells));
+  }
+  table.print();
+
+  std::printf("\nfindings:\n");
+  std::printf("  at 10 %% loss a single round finds %s of aliased prefixes;\n"
+              "  the service's 3-round merge finds %s — the merge is what\n"
+              "  keeps the alias filter stable across network events. %s\n",
+              fmt_pct(single_round_10).c_str(), fmt_pct(merged_10).c_str(),
+              merged_10 > single_round_10 ? "[ok]" : "[diverges]");
+  bench::report_metric("3-round recall at 10% loss", merged_10, 1.0, 0.05);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: the GFW filter stage. Runs the identical world through the
+// pipeline with the filter disabled (the pre-2022 service), enabled from
+// the start, and enabled at the paper's deployment date — quantifying the
+// input pollution, wasted scan load, and responsiveness distortion each
+// variant accumulates.
+
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "hitlist/service.hpp"
+#include "topo/world_builder.hpp"
+
+using namespace sixdust;
+
+namespace {
+
+struct RunStats {
+  std::size_t input = 0;
+  std::size_t peak_udp53 = 0;
+  std::size_t final_udp53 = 0;
+  std::size_t tainted = 0;
+  std::size_t excluded = 0;
+  std::uint64_t cn_input = 0;
+};
+
+RunStats run_variant(const World& world, bool filter_on, int from_scan,
+                     int scans) {
+  HitlistService::Config cfg;
+  cfg.enable_gfw_filter = filter_on;
+  cfg.gfw_filter_from_scan = from_scan;
+  HitlistService service(cfg);
+  service.run(world, scans);
+  RunStats stats;
+  stats.input = service.input().size();
+  for (int s = 0; s < scans; ++s) {
+    const auto counts = service.history().counts(s);
+    const auto udp53 = counts.per_proto[proto_index(Proto::Udp53)];
+    if (udp53 > stats.peak_udp53) stats.peak_udp53 = udp53;
+    if (s == scans - 1) stats.final_udp53 = udp53;
+  }
+  stats.tainted = service.gfw().tainted_count();
+  stats.excluded = service.unresponsive_pool().size();
+  for (const auto& a : service.input().addresses())
+    if (world.behind_gfw(a)) ++stats.cn_input;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench_banner("A2", "Ablation — GFW filter placement in the pipeline");
+  auto world = build_test_world(101);
+  const int scans = 24;  // covers both A-record events
+
+  const auto off = run_variant(*world, false, 0, scans);
+  const auto always = run_variant(*world, true, 0, scans);
+  const auto late = run_variant(*world, true, 20, scans);
+
+  Table table({"variant", "input", "CN input", "peak UDP/53", "final UDP/53",
+               "tainted", "excluded"});
+  auto row = [&](const char* name, const RunStats& s) {
+    table.row({name, std::to_string(s.input), std::to_string(s.cn_input),
+               std::to_string(s.peak_udp53), std::to_string(s.final_udp53),
+               std::to_string(s.tainted), std::to_string(s.excluded)});
+  };
+  row("no filter (pre-2022 service)", off);
+  row("filter from scan 0", always);
+  row("filter from scan 20 (late)", late);
+  table.print();
+
+  std::printf("\nfindings:\n");
+  const bool spike_gone = always.peak_udp53 * 10 < off.peak_udp53;
+  std::printf("  filtering from the start suppresses the UDP/53 spike\n"
+              "  (%zu -> %zu): %s\n",
+              off.peak_udp53, always.peak_udp53,
+              spike_gone ? "[ok]" : "[diverges]");
+  const bool less_pollution = always.cn_input < off.cn_input;
+  std::printf("  with the filter, injected addresses go unresponsive and the\n"
+              "  30-day filter stops the traceroute feedback loop earlier —\n"
+              "  CN input %llu vs %llu unfiltered: %s\n",
+              static_cast<unsigned long long>(always.cn_input),
+              static_cast<unsigned long long>(off.cn_input),
+              less_pollution ? "[ok]" : "[diverges]");
+  std::printf("  the late-deployment variant (the real service's history)\n"
+              "  accumulates %zu tainted addresses before the filter lands.\n",
+              late.tainted);
+  return 0;
+}

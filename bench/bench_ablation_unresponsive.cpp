@@ -1,0 +1,62 @@
+// Ablation: the 30-day-unresponsive filter. The filter keeps the scan
+// load bounded, but excluded addresses are never re-tested — the paper
+// shows 1.2 M of them answer again when re-scanned (Sec. 6.2). This bench
+// sweeps the exclusion threshold and measures the trade-off: scan load
+// versus responsive addresses wrongly retired.
+
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "hitlist/service.hpp"
+#include "scanner/zmap6.hpp"
+#include "topo/world_builder.hpp"
+
+using namespace sixdust;
+
+int main() {
+  bench_banner("A3", "Ablation — 30-day-unresponsive filter threshold");
+  auto world = build_test_world(102);
+  const int scans = 16;
+
+  Table table({"threshold (scans)", "mean scan targets", "excluded",
+               "excluded-but-alive", "wrongly retired"});
+  std::vector<double> wrongly;
+  std::vector<double> load;
+  for (int threshold : {1, 2, 3, 5, 8}) {
+    HitlistService::Config cfg;
+    cfg.unresponsive_scans = threshold;
+    HitlistService service(cfg);
+    std::uint64_t target_sum = 0;
+    for (int s = 0; s < scans; ++s)
+      target_sum += service.step(*world, ScanDate{s}).scan_targets;
+
+    // How many retired addresses would answer if re-scanned today?
+    Zmap6 zmap(Zmap6::Config{.seed = 5, .loss = 0.0});
+    const auto rescan = zmap.scan(*world, service.unresponsive_pool(),
+                                  Proto::Icmp, ScanDate{scans - 1});
+    const double alive = static_cast<double>(rescan.responsive.size());
+    const double pool = static_cast<double>(service.unresponsive_pool().size());
+    wrongly.push_back(pool > 0 ? alive / pool : 0);
+    load.push_back(static_cast<double>(target_sum) / scans);
+    table.row({std::to_string(threshold),
+               std::to_string(target_sum / static_cast<std::uint64_t>(scans)),
+               std::to_string(service.unresponsive_pool().size()),
+               std::to_string(rescan.responsive.size()),
+               fmt_pct(pool > 0 ? alive / pool : 0)});
+  }
+  table.print();
+
+  std::printf("\nfindings:\n");
+  const bool load_grows = load.back() > load.front();
+  std::printf("  longer thresholds keep more targets in rotation (scan load\n"
+              "  %.0f -> %.0f per scan): %s\n",
+              load.front(), load.back(), load_grows ? "[ok]" : "[diverges]");
+  std::printf("  every threshold retires some addresses that later answer\n"
+              "  again (paper: 1.2 M of 638.6 M) — periodic re-scans of the\n"
+              "  pool recover them, which the paper adopts for the service.\n");
+  const bool some_alive = wrongly.front() > 0;
+  std::printf("  excluded-but-alive fraction at threshold 1: %s %s\n",
+              fmt_pct(wrongly.front()).c_str(),
+              some_alive ? "[ok]" : "[diverges]");
+  return 0;
+}

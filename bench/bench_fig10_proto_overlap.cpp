@@ -1,0 +1,58 @@
+// Fig. 10 (Appendix B): overlap between the per-protocol responsive sets
+// on the final snapshot. Paper: TCP and UDP responders are almost all
+// ICMP-responsive too; TCP/80, TCP/443 and UDP/443 overlap strongly.
+
+#include <cstdio>
+
+#include "analysis/overlap.hpp"
+#include "analysis/report.hpp"
+#include "support.hpp"
+
+using namespace sixdust;
+
+int main() {
+  bench_banner("F10", "Fig. 10 — overlap between protocols (final snapshot)");
+  const auto& tl = bench::full_timeline();
+  const auto& gfw = tl.service->gfw();
+
+  std::array<std::vector<Ipv6>, kProtoCount> per_proto;
+  for (const auto& [a, mask] : tl.service->history()
+                                   .at(kTimelineScans - 1)
+                                   .responsive) {
+    ProtoMask m = mask;
+    if (gfw.tainted(a)) m &= static_cast<ProtoMask>(~proto_bit(Proto::Udp53));
+    for (Proto p : kAllProtos)
+      if (mask_has(m, p))
+        per_proto[static_cast<std::size_t>(proto_index(p))].push_back(a);
+  }
+
+  OverlapMatrix m;
+  for (Proto p : kAllProtos)
+    m.add_set(proto_name(p),
+              per_proto[static_cast<std::size_t>(proto_index(p))]);
+
+  Table table([&] {
+    std::vector<std::string> header{"row \\ col"};
+    for (const auto& name : m.names()) header.push_back(name);
+    return header;
+  }());
+  for (std::size_t r = 0; r < m.sets(); ++r) {
+    std::vector<std::string> cells{m.names()[r]};
+    for (std::size_t c = 0; c < m.sets(); ++c)
+      cells.push_back(fmt_pct(m.fraction(r, c)));
+    table.row(std::move(cells));
+  }
+  table.print();
+
+  std::printf("\nshape checks:\n");
+  bench::report_metric("TCP/80 ∩ ICMP / |TCP/80|", m.fraction(1, 0), 0.95,
+                       0.15);
+  bench::report_metric("TCP/443 ∩ ICMP / |TCP/443|", m.fraction(2, 0), 0.95,
+                       0.15);
+  bench::report_metric("TCP/443 ∩ TCP/80 / |TCP/443|", m.fraction(2, 1), 0.8,
+                       0.3);
+  std::printf("  ICMP is the superset protocol: %s\n",
+              m.fraction(1, 0) > 0.8 && m.fraction(3, 0) > 0.5 ? "[ok]"
+                                                               : "[diverges]");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 3: responsive addresses over the service lifetime — the *published*
+// view (left: GFW injection spikes on UDP/53, collapsing when the filter
+// deployed in Feb 2022) versus the *cleaned* view (right: steady growth).
+
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "support.hpp"
+
+using namespace sixdust;
+
+int main() {
+  bench_banner("F3", "Fig. 3 — published vs cleaned responsiveness timeline");
+  const auto& tl = bench::full_timeline();
+  const auto& history = tl.service->history();
+  const auto& gfw = tl.service->gfw();
+
+  Table table({"scan", "date", "pub ICMP", "pub UDP/53", "pub total",
+               "clean ICMP", "clean UDP/53", "clean total"});
+  std::size_t peak_pub_udp53 = 0;
+  int peak_scan = 0;
+  for (int s = 0; s < kTimelineScans; ++s) {
+    const auto pub = history.counts(s);
+    const auto clean = history.counts(s, &gfw);
+    if (pub.per_proto[proto_index(Proto::Udp53)] > peak_pub_udp53) {
+      peak_pub_udp53 = pub.per_proto[proto_index(Proto::Udp53)];
+      peak_scan = s;
+    }
+    table.row({std::to_string(s), ScanDate{s}.str(),
+               fmt_count(static_cast<double>(pub.per_proto[0])),
+               fmt_count(static_cast<double>(pub.per_proto[3])),
+               fmt_count(static_cast<double>(pub.any)),
+               fmt_count(static_cast<double>(clean.per_proto[0])),
+               fmt_count(static_cast<double>(clean.per_proto[3])),
+               fmt_count(static_cast<double>(clean.any))});
+  }
+  table.print();
+
+  std::printf("\nshape checks (paper: spikes peak >100 M published UDP/53 in\n"
+              "the 2021 event vs a ~140 k cleaned baseline; cleaned series\n"
+              "grows steadily; spike collapses at the Feb-2022 filter):\n");
+  const auto clean45 = history.counts(45, &gfw);
+  bench::report_metric("published UDP/53 peak (event 3)",
+                       static_cast<double>(peak_pub_udp53), 100000, 0.7);
+  std::printf("  peak at scan %d (%s) — paper: late 2021/early 2022\n",
+              peak_scan, ScanDate{peak_scan}.str().c_str());
+  bench::report_metric("cleaned UDP/53 final",
+                       static_cast<double>(clean45.per_proto[3]), 141, 0.6);
+  bench::report_metric(
+      "spike ratio published-peak / cleaned-baseline",
+      static_cast<double>(peak_pub_udp53) /
+          static_cast<double>(clean45.per_proto[3] ? clean45.per_proto[3] : 1),
+      100000.0 / 141.0, 0.8);
+  // The cleaned total must never spike: max/min over the second half
+  // of the timeline stays within a small factor.
+  std::size_t cmax = 0;
+  std::size_t cmin = ~std::size_t{0};
+  for (int s = 0; s < kTimelineScans; ++s) {
+    const auto c = history.counts(s, &gfw);
+    if (c.any > cmax) cmax = c.any;
+    if (c.any < cmin) cmin = c.any;
+  }
+  bench::report_metric("cleaned total max/min over lifetime",
+                       static_cast<double>(cmax) / static_cast<double>(cmin),
+                       3200.0 / 1800.0, 0.6);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 8: AS distribution (CDF over ranked ASes) of the responsive
+// addresses contributed by each new source — exposing the Free-SAS bias of
+// 6Graph/6Tree versus the flatter passive and distance-clustering sources.
+
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "support.hpp"
+
+using namespace sixdust;
+
+int main() {
+  bench_banner("F8", "Fig. 8 — AS distribution of responsive addresses per source");
+  const auto& eval = bench::source_evaluation();
+
+  const std::size_t ranks[] = {1, 2, 5, 10, 50, 100, 1000};
+  Table table({"source", "top1", "top2", "top5", "top10", "top50", "top100",
+               "top1000", "ASes", "gini"});
+  for (const auto& rep : eval.reports) {
+    std::vector<std::string> cells{rep.name};
+    for (const auto& [rank, share] : rep.responsive_dist.cdf(ranks))
+      cells.push_back(fmt_pct(share));
+    cells.push_back(std::to_string(rep.responsive_dist.as_count()));
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%.2f", gini(rep.responsive_dist));
+    cells.push_back(buf);
+    table.row(std::move(cells));
+  }
+  table.print();
+
+  std::printf("\nshape checks (paper: 6Graph/6Tree biased — top AS 52.1 %% /\n"
+              "41.0 %%; passive sources and distance clustering flattest):\n");
+  bench::report_metric("6Graph top-1 share",
+                       eval.find("6Graph").responsive_dist.top_share(1),
+                       0.521, 0.45);
+  bench::report_metric("6Tree top-1 share",
+                       eval.find("6Tree").responsive_dist.top_share(1), 0.41,
+                       0.45);
+  // At 1:1000 scale the passive set holds only tens of addresses, so the
+  // top-1 share is granular; the meaningful claim is relative flatness.
+  bench::report_metric("passive top-1 share",
+                       eval.find("Passive sources").responsive_dist.top_share(1),
+                       0.067, 5.0);
+  const bool flatter =
+      eval.find("Passive sources").responsive_dist.top_share(1) <
+      eval.find("6Graph").responsive_dist.top_share(1);
+  std::printf("  passive flatter than 6Graph: %s\n",
+              flatter ? "[ok]" : "[diverges]");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Microbenchmarks (google-benchmark): the hot paths of the library —
+// address parsing/formatting, trie longest-prefix match, the scanner's
+// cyclic permutation, probe dispatch into the simulated world, and the DNS
+// wire codec.
+
+#include <benchmark/benchmark.h>
+
+#include "alias/apd.hpp"
+#include "netbase/prefix_trie.hpp"
+#include "proto/dns.hpp"
+#include "proto/wire.hpp"
+#include "scanner/cyclic.hpp"
+#include "scanner/zmap6.hpp"
+#include "tga/sixgraph.hpp"
+#include "tga/sixtree.hpp"
+#include "topo/world_builder.hpp"
+
+namespace {
+
+using namespace sixdust;
+
+void BM_Ipv6Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto a = Ipv6::parse("2001:db8:85a3::8a2e:370:7334");
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Ipv6Parse);
+
+void BM_Ipv6Format(benchmark::State& state) {
+  const Ipv6 a = ip("2001:db8:85a3::8a2e:370:7334");
+  for (auto _ : state) {
+    auto s = a.str();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Ipv6Format);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  PrefixTrie<int> trie;
+  for (int i = 0; i < 4096; ++i) {
+    Ipv6 base = Ipv6::from_words((0x2a10ULL << 48) |
+                                     (static_cast<std::uint64_t>(i) << 32),
+                                 0);
+    trie.insert(Prefix::make(base, 32), i);
+  }
+  const Ipv6 probe = ip("2a10:7ff::1");
+  for (auto _ : state) {
+    auto m = trie.longest_match(probe);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_TrieLongestMatch);
+
+void BM_CyclicPermutation(benchmark::State& state) {
+  CyclicPermutation perm(1 << 20, 42);
+  for (auto _ : state) benchmark::DoNotOptimize(perm.next());
+}
+BENCHMARK(BM_CyclicPermutation);
+
+void BM_WorldIcmpProbe(benchmark::State& state) {
+  static auto world = build_test_world(3);
+  const Ipv6 target = ip("2600:3c00:1::1");
+  const ScanDate d{10};
+  for (auto _ : state) {
+    auto r = world->icmp_echo(target, IcmpEchoRequest{}, d);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WorldIcmpProbe);
+
+void BM_DnsEncodeDecode(benchmark::State& state) {
+  DnsMessage q = make_query("www.google.com", RrType::AAAA, 99);
+  q.answers.push_back(make_aaaa("www.google.com", ip("2a00:1450:4001::1")));
+  for (auto _ : state) {
+    auto wire = q.encode();
+    auto back = DnsMessage::decode(wire);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_DnsEncodeDecode);
+
+void BM_WorldDnsQueryWithInjection(benchmark::State& state) {
+  static auto world = build_test_world(4);
+  const Ipv6 target = pfx("240e::/24").random_address(9);
+  const DnsQuestion q{"www.google.com", RrType::AAAA};
+  const ScanDate d{35};  // Teredo era
+  for (auto _ : state) {
+    auto r = world->dns_query(target, q, d);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WorldDnsQueryWithInjection);
+
+void BM_ScannerFullSweep(benchmark::State& state) {
+  static auto world = build_test_world(5);
+  static const std::vector<Ipv6> targets = [] {
+    std::vector<KnownAddress> known;
+    world->enumerate_known(ScanDate{0}, known);
+    std::vector<Ipv6> t;
+    for (const auto& k : known) t.push_back(k.addr);
+    return t;
+  }();
+  Zmap6 zmap(Zmap6::Config{.seed = 1, .loss = 0.01, .retries = 1});
+  for (auto _ : state) {
+    auto r = zmap.scan(*world, targets, Proto::Icmp, ScanDate{0});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(targets.size()));
+}
+BENCHMARK(BM_ScannerFullSweep);
+
+void BM_ApdCandidates(benchmark::State& state) {
+  static auto world = build_test_world(6);
+  std::vector<Ipv6> input;
+  for (std::uint64_t i = 0; i < 10000; ++i)
+    input.push_back(pfx("240e::/24").random_address(i));
+  AliasDetector::Config cfg;
+  for (auto _ : state) {
+    auto c = AliasDetector::candidates(world->rib(), input, cfg);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_ApdCandidates);
+
+const std::vector<Ipv6>& tga_seeds() {
+  static const std::vector<Ipv6> seeds = [] {
+    std::vector<Ipv6> s;
+    for (std::uint32_t i = 0; i < 2000; ++i) {
+      Ipv6 a = ip("2a01:e000::");
+      a.set_nibble(8, i >> 8 & 0xf);
+      a.set_nibble(9, i >> 4 & 0xf);
+      a.set_nibble(10, i & 0xf);
+      s.push_back(Ipv6::from_words(a.hi(), 1 + i % 2));
+    }
+    return s;
+  }();
+  return seeds;
+}
+
+void BM_SixTreeGenerate(benchmark::State& state) {
+  SixTree gen{SixTree::Config{}};
+  for (auto _ : state) {
+    auto c = gen.generate(tga_seeds(), 20000);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SixTreeGenerate);
+
+void BM_SixGraphGenerate(benchmark::State& state) {
+  SixGraph gen{SixGraph::Config{}};
+  for (auto _ : state) {
+    auto c = gen.generate(tga_seeds(), 20000);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SixGraphGenerate);
+
+void BM_TcpWireCodec(benchmark::State& state) {
+  const Ipv6 src = ip("2001:db8::1");
+  const Ipv6 dst = ip("2a00:1450::2");
+  TcpSegment seg;
+  seg.src_port = 443;
+  seg.dst_port = 50000;
+  seg.mss = 1440;
+  seg.window_scale = 7;
+  seg.sack_permitted = true;
+  seg.timestamps = {{1, 2}};
+  for (auto _ : state) {
+    auto wire = encode_tcp(seg, src, dst);
+    auto back = decode_tcp(wire, src, dst);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_TcpWireCodec);
+
+void BM_ChecksumIpv6(benchmark::State& state) {
+  const Ipv6 src = ip("2001:db8::1");
+  const Ipv6 dst = ip("2a00:1450::2");
+  std::vector<std::uint8_t> data(1300, 0xab);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(checksum_ipv6(src, dst, 58, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1300);
+}
+BENCHMARK(BM_ChecksumIpv6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Sec. 4.2: validation of the remaining (GFW-cleaned) DNS responders with
+// a unique-hash subdomain of a domain under our control. Paper: of 140 k
+// addresses, 93.8 % return a valid DNS response with an error status,
+// 4.6 % resolve recursively and appear at our name server, 593 refer to
+// the root zone, 15 answer correctly but with a different egress address
+// (proxies), and ~1.1 % respond in broken ways.
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "proto/dns.hpp"
+#include "support.hpp"
+
+using namespace sixdust;
+
+int main() {
+  bench_banner("S4.2", "Sec. 4.2 — validation of remaining DNS responders");
+  const auto& tl = bench::full_timeline();
+  const auto& gfw = tl.service->gfw();
+  const ScanDate date{kTimelineScans - 1};
+
+  // The cleaned UDP/53-responsive set of the final scan.
+  std::vector<Ipv6> dns_responders;
+  for (const auto& [a, mask] : tl.service->history()
+                                   .at(kTimelineScans - 1)
+                                   .responsive) {
+    if (!mask_has(mask, Proto::Udp53)) continue;
+    if (gfw.tainted(a)) continue;
+    dns_responders.push_back(a);
+  }
+
+  tl.world->clear_nameserver_log();
+  std::size_t error_status = 0;
+  std::size_t recursive_ok = 0;
+  std::size_t referral = 0;
+  std::size_t proxied = 0;
+  std::size_t broken = 0;
+  std::size_t silent = 0;
+
+  for (std::size_t i = 0; i < dns_responders.size(); ++i) {
+    const Ipv6& target = dns_responders[i];
+    // Unique-hash subdomain: probes are attributable at our name server.
+    const std::string qname =
+        "h" + std::to_string(hash_of(target, 0x5ec42)) + "." +
+        std::string(World::kOwnZone);
+    const auto responses =
+        tl.world->dns_query(target, DnsQuestion{qname, RrType::AAAA}, date);
+    if (responses.empty()) {
+      ++silent;
+      continue;
+    }
+    const auto& m = responses.front();
+    const Ipv6 expected = World::own_zone_answer(qname);
+    bool has_correct = false;
+    for (const auto& rr : m.answers) {
+      if (const auto* v6 = std::get_if<Ipv6>(&rr.rdata))
+        if (*v6 == expected) has_correct = true;
+    }
+    bool refers_root = false;
+    bool refers_localhost = false;
+    for (const auto& rr : m.authority) {
+      if (const auto* name = std::get_if<std::string>(&rr.rdata)) {
+        if (name->find("root-servers") != std::string::npos)
+          refers_root = true;
+        if (*name == "localhost") refers_localhost = true;
+      }
+    }
+    if (has_correct) {
+      // Did the request arrive at our name server from the probed address?
+      bool source_matches = false;
+      bool seen_at_ns = false;
+      for (const auto& entry : tl.world->nameserver_log()) {
+        if (!dns_name_equal(entry.qname, qname)) continue;
+        seen_at_ns = true;
+        if (entry.source == target) source_matches = true;
+      }
+      if (seen_at_ns && source_matches) {
+        ++recursive_ok;
+      } else {
+        ++proxied;
+      }
+    } else if (refers_root) {
+      ++referral;
+    } else if (m.rcode != Rcode::NoError &&
+               static_cast<int>(m.rcode) <= 5) {
+      ++error_status;
+    } else {
+      ++broken;
+      (void)refers_localhost;
+    }
+  }
+
+  const double total = static_cast<double>(dns_responders.size());
+  Table table({"behaviour", "count", "share", "paper"});
+  table.row({"error status (NS/closed resolver)", std::to_string(error_status),
+             fmt_pct(error_status / total), "93.8 %"});
+  table.row({"recursive, correct AAAA, visible at NS",
+             std::to_string(recursive_ok), fmt_pct(recursive_ok / total),
+             "4.6 %"});
+  table.row({"referral to root/parent", std::to_string(referral),
+             fmt_pct(referral / total), "0.42 % (593)"});
+  table.row({"correct but different egress (proxy)", std::to_string(proxied),
+             fmt_pct(proxied / total), "15 targets"});
+  table.row({"broken/other", std::to_string(broken), fmt_pct(broken / total),
+             "1.1 %"});
+  table.row({"no response (churned)", std::to_string(silent),
+             fmt_pct(silent / total), "-"});
+  table.print();
+
+  std::printf("\nshape checks:\n");
+  bench::report_metric("error-status share", error_status / total, 0.938,
+                       0.1);
+  bench::report_metric("recursive share", recursive_ok / total, 0.046, 0.9);
+  std::printf("  referrals and proxies observed: %s\n",
+              referral > 0 ? "[ok]" : "[diverges]");
+  std::printf("  GFW-style injection absent from cleaned set: %s\n",
+              "[ok] (by construction of the filter)");
+  return 0;
+}

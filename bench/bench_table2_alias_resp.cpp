@@ -1,0 +1,97 @@
+// Table 2: responsiveness of aliased prefixes — one random address per
+// prefix, all five protocols, Trafficforce excluded. The paper's point:
+// most fully-responsive prefixes answer TCP/443 and even QUIC (28.8 k
+// prefixes, driven by CDNs), so excluding them entirely hides exactly the
+// higher-layer deployments researchers want; UDP/53 is the exception
+// (172 prefixes, anycast DNS like Cloudflare and Misaka).
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "analysis/report.hpp"
+#include "scanner/zmap6.hpp"
+#include "support.hpp"
+
+using namespace sixdust;
+
+int main() {
+  bench_banner("T2", "Table 2 — responsiveness of aliased prefixes");
+  const auto& tl = bench::full_timeline();
+  const auto& rib = tl.world->rib();
+  const ScanDate date{kTimelineScans - 1};
+
+  // Exclude Trafficforce, as the paper does.
+  std::vector<Prefix> prefixes;
+  for (const auto& p : tl.service->aliased_list()) {
+    const auto origin = rib.origin(p.base());
+    if (origin && *origin == kAsTrafficforce) continue;
+    prefixes.push_back(p);
+  }
+
+  Zmap6 zmap(Zmap6::Config{.seed = 1202, .loss = 0.01, .retries = 1});
+  std::array<std::size_t, kProtoCount> counts{};
+  std::array<std::unordered_set<Asn>, kProtoCount> ases{};
+  std::size_t max_protos_per_prefix = 0;
+  std::size_t both_udp = 0;
+  std::unordered_set<Asn> all_proto_ases;
+
+  for (const auto& p : prefixes) {
+    const Ipv6 target = p.random_address(0x7a51e);
+    const Asn asn = rib.origin(target).value_or(kAsnNone);
+    int protos = 0;
+    bool udp53 = false;
+    bool udp443 = false;
+    for (Proto proto : kAllProtos) {
+      bool ok = false;
+      for (int attempt = 0; attempt < 2 && !ok; ++attempt)
+        ok = zmap.probe_one(*tl.world, target, proto, date).has_value();
+      if (!ok) continue;
+      ++protos;
+      ++counts[static_cast<std::size_t>(proto_index(proto))];
+      ases[static_cast<std::size_t>(proto_index(proto))].insert(asn);
+      if (proto == Proto::Udp53) udp53 = true;
+      if (proto == Proto::Udp443) udp443 = true;
+    }
+    if (static_cast<std::size_t>(protos) > max_protos_per_prefix)
+      max_protos_per_prefix = static_cast<std::size_t>(protos);
+    if (udp53 && udp443) ++both_udp;
+  }
+
+  Table table({"protocol", "# prefixes", "# ASes", "paper (#, scaled 1:10)"});
+  const char* paper[] = {"3.9 k / 27", "3.2 k / 18", "3.2 k / 16",
+                         "17 / 3", "2.9 k / 4"};
+  for (Proto p : kAllProtos) {
+    const auto i = static_cast<std::size_t>(proto_index(p));
+    table.row({proto_name(p), std::to_string(counts[i]),
+               std::to_string(ases[i].size()), paper[i]});
+  }
+  table.print();
+  std::printf("(%zu aliased prefixes tested, Trafficforce excluded)\n",
+              prefixes.size());
+
+  std::printf("\nshape checks:\n");
+  bench::report_metric("ICMP-responsive aliased prefixes",
+                       static_cast<double>(counts[0]), 3900, 0.5);
+  bench::report_metric("UDP/443 (QUIC) aliased prefixes",
+                       static_cast<double>(counts[4]), 2880, 0.6);
+  bench::report_metric("UDP/53 aliased prefixes",
+                       static_cast<double>(counts[3]), 17, 1.2);
+  std::printf("  QUIC concentrated in few ASes (paper 41/10=4): %zu ASes %s\n",
+              ases[4].size(), ases[4].size() <= 12 ? "[ok]" : "[diverges]");
+  std::printf("  no prefix responsive to both UDP/53 and UDP/443: %s\n",
+              both_udp == 0 ? "[ok]" : "[diverges]");
+  std::printf("  max protocols per prefix: %zu (paper: 4)\n",
+              max_protos_per_prefix);
+  // The paper's +29.4 % QUIC gain compares 28.8 k aliased prefixes against
+  // 98.1 k hitlist UDP/443 addresses; prefixes scale 1:10 while addresses
+  // scale 1:1000, so only the direction survives scaling: adding one
+  // address per aliased prefix increases QUIC coverage substantially.
+  const auto hl_udp443 =
+      tl.service->history()
+          .counts(kTimelineScans - 1, &tl.service->gfw())
+          .per_proto[proto_index(Proto::Udp443)];
+  std::printf("  QUIC addresses gained from aliased prefixes: %zu on top of\n"
+              "  %zu in the hitlist (paper: +29.4 %%) %s\n",
+              counts[4], hl_udp443, counts[4] > 0 ? "[ok]" : "[diverges]");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 3: new input sources for IPv6 address candidates — how many
+// candidates each source delivers and how many ASes they cover (relative
+// to all ASes announcing IPv6 prefixes).
+
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "support.hpp"
+
+using namespace sixdust;
+
+int main() {
+  bench_banner("T3", "Table 3 — new candidate sources (addresses, AS coverage)");
+  const auto& eval = bench::source_evaluation();
+  const auto& tl = bench::full_timeline();
+  const double all_ases = static_cast<double>(tl.world->rib().as_count());
+
+  Table table({"source", "candidates(raw)", "new", "non-aliased", "ASes",
+               "% of announcing ASes"});
+  for (const auto& rep : eval.reports) {
+    table.row({rep.name, fmt_count(static_cast<double>(rep.raw)),
+               fmt_count(static_cast<double>(rep.new_candidates)),
+               fmt_count(static_cast<double>(rep.non_aliased)),
+               std::to_string(rep.candidate_ases),
+               fmt_pct(static_cast<double>(rep.candidate_ases) / all_ases)});
+  }
+  table.print();
+
+  std::printf("\npaper (addresses scaled 1:1000, AS %% as printed):\n"
+              "  Passive sources            356.7 k   12.5 %% of ASes\n"
+              "  Unresponsive addresses     638.6 M   64.9 %%\n"
+              "  6Graph                     125.8 M   65.2 %%\n"
+              "  6Tree                       37.6 M   51.7 %%\n"
+              "  6GAN                         3.3 M    0.8 %%\n"
+              "  6VecLM                      70.3 k    0.9 %%\n"
+              "  Distance clustering          5.3 M   25.0 %%\n");
+
+  std::printf("\nshape checks:\n");
+  const auto& g6 = eval.find("6Graph");
+  const auto& t6 = eval.find("6Tree");
+  const auto& unresp = eval.find("Unresponsive addresses");
+  const auto& gan = eval.find("6GAN");
+  // 6Graph's patterns exhaust below the paper's candidate volume at this
+  // scale (fewer seeds -> smaller Cartesian products); compare magnitude.
+  bench::report_metric("6Graph candidates", static_cast<double>(g6.raw),
+                       125800, 0.5);
+  bench::report_metric("6Tree candidates", static_cast<double>(t6.raw), 37600,
+                       0.2);
+  bench::report_metric("unresponsive pool size",
+                       static_cast<double>(unresp.raw), 638600, 0.7);
+  bench::report_metric("6Graph AS coverage / announcing ASes",
+                       static_cast<double>(g6.candidate_ases) / all_ases,
+                       0.652, 0.5);
+  bench::report_metric("6Tree AS coverage / announcing ASes",
+                       static_cast<double>(t6.candidate_ases) / all_ases,
+                       0.517, 0.5);
+  bench::report_metric("6GAN AS coverage / announcing ASes",
+                       static_cast<double>(gan.candidate_ases) / all_ases,
+                       0.008, 4.0);
+  return 0;
+}

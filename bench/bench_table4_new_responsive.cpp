@@ -1,0 +1,110 @@
+// Table 4: responsive addresses per new source, per protocol, with the
+// top-AS bias of each source and the comparison against the existing
+// IPv6 Hitlist (and the combined total).
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "analysis/report.hpp"
+#include "support.hpp"
+
+using namespace sixdust;
+
+int main() {
+  bench_banner("T4", "Table 4 — responsive addresses per new source");
+  const auto& eval = bench::source_evaluation();
+  const auto& tl = bench::full_timeline();
+
+  Table table({"source", "ICMP", "TCP/443", "TCP/80", "UDP/443", "UDP/53",
+               "total", "top AS", "top %", "ASes"});
+
+  std::unordered_set<Ipv6, Ipv6Hasher> all_new;
+  std::array<std::size_t, kProtoCount> new_protos{};
+  for (const auto& rep : eval.reports) {
+    const auto ranked = rep.responsive_dist.ranked();
+    const std::string top =
+        ranked.empty() ? "-" : tl.world->registry().label(ranked[0].asn);
+    const std::string top_share =
+        ranked.empty() ? "-" : fmt_pct(ranked[0].share);
+    table.row({rep.name,
+               fmt_count(static_cast<double>(rep.responsive_per_proto[0])),
+               fmt_count(static_cast<double>(rep.responsive_per_proto[2])),
+               fmt_count(static_cast<double>(rep.responsive_per_proto[1])),
+               fmt_count(static_cast<double>(rep.responsive_per_proto[4])),
+               fmt_count(static_cast<double>(rep.responsive_per_proto[3])),
+               fmt_count(static_cast<double>(rep.responsive.size())), top,
+               top_share, std::to_string(rep.responsive_dist.as_count())});
+    for (const auto& a : rep.responsive) all_new.insert(a);
+    for (int p = 0; p < kProtoCount; ++p)
+      new_protos[static_cast<std::size_t>(p)] += rep.responsive_per_proto[static_cast<std::size_t>(p)];
+  }
+
+  // The existing hitlist's final snapshot (cleaned).
+  const auto& history = tl.service->history();
+  const auto hl = history.counts(kTimelineScans - 1, &tl.service->gfw());
+  std::vector<Ipv6> hl_addrs;
+  for (const auto& [a, mask] : history.at(kTimelineScans - 1).responsive)
+    hl_addrs.push_back(a);
+  const auto hl_dist = AsDistribution::of(tl.world->rib(), hl_addrs);
+  const auto hl_ranked = hl_dist.ranked();
+  table.row({"IPv6 Hitlist", fmt_count(static_cast<double>(hl.per_proto[0])),
+             fmt_count(static_cast<double>(hl.per_proto[2])),
+             fmt_count(static_cast<double>(hl.per_proto[1])),
+             fmt_count(static_cast<double>(hl.per_proto[4])),
+             fmt_count(static_cast<double>(hl.per_proto[3])),
+             fmt_count(static_cast<double>(hl.any)),
+             hl_ranked.empty() ? "-" : tl.world->registry().label(hl_ranked[0].asn),
+             hl_ranked.empty() ? "-" : fmt_pct(hl_ranked[0].share),
+             std::to_string(hl_dist.as_count())});
+
+  const std::size_t new_total = all_new.size();
+  std::size_t combined = new_total;
+  for (const auto& a : hl_addrs)
+    if (!all_new.contains(a)) ++combined;
+  table.row({"New sources (distinct)", "-", "-", "-", "-", "-",
+             fmt_count(static_cast<double>(new_total)), "-", "-", "-"});
+  table.row({"Combined total", "-", "-", "-", "-", "-",
+             fmt_count(static_cast<double>(combined)), "-", "-", "-"});
+  table.print();
+
+  std::printf("\npaper (scaled 1:1000): 6Graph 3.8 M (52.1 %% Free SAS),\n"
+              "6Tree 2.2 M (41 %%), unresponsive 1.3 M, DC 651 k, passive\n"
+              "21.6 k, 6GAN 4.3 k, 6VecLM 1.0 k; new total 5.6 M; hitlist\n"
+              "3.2 M; combined 8.8 M (+174 %%).\n");
+
+  std::printf("\nshape checks:\n");
+  bench::report_metric("6Graph responsive",
+                       static_cast<double>(eval.find("6Graph").responsive.size()),
+                       3800, 0.5);
+  bench::report_metric("6Tree responsive",
+                       static_cast<double>(eval.find("6Tree").responsive.size()),
+                       2200, 0.5);
+  bench::report_metric(
+      "unresponsive-pool re-responsive",
+      static_cast<double>(eval.find("Unresponsive addresses").responsive.size()),
+      1300, 0.6);
+  bench::report_metric(
+      "distance clustering responsive",
+      static_cast<double>(eval.find("Distance clustering").responsive.size()),
+      651, 0.6);
+  bench::report_metric("new sources total (distinct)",
+                       static_cast<double>(new_total), 5600, 0.5);
+  bench::report_metric("combined / hitlist ratio",
+                       static_cast<double>(combined) /
+                           static_cast<double>(hl.any ? hl.any : 1),
+                       8800.0 / 3200.0, 0.4);
+  // Ordering: 6Graph > 6Tree > DC >> {6GAN, 6VecLM}. The 6GAN/6VecLM pair
+  // is single-digit at this scale (paper: 4.3 k vs 1.0 k), so only their
+  // joint position at the bottom is meaningful.
+  const std::size_t ml_max = std::max(eval.find("6GAN").responsive.size(),
+                                      eval.find("6VecLM").responsive.size());
+  const bool ordered =
+      eval.find("6Graph").responsive.size() >
+          eval.find("6Tree").responsive.size() &&
+      eval.find("6Tree").responsive.size() >
+          eval.find("Distance clustering").responsive.size() &&
+      eval.find("Distance clustering").responsive.size() > ml_max * 3;
+  std::printf("  source ordering matches the paper: %s\n",
+              ordered ? "[ok]" : "[diverges]");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "support.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "tga/distance_clustering.hpp"
+#include "tga/sixgan.hpp"
+#include "tga/sixgraph.hpp"
+#include "tga/sixtree.hpp"
+#include "tga/sixveclm.hpp"
+
+namespace sixdust::bench {
+
+const World& full_world() {
+  static const std::unique_ptr<World> world = [] {
+    WorldConfig cfg;
+    return build_world(cfg);
+  }();
+  return *world;
+}
+
+const Timeline& full_timeline() {
+  static const Timeline timeline = [] {
+    Timeline t;
+    WorldConfig cfg;
+    t.world = build_world(cfg);
+    HitlistService::Config sc;
+
+    // The 46-scan run is deterministic, so share it across bench binaries
+    // via the service's publication format (disable: SIXDUST_NO_CACHE=1).
+    const std::uint64_t fingerprint =
+        hash_combine(hash_combine(cfg.seed, kTimelineScans), 20260706);
+    const char* cache_dir = std::getenv("TMPDIR");
+    const std::string path = std::string(cache_dir ? cache_dir : "/tmp") +
+                             "/sixdust_timeline.bin";
+    if (std::getenv("SIXDUST_NO_CACHE") == nullptr) {
+      if (auto cached = ServiceArchive::load(sc, fingerprint, path)) {
+        std::fprintf(stderr, "[bench] loaded cached timeline from %s\n",
+                     path.c_str());
+        t.service = std::move(cached);
+        return t;
+      }
+    }
+
+    t.service = std::make_unique<HitlistService>(sc);
+    std::fprintf(stderr, "[bench] running %d-scan hitlist timeline...\n",
+                 kTimelineScans);
+    t.service->run(*t.world, kTimelineScans);
+    std::fprintf(stderr, "[bench] timeline ready: input=%zu responsive@last=%zu\n",
+                 t.service->input().size(),
+                 t.service->history().counts(kTimelineScans - 1).any);
+    if (std::getenv("SIXDUST_NO_CACHE") == nullptr)
+      ServiceArchive::save(*t.service, fingerprint, path);
+    return t;
+  }();
+  return timeline;
+}
+
+const NewSourceEvaluator::SourceReport& SourceEvaluation::find(
+    const std::string& name) const {
+  for (const auto& r : reports)
+    if (r.name == name) return r;
+  std::fprintf(stderr, "no source report named '%s'\n", name.c_str());
+  std::abort();
+}
+
+const SourceEvaluation& source_evaluation() {
+  static const SourceEvaluation eval = [] {
+    const Timeline& tl = full_timeline();
+    NewSourceEvaluator::Config cfg;
+    NewSourceEvaluator evaluator(tl.world.get(), tl.service.get(), cfg);
+
+    std::fprintf(stderr, "[bench] collecting & generating new sources...\n");
+    const auto seeds = evaluator.tga_seeds();
+    ZoneDb zones(tl.world.get(), ZoneDb::Config{});
+
+    SourceEvaluation out;
+    auto run = [&](const std::string& name, std::vector<Ipv6> cands,
+                   bool rescan_only = false) {
+      std::fprintf(stderr, "[bench] evaluating %-22s (%zu candidates)\n",
+                   name.c_str(), cands.size());
+      out.reports.push_back(
+          evaluator.evaluate(name, std::move(cands), rescan_only));
+    };
+
+    run("6Graph", SixGraph{{}}.generate(seeds, 125800));
+    run("6Tree", SixTree{{}}.generate(seeds, 37600));
+    run("Unresponsive addresses", [&] {
+      // GFW-injected addresses are removed before the re-scan (paper:
+      // 787.7 M -> 638.6 M candidates).
+      std::vector<Ipv6> pool = tl.service->unresponsive_pool();
+      const auto& gfw = tl.service->gfw();
+      std::erase_if(pool, [&](const Ipv6& a) { return gfw.tainted(a); });
+      return pool;
+    }(), /*rescan_only=*/true);
+    run("Distance clustering", DistanceClustering{{}}.generate(seeds, 50000));
+    run("Passive sources",
+        evaluator.collect_passive(zones, ScanDate{kTimelineScans - 1}));
+    run("6GAN", SixGan{{}}.generate(seeds, 3300));
+    run("6VecLM", SixVecLm{{}}.generate(seeds, 700));
+    return out;
+  }();
+  return eval;
+}
+
+void report_metric(const std::string& name, double measured, double expected,
+                   double rel_tolerance) {
+  const double lo = expected * (1.0 - rel_tolerance);
+  const double hi = expected * (1.0 + rel_tolerance);
+  const bool ok = expected == 0 ? measured == 0
+                                : (measured >= lo && measured <= hi);
+  std::printf("  %-52s measured %12.1f   paper(scaled) %12.1f   %s\n",
+              name.c_str(), measured, expected, ok ? "[ok]" : "[diverges]");
+}
+
+}  // namespace sixdust::bench

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hitlist/archive.hpp"
+#include "hitlist/discovery.hpp"
+#include "hitlist/service.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust::bench {
+
+/// Shared fixture for the table/figure benches: the full-scale world and a
+/// complete 46-scan service run (2018-07 .. 2022-04). Built once per
+/// process and cached; benches that need only a fragment build their own
+/// smaller setup instead.
+struct Timeline {
+  std::unique_ptr<World> world;
+  std::unique_ptr<HitlistService> service;
+};
+
+/// Full paper-scale timeline with the service in *published* mode (GFW
+/// filter deployed at scan 43, like the real service in Feb 2022).
+const Timeline& full_timeline();
+
+/// World only (paper scale), no service run.
+const World& full_world();
+
+/// Section-6 evaluation shared by T3/T4/F7/F8: all new candidate sources
+/// generated/collected and scanned through the pipeline filters.
+struct SourceEvaluation {
+  std::vector<NewSourceEvaluator::SourceReport> reports;
+  [[nodiscard]] const NewSourceEvaluator::SourceReport& find(
+      const std::string& name) const;
+};
+const SourceEvaluation& source_evaluation();
+
+/// Prints a one-line OK/DIVERGES verdict comparing a measured value against
+/// the paper's (scaled) expectation within a relative tolerance band. Never
+/// fails the process — benches report, tests assert.
+void report_metric(const std::string& name, double measured, double expected,
+                   double rel_tolerance = 0.5);
+
+}  // namespace sixdust::bench

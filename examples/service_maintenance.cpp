@@ -1,0 +1,47 @@
+// Service maintenance walkthrough: the workflow this paper performs on
+// the real hitlist, end to end — run the service across a GFW event,
+// publish its state, analyze the injection forensics, archive the run,
+// and diff it against an earlier snapshot.
+
+#include <cstdio>
+
+#include "gfw/era_stats.hpp"
+#include "hitlist/archive.hpp"
+#include "hitlist/compare.hpp"
+#include "hitlist/report_gen.hpp"
+#include "topo/world_builder.hpp"
+
+int main() {
+  using namespace sixdust;
+  auto world = build_test_world(33);
+
+  // --- Era 1: the young service (pre-GFW-event). -------------------------
+  HitlistService service{HitlistService::Config{}};
+  std::printf("running scans 2018-07 .. 2019-01 (pre-event)...\n");
+  for (int i = 0; i <= 6; ++i) service.step(*world, ScanDate{i});
+  const std::string before_path = "/tmp/sixdust_maint_before.bin";
+  ServiceArchive::save(service, /*fingerprint=*/33, before_path);
+
+  // --- Era 2: through the first injection event. --------------------------
+  std::printf("running scans 2019-02 .. 2019-12 (through the event)...\n");
+  for (int i = 7; i <= 17; ++i) service.step(*world, ScanDate{i});
+
+  // Publish the state (what ipv6hitlist.github.io does daily).
+  ServiceReport report(&service, &world->rib(), &world->registry());
+  std::printf("\n%s\n", report.markdown().c_str());
+
+  // Injection forensics across the event.
+  const auto stats = gfw_era_stats(service.gfw());
+  std::printf("%s\n", stats.summary().c_str());
+
+  // Diff against the archived pre-event state.
+  auto before =
+      ServiceArchive::load(HitlistService::Config{}, 33, before_path);
+  if (before) {
+    const auto diff = diff_services(*before, service, world->rib());
+    std::printf("=== change since 2019-01 ===\n%s",
+                diff.summary(world->registry()).c_str());
+  }
+  std::remove(before_path.c_str());
+  return 0;
+}

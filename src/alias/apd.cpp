@@ -1,0 +1,147 @@
+#include "alias/apd.hpp"
+
+#include <algorithm>
+
+#include "netbase/hash.hpp"
+
+namespace sixdust {
+
+std::vector<Prefix> AliasDetector::candidates(const Rib& rib,
+                                              std::span<const Ipv6> input,
+                                              const Config& cfg) {
+  // Rule (b): every /64 with input presence. Rule (c) — prefixes longer
+  // than /64 with >= 100 addresses — can only trigger inside a /64 that
+  // itself holds >= 100 addresses, so the expensive per-level counting is
+  // restricted to those (two-pass; the input is dominated by one-address
+  // /64s such as traceroute-discovered router addresses).
+  std::unordered_map<Prefix, std::size_t, PrefixHasher> per64;
+  per64.reserve(input.size());
+  for (const auto& a : input) per64[Prefix::make(a, 64)]++;
+
+  std::unordered_map<Prefix, std::size_t, PrefixHasher> longer;
+  for (const auto& a : input) {
+    auto it = per64.find(Prefix::make(a, 64));
+    if (it == per64.end() || it->second < cfg.long_prefix_min_addrs) continue;
+    for (int len = 68; len <= cfg.max_len; len += 4)
+      longer[Prefix::make(a, len)]++;
+  }
+
+  std::vector<Prefix> out;
+  out.reserve(per64.size() + longer.size() / 4 + rib.routes().size());
+
+  // Rule (a): BGP prefixes.
+  for (const auto& r : rib.routes()) out.push_back(r.prefix);
+
+  for (const auto& [p, c] : per64) out.push_back(p);
+  for (const auto& [p, c] : longer)
+    if (c >= cfg.long_prefix_min_addrs) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool AliasDetector::lost(const Ipv6& a, ScanDate d, int proto_tag) const {
+  if (cfg_.loss <= 0) return false;
+  const std::uint64_t h =
+      hash_combine(hash_of(a, cfg_.seed ^ 0xA1D),
+                   (static_cast<std::uint64_t>(d.index) << 8) |
+                       static_cast<std::uint64_t>(proto_tag));
+  return unit_from_hash(h) < cfg_.loss;
+}
+
+std::uint16_t AliasDetector::probe_mask(const World& world, const Prefix& p,
+                                        ScanDate date,
+                                        std::uint64_t* probes) const {
+  std::uint16_t mask = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    const Prefix sub = p.subprefix(i, 4);
+    const Ipv6 target = sub.random_address(
+        hash_combine(cfg_.seed, static_cast<std::uint64_t>(date.index)));
+    bool responded = false;
+    // ICMP probe, retransmitted once (ZMap -P2 style).
+    for (int attempt = 0; attempt < 2 && !responded; ++attempt) {
+      ++*probes;
+      if (!lost(target, date, attempt * 2) &&
+          world.icmp_echo(target, IcmpEchoRequest{}, date))
+        responded = true;
+    }
+    // TCP/80 probe (merged with ICMP).
+    if (!responded) {
+      ++*probes;
+      if (!lost(target, date, 1) && world.tcp_syn(target, 80, date))
+        responded = true;
+    }
+    if (responded) mask |= static_cast<std::uint16_t>(1u << i);
+    // Short-circuit for clearly non-aliased candidates: if the first two
+    // sub-prefixes are both silent, the prefix cannot be fully responsive
+    // (double probe loss on both is ~1e-8). Candidates that show life keep
+    // getting all 16 probes so that history merging sees every bit —
+    // otherwise a single lost probe would hide the remaining sub-prefixes
+    // from the merge.
+    if (i == 1 && mask == 0) return mask;
+  }
+  return mask;
+}
+
+AliasDetector::Detection AliasDetector::finalize(
+    const std::unordered_map<Prefix, std::uint16_t, PrefixHasher>& masks,
+    std::uint64_t tested, std::uint64_t probes) const {
+  Detection det;
+  det.candidates_tested = tested;
+  det.probes_sent = probes;
+
+  std::vector<Prefix> aliased;
+  for (const auto& [p, m] : masks)
+    if (m == 0xffff) aliased.push_back(p);
+  // Aggregate: shortest first; drop candidates covered by an already
+  // accepted (shorter) aliased prefix.
+  std::sort(aliased.begin(), aliased.end(),
+            [](const Prefix& a, const Prefix& b) {
+              if (a.len() != b.len()) return a.len() < b.len();
+              return a < b;
+            });
+  for (const auto& p : aliased) {
+    if (det.aliased_set.covers(p.base())) continue;
+    det.aliased.push_back(p);
+    det.aliased_set.add(p);
+  }
+  return det;
+}
+
+AliasDetector::Detection AliasDetector::detect(const World& world,
+                                               std::span<const Ipv6> input,
+                                               ScanDate date) {
+  const auto cands = candidates(world.rib(), input, cfg_);
+  std::unordered_map<Prefix, std::uint16_t, PrefixHasher> round;
+  round.reserve(cands.size());
+  std::uint64_t probes = 0;
+  for (const auto& p : cands) round[p] = probe_mask(world, p, date, &probes);
+
+  // Merge with up to `history` previous rounds: a sub-prefix counts as
+  // responsive if it responded in any merged round.
+  std::unordered_map<Prefix, std::uint16_t, PrefixHasher> merged = round;
+  for (const auto& old : history_) {
+    for (auto& [p, m] : merged) {
+      auto it = old.find(p);
+      if (it != old.end()) m |= it->second;
+    }
+  }
+
+  history_.push_back(std::move(round));
+  while (history_.size() > static_cast<std::size_t>(cfg_.history))
+    history_.pop_front();
+
+  return finalize(merged, cands.size(), probes);
+}
+
+AliasDetector::Detection AliasDetector::detect_once(
+    const World& world, std::span<const Ipv6> input, ScanDate date) const {
+  const auto cands = candidates(world.rib(), input, cfg_);
+  std::unordered_map<Prefix, std::uint16_t, PrefixHasher> round;
+  round.reserve(cands.size());
+  std::uint64_t probes = 0;
+  for (const auto& p : cands) round[p] = probe_mask(world, p, date, &probes);
+  return finalize(round, cands.size(), probes);
+}
+
+}  // namespace sixdust

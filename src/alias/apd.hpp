@@ -1,0 +1,82 @@
+#pragma once
+
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "asdb/rib.hpp"
+#include "netbase/prefix_set.hpp"
+#include "topo/world.hpp"
+
+namespace sixdust {
+
+/// Multi-level aliased prefix detection — the hitlist service's filter as
+/// described in Sec. 3.1 of the paper (after Gasser et al. 2018, extending
+/// Murdock et al.'s fixed-/96 test):
+///
+///  * candidate prefixes are (a) every BGP-announced prefix, (b) every /64
+///    with at least one input address, and (c) prefixes longer than /64 in
+///    4-bit steps holding >= 100 input addresses;
+///  * for each candidate, one pseudo-random address inside each of its 16
+///    four-bit more-specifics is probed (ICMP and TCP/80);
+///  * responses are merged across the two protocols *and* with the previous
+///    three detection rounds, so probe loss does not flip labels;
+///  * a candidate whose 16 sub-prefixes all responded is aliased;
+///  * aliased candidates covered by a shorter aliased prefix are subsumed.
+class AliasDetector {
+ public:
+  struct Config {
+    std::uint64_t seed = 13;
+    /// Input-address threshold for candidates longer than /64.
+    std::size_t long_prefix_min_addrs = 100;
+    /// Longest candidate length considered (the paper saw /28 .. /120).
+    int max_len = 120;
+    /// Number of previous rounds merged into the decision.
+    int history = 3;
+    /// Channel loss applied to detection probes.
+    double loss = 0.01;
+  };
+
+  explicit AliasDetector(Config cfg) : cfg_(cfg) {}
+
+  /// Candidate prefixes per the three rules above.
+  [[nodiscard]] static std::vector<Prefix> candidates(
+      const Rib& rib, std::span<const Ipv6> input, const Config& cfg);
+
+  struct Detection {
+    /// Aliased prefixes after aggregation (subsumed candidates removed).
+    std::vector<Prefix> aliased;
+    /// Same content as a coverage set, for filtering input addresses.
+    PrefixSet aliased_set;
+    std::uint64_t candidates_tested = 0;
+    std::uint64_t probes_sent = 0;
+  };
+
+  /// Run one detection round on `date`, merging with the detector's stored
+  /// history (call once per scan to mirror the service's cadence).
+  [[nodiscard]] Detection detect(const World& world,
+                                 std::span<const Ipv6> input, ScanDate date);
+
+  /// Stateless single-round detection (no history) — used by tests.
+  [[nodiscard]] Detection detect_once(const World& world,
+                                      std::span<const Ipv6> input,
+                                      ScanDate date) const;
+
+ private:
+  /// Bitmask of the 16 sub-prefixes of `p` that responded (ICMP|TCP80).
+  [[nodiscard]] std::uint16_t probe_mask(const World& world, const Prefix& p,
+                                         ScanDate date,
+                                         std::uint64_t* probes) const;
+
+  [[nodiscard]] Detection finalize(
+      const std::unordered_map<Prefix, std::uint16_t, PrefixHasher>& masks,
+      std::uint64_t tested, std::uint64_t probes) const;
+
+  [[nodiscard]] bool lost(const Ipv6& a, ScanDate d, int proto_tag) const;
+
+  Config cfg_;
+  std::deque<std::unordered_map<Prefix, std::uint16_t, PrefixHasher>> history_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,67 @@
+#include "alias/tbt.hpp"
+
+#include "netbase/hash.hpp"
+
+namespace sixdust {
+
+TooBigTrick::PrefixResult TooBigTrick::test(const World& world,
+                                            const Prefix& p,
+                                            ScanDate date) const {
+  PrefixResult res;
+  res.prefix = p;
+
+  std::vector<Ipv6> addrs;
+  addrs.reserve(cfg_.addresses);
+  for (int i = 0; i < cfg_.addresses; ++i)
+    addrs.push_back(p.random_address(
+        hash_combine(cfg_.seed, 0x7B7 + static_cast<std::uint64_t>(i))));
+
+  // (i) all addresses must answer large echoes unfragmented.
+  for (const auto& a : addrs) {
+    auto r = world.icmp_echo(a, IcmpEchoRequest{cfg_.echo_size}, date);
+    if (!r || r->fragmented) return res;
+  }
+
+  // (ii) install a reduced PMTU on the first address's machine and verify.
+  world.icmp_packet_too_big(addrs[0], IcmpPacketTooBig{cfg_.ptb_mtu}, date);
+  auto confirm = world.icmp_echo(addrs[0], IcmpEchoRequest{cfg_.echo_size}, date);
+  if (!confirm || !confirm->fragmented) return res;
+
+  // (iii) the remaining addresses get no PTB of their own.
+  for (std::size_t i = 1; i < addrs.size(); ++i) {
+    auto r = world.icmp_echo(addrs[i], IcmpEchoRequest{cfg_.echo_size}, date);
+    if (r && r->fragmented) ++res.shared;
+  }
+  const int others = cfg_.addresses - 1;
+  if (res.shared == others) {
+    res.outcome = Outcome::AllShared;
+  } else if (res.shared == 0) {
+    res.outcome = Outcome::NoneShared;
+  } else {
+    res.outcome = Outcome::PartialShared;
+  }
+  return res;
+}
+
+TooBigTrick::Summary TooBigTrick::run(const World& world,
+                                      std::span<const Prefix> prefixes,
+                                      ScanDate date) const {
+  Summary sum;
+  sum.results.reserve(prefixes.size());
+  for (const auto& p : prefixes) {
+    auto res = test(world, p, date);
+    if (res.outcome != Outcome::NotUsable) {
+      ++sum.usable;
+      switch (res.outcome) {
+        case Outcome::AllShared: ++sum.all_shared; break;
+        case Outcome::NoneShared: ++sum.none_shared; break;
+        case Outcome::PartialShared: ++sum.partial_shared; break;
+        case Outcome::NotUsable: break;
+      }
+    }
+    sum.results.push_back(res);
+  }
+  return sum;
+}
+
+}  // namespace sixdust

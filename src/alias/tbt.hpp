@@ -1,0 +1,63 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topo/world.hpp"
+
+namespace sixdust {
+
+/// The "Too Big Trick" (Beverly et al. 2013; applied to aliased prefixes by
+/// Song et al. 2022 and by the paper's Sec. 5.1): exploit the fact that a
+/// host's PMTU cache is shared across all of its addresses.
+///
+///  (i)  verify eight addresses inside the prefix answer 1300-byte ICMP
+///       echoes without fragmentation;
+///  (ii) send an ICMPv6 Packet Too Big (MTU 1280) to *one* of them and
+///       verify its next echo reply is fragmented;
+///  (iii) probe the remaining seven without any PTB: replies that arrive
+///       fragmented share the first address's PMTU cache — i.e. the same
+///       machine.
+class TooBigTrick {
+ public:
+  struct Config {
+    std::uint64_t seed = 19;
+    int addresses = 8;
+    std::uint16_t echo_size = 1300;  // > 1280 minimum IPv6 MTU
+    std::uint16_t ptb_mtu = 1280;
+  };
+
+  explicit TooBigTrick(Config cfg) : cfg_(cfg) {}
+
+  enum class Outcome {
+    NotUsable,      // initial echoes unanswered/fragmented, or PTB ignored
+    AllShared,      // all follow-up replies fragmented: one machine
+    NoneShared,     // no follow-up reply fragmented: independent machines
+    PartialShared,  // subsets share a PMTU cache: load-balanced fleet
+  };
+
+  struct PrefixResult {
+    Prefix prefix;
+    Outcome outcome = Outcome::NotUsable;
+    int shared = 0;  // follow-up replies (of addresses-1) that fragmented
+  };
+
+  struct Summary {
+    std::vector<PrefixResult> results;
+    std::size_t usable = 0;
+    std::size_t all_shared = 0;
+    std::size_t none_shared = 0;
+    std::size_t partial_shared = 0;
+  };
+
+  [[nodiscard]] PrefixResult test(const World& world, const Prefix& p,
+                                  ScanDate date) const;
+
+  [[nodiscard]] Summary run(const World& world, std::span<const Prefix> prefixes,
+                            ScanDate date) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,60 @@
+#include "alias/tcp_fp.hpp"
+
+#include "netbase/hash.hpp"
+#include "proto/tcp.hpp"
+
+namespace sixdust {
+
+TcpFingerprinter::PrefixReport TcpFingerprinter::fingerprint(
+    const World& world, const Prefix& p, ScanDate date) const {
+  PrefixReport rep;
+  rep.prefix = p;
+
+  std::vector<TcpFeatures> seen;
+  std::vector<std::uint8_t> ittls;
+  for (int i = 0; i < cfg_.addresses_per_prefix; ++i) {
+    const Ipv6 target =
+        p.random_address(hash_combine(cfg_.seed, 0xF1 + static_cast<std::uint64_t>(i)));
+    auto syn_ack = world.tcp_syn(target, cfg_.port, date);
+    if (!syn_ack) continue;
+    seen.push_back(syn_ack->features);
+    ittls.push_back(ittl_from_hop_limit(syn_ack->hop_limit));
+  }
+  if (seen.size() < 2) return rep;
+  rep.fingerprintable = true;
+
+  const TcpFeatures& ref = seen.front();
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    const TcpFeatures& f = seen[i];
+    if (f.window != ref.window) rep.window_differs = true;
+    if (f.window_scale != ref.window_scale) rep.wscale_differs = true;
+    if (f.mss != ref.mss) rep.mss_differs = true;
+    if (f.options_text != ref.options_text) rep.options_differ = true;
+    if (ittls[i] != ittls.front()) rep.ittl_differs = true;
+  }
+  rep.uniform = !(rep.window_differs || rep.wscale_differs ||
+                  rep.mss_differs || rep.options_differ || rep.ittl_differs);
+  return rep;
+}
+
+TcpFingerprinter::Summary TcpFingerprinter::run(
+    const World& world, std::span<const Prefix> prefixes,
+    ScanDate date) const {
+  Summary sum;
+  sum.reports.reserve(prefixes.size());
+  for (const auto& p : prefixes) {
+    auto rep = fingerprint(world, p, date);
+    if (rep.fingerprintable) {
+      ++sum.fingerprintable;
+      if (rep.uniform) ++sum.uniform;
+      if (rep.window_differs) ++sum.window_differs;
+      if (rep.wscale_differs || rep.mss_differs || rep.options_differ ||
+          rep.ittl_differs)
+        ++sum.other_differs;
+    }
+    sum.reports.push_back(std::move(rep));
+  }
+  return sum;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "topo/world.hpp"
+
+namespace sixdust {
+
+/// TCP-feature fingerprinting of aliased prefixes (paper Sec. 5.1): probe
+/// several addresses inside a prefix and compare option strings, window
+/// size, window scale, MSS and iTTL. Identical values do not prove a single
+/// host, but *differing* values prove multiple hosts.
+class TcpFingerprinter {
+ public:
+  struct Config {
+    std::uint64_t seed = 17;
+    int addresses_per_prefix = 4;
+    std::uint16_t port = 80;
+  };
+
+  explicit TcpFingerprinter(Config cfg) : cfg_(cfg) {}
+
+  struct PrefixReport {
+    Prefix prefix;
+    bool fingerprintable = false;  // >= 2 addresses answered TCP
+    bool uniform = true;
+    bool window_differs = false;
+    bool wscale_differs = false;
+    bool mss_differs = false;
+    bool ittl_differs = false;
+    bool options_differ = false;
+  };
+
+  struct Summary {
+    std::vector<PrefixReport> reports;
+    std::size_t fingerprintable = 0;
+    std::size_t uniform = 0;
+    std::size_t window_differs = 0;
+    std::size_t other_differs = 0;  // any non-window feature differs
+  };
+
+  [[nodiscard]] PrefixReport fingerprint(const World& world, const Prefix& p,
+                                         ScanDate date) const;
+
+  [[nodiscard]] Summary run(const World& world, std::span<const Prefix> prefixes,
+                            ScanDate date) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,65 @@
+#include "analysis/distribution.hpp"
+
+#include <algorithm>
+
+namespace sixdust {
+
+AsDistribution AsDistribution::of(const Rib& rib,
+                                  std::span<const Ipv6> addrs) {
+  AsDistribution d;
+  for (const auto& a : addrs) {
+    auto asn = rib.origin(a);
+    d.add(asn.value_or(kAsnNone));
+  }
+  return d;
+}
+
+void AsDistribution::add(Asn asn, std::size_t count) {
+  counts_[asn] += count;
+  total_ += count;
+}
+
+std::vector<AsDistribution::Row> AsDistribution::ranked() const {
+  std::vector<Row> rows;
+  rows.reserve(counts_.size());
+  for (const auto& [asn, c] : counts_)
+    rows.push_back(Row{asn, c, total_ ? static_cast<double>(c) / total_ : 0});
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.asn < b.asn;
+  });
+  return rows;
+}
+
+double AsDistribution::top_share(std::size_t k) const {
+  const auto rows = ranked();
+  double s = 0;
+  for (std::size_t i = 0; i < k && i < rows.size(); ++i) s += rows[i].share;
+  return s;
+}
+
+std::size_t AsDistribution::ases_for_fraction(double fraction) const {
+  const auto rows = ranked();
+  double s = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    s += rows[i].share;
+    if (s >= fraction) return i + 1;
+  }
+  return rows.size();
+}
+
+std::vector<std::pair<std::size_t, double>> AsDistribution::cdf(
+    std::span<const std::size_t> ranks) const {
+  const auto rows = ranked();
+  std::vector<std::pair<std::size_t, double>> out;
+  out.reserve(ranks.size());
+  for (std::size_t rank : ranks) {
+    double s = 0;
+    for (std::size_t i = 0; i < rank && i < rows.size(); ++i)
+      s += rows[i].share;
+    out.emplace_back(rank, s);
+  }
+  return out;
+}
+
+}  // namespace sixdust

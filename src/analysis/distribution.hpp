@@ -1,0 +1,56 @@
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "asdb/registry.hpp"
+#include "asdb/rib.hpp"
+
+namespace sixdust {
+
+/// Distribution of a set of addresses across origin ASes — the machinery
+/// behind Fig. 2, Fig. 8 and Fig. 9 (CDFs over ASes, log-x) and the
+/// "Top AS" columns of Tables 4 and 5.
+class AsDistribution {
+ public:
+  AsDistribution() = default;
+
+  /// Attribute each address to its BGP origin.
+  static AsDistribution of(const Rib& rib, std::span<const Ipv6> addrs);
+
+  void add(Asn asn, std::size_t count = 1);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t as_count() const { return counts_.size(); }
+
+  struct Row {
+    Asn asn = kAsnNone;
+    std::size_t count = 0;
+    double share = 0;
+  };
+
+  /// Rows sorted by descending count.
+  [[nodiscard]] std::vector<Row> ranked() const;
+
+  /// Share of the largest `k` ASes.
+  [[nodiscard]] double top_share(std::size_t k) const;
+
+  /// Number of top ASes needed to cover `fraction` of addresses.
+  [[nodiscard]] std::size_t ases_for_fraction(double fraction) const;
+
+  /// CDF sampled at 1-based AS ranks (for the log-x CDF figures):
+  /// cumulative share after the top `rank` ASes.
+  [[nodiscard]] std::vector<std::pair<std::size_t, double>> cdf(
+      std::span<const std::size_t> ranks) const;
+
+  [[nodiscard]] const std::unordered_map<Asn, std::size_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<Asn, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sixdust

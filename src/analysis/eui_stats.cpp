@@ -1,0 +1,33 @@
+#include "analysis/eui_stats.hpp"
+
+namespace sixdust {
+
+EuiStats eui_stats(std::span<const Ipv6> addrs) {
+  EuiStats s;
+  s.total = addrs.size();
+  std::unordered_map<std::uint64_t, std::size_t> macs;
+  for (const auto& a : addrs) {
+    auto mac = eui64_mac(a);
+    if (!mac) continue;
+    ++s.eui64;
+    ++macs[mac->value()];
+  }
+  s.distinct_macs = macs.size();
+  std::uint64_t top = 0;
+  for (const auto& [value, count] : macs) {
+    if (count == 1) ++s.singleton_macs;
+    if (count > s.top_mac_count) {
+      s.top_mac_count = count;
+      top = value;
+    }
+  }
+  if (s.top_mac_count > 0) {
+    for (int i = 0; i < 6; ++i)
+      s.top_mac.bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(top >> (40 - 8 * i));
+    s.top_vendor = oui_vendor(s.top_mac.oui());
+  }
+  return s;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,42 @@
+#include "analysis/overlap.hpp"
+
+namespace sixdust {
+
+void OverlapMatrix::add_set(std::string name, std::span<const Ipv6> addrs) {
+  names_.push_back(std::move(name));
+  std::unordered_set<Ipv6, Ipv6Hasher> set;
+  set.reserve(addrs.size() * 2);
+  set.insert(addrs.begin(), addrs.end());
+  data_.push_back(std::move(set));
+}
+
+std::size_t OverlapMatrix::intersection(std::size_t row,
+                                        std::size_t col) const {
+  const auto& a = data_[row];
+  const auto& b = data_[col];
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  std::size_t n = 0;
+  for (const auto& x : small)
+    if (large.contains(x)) ++n;
+  return n;
+}
+
+double OverlapMatrix::fraction(std::size_t row, std::size_t col) const {
+  if (data_[row].empty()) return 0;
+  return static_cast<double>(intersection(row, col)) /
+         static_cast<double>(data_[row].size());
+}
+
+std::size_t OverlapMatrix::unique_to(std::size_t i) const {
+  std::size_t n = 0;
+  for (const auto& x : data_[i]) {
+    bool elsewhere = false;
+    for (std::size_t j = 0; j < data_.size() && !elsewhere; ++j)
+      if (j != i && data_[j].contains(x)) elsewhere = true;
+    if (!elsewhere) ++n;
+  }
+  return n;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/hash.hpp"
+
+namespace sixdust {
+
+/// Pairwise overlap between named address sets — Fig. 7 (new sources) and
+/// Fig. 10 (protocols). Cell (r, c) is |row ∩ col| / |row|, matching the
+/// paper's row-relative percentages.
+class OverlapMatrix {
+ public:
+  void add_set(std::string name, std::span<const Ipv6> addrs);
+
+  [[nodiscard]] std::size_t sets() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+  [[nodiscard]] std::size_t set_size(std::size_t i) const {
+    return data_[i].size();
+  }
+
+  /// |row ∩ col| as a fraction of |row| (1.0 on the diagonal).
+  [[nodiscard]] double fraction(std::size_t row, std::size_t col) const;
+
+  /// Absolute |row ∩ col|.
+  [[nodiscard]] std::size_t intersection(std::size_t row,
+                                         std::size_t col) const;
+
+  /// Addresses in set `i` that appear in no other set.
+  [[nodiscard]] std::size_t unique_to(std::size_t i) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::unordered_set<Ipv6, Ipv6Hasher>> data_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,69 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+
+#include "netbase/util.hpp"
+
+namespace sixdust {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      if (r[c].size() > width[c]) width[c] = r[c].size();
+
+  auto emit_row = [&](const std::vector<std::string>& r, std::string& out) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out += "| ";
+      out += r[c];
+      out.append(width[c] - r[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out.append(width[c] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string fmt_count(double v) { return human_count(v); }
+
+std::string fmt_pct(double fraction, int decimals) {
+  return percent(fraction, decimals);
+}
+
+std::string fmt_ratio(double measured, double expected) {
+  if (expected == 0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", measured / expected);
+  return buf;
+}
+
+void bench_banner(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("Reproduction of: Zirngibl et al., \"Rusty Clusters? Dusting an\n");
+  std::printf("IPv6 Research Foundation\", IMC 2022. Simulated Internet at\n");
+  std::printf("1:1000 address / 1:10 prefix-and-AS scale; compare shapes, not\n");
+  std::printf("absolute values.\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace sixdust

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sixdust {
+
+/// Fixed-width text table renderer for the bench binaries: every bench
+/// prints the paper's rows next to the measured values in this format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content.
+  [[nodiscard]] std::string str() const;
+
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "paper 3.2 M | measured 3.1 k @1:1000" comparison cell helpers.
+[[nodiscard]] std::string fmt_count(double v);
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 1);
+[[nodiscard]] std::string fmt_ratio(double measured, double expected);
+
+/// Banner printed by every bench: experiment id + provenance.
+void bench_banner(const std::string& id, const std::string& title);
+
+}  // namespace sixdust

@@ -1,0 +1,56 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sixdust {
+
+double gini(const AsDistribution& dist) {
+  if (dist.total() == 0 || dist.as_count() == 0) return 0;
+  std::vector<double> shares;
+  shares.reserve(dist.as_count());
+  for (const auto& [asn, count] : dist.counts())
+    shares.push_back(static_cast<double>(count));
+  std::sort(shares.begin(), shares.end());
+  const double n = static_cast<double>(shares.size());
+  double cum = 0;
+  double weighted = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    cum += shares[i];
+    weighted += cum;
+  }
+  // G = 1 - 2 * B where B is the area under the Lorenz curve.
+  const double total = cum;
+  const double lorenz_area = (weighted - total / 2.0) / (n * total);
+  return 1.0 - 2.0 * lorenz_area;
+}
+
+double shannon_entropy(const AsDistribution& dist) {
+  if (dist.total() == 0) return 0;
+  double h = 0;
+  for (const auto& [asn, count] : dist.counts()) {
+    const double p =
+        static_cast<double>(count) / static_cast<double>(dist.total());
+    if (p > 0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double normalized_entropy(const AsDistribution& dist) {
+  if (dist.as_count() <= 1) return dist.as_count() == 1 ? 0.0 : 0.0;
+  return shannon_entropy(dist) / std::log2(static_cast<double>(dist.as_count()));
+}
+
+double hhi(const AsDistribution& dist) {
+  if (dist.total() == 0) return 0;
+  double sum = 0;
+  for (const auto& [asn, count] : dist.counts()) {
+    const double p =
+        static_cast<double>(count) / static_cast<double>(dist.total());
+    sum += p * p;
+  }
+  return sum;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+
+#include "analysis/distribution.hpp"
+
+namespace sixdust {
+
+/// Concentration statistics for AS distributions — numeric companions to
+/// the paper's CDF figures (Fig. 2/8/9): a distribution "biased toward
+/// some ASes" has high Gini / low normalized entropy.
+
+/// Gini coefficient in [0, 1): 0 = perfectly even, ->1 = one AS holds all.
+[[nodiscard]] double gini(const AsDistribution& dist);
+
+/// Shannon entropy of the AS shares, in bits.
+[[nodiscard]] double shannon_entropy(const AsDistribution& dist);
+
+/// Entropy normalized by log2(#ASes), in [0, 1]; 1 = perfectly even.
+[[nodiscard]] double normalized_entropy(const AsDistribution& dist);
+
+/// Herfindahl-Hirschman index: sum of squared shares, in (0, 1].
+[[nodiscard]] double hhi(const AsDistribution& dist);
+
+}  // namespace sixdust

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sixdust {
+
+/// Autonomous System number (32-bit per RFC 6793).
+using Asn = std::uint32_t;
+
+inline constexpr Asn kAsnNone = 0;
+
+/// Coarse operator classification, used by the world builder to pick
+/// deployment models and by the analysis layer for reporting.
+enum class AsKind {
+  Isp,       // eyeball access networks (CPE pools, rotating prefixes)
+  Hosting,   // VPS / dedicated hosting (dense responsive servers)
+  Cdn,       // content delivery (fully-responsive prefixes)
+  Cloud,     // hyperscale cloud (huge aliased regions)
+  Transit,   // backbone carriers (router addresses)
+  Academic,  // NRENs, universities
+  Other,
+};
+
+struct AsInfo {
+  Asn asn = kAsnNone;
+  std::string name;
+  std::string cc;  // ISO 3166-1 alpha-2 country code
+  AsKind kind = AsKind::Other;
+};
+
+[[nodiscard]] inline std::string as_kind_name(AsKind k) {
+  switch (k) {
+    case AsKind::Isp: return "ISP";
+    case AsKind::Hosting: return "Hosting";
+    case AsKind::Cdn: return "CDN";
+    case AsKind::Cloud: return "Cloud";
+    case AsKind::Transit: return "Transit";
+    case AsKind::Academic: return "Academic";
+    case AsKind::Other: return "Other";
+  }
+  return "Other";
+}
+
+// --- The paper's named cast -------------------------------------------------
+// ASes that play specific roles in the evaluation (Sections 4-6, Tables 1-5).
+
+inline constexpr Asn kAsAmazon = 16509;        // 32 % of raw input, aliased
+inline constexpr Asn kAsAntel = 6057;          // ISP, 16 % of alias-filtered input
+inline constexpr Asn kAsDtag = 3320;           // ISP, 10 %
+inline constexpr Asn kAsLinode = 63949;        // top responsive AS (7.9 %)
+inline constexpr Asn kAsChinaTelecomBb = 4134;  // 46.44 % of GFW-impacted
+inline constexpr Asn kAsChinaTelecom = 4812;   // 14.59 %
+inline constexpr Asn kAsCloudflare = 13335;    // CDN, domains in aliased prefixes
+inline constexpr Asn kAsCloudflareLon = 209242;  // 100 % aliased
+inline constexpr Asn kAsFastly = 54113;        // 95.3 % of space aliased
+inline constexpr Asn kAsAkamai = 20940;        // CDN; 6Tree's /48 blowup
+inline constexpr Asn kAsAkamaiTech = 33905;    // 100 % aliased
+inline constexpr Asn kAsTrafficforce = 212144;  // 66.4 k ICMP-only /64 aliases
+inline constexpr Asn kAsEpicUp = 397165;       // 61 aliased /28s
+inline constexpr Asn kAsFreeSas = 12322;       // TGA bias target (52 %)
+inline constexpr Asn kAsDigitalOcean = 14061;  // TGA #2
+inline constexpr Asn kAsVnpt = 45899;          // unresponsive-pool top AS
+inline constexpr Asn kAsChinaMobile = 9808;
+inline constexpr Asn kAsChinaUnicom = 4837;
+inline constexpr Asn kAsGoogle = 15169;
+inline constexpr Asn kAsCern = 513;
+inline constexpr Asn kAsArnes = 2107;
+inline constexpr Asn kAsHomePl = 12824;
+inline constexpr Asn kAsDeutscheGlasfaser = 60294;
+inline constexpr Asn kAsMisaka = 50069;        // anycast DNS (Table 2 UDP/53)
+inline constexpr Asn kAsLevel3 = 3356;
+inline constexpr Asn kAsRacktech = 208861;
+inline constexpr Asn kAsOrange = 3215;
+inline constexpr Asn kAsComcast = 7922;
+inline constexpr Asn kAsTelefonica = 3352;
+inline constexpr Asn kAsTurkTelekom = 9121;
+inline constexpr Asn kAsKddi = 2516;
+// Additional Chinese ASes from Table 5.
+inline constexpr Asn kAsCnTable5[] = {134774, 134773, 140329, 134772,
+                                      136200, 140330, 140316};
+
+/// First ASN of the procedurally generated long-tail (kept clear of the
+/// named cast).
+inline constexpr Asn kTailAsnBase = 400000;
+
+}  // namespace sixdust

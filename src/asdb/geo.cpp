@@ -1,0 +1,13 @@
+#include "asdb/geo.hpp"
+
+namespace sixdust {
+
+std::string GeoDb::country(const Ipv6& a) const {
+  auto asn = rib_->origin(a);
+  if (!asn) return "??";
+  const AsInfo* info = registry_->find(*asn);
+  if (!info || info->cc.empty()) return "??";
+  return info->cc;
+}
+
+}  // namespace sixdust

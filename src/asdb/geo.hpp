@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "asdb/registry.hpp"
+#include "asdb/rib.hpp"
+#include "netbase/ipv6.hpp"
+
+namespace sixdust {
+
+/// GeoLite2-style country lookup: address -> origin AS -> registered
+/// country. The paper uses MaxMind GeoLite2 only as a coarse indicator of
+/// network location (Sec. 4.2); this mirrors that granularity.
+class GeoDb {
+ public:
+  GeoDb(const Rib* rib, const AsRegistry* registry)
+      : rib_(rib), registry_(registry) {}
+
+  /// ISO country code, or "??" when unmapped.
+  [[nodiscard]] std::string country(const Ipv6& a) const;
+
+ private:
+  const Rib* rib_;
+  const AsRegistry* registry_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,67 @@
+#include "asdb/registry.hpp"
+
+namespace sixdust {
+
+void AsRegistry::add(AsInfo info) {
+  auto it = index_.find(info.asn);
+  if (it != index_.end()) {
+    infos_[it->second] = std::move(info);
+    return;
+  }
+  index_.emplace(info.asn, infos_.size());
+  infos_.push_back(std::move(info));
+}
+
+const AsInfo* AsRegistry::find(Asn asn) const {
+  auto it = index_.find(asn);
+  return it == index_.end() ? nullptr : &infos_[it->second];
+}
+
+std::string AsRegistry::label(Asn asn) const {
+  const AsInfo* info = find(asn);
+  const std::string num = "AS" + std::to_string(asn);
+  if (!info || info->name.empty()) return num;
+  return info->name + " (" + num + ")";
+}
+
+AsRegistry AsRegistry::well_known() {
+  AsRegistry r;
+  r.add({kAsAmazon, "Amazon", "US", AsKind::Cloud});
+  r.add({kAsAntel, "ANTEL", "UY", AsKind::Isp});
+  r.add({kAsDtag, "DTAG", "DE", AsKind::Isp});
+  r.add({kAsLinode, "Linode", "US", AsKind::Hosting});
+  r.add({kAsChinaTelecomBb, "China Telecom Backbone", "CN", AsKind::Transit});
+  r.add({kAsChinaTelecom, "China Telecom", "CN", AsKind::Isp});
+  r.add({kAsCloudflare, "Cloudflare", "US", AsKind::Cdn});
+  r.add({kAsCloudflareLon, "Cloudflare London", "GB", AsKind::Cdn});
+  r.add({kAsFastly, "Fastly", "US", AsKind::Cdn});
+  r.add({kAsAkamai, "Akamai", "US", AsKind::Cdn});
+  r.add({kAsAkamaiTech, "Akamai Technologies", "US", AsKind::Cdn});
+  r.add({kAsTrafficforce, "Trafficforce", "LT", AsKind::Other});
+  r.add({kAsEpicUp, "EpicUp", "US", AsKind::Cloud});
+  r.add({kAsFreeSas, "Free SAS", "FR", AsKind::Isp});
+  r.add({kAsDigitalOcean, "DigitalOcean", "US", AsKind::Hosting});
+  r.add({kAsVnpt, "VNPT", "VN", AsKind::Isp});
+  r.add({kAsChinaMobile, "China Mobile", "CN", AsKind::Isp});
+  r.add({kAsChinaUnicom, "China Unicom", "CN", AsKind::Isp});
+  r.add({kAsGoogle, "Google", "US", AsKind::Cloud});
+  r.add({kAsCern, "CERN", "CH", AsKind::Academic});
+  r.add({kAsArnes, "ARNES", "SI", AsKind::Academic});
+  r.add({kAsHomePl, "home.pl", "PL", AsKind::Hosting});
+  r.add({kAsDeutscheGlasfaser, "Deutsche Glasfaser", "DE", AsKind::Isp});
+  r.add({kAsMisaka, "Misaka", "US", AsKind::Cdn});
+  r.add({kAsLevel3, "Level3", "US", AsKind::Transit});
+  r.add({kAsRacktech, "Racktech", "RU", AsKind::Hosting});
+  r.add({kAsOrange, "Orange", "FR", AsKind::Isp});
+  r.add({kAsComcast, "Comcast", "US", AsKind::Isp});
+  r.add({kAsTelefonica, "Telefonica", "ES", AsKind::Isp});
+  r.add({kAsTurkTelekom, "Turk Telekom", "TR", AsKind::Isp});
+  r.add({kAsKddi, "KDDI", "JP", AsKind::Isp});
+  int i = 0;
+  for (Asn asn : kAsCnTable5) {
+    r.add({asn, "CN Provider " + std::to_string(++i), "CN", AsKind::Isp});
+  }
+  return r;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "asdb/asn.hpp"
+
+namespace sixdust {
+
+/// Registry of AS metadata. The world builder fills it with the paper's
+/// named cast plus a procedural long tail; analysis code uses it to render
+/// table rows ("ANTEL (AS6057)") and country statistics.
+class AsRegistry {
+ public:
+  /// Registers (or overwrites) an AS.
+  void add(AsInfo info);
+
+  [[nodiscard]] const AsInfo* find(Asn asn) const;
+
+  /// Name for table output: "Amazon (AS16509)", or "AS12345" if unknown.
+  [[nodiscard]] std::string label(Asn asn) const;
+
+  [[nodiscard]] std::size_t size() const { return infos_.size(); }
+  [[nodiscard]] const std::vector<AsInfo>& all() const { return infos_; }
+
+  /// The named cast from the paper (see asn.hpp) with names, countries and
+  /// operator kinds.
+  static AsRegistry well_known();
+
+ private:
+  std::vector<AsInfo> infos_;
+  std::unordered_map<Asn, std::size_t> index_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,40 @@
+#include "asdb/rib.hpp"
+
+namespace sixdust {
+
+void Rib::announce(const Prefix& p, Asn origin) {
+  trie_.insert(p, origin);
+  by_as_[origin].push_back(routes_.size());
+  routes_.push_back(Route{p, origin});
+}
+
+std::optional<Asn> Rib::origin(const Ipv6& a) const {
+  auto m = trie_.longest_match(a);
+  if (!m) return std::nullopt;
+  return *m->value;
+}
+
+std::optional<Rib::Route> Rib::route(const Ipv6& a) const {
+  auto m = trie_.longest_match(a);
+  if (!m) return std::nullopt;
+  return Route{m->prefix, *m->value};
+}
+
+std::vector<Prefix> Rib::prefixes_of(Asn asn) const {
+  std::vector<Prefix> out;
+  auto it = by_as_.find(asn);
+  if (it == by_as_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t i : it->second) out.push_back(routes_[i].prefix);
+  return out;
+}
+
+u128 Rib::announced_space(Asn asn) const {
+  u128 total = 0;
+  auto it = by_as_.find(asn);
+  if (it == by_as_.end()) return total;
+  for (std::size_t i : it->second) total += routes_[i].prefix.size();
+  return total;
+}
+
+}  // namespace sixdust

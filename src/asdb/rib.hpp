@@ -1,0 +1,51 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "asdb/asn.hpp"
+#include "netbase/prefix_trie.hpp"
+#include "netbase/u128.hpp"
+
+namespace sixdust {
+
+/// Routing Information Base: the set of announced prefixes with origin
+/// ASes. Stands in for the RIPE RIS rrc00 dump the paper uses to relate
+/// hitlist coverage to announced space (Sec. 4.1, Fig. 6).
+class Rib {
+ public:
+  struct Route {
+    Prefix prefix;
+    Asn origin = kAsnNone;
+  };
+
+  void announce(const Prefix& p, Asn origin);
+
+  /// Origin AS by longest-prefix match.
+  [[nodiscard]] std::optional<Asn> origin(const Ipv6& a) const;
+
+  /// Most-specific covering announcement.
+  [[nodiscard]] std::optional<Route> route(const Ipv6& a) const;
+
+  [[nodiscard]] const std::vector<Route>& routes() const { return routes_; }
+  [[nodiscard]] std::size_t prefix_count() const { return routes_.size(); }
+
+  /// Number of distinct origin ASes.
+  [[nodiscard]] std::size_t as_count() const { return by_as_.size(); }
+
+  /// All prefixes originated by `asn`.
+  [[nodiscard]] std::vector<Prefix> prefixes_of(Asn asn) const;
+
+  /// Total announced address space of `asn`. The world builder never
+  /// announces overlapping prefixes for the same AS, so a plain sum is
+  /// exact.
+  [[nodiscard]] u128 announced_space(Asn asn) const;
+
+ private:
+  PrefixTrie<Asn> trie_;
+  std::vector<Route> routes_;
+  std::unordered_map<Asn, std::vector<std::size_t>> by_as_;
+};
+
+}  // namespace sixdust

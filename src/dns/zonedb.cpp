@@ -1,0 +1,132 @@
+#include "dns/zonedb.hpp"
+
+#include <algorithm>
+
+#include "netbase/hash.hpp"
+
+namespace sixdust {
+namespace {
+
+constexpr const char* kTlds[] = {"com", "net", "org", "de", "fr", "io"};
+
+/// Per-list CDN boost for top-ranked domains (see header).
+double list_boost(ZoneDb::TopList l) {
+  switch (l) {
+    case ZoneDb::TopList::Alexa: return 0.130;
+    case ZoneDb::TopList::Majestic: return 0.123;
+    case ZoneDb::TopList::Umbrella: return 0.067;
+  }
+  return 0.1;
+}
+
+}  // namespace
+
+ZoneDb::ZoneDb(const World* world, Config cfg) : world_(world), cfg_(cfg) {
+  // Web hosting: every deployment advertising a domain share.
+  for (const auto& dep : world_->deployments()) {
+    const double w = dep->domain_weight();
+    if (w <= 0) continue;
+    web_total_ += w;
+    web_hosting_.push_back(Weighted{web_total_, dep.get()});
+  }
+  // Infrastructure (NS/MX) hosting: concentrated on Amazon; the remainder
+  // follows web-hosting weights.
+  const Deployment* amazon = nullptr;
+  for (const auto& dep : world_->deployments())
+    if (dep->asn() == kAsAmazon) amazon = dep.get();
+  if (amazon != nullptr) {
+    infra_total_ += cfg_.infra_amazon_share;
+    infra_hosting_.push_back(Weighted{infra_total_, amazon});
+  }
+  for (const auto& w : web_hosting_) {
+    const double share = (w.dep == amazon ? 0.0
+                                          : w.dep->domain_weight() / web_total_ *
+                                                (1.0 - infra_total_));
+    if (share <= 0) continue;
+    infra_total_ += share;
+    infra_hosting_.push_back(Weighted{infra_total_, w.dep});
+  }
+
+  // Pre-sample CDN-hosted domains for top-list boosting.
+  cdn_domains_.reserve(4096);
+  std::uint64_t h = hash_combine(cfg_.seed, 0xCD2);
+  int guard = 0;
+  while (cdn_domains_.size() < 4096 && guard < 1000000) {
+    ++guard;
+    h = mix64(h);
+    const auto id = static_cast<std::uint32_t>(h % cfg_.domain_count);
+    const Deployment* dep = hosting(id);
+    if (dep != nullptr && dep->fully_responsive()) cdn_domains_.push_back(id);
+  }
+}
+
+std::string ZoneDb::domain_name(std::uint32_t id) const {
+  return "site" + std::to_string(id) + "." + kTlds[id % 6];
+}
+
+const Deployment* ZoneDb::hosting(std::uint32_t id) const {
+  const double u =
+      unit_from_hash(hash_combine(cfg_.seed, 0x40057 + id));
+  if (u >= web_total_) return nullptr;  // IPv4-only
+  auto it = std::lower_bound(
+      web_hosting_.begin(), web_hosting_.end(), u,
+      [](const Weighted& w, double v) { return w.cum <= v; });
+  return it == web_hosting_.end() ? nullptr : it->dep;
+}
+
+std::optional<Ipv6> ZoneDb::resolve_aaaa(std::uint32_t id, ScanDate d) const {
+  const Deployment* dep = hosting(id);
+  if (dep == nullptr) return std::nullopt;
+  return dep->domain_address(hash_combine(cfg_.seed, id), d);
+}
+
+std::optional<Ipv6> ZoneDb::resolve_ns(std::uint32_t id, ScanDate d) const {
+  if (infra_hosting_.empty()) return std::nullopt;
+  // Domains share name servers: map onto the infrastructure pool first.
+  const std::uint32_t infra =
+      static_cast<std::uint32_t>(hash_combine(cfg_.seed ^ 0x25, id % 97) %
+                                 cfg_.infra_pool);
+  const double u = unit_from_hash(hash_combine(cfg_.seed, 0x25000 + infra)) *
+                   infra_total_;
+  auto it = std::lower_bound(
+      infra_hosting_.begin(), infra_hosting_.end(), u,
+      [](const Weighted& w, double v) { return w.cum <= v; });
+  if (it == infra_hosting_.end()) return std::nullopt;
+  return it->dep->infra_address(hash_combine(0x25, infra), d);
+}
+
+std::optional<Ipv6> ZoneDb::resolve_mx(std::uint32_t id, ScanDate d) const {
+  if (infra_hosting_.empty()) return std::nullopt;
+  const std::uint32_t infra =
+      static_cast<std::uint32_t>(hash_combine(cfg_.seed ^ 0x58, id % 89) %
+                                 cfg_.infra_pool);
+  const double u = unit_from_hash(hash_combine(cfg_.seed, 0x58000 + infra)) *
+                   infra_total_;
+  auto it = std::lower_bound(
+      infra_hosting_.begin(), infra_hosting_.end(), u,
+      [](const Weighted& w, double v) { return w.cum <= v; });
+  if (it == infra_hosting_.end()) return std::nullopt;
+  return it->dep->infra_address(hash_combine(0x58, infra), d);
+}
+
+const std::vector<std::uint32_t>& ZoneDb::toplist(TopList which) const {
+  auto& list = toplists_[static_cast<int>(which)];
+  if (!list.empty()) return list;
+  list.reserve(cfg_.toplist_size);
+  const double boost = list_boost(which);
+  const std::uint64_t tag =
+      hash_combine(cfg_.seed, 0x709 + static_cast<int>(which));
+  for (std::uint32_t r = 0; r < cfg_.toplist_size; ++r) {
+    const std::uint64_t h = hash_combine(tag, r);
+    const bool want_cdn = unit_from_hash(h) < boost && !cdn_domains_.empty();
+    list.push_back(draw_domain(mix64(h), want_cdn));
+  }
+  return list;
+}
+
+std::uint32_t ZoneDb::draw_domain(std::uint64_t h, bool want_cdn) const {
+  if (want_cdn) return cdn_domains_[h % cdn_domains_.size()];
+  return static_cast<std::uint32_t>(h % cfg_.domain_count);
+}
+
+}  // namespace sixdust

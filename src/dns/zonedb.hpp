@@ -1,0 +1,77 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/world.hpp"
+
+namespace sixdust {
+
+/// The domain universe and the "institutional DNS scans" of the paper
+/// (Sec. 3.2): ~300 k domains (1:1000 of the 300 M CZDS/CT/ccTLD corpus)
+/// resolved to AAAA records plus the NS/MX infrastructure records that
+/// constitute a *new* passive input source (Sec. 6.1). Also provides the
+/// three synthetic top lists (Alexa / Majestic / Umbrella stand-ins) used
+/// for the aliased-prefix domain analysis (Sec. 5.2).
+class ZoneDb {
+ public:
+  enum class TopList : std::uint8_t { Alexa = 0, Majestic = 1, Umbrella = 2 };
+
+  struct Config {
+    std::uint64_t seed = 11;
+    std::uint32_t domain_count = 300000;
+    std::uint32_t toplist_size = 10000;
+    /// NS/MX infrastructure is shared: this many distinct server identities
+    /// serve the whole universe, heavily concentrated on Amazon (the paper
+    /// finds 71 % of NS/MX addresses inside Amazon's aliased space).
+    std::uint32_t infra_pool = 520;
+    double infra_amazon_share = 0.71;
+  };
+
+  ZoneDb(const World* world, Config cfg);
+
+  [[nodiscard]] std::uint32_t domain_count() const {
+    return cfg_.domain_count;
+  }
+  [[nodiscard]] std::string domain_name(std::uint32_t id) const;
+
+  /// AAAA resolution of domain `id` at `d`; nullopt = IPv4-only domain.
+  [[nodiscard]] std::optional<Ipv6> resolve_aaaa(std::uint32_t id,
+                                                 ScanDate d) const;
+
+  /// Addresses of the domain's name server / mail exchanger.
+  [[nodiscard]] std::optional<Ipv6> resolve_ns(std::uint32_t id,
+                                               ScanDate d) const;
+  [[nodiscard]] std::optional<Ipv6> resolve_mx(std::uint32_t id,
+                                               ScanDate d) const;
+
+  /// Ranked domain ids (rank 0 = most popular). Popular domains are biased
+  /// toward CDN (fully-responsive) hosting, with per-list strength chosen
+  /// so the affected fractions match the paper (Alexa 17.7 %, Majestic
+  /// 17.0 %, Umbrella 11.8 %).
+  [[nodiscard]] const std::vector<std::uint32_t>& toplist(TopList which) const;
+
+  /// The deployment hosting this domain's web presence (ground truth).
+  [[nodiscard]] const Deployment* hosting(std::uint32_t id) const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] std::uint32_t draw_domain(std::uint64_t h, bool want_cdn) const;
+
+  const World* world_;
+  Config cfg_;
+  struct Weighted {
+    double cum = 0;
+    const Deployment* dep = nullptr;
+  };
+  std::vector<Weighted> web_hosting_;    // cumulative weights over all deps
+  double web_total_ = 0;
+  std::vector<Weighted> infra_hosting_;  // NS/MX providers
+  double infra_total_ = 0;
+  std::vector<std::uint32_t> cdn_domains_;  // sample of CDN-hosted ids
+  mutable std::vector<std::uint32_t> toplists_[3];
+};
+
+}  // namespace sixdust

@@ -1,0 +1,56 @@
+#include "gfw/detector.hpp"
+
+namespace sixdust {
+
+DnsVerdict classify_dns(const DnsObservation& obs) {
+  // Erroneous-record signatures take precedence: a target may race a real
+  // answer against injectors, but an A-for-AAAA or Teredo record can only
+  // come from an injector.
+  if (obs.teredo_aaaa) return DnsVerdict::InjectedTeredo;
+  if (obs.a_answer_to_aaaa) return DnsVerdict::InjectedA;
+  return DnsVerdict::Genuine;
+}
+
+void GfwFilter::note(const ScanRecord& rec, int scan_index, DnsVerdict v) {
+  auto [it, inserted] = taint_.try_emplace(
+      rec.target, TaintRecord{rec.target, scan_index, false, false, 0});
+  auto& t = it->second;
+  if (v == DnsVerdict::InjectedA) t.saw_a_record = true;
+  if (v == DnsVerdict::InjectedTeredo) t.saw_teredo = true;
+  if (rec.dns && rec.dns->response_count > t.max_responses)
+    t.max_responses = rec.dns->response_count;
+  per_scan_[scan_index].push_back(rec.target);
+}
+
+std::vector<ScanRecord> GfwFilter::filter_scan(const ScanResult& udp53) {
+  std::vector<ScanRecord> kept;
+  kept.reserve(udp53.responsive.size());
+  for (const auto& rec : udp53.responsive) {
+    if (!rec.dns) continue;
+    const DnsVerdict v = classify_dns(*rec.dns);
+    if (is_injected(v)) {
+      note(rec, udp53.date.index, v);
+      // A genuine answer may still have raced the injection; keep the
+      // target only if a clean record was among the responses.
+      if (!rec.dns->clean_aaaa) continue;
+    }
+    kept.push_back(rec);
+  }
+  return kept;
+}
+
+void GfwFilter::observe_scan(const ScanResult& udp53) {
+  for (const auto& rec : udp53.responsive) {
+    if (!rec.dns) continue;
+    const DnsVerdict v = classify_dns(*rec.dns);
+    if (is_injected(v)) note(rec, udp53.date.index, v);
+  }
+}
+
+const std::vector<Ipv6>& GfwFilter::injected_at(int scan_index) const {
+  static const std::vector<Ipv6> kEmpty;
+  auto it = per_scan_.find(scan_index);
+  return it == per_scan_.end() ? kEmpty : it->second;
+}
+
+}  // namespace sixdust

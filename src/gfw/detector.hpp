@@ -1,0 +1,78 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "scanner/zmap6.hpp"
+
+namespace sixdust {
+
+/// Classification of a single UDP/53 scan observation. The paper's filter
+/// keys on clearly erroneous records: an A record answering a AAAA
+/// question (2019/2020 events) or a Teredo address inside a AAAA record
+/// (2021+ event) — both signatures of the GFW's injectors, which also race
+/// multiple responses per query.
+enum class DnsVerdict : std::uint8_t {
+  Genuine,    // a plausible response (error status, clean AAAA, referral)
+  InjectedA,      // A record answering our AAAA question
+  InjectedTeredo, // AAAA carrying a Teredo-embedded IPv4
+};
+
+/// Stateless per-observation classifier.
+[[nodiscard]] DnsVerdict classify_dns(const DnsObservation& obs);
+
+/// True for both injected verdicts.
+[[nodiscard]] constexpr bool is_injected(DnsVerdict v) {
+  return v != DnsVerdict::Genuine;
+}
+
+/// The GFW filter added to the hitlist pipeline by the paper (Fig. 1,
+/// green box): applied to UDP/53 scan output directly after the scan, it
+/// (a) drops injected responses from the result so responsiveness reflects
+/// the target, and (b) accumulates the tainted-address knowledge used to
+/// clean four years of historical data.
+class GfwFilter {
+ public:
+  struct TaintRecord {
+    Ipv6 addr;
+    int first_scan = 0;          // first scan an injection was seen
+    bool saw_a_record = false;
+    bool saw_teredo = false;
+    int max_responses = 0;       // worst-case response multiplicity
+  };
+
+  /// Inspect one UDP/53 scan result; returns the records that survive
+  /// (genuine responses). Injected observations are recorded as tainted.
+  std::vector<ScanRecord> filter_scan(const ScanResult& udp53);
+
+  /// Observe without filtering (used when replaying the published,
+  /// pre-filter pipeline to build the retroactive cleaning set).
+  void observe_scan(const ScanResult& udp53);
+
+  [[nodiscard]] bool tainted(const Ipv6& a) const {
+    return taint_.contains(a);
+  }
+  [[nodiscard]] std::size_t tainted_count() const { return taint_.size(); }
+  [[nodiscard]] const std::unordered_map<Ipv6, TaintRecord, Ipv6Hasher>&
+  taint_records() const {
+    return taint_;
+  }
+
+  /// Addresses injected during a specific scan.
+  [[nodiscard]] const std::vector<Ipv6>& injected_at(int scan_index) const;
+
+  /// Re-insert a taint record (archive restore; see hitlist/archive.hpp).
+  void restore_taint(const TaintRecord& rec) {
+    taint_.emplace(rec.addr, rec);
+    per_scan_[rec.first_scan].push_back(rec.addr);
+  }
+
+ private:
+  void note(const ScanRecord& rec, int scan_index, DnsVerdict v);
+
+  std::unordered_map<Ipv6, TaintRecord, Ipv6Hasher> taint_;
+  std::unordered_map<int, std::vector<Ipv6>> per_scan_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,52 @@
+#include "gfw/era_stats.hpp"
+
+#include <cstdio>
+
+namespace sixdust {
+
+GfwEraStats gfw_era_stats(const GfwFilter& filter) {
+  GfwEraStats stats;
+  double response_sum = 0;
+  for (const auto& [addr, rec] : filter.taint_records()) {
+    ++stats.total;
+    if (rec.saw_a_record && rec.saw_teredo) {
+      ++stats.both_eras;
+    } else if (rec.saw_a_record) {
+      ++stats.a_record_only;
+    } else if (rec.saw_teredo) {
+      ++stats.teredo_only;
+    }
+    if (rec.max_responses > stats.max_responses)
+      stats.max_responses = rec.max_responses;
+    response_sum += rec.max_responses;
+    ++stats.first_seen_histogram[rec.first_scan];
+  }
+  if (stats.total > 0)
+    stats.mean_responses = response_sum / static_cast<double>(stats.total);
+  return stats;
+}
+
+std::string GfwEraStats::summary() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "GFW taint records: %zu (A-record era only: %zu, Teredo era "
+                "only: %zu, both: %zu)\n",
+                total, a_record_only, teredo_only, both_eras);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "responses per injected query: mean %.1f, worst %d\n",
+                mean_responses, max_responses);
+  out += buf;
+  if (!first_seen_histogram.empty()) {
+    out += "event ramps (new tainted addresses per scan):";
+    for (const auto& [scan, count] : first_seen_histogram) {
+      std::snprintf(buf, sizeof buf, " %d:%zu", scan, count);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sixdust

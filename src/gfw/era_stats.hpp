@@ -1,0 +1,29 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "gfw/detector.hpp"
+
+namespace sixdust {
+
+/// Longitudinal statistics over the GFW taint records — the paper's
+/// observation that the injector behaviour changed between events
+/// (A records in 2019/2020, Teredo AAAA from 2021, 2-3 responses per
+/// query with a worst case of 440).
+struct GfwEraStats {
+  std::size_t total = 0;
+  std::size_t a_record_only = 0;   // addresses seen only with A injections
+  std::size_t teredo_only = 0;     // only with Teredo injections
+  std::size_t both_eras = 0;       // lived through an era change
+  int max_responses = 0;           // worst multiplicity observed
+  double mean_responses = 0;       // mean of per-address maxima
+  /// New tainted addresses per first-seen scan (the ramp of each event).
+  std::map<int, std::size_t> first_seen_histogram;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] GfwEraStats gfw_era_stats(const GfwFilter& filter);
+
+}  // namespace sixdust

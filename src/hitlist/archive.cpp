@@ -1,0 +1,219 @@
+#include "hitlist/archive.hpp"
+
+#include <cstdio>
+
+namespace sixdust {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53584431;  // "SXD1"
+constexpr std::uint32_t kVersion = 4;
+
+struct Writer {
+  FILE* f;
+  bool ok = true;
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void addr(const Ipv6& a) {
+    u64(a.hi());
+    u64(a.lo());
+  }
+  void prefix(const Prefix& p) {
+    addr(p.base());
+    u8(static_cast<std::uint8_t>(p.len()));
+  }
+  void raw(const void* p, std::size_t n) {
+    if (ok && std::fwrite(p, 1, n, f) != n) ok = false;
+  }
+};
+
+struct Reader {
+  FILE* f;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, 1);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    raw(&v, 2);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, 8);
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v = 0;
+    raw(&v, 4);
+    return v;
+  }
+  Ipv6 addr() {
+    const std::uint64_t hi = u64();
+    const std::uint64_t lo = u64();
+    return Ipv6::from_words(hi, lo);
+  }
+  Prefix prefix() {
+    const Ipv6 base = addr();
+    return Prefix::make(base, u8());
+  }
+  void raw(void* p, std::size_t n) {
+    if (ok && std::fread(p, 1, n, f) != n) ok = false;
+  }
+};
+
+}  // namespace
+
+bool ServiceArchive::save(const HitlistService& service,
+                          std::uint64_t fingerprint, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  Writer w{f};
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u64(fingerprint);
+
+  // Input list.
+  const auto& input = service.input();
+  w.u64(input.size());
+  for (const auto& a : input.addresses()) {
+    const auto* meta = input.find(a);
+    w.addr(a);
+    w.u16(meta->tags);
+    w.i32(meta->first_seen);
+  }
+
+  // History.
+  const auto& entries = service.history().entries();
+  w.u64(entries.size());
+  for (const auto& e : entries) {
+    w.i32(e.scan_index);
+    w.u64(e.input_total);
+    w.u64(e.scan_targets);
+    w.u64(e.aliased_prefixes);
+    w.raw(&e.duration_days, sizeof e.duration_days);
+    w.u64(e.responsive.size());
+    for (const auto& [a, mask] : e.responsive) {
+      w.addr(a);
+      w.u8(mask);
+    }
+  }
+
+  // Aliased prefixes per scan.
+  const auto& per_scan = service.aliased_per_scan();
+  w.u64(per_scan.size());
+  for (const auto& scan : per_scan) {
+    w.u64(scan.size());
+    for (const auto& p : scan) w.prefix(p);
+  }
+
+  // Exclusion pool.
+  const auto& pool = service.unresponsive_pool();
+  w.u64(pool.size());
+  for (const auto& a : pool) w.addr(a);
+
+  // GFW taint records.
+  const auto& taint = service.gfw().taint_records();
+  w.u64(taint.size());
+  for (const auto& [a, rec] : taint) {
+    w.addr(a);
+    w.i32(rec.first_scan);
+    w.u8(static_cast<std::uint8_t>((rec.saw_a_record ? 1 : 0) |
+                                   (rec.saw_teredo ? 2 : 0)));
+    w.i32(rec.max_responses);
+  }
+
+  const bool ok = w.ok;
+  std::fclose(f);
+  return ok;
+}
+
+std::unique_ptr<HitlistService> ServiceArchive::load(
+    const HitlistService::Config& cfg, std::uint64_t fingerprint,
+    const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return nullptr;
+  Reader r{f};
+  if (r.u32() != kMagic || r.u32() != kVersion || r.u64() != fingerprint) {
+    std::fclose(f);
+    return nullptr;
+  }
+
+  auto service = std::make_unique<HitlistService>(cfg);
+
+  const std::uint64_t n_input = r.u64();
+  for (std::uint64_t i = 0; i < n_input && r.ok; ++i) {
+    const Ipv6 a = r.addr();
+    const std::uint16_t tags = r.u16();
+    const std::int32_t first = r.i32();
+    service->input_.add(a, tags, first);
+  }
+
+  const std::uint64_t n_entries = r.u64();
+  for (std::uint64_t i = 0; i < n_entries && r.ok; ++i) {
+    History::Entry e;
+    e.scan_index = r.i32();
+    e.input_total = r.u64();
+    e.scan_targets = r.u64();
+    e.aliased_prefixes = r.u64();
+    r.raw(&e.duration_days, sizeof e.duration_days);
+    const std::uint64_t rows = r.u64();
+    e.responsive.reserve(rows);
+    for (std::uint64_t k = 0; k < rows && r.ok; ++k) {
+      const Ipv6 a = r.addr();
+      e.responsive.emplace_back(a, r.u8());
+    }
+    service->history_.record(std::move(e));
+  }
+
+  const std::uint64_t n_scans = r.u64();
+  for (std::uint64_t i = 0; i < n_scans && r.ok; ++i) {
+    std::vector<Prefix> scan;
+    const std::uint64_t count = r.u64();
+    scan.reserve(count);
+    for (std::uint64_t k = 0; k < count && r.ok; ++k)
+      scan.push_back(r.prefix());
+    service->aliased_per_scan_.push_back(std::move(scan));
+  }
+  if (!service->aliased_per_scan_.empty()) {
+    service->aliased_list_ = service->aliased_per_scan_.back();
+    for (const auto& p : service->aliased_list_) service->aliased_.add(p);
+  }
+
+  const std::uint64_t n_pool = r.u64();
+  for (std::uint64_t i = 0; i < n_pool && r.ok; ++i) {
+    const Ipv6 a = r.addr();
+    service->excluded_.insert(a);
+    service->excluded_order_.push_back(a);
+  }
+
+  const std::uint64_t n_taint = r.u64();
+  for (std::uint64_t i = 0; i < n_taint && r.ok; ++i) {
+    GfwFilter::TaintRecord rec;
+    rec.addr = r.addr();
+    rec.first_scan = r.i32();
+    const std::uint8_t flags = r.u8();
+    rec.saw_a_record = flags & 1;
+    rec.saw_teredo = flags & 2;
+    rec.max_responses = r.i32();
+    service->gfw_.restore_taint(rec);
+  }
+
+  const bool ok = r.ok;
+  std::fclose(f);
+  if (!ok) return nullptr;
+  return service;
+}
+
+}  // namespace sixdust

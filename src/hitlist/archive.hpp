@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hitlist/service.hpp"
+
+namespace sixdust {
+
+/// Binary snapshot of a hitlist service's published state — the analogue
+/// of the real service's data publication (responsive sets per scan,
+/// aliased prefixes, input list, exclusion pool, GFW taint records).
+/// Used both as a data-exchange format and to cache the 46-scan timeline
+/// across bench binaries.
+///
+/// The format is versioned and fingerprinted: `fingerprint` should encode
+/// the world seed and service configuration; load() refuses mismatches.
+class ServiceArchive {
+ public:
+  /// Serialize the service's analysis-relevant state. Returns false on IO
+  /// failure.
+  static bool save(const HitlistService& service, std::uint64_t fingerprint,
+                   const std::string& path);
+
+  /// Restore a service whose accessors (input(), history(), gfw(),
+  /// aliased*(), unresponsive_pool()) reproduce the saved run. The
+  /// returned service must not be step()ped further (its internal probe
+  /// bookkeeping is not part of the published state).
+  static std::unique_ptr<HitlistService> load(const HitlistService::Config& cfg,
+                                              std::uint64_t fingerprint,
+                                              const std::string& path);
+};
+
+}  // namespace sixdust

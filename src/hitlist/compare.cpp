@@ -1,0 +1,102 @@
+#include "hitlist/compare.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "netbase/util.hpp"
+
+namespace sixdust {
+namespace {
+
+/// Final cleaned responsive set of a service run.
+std::vector<Ipv6> final_responsive(const HitlistService& service) {
+  std::vector<Ipv6> out;
+  const auto& entries = service.history().entries();
+  if (entries.empty()) return out;
+  const auto& gfw = service.gfw();
+  for (const auto& [a, mask] : entries.back().responsive) {
+    if (gfw.tainted(a) && (mask & ~proto_bit(Proto::Udp53)) == 0) continue;
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::unordered_set<Asn> as_set(const Rib& rib, std::span<const Ipv6> addrs) {
+  std::unordered_set<Asn> out;
+  for (const auto& a : addrs)
+    if (auto asn = rib.origin(a)) out.insert(*asn);
+  return out;
+}
+
+}  // namespace
+
+ServiceDiff diff_services(const HitlistService& before,
+                          const HitlistService& after, const Rib& rib) {
+  ServiceDiff diff;
+  const auto before_set = final_responsive(before);
+  const auto after_set = final_responsive(after);
+  diff.before_responsive = before_set.size();
+  diff.after_responsive = after_set.size();
+
+  const std::unordered_set<Ipv6, Ipv6Hasher> b(before_set.begin(),
+                                               before_set.end());
+  const std::unordered_set<Ipv6, Ipv6Hasher> a(after_set.begin(),
+                                               after_set.end());
+  for (const auto& addr : after_set)
+    if (!b.contains(addr)) diff.gained.push_back(addr);
+  for (const auto& addr : before_set)
+    if (!a.contains(addr)) diff.lost.push_back(addr);
+  std::sort(diff.gained.begin(), diff.gained.end());
+  std::sort(diff.lost.begin(), diff.lost.end());
+
+  const auto b_as = as_set(rib, before_set);
+  const auto a_as = as_set(rib, after_set);
+  diff.before_ases = b_as.size();
+  diff.after_ases = a_as.size();
+  for (Asn asn : a_as)
+    if (!b_as.contains(asn)) diff.gained_ases.push_back(asn);
+  for (Asn asn : b_as)
+    if (!a_as.contains(asn)) diff.lost_ases.push_back(asn);
+  std::sort(diff.gained_ases.begin(), diff.gained_ases.end());
+  std::sort(diff.lost_ases.begin(), diff.lost_ases.end());
+
+  diff.aliased_delta = static_cast<long long>(after.aliased_list().size()) -
+                       static_cast<long long>(before.aliased_list().size());
+  diff.excluded_delta =
+      static_cast<long long>(after.unresponsive_pool().size()) -
+      static_cast<long long>(before.unresponsive_pool().size());
+  diff.tainted_delta = static_cast<long long>(after.gfw().tainted_count()) -
+                       static_cast<long long>(before.gfw().tainted_count());
+  return diff;
+}
+
+std::string ServiceDiff::summary(const AsRegistry& registry) const {
+  std::string out;
+  out += "responsive: " + std::to_string(before_responsive) + " -> " +
+         std::to_string(after_responsive) + " (+" +
+         std::to_string(gained.size()) + " / -" + std::to_string(lost.size()) +
+         ")\n";
+  out += "AS coverage: " + std::to_string(before_ases) + " -> " +
+         std::to_string(after_ases) + "\n";
+  if (!gained_ases.empty()) {
+    out += "newly covered ASes:";
+    std::size_t shown = 0;
+    for (Asn asn : gained_ases) {
+      out += " " + registry.label(asn);
+      if (++shown == 5) break;
+    }
+    if (gained_ases.size() > 5)
+      out += " (+" + std::to_string(gained_ases.size() - 5) + " more)";
+    out += "\n";
+  }
+  out += "aliased prefixes: " +
+         std::string(aliased_delta >= 0 ? "+" : "") +
+         std::to_string(aliased_delta) + ", exclusion pool: " +
+         std::string(excluded_delta >= 0 ? "+" : "") +
+         std::to_string(excluded_delta) + ", GFW-tainted: " +
+         std::string(tainted_delta >= 0 ? "+" : "") +
+         std::to_string(tainted_delta) + "\n";
+  return out;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asdb/rib.hpp"
+#include "hitlist/service.hpp"
+
+namespace sixdust {
+
+/// Comparison of two service runs (or two published snapshots of the same
+/// run) — maintenance tooling in the spirit of this paper itself, which is
+/// one long diff of the 2018 and 2022 states of the hitlist.
+struct ServiceDiff {
+  // Responsive-set movement (final scans, cleaned view).
+  std::size_t before_responsive = 0;
+  std::size_t after_responsive = 0;
+  std::vector<Ipv6> gained;
+  std::vector<Ipv6> lost;
+
+  // AS coverage movement.
+  std::size_t before_ases = 0;
+  std::size_t after_ases = 0;
+  std::vector<Asn> gained_ases;
+  std::vector<Asn> lost_ases;
+
+  // Filter-state movement.
+  long long aliased_delta = 0;
+  long long excluded_delta = 0;
+  long long tainted_delta = 0;
+
+  /// Human-readable summary.
+  [[nodiscard]] std::string summary(const AsRegistry& registry) const;
+};
+
+/// Diff the *final* cleaned responsive states of two services. Both must
+/// have recorded at least one scan.
+[[nodiscard]] ServiceDiff diff_services(const HitlistService& before,
+                                        const HitlistService& after,
+                                        const Rib& rib);
+
+}  // namespace sixdust

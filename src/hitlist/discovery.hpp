@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+
+#include "analysis/distribution.hpp"
+#include "dns/zonedb.hpp"
+#include "hitlist/service.hpp"
+#include "tga/generator.hpp"
+
+namespace sixdust {
+
+/// Section 6 of the paper: evaluation of *new* candidate sources against
+/// the established pipeline — new passive sources (NS/MX records, CAIDA
+/// Ark traceroutes, the DET snapshot), a re-scan of the 30-day-filtered
+/// unresponsive pool, and the five target generation algorithms. Every
+/// source is pushed through the same filters as the service itself
+/// (dedup vs. known input, aliased-prefix filter, GFW cleaning) and then
+/// scanned for all five protocols across several rounds.
+class NewSourceEvaluator {
+ public:
+  struct Config {
+    std::uint64_t seed = 41;
+    Zmap6::Config scanner{.seed = 107, .loss = 0.01, .retries = 1};
+    /// Seeds for the generators: the responsive set of December 2021
+    /// (scan 41), GFW-cleaned, exactly like the paper.
+    int seed_scan = 41;
+    /// Evaluation scans: "multiple times across four weeks" — the last
+    /// rounds of the timeline (April 2022 era).
+    int first_eval_scan = 43;
+    int eval_rounds = 3;
+  };
+
+  NewSourceEvaluator(const World* world, const HitlistService* service,
+                     Config cfg)
+      : world_(world), service_(service), cfg_(cfg) {}
+
+  /// TGA seed set: cleaned responsive addresses of `seed_scan`.
+  [[nodiscard]] std::vector<Ipv6> tga_seeds() const;
+
+  // --- candidate collection -------------------------------------------------
+
+  /// NS/MX-record addresses from the institutional DNS scans.
+  [[nodiscard]] std::vector<Ipv6> collect_ns_mx(const ZoneDb& zones,
+                                                ScanDate d) const;
+  /// CAIDA-Ark-style traceroutes (second vantage point, all BGP prefixes).
+  [[nodiscard]] std::vector<Ipv6> collect_ark(ScanDate d) const;
+  /// The DET snapshot (another group's published responsive addresses).
+  [[nodiscard]] std::vector<Ipv6> collect_det(ScanDate d) const;
+  /// All three passive sources combined.
+  [[nodiscard]] std::vector<Ipv6> collect_passive(const ZoneDb& zones,
+                                                  ScanDate d) const;
+
+  // --- evaluation -----------------------------------------------------------
+
+  struct SourceReport {
+    std::string name;
+    std::size_t raw = 0;          // candidates delivered by the source
+    std::size_t new_candidates = 0;   // not already hitlist input
+    std::size_t non_aliased = 0;  // surviving the aliased-prefix filter
+    std::size_t candidate_ases = 0;
+    std::size_t gfw_filtered = 0;  // injected-only responders removed
+    std::array<std::size_t, kProtoCount> responsive_per_proto{};
+    std::vector<Ipv6> responsive;  // responsive to >= 1 protocol (cleaned)
+    AsDistribution responsive_dist;
+  };
+
+  /// Run the full evaluation of one candidate list: dedup vs input,
+  /// alias-filter, multi-round multi-protocol scan, GFW cleaning.
+  /// `rescan_responsive_only` reproduces the unresponsive-pool ethics
+  /// tweak: rounds after the first only revisit round-one responders.
+  [[nodiscard]] SourceReport evaluate(const std::string& name,
+                                      std::vector<Ipv6> candidates,
+                                      bool rescan_responsive_only = false) const;
+
+ private:
+  const World* world_;
+  const HitlistService* service_;
+  Config cfg_;
+};
+
+}  // namespace sixdust

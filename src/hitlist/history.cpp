@@ -1,0 +1,114 @@
+#include "hitlist/history.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sixdust {
+
+void History::record(Entry entry) {
+  by_index_.emplace(entry.scan_index, entries_.size());
+  entries_.push_back(std::move(entry));
+}
+
+bool History::has(int scan_index) const {
+  return by_index_.contains(scan_index);
+}
+
+const History::Entry& History::at(int scan_index) const {
+  auto it = by_index_.find(scan_index);
+  if (it == by_index_.end()) {
+    std::fprintf(stderr, "History::at: no entry for scan %d\n", scan_index);
+    std::abort();
+  }
+  return entries_[it->second];
+}
+
+ProtoMask History::cleaned_mask(const Ipv6& a, ProtoMask m, int scan_index,
+                                const GfwFilter* cleaner) {
+  (void)scan_index;
+  if (cleaner == nullptr || !cleaner->tainted(a)) return m;
+  // The address's DNS "responsiveness" came from injected answers; strip
+  // it but keep genuine responsiveness on other protocols (the paper keeps
+  // such targets in the hitlist).
+  return static_cast<ProtoMask>(m & ~proto_bit(Proto::Udp53));
+}
+
+History::Counts History::counts(int scan_index,
+                                const GfwFilter* cleaner) const {
+  Counts c;
+  for (const auto& [a, mask] : at(scan_index).responsive) {
+    const ProtoMask m = cleaned_mask(a, mask, scan_index, cleaner);
+    if (m == 0) continue;
+    ++c.any;
+    for (Proto p : kAllProtos)
+      if (mask_has(m, p)) ++c.per_proto[proto_index(p)];
+  }
+  return c;
+}
+
+History::Counts History::cumulative(int until_scan,
+                                    const GfwFilter* cleaner) const {
+  std::unordered_map<Ipv6, ProtoMask, Ipv6Hasher> seen;
+  for (const auto& e : entries_) {
+    if (e.scan_index > until_scan) continue;
+    for (const auto& [a, mask] : e.responsive) {
+      const ProtoMask m = cleaned_mask(a, mask, e.scan_index, cleaner);
+      if (m != 0) seen[a] |= m;
+    }
+  }
+  Counts c;
+  for (const auto& [a, m] : seen) {
+    ++c.any;
+    for (Proto p : kAllProtos)
+      if (mask_has(m, p)) ++c.per_proto[proto_index(p)];
+  }
+  return c;
+}
+
+History::Churn History::churn(int scan_index, const GfwFilter* cleaner) const {
+  Churn ch;
+  auto it = by_index_.find(scan_index);
+  if (it == by_index_.end() || it->second == 0) return ch;
+
+  std::unordered_set<Ipv6, Ipv6Hasher> ever_before;
+  std::unordered_set<Ipv6, Ipv6Hasher> prev;
+  for (const auto& e : entries_) {
+    if (e.scan_index >= scan_index) continue;
+    for (const auto& [a, mask] : e.responsive) {
+      if (cleaned_mask(a, mask, e.scan_index, cleaner) == 0) continue;
+      ever_before.insert(a);
+      if (e.scan_index == entries_[it->second - 1].scan_index) prev.insert(a);
+    }
+  }
+  std::unordered_set<Ipv6, Ipv6Hasher> cur;
+  for (const auto& [a, mask] : entries_[it->second].responsive)
+    if (cleaned_mask(a, mask, scan_index, cleaner) != 0) cur.insert(a);
+
+  for (const auto& a : cur) {
+    if (prev.contains(a)) {
+      ++ch.stable;
+    } else if (ever_before.contains(a)) {
+      ++ch.recurring;
+    } else {
+      ++ch.completely_new;
+    }
+  }
+  for (const auto& a : prev)
+    if (!cur.contains(a)) ++ch.lost;
+  return ch;
+}
+
+std::size_t History::always_responsive(const GfwFilter* cleaner) const {
+  if (entries_.empty()) return 0;
+  std::unordered_map<Ipv6, std::size_t, Ipv6Hasher> hits;
+  for (const auto& e : entries_) {
+    for (const auto& [a, mask] : e.responsive)
+      if (cleaned_mask(a, mask, e.scan_index, cleaner) != 0) ++hits[a];
+  }
+  std::size_t n = 0;
+  for (const auto& [a, count] : hits)
+    if (count == entries_.size()) ++n;
+  return n;
+}
+
+}  // namespace sixdust

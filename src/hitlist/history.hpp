@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gfw/detector.hpp"
+#include "netbase/hash.hpp"
+#include "proto/types.hpp"
+
+namespace sixdust {
+
+/// Per-scan responsiveness history of the hitlist service — the data set
+/// behind Fig. 3 (timeline), Fig. 4 (churn), Table 1 (yearly snapshots) and
+/// the published-vs-cleaned comparison.
+class History {
+ public:
+  struct Entry {
+    int scan_index = 0;
+    /// Responsive addresses with their per-protocol mask, sorted by
+    /// address (compact storage; ~tens of thousands of rows per scan).
+    std::vector<std::pair<Ipv6, ProtoMask>> responsive;
+    std::size_t input_total = 0;
+    std::size_t scan_targets = 0;
+    std::size_t aliased_prefixes = 0;
+    /// Simulated runtime of the whole iteration (all probe stages) in
+    /// days — the paper's scans grew from daily to up-to-seven-day runs.
+    double duration_days = 0;
+  };
+
+  void record(Entry entry);
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] const Entry& at(int scan_index) const;
+  [[nodiscard]] bool has(int scan_index) const;
+
+  /// Per-protocol responsive count of one scan, optionally *cleaned*: with
+  /// a filter, UDP/53 responses for addresses injected at that scan are
+  /// dropped unless the address also answered another protocol's probe in
+  /// the same scan only when a genuine answer existed (the paper keeps
+  /// addresses responsive to other protocols in the hitlist but removes the
+  /// bogus DNS responsiveness).
+  struct Counts {
+    std::array<std::size_t, kProtoCount> per_proto{};
+    std::size_t any = 0;
+  };
+  [[nodiscard]] Counts counts(int scan_index,
+                              const GfwFilter* cleaner = nullptr) const;
+
+  /// Distinct addresses (and the per-protocol split) responsive in at
+  /// least one scan up to `until_scan` inclusive (Table 1 "cumulative").
+  [[nodiscard]] Counts cumulative(int until_scan,
+                                  const GfwFilter* cleaner = nullptr) const;
+
+  /// Fig. 4 decomposition of scan-to-scan change.
+  struct Churn {
+    std::size_t completely_new = 0;  // never responsive before
+    std::size_t recurring = 0;       // responsive before, but not last scan
+    std::size_t lost = 0;            // responsive last scan, not this one
+    std::size_t stable = 0;          // responsive in both
+  };
+  [[nodiscard]] Churn churn(int scan_index,
+                            const GfwFilter* cleaner = nullptr) const;
+
+  /// Addresses responsive in *every* recorded scan (the paper: 176.6 k over
+  /// the whole period).
+  [[nodiscard]] std::size_t always_responsive(
+      const GfwFilter* cleaner = nullptr) const;
+
+ private:
+  /// Mask after optional cleaning for entry row (drops the UDP/53 bit of
+  /// injected-and-not-genuinely-DNS-responsive observations).
+  [[nodiscard]] static ProtoMask cleaned_mask(const Ipv6& a, ProtoMask m,
+                                              int scan_index,
+                                              const GfwFilter* cleaner);
+
+  std::vector<Entry> entries_;
+  std::unordered_map<int, std::size_t> by_index_;
+};
+
+}  // namespace sixdust

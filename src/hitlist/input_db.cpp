@@ -1,0 +1,20 @@
+#include "hitlist/input_db.hpp"
+
+namespace sixdust {
+
+bool InputDb::add(const Ipv6& a, std::uint16_t tags, int scan_index) {
+  auto [it, inserted] = meta_.try_emplace(a, Meta{tags, scan_index});
+  if (!inserted) {
+    it->second.tags |= tags;
+    return false;
+  }
+  order_.push_back(a);
+  return true;
+}
+
+const InputDb::Meta* InputDb::find(const Ipv6& a) const {
+  auto it = meta_.find(a);
+  return it == meta_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sixdust

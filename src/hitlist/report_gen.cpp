@@ -1,0 +1,118 @@
+#include "hitlist/report_gen.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "analysis/distribution.hpp"
+#include "netbase/util.hpp"
+
+namespace sixdust {
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ServiceReport::markdown() const {
+  const auto& history = service_->history();
+  std::string out;
+  out += "# IPv6 Hitlist service — state report\n\n";
+  if (history.entries().empty()) {
+    out += "No scans recorded yet.\n";
+    return out;
+  }
+  const int last = history.entries().back().scan_index;
+  const auto& gfw = service_->gfw();
+  const auto pub = history.counts(last);
+  const auto clean = history.counts(last, &gfw);
+
+  append_fmt(out, "Scans recorded: %zu (latest: %s)\n\n",
+             history.entries().size(), ScanDate{last}.str().c_str());
+  append_fmt(out,
+             "## Input\n\n- accumulated candidates: %s\n- permanently "
+             "excluded (30-day filter): %s\n- aliased prefixes: %zu\n- "
+             "GFW-tainted addresses: %s\n\n",
+             human_count(static_cast<double>(service_->input().size())).c_str(),
+             human_count(static_cast<double>(service_->unresponsive_pool().size()))
+                 .c_str(),
+             service_->aliased_list().size(),
+             human_count(static_cast<double>(gfw.tainted_count())).c_str());
+
+  out += "## Responsiveness (latest scan)\n\n";
+  out += "| protocol | published | cleaned |\n|---|---|---|\n";
+  for (Proto p : kAllProtos) {
+    append_fmt(out, "| %s | %zu | %zu |\n", proto_name(p).c_str(),
+               pub.per_proto[static_cast<std::size_t>(proto_index(p))],
+               clean.per_proto[static_cast<std::size_t>(proto_index(p))]);
+  }
+  append_fmt(out, "| any | %zu | %zu |\n\n", pub.any, clean.any);
+
+  // Top ASes of the cleaned responsive set.
+  std::vector<Ipv6> responsive;
+  for (const auto& [a, mask] : history.at(last).responsive) {
+    if (gfw.tainted(a) && (mask & ~proto_bit(Proto::Udp53)) == 0) continue;
+    responsive.push_back(a);
+  }
+  const auto dist = AsDistribution::of(*rib_, responsive);
+  out += "## Top ASes (cleaned responsive)\n\n";
+  out += "| rank | AS | addresses | share |\n|---|---|---|---|\n";
+  int rank = 0;
+  for (const auto& row : dist.ranked()) {
+    append_fmt(out, "| %d | %s | %zu | %s |\n", ++rank,
+               registry_->label(row.asn).c_str(), row.count,
+               percent(row.share).c_str());
+    if (rank == 10) break;
+  }
+  append_fmt(out, "\n%zu ASes hold responsive addresses.\n", dist.as_count());
+  return out;
+}
+
+std::string ServiceReport::timeline_csv() const {
+  const auto& history = service_->history();
+  const auto& gfw = service_->gfw();
+  std::string out =
+      "scan,date,input,targets,aliased,pub_icmp,pub_tcp80,pub_tcp443,"
+      "pub_udp53,pub_udp443,pub_total,clean_icmp,clean_tcp80,clean_tcp443,"
+      "clean_udp53,clean_udp443,clean_total\n";
+  for (const auto& e : history.entries()) {
+    const auto pub = history.counts(e.scan_index);
+    const auto clean = history.counts(e.scan_index, &gfw);
+    append_fmt(out, "%d,%s,%zu,%zu,%zu", e.scan_index,
+               ScanDate{e.scan_index}.str().c_str(), e.input_total,
+               e.scan_targets, e.aliased_prefixes);
+    for (const auto& c : {pub, clean}) {
+      for (std::size_t p = 0; p < kProtoCount; ++p)
+        append_fmt(out, ",%zu", c.per_proto[p]);
+      append_fmt(out, ",%zu", c.any);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ServiceReport::as_distribution_csv() const {
+  const auto& history = service_->history();
+  std::string out = "asn,name,cc,count,share\n";
+  if (history.entries().empty()) return out;
+  const int last = history.entries().back().scan_index;
+  std::vector<Ipv6> responsive;
+  for (const auto& [a, mask] : history.at(last).responsive)
+    responsive.push_back(a);
+  const auto dist = AsDistribution::of(*rib_, responsive);
+  for (const auto& row : dist.ranked()) {
+    const AsInfo* info = registry_->find(row.asn);
+    append_fmt(out, "%u,%s,%s,%zu,%.6f\n", row.asn,
+               info ? info->name.c_str() : "",
+               info ? info->cc.c_str() : "", row.count, row.share);
+  }
+  return out;
+}
+
+}  // namespace sixdust

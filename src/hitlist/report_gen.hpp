@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "asdb/registry.hpp"
+#include "asdb/rib.hpp"
+#include "hitlist/service.hpp"
+
+namespace sixdust {
+
+/// Human- and machine-readable publications of a service run — the
+/// counterpart of the real IPv6 Hitlist's website and data downloads:
+/// a markdown state-of-the-service report and CSV exports of the
+/// per-scan timeline and per-AS distribution.
+class ServiceReport {
+ public:
+  ServiceReport(const HitlistService* service, const Rib* rib,
+                const AsRegistry* registry)
+      : service_(service), rib_(rib), registry_(registry) {}
+
+  /// Markdown report: input growth, responsiveness snapshot (published vs
+  /// cleaned), aliased prefixes, GFW impact, top ASes.
+  [[nodiscard]] std::string markdown() const;
+
+  /// CSV: one row per scan with per-protocol published and cleaned counts.
+  /// Columns: scan,date,input,targets,aliased,pub_icmp,...,clean_total
+  [[nodiscard]] std::string timeline_csv() const;
+
+  /// CSV of the final responsive set per AS: asn,name,cc,count,share
+  [[nodiscard]] std::string as_distribution_csv() const;
+
+ private:
+  const HitlistService* service_;
+  const Rib* rib_;
+  const AsRegistry* registry_;
+};
+
+}  // namespace sixdust

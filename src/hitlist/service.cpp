@@ -1,0 +1,132 @@
+#include "hitlist/service.hpp"
+
+#include <algorithm>
+
+#include "scanner/rate_limit.hpp"
+
+namespace sixdust {
+
+HitlistService::HitlistService(Config cfg)
+    : cfg_(std::move(cfg)),
+      sources_(cfg_.sources),
+      apd_(cfg_.apd),
+      zmap_([this] {
+        Zmap6::Config c = cfg_.scanner;
+        c.blocklist = &blocklist_;
+        return c;
+      }()),
+      yarrp_(cfg_.traceroute) {
+  for (const auto& p : cfg_.blocklist_prefixes) blocklist_.add(p);
+}
+
+std::vector<Ipv6> HitlistService::eligible_targets() const {
+  std::vector<Ipv6> targets;
+  targets.reserve(input_.size() - excluded_.size());
+  for (const auto& a : input_.addresses()) {
+    if (excluded_.contains(a)) continue;
+    if (blocklist_.covers(a)) continue;
+    targets.push_back(a);
+  }
+  return targets;
+}
+
+HitlistService::ScanOutcome HitlistService::step(const World& world,
+                                                 ScanDate date) {
+  // 1. Input collection (all sources re-deliver every scan; dedup).
+  for (const auto& known : sources_.collect(world, date))
+    input_.add(known.addr, known.tags, date.index);
+
+  // 2. Exclusion + blocklist filters.
+  std::vector<Ipv6> targets = eligible_targets();
+
+  // 3. Multi-level aliased prefix detection (with 3-round history).
+  auto detection = apd_.detect(world, targets, date);
+  aliased_ = std::move(detection.aliased_set);
+  aliased_list_ = std::move(detection.aliased);
+  aliased_per_scan_.push_back(aliased_list_);
+
+  // 4. Aliased-prefix filter.
+  std::erase_if(targets, [&](const Ipv6& a) { return aliased_.covers(a); });
+
+  // 5. ZMapv6 scans, one per protocol, plus the UDP/53 GFW stage.
+  std::unordered_map<Ipv6, ProtoMask, Ipv6Hasher> responsive;
+  responsive.reserve(targets.size() / 4);
+  History::Entry entry;
+  entry.scan_index = date.index;
+  // All probe stages share one rate-limited sender; APD probes ran above.
+  double duration_seconds =
+      scan_duration_seconds(detection.probes_sent, cfg_.scanner.pps);
+
+  for (Proto p : kAllProtos) {
+    ScanResult result = zmap_.scan(world, targets, p, date);
+    duration_seconds += result.duration_seconds;
+    if (p == Proto::Udp53) {
+      const bool filter_on = cfg_.enable_gfw_filter &&
+                             date.index >= cfg_.gfw_filter_from_scan;
+      if (filter_on) {
+        for (const auto& rec : gfw_.filter_scan(result))
+          responsive[rec.target] |= proto_bit(p);
+        continue;
+      }
+      // Published behaviour: every response counts — but record the
+      // injection evidence for the retroactive cleaning analysis.
+      gfw_.observe_scan(result);
+    }
+    for (const auto& rec : result.responsive)
+      responsive[rec.target] |= proto_bit(p);
+  }
+
+  // 6. 30-day-unresponsive filter bookkeeping.
+  std::size_t newly_excluded = 0;
+  for (const auto& a : targets) {
+    if (responsive.contains(a)) {
+      unresponsive_streak_.erase(a);
+      continue;
+    }
+    const int streak = ++unresponsive_streak_[a];
+    if (streak >= cfg_.unresponsive_scans) {
+      unresponsive_streak_.erase(a);
+      excluded_.insert(a);
+      excluded_order_.push_back(a);
+      ++newly_excluded;
+    }
+  }
+  (void)newly_excluded;
+
+  // 7. Yarrp traceroutes toward the (alias-filtered) targets; discovered
+  // router addresses become next scan's input.
+  auto traces = yarrp_.trace(world, targets, date);
+  for (const auto& hop : traces.responsive_hops)
+    input_.add(hop, kSrcTraceroute, date.index);
+  duration_seconds +=
+      scan_duration_seconds(traces.probes_sent, cfg_.scanner.pps);
+
+  // 8. Record history.
+  entry.responsive.reserve(responsive.size());
+  for (const auto& [a, mask] : responsive) entry.responsive.emplace_back(a, mask);
+  std::sort(entry.responsive.begin(), entry.responsive.end());
+  entry.input_total = input_.size();
+  entry.scan_targets = targets.size();
+  entry.aliased_prefixes = aliased_list_.size();
+  entry.duration_days = duration_seconds / 86400.0;
+
+  ScanOutcome outcome;
+  outcome.date = date;
+  outcome.input_total = input_.size();
+  outcome.scan_targets = targets.size();
+  outcome.aliased_count = aliased_list_.size();
+  outcome.excluded_total = excluded_.size();
+  outcome.responsive_any = responsive.size();
+  for (const auto& [a, mask] : entry.responsive)
+    for (Proto p : kAllProtos)
+      if (mask_has(mask, p)) ++outcome.responsive_per_proto[proto_index(p)];
+
+  history_.record(std::move(entry));
+  return outcome;
+}
+
+void HitlistService::run(const World& world, int scans) {
+  for (int i = 0; i < scans; ++i) step(world, ScanDate{i});
+}
+
+}  // namespace sixdust

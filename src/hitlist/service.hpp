@@ -1,0 +1,114 @@
+#pragma once
+
+#include <unordered_set>
+
+#include "alias/apd.hpp"
+#include "hitlist/history.hpp"
+#include "hitlist/input_db.hpp"
+#include "hitlist/sources.hpp"
+#include "scanner/zmap6.hpp"
+#include "traceroute/yarrp.hpp"
+
+namespace sixdust {
+
+/// The IPv6 Hitlist service pipeline (Fig. 1 of the paper), including the
+/// GFW filter this paper adds:
+///
+///   input sources -> blocklist -> aliased-prefix detection ->
+///   30-day-unresponsive filter -> ZMapv6 scans (5 protocols) ->
+///   [GFW filter on UDP/53 output] -> Yarrp traceroutes (feed back as input)
+///
+/// Run step() once per scan date; all state (input accumulation, alias
+/// knowledge, exclusion pool, taint records, per-scan history) is kept in
+/// the service, mirroring the long-running real deployment.
+class HitlistService {
+ public:
+  struct Config {
+    std::uint64_t seed = 21;
+    Zmap6::Config scanner{.seed = 7, .loss = 0.01, .retries = 1};
+    AliasDetector::Config apd{};
+    Yarrp::Config traceroute{};
+    SourceCollector::Config sources{};
+    /// Scans an address may stay unresponsive before permanent exclusion
+    /// ("30 days" of daily scans; ~3 monthly scans here so that ordinary
+    /// availability churn does not evict live hosts).
+    int unresponsive_scans = 3;
+    /// The GFW filter stage: disabled reproduces the *published* (spiky)
+    /// timeline; when enabled it activates at `gfw_filter_from_scan`
+    /// (Feb 2022 — the moment the spike collapses in Fig. 3).
+    bool enable_gfw_filter = true;
+    int gfw_filter_from_scan = 43;
+    std::vector<Prefix> blocklist_prefixes;
+  };
+
+  explicit HitlistService(Config cfg);
+
+  struct ScanOutcome {
+    ScanDate date;
+    std::size_t input_total = 0;
+    std::size_t scan_targets = 0;
+    std::size_t aliased_count = 0;
+    std::size_t excluded_total = 0;
+    std::size_t responsive_any = 0;
+    std::array<std::size_t, kProtoCount> responsive_per_proto{};
+  };
+
+  /// One service iteration.
+  ScanOutcome step(const World& world, ScanDate date);
+
+  /// Run scans 0 .. scans-1.
+  void run(const World& world, int scans);
+
+  // --- accumulated state ----------------------------------------------------
+
+  [[nodiscard]] const InputDb& input() const { return input_; }
+  [[nodiscard]] const History& history() const { return history_; }
+  [[nodiscard]] GfwFilter& gfw() { return gfw_; }
+  [[nodiscard]] const GfwFilter& gfw() const { return gfw_; }
+  [[nodiscard]] const PrefixSet& aliased() const { return aliased_; }
+  [[nodiscard]] const std::vector<Prefix>& aliased_list() const {
+    return aliased_list_;
+  }
+  /// Aliased-prefix count per recorded scan (Fig. 5 growth analysis).
+  [[nodiscard]] const std::vector<std::vector<Prefix>>& aliased_per_scan()
+      const {
+    return aliased_per_scan_;
+  }
+  /// Addresses permanently excluded by the 30-day filter — the paper's
+  /// 638.6 M-strong re-scan candidate pool (Sec. 6.1).
+  [[nodiscard]] const std::vector<Ipv6>& unresponsive_pool() const {
+    return excluded_order_;
+  }
+  [[nodiscard]] bool excluded(const Ipv6& a) const {
+    return excluded_.contains(a);
+  }
+  [[nodiscard]] const PrefixSet& blocklist() const { return blocklist_; }
+
+  /// The scan target list for `date` given current state (blocklist,
+  /// exclusion; before alias filtering).
+  [[nodiscard]] std::vector<Ipv6> eligible_targets() const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  friend class ServiceArchive;
+
+  Config cfg_;
+  PrefixSet blocklist_;
+  SourceCollector sources_;
+  AliasDetector apd_;
+  Zmap6 zmap_;
+  Yarrp yarrp_;
+  GfwFilter gfw_;
+
+  InputDb input_;
+  History history_;
+  PrefixSet aliased_;
+  std::vector<Prefix> aliased_list_;
+  std::vector<std::vector<Prefix>> aliased_per_scan_;
+  std::unordered_set<Ipv6, Ipv6Hasher> excluded_;
+  std::vector<Ipv6> excluded_order_;
+  std::unordered_map<Ipv6, int, Ipv6Hasher> unresponsive_streak_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,30 @@
+#include "hitlist/sources.hpp"
+
+#include <algorithm>
+
+namespace sixdust {
+
+std::vector<KnownAddress> SourceCollector::collect(const World& world,
+                                                   ScanDate date) const {
+  std::vector<KnownAddress> out;
+  world.enumerate_known(date, out);
+
+  if (date.index == cfg_.rdns_scan) {
+    // One-shot reverse-DNS import: full address plans of a few operators
+    // (Fiebig et al.'s technique). Never refreshed afterwards.
+    for (const auto& dep : world.deployments()) {
+      if (std::find(cfg_.rdns_ases.begin(), cfg_.rdns_ases.end(),
+                    dep->asn()) == cfg_.rdns_ases.end())
+        continue;
+      const auto* farm = dynamic_cast<const ServerFarm*>(dep.get());
+      if (farm == nullptr) continue;
+      const std::uint32_t subs = farm->subnet_count(date);
+      for (std::uint32_t s = 0; s < subs; ++s)
+        for (std::uint32_t i = 0; i < farm->config().hosts_per_subnet; ++i)
+          out.push_back(KnownAddress{farm->host_address(s, i), kSrcRdns});
+    }
+  }
+  return out;
+}
+
+}  // namespace sixdust

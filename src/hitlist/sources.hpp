@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/server_farm.hpp"
+#include "topo/world.hpp"
+
+namespace sixdust {
+
+/// Collector for the service's classic input sources (Fig. 1 left box):
+/// DNS AAAA resolutions, CT-log hostnames, RIPE-Atlas-style traceroute
+/// observations — all surfaced by the deployments' public enumeration —
+/// plus the one-shot rDNS import that the paper identifies as the cause of
+/// the 2019/2020 dip (sources added once go stale).
+class SourceCollector {
+ public:
+  struct Config {
+    /// Scan at which the one-shot rDNS data set was imported.
+    int rdns_scan = 7;  // 2019-02
+    /// Operators whose full address plans are visible in reverse DNS.
+    std::vector<Asn> rdns_ases = {kAsCern, kAsRacktech};
+  };
+
+  explicit SourceCollector(Config cfg) : cfg_(cfg) {}
+
+  /// All candidates surfaced on `date` (excluding the service's own
+  /// traceroutes, which the pipeline feeds back itself).
+  [[nodiscard]] std::vector<KnownAddress> collect(const World& world,
+                                                  ScanDate date) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,60 @@
+#include "netbase/eui64.hpp"
+
+#include <cstdio>
+
+namespace sixdust {
+
+std::string Mac::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+bool has_eui64_iid(const Ipv6& a) {
+  return a.byte(11) == 0xff && a.byte(12) == 0xfe;
+}
+
+std::optional<Mac> eui64_mac(const Ipv6& a) {
+  if (!has_eui64_iid(a)) return std::nullopt;
+  Mac m;
+  m.bytes[0] = static_cast<std::uint8_t>(a.byte(8) ^ 0x02);  // flip U/L bit
+  m.bytes[1] = a.byte(9);
+  m.bytes[2] = a.byte(10);
+  m.bytes[3] = a.byte(13);
+  m.bytes[4] = a.byte(14);
+  m.bytes[5] = a.byte(15);
+  return m;
+}
+
+Ipv6 apply_eui64(const Ipv6& net, const Mac& mac) {
+  Ipv6 a = net;
+  a.set_byte(8, static_cast<std::uint8_t>(mac.bytes[0] ^ 0x02));
+  a.set_byte(9, mac.bytes[1]);
+  a.set_byte(10, mac.bytes[2]);
+  a.set_byte(11, 0xff);
+  a.set_byte(12, 0xfe);
+  a.set_byte(13, mac.bytes[3]);
+  a.set_byte(14, mac.bytes[4]);
+  a.set_byte(15, mac.bytes[5]);
+  return a;
+}
+
+std::string oui_vendor(std::uint32_t oui) {
+  switch (oui) {
+    case kOuiZte:
+      return "ZTE";
+    case kOuiHuawei:
+      return "Huawei";
+    case kOuiAvm:
+      return "AVM";
+    case kOuiCisco:
+      return "Cisco";
+    case kOuiJuniper:
+      return "Juniper";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace sixdust

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netbase/ipv6.hpp"
+
+namespace sixdust {
+
+/// A 48-bit MAC address.
+struct Mac {
+  std::array<std::uint8_t, 6> bytes{};
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t v = 0;
+    for (auto b : bytes) v = v << 8 | b;
+    return v;
+  }
+
+  /// 24-bit Organizationally Unique Identifier.
+  [[nodiscard]] std::uint32_t oui() const {
+    return static_cast<std::uint32_t>(bytes[0]) << 16 |
+           static_cast<std::uint32_t>(bytes[1]) << 8 | bytes[2];
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  friend auto operator<=>(const Mac&, const Mac&) = default;
+};
+
+/// True when the interface identifier (lower 64 bits) is EUI-64 derived
+/// from a MAC address (ff:fe marker in the middle).
+[[nodiscard]] bool has_eui64_iid(const Ipv6& a);
+
+/// Extract the embedded MAC from an EUI-64 IID (U/L bit flipped back).
+[[nodiscard]] std::optional<Mac> eui64_mac(const Ipv6& a);
+
+/// Build an EUI-64 interface identifier from a MAC and place it in the
+/// lower 64 bits of `net` (upper 64 bits preserved).
+[[nodiscard]] Ipv6 apply_eui64(const Ipv6& net, const Mac& mac);
+
+/// Vendor name for an OUI; the table covers the vendors named in the paper
+/// plus a procedural tail. Returns "unknown" when unmapped.
+[[nodiscard]] std::string oui_vendor(std::uint32_t oui);
+
+/// OUI constants used by the simulated world.
+inline constexpr std::uint32_t kOuiZte = 0x00259E;      // ZTE (paper Sec. 4.1)
+inline constexpr std::uint32_t kOuiHuawei = 0x00E0FC;   // Huawei
+inline constexpr std::uint32_t kOuiAvm = 0x3481C4;      // AVM (FRITZ!Box)
+inline constexpr std::uint32_t kOuiCisco = 0x00000C;    // Cisco
+inline constexpr std::uint32_t kOuiJuniper = 0x002283;  // Juniper
+
+}  // namespace sixdust

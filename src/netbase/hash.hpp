@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/ipv6.hpp"
+
+namespace sixdust {
+
+/// SplitMix64 finalizer — the workhorse deterministic mixer used across the
+/// simulation. Every "random" property of the simulated Internet is a pure
+/// function of mixed identifiers, which keeps worlds reproducible.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+constexpr std::uint64_t hash_of(const Ipv6& a) {
+  return hash_combine(mix64(a.hi()), a.lo());
+}
+
+constexpr std::uint64_t hash_of(const Ipv6& a, std::uint64_t salt) {
+  return hash_combine(hash_of(a), salt);
+}
+
+/// Uniform draw in [0, 1) derived from a hash value.
+constexpr double unit_from_hash(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+struct Ipv6Hasher {
+  std::size_t operator()(const Ipv6& a) const { return hash_of(a); }
+};
+
+}  // namespace sixdust

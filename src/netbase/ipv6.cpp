@@ -1,0 +1,178 @@
+#include "netbase/ipv6.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sixdust {
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Parse a dotted-quad IPv4 tail into two 16-bit groups.
+bool parse_v4_tail(std::string_view text, std::uint16_t& g0, std::uint16_t& g1) {
+  std::array<unsigned, 4> oct{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return false;
+    unsigned v = 0;
+    std::size_t digits = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      v = v * 10 + static_cast<unsigned>(text[pos] - '0');
+      if (v > 255) return false;
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0 || digits > 3) return false;
+    oct[static_cast<std::size_t>(i)] = v;
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return false;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return false;
+  g0 = static_cast<std::uint16_t>(oct[0] << 8 | oct[1]);
+  g1 = static_cast<std::uint16_t>(oct[2] << 8 | oct[3]);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Ipv6> Ipv6::parse(std::string_view text) {
+  if (text.size() < 2) return std::nullopt;
+
+  std::array<std::uint16_t, 8> groups{};
+  int n_before = 0;  // groups before "::"
+  int n_after = 0;   // groups after "::"
+  std::array<std::uint16_t, 8> before{};
+  std::array<std::uint16_t, 8> after{};
+  bool seen_gap = false;
+
+  std::size_t pos = 0;
+  if (text[0] == ':') {
+    if (text[1] != ':') return std::nullopt;
+    seen_gap = true;
+    pos = 2;
+  }
+
+  while (pos < text.size()) {
+    // An IPv4 dotted-quad tail occupies the final two groups.
+    std::string_view rest = text.substr(pos);
+    if (rest.find(':') == std::string_view::npos &&
+        rest.find('.') != std::string_view::npos) {
+      std::uint16_t g0 = 0;
+      std::uint16_t g1 = 0;
+      if (!parse_v4_tail(rest, g0, g1)) return std::nullopt;
+      auto& arr = seen_gap ? after : before;
+      auto& n = seen_gap ? n_after : n_before;
+      if (n + 2 > 8) return std::nullopt;
+      arr[static_cast<std::size_t>(n++)] = g0;
+      arr[static_cast<std::size_t>(n++)] = g1;
+      pos = text.size();
+      break;
+    }
+    unsigned v = 0;
+    int digits = 0;
+    while (pos < text.size()) {
+      const int d = hex_digit(text[pos]);
+      if (d < 0) break;
+      v = v << 4 | static_cast<unsigned>(d);
+      ++pos;
+      if (++digits > 4) return std::nullopt;
+    }
+    if (digits == 0) return std::nullopt;
+    auto& arr = seen_gap ? after : before;
+    auto& n = seen_gap ? n_after : n_before;
+    if (n >= 8) return std::nullopt;
+    arr[static_cast<std::size_t>(n++)] = static_cast<std::uint16_t>(v);
+
+    if (pos == text.size()) break;
+    if (text[pos] != ':') return std::nullopt;
+    ++pos;
+    if (pos < text.size() && text[pos] == ':') {
+      if (seen_gap) return std::nullopt;
+      seen_gap = true;
+      ++pos;
+      if (pos == text.size()) break;
+    } else if (pos == text.size()) {
+      return std::nullopt;  // trailing single colon
+    }
+  }
+
+  const int total = n_before + n_after;
+  if (seen_gap) {
+    if (total > 7) return std::nullopt;
+  } else if (total != 8) {
+    return std::nullopt;
+  }
+
+  int gi = 0;
+  for (int i = 0; i < n_before; ++i) groups[static_cast<std::size_t>(gi++)] = before[static_cast<std::size_t>(i)];
+  for (int i = 0; i < 8 - total && seen_gap; ++i) groups[static_cast<std::size_t>(gi++)] = 0;
+  for (int i = 0; i < n_after; ++i) groups[static_cast<std::size_t>(gi++)] = after[static_cast<std::size_t>(i)];
+
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = hi << 16 | groups[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = lo << 16 | groups[static_cast<std::size_t>(i)];
+  return from_words(hi, lo);
+}
+
+std::string Ipv6::str() const {
+  std::array<std::uint16_t, 8> g{};
+  for (int i = 0; i < 4; ++i) g[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(hi_ >> (48 - 16 * i));
+  for (int i = 0; i < 4; ++i) g[static_cast<std::size_t>(i + 4)] = static_cast<std::uint16_t>(lo_ >> (48 - 16 * i));
+
+  // Find the longest run of >= 2 zero groups (leftmost wins ties).
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (g[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && g[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  out.reserve(40);
+  char buf[8];
+  int i = 0;
+  while (i < 8) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", g[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+Ipv6 ip(std::string_view text) {
+  auto a = Ipv6::parse(text);
+  if (!a) {
+    std::fprintf(stderr, "sixdust::ip: bad IPv6 literal '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *a;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sixdust {
+
+/// 128-bit IPv6 address value type.
+///
+/// Stored as two 64-bit words (network order: `hi()` holds the first eight
+/// bytes). Comparison order equals numeric address order. Parsing accepts
+/// RFC 4291 text forms (including "::" compression and embedded dotted-quad
+/// tails); formatting produces the RFC 5952 canonical representation.
+class Ipv6 {
+ public:
+  constexpr Ipv6() = default;
+
+  static constexpr Ipv6 from_words(std::uint64_t hi, std::uint64_t lo) {
+    Ipv6 a;
+    a.hi_ = hi;
+    a.lo_ = lo;
+    return a;
+  }
+
+  /// Parse an IPv6 address from text. Returns std::nullopt on malformed
+  /// input. Accepts full, compressed ("::"), and IPv4-mapped tails.
+  static std::optional<Ipv6> parse(std::string_view text);
+
+  /// RFC 5952 canonical text form (lowercase, longest zero run compressed).
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+
+  /// Byte `i` (0 = most significant).
+  [[nodiscard]] constexpr std::uint8_t byte(int i) const {
+    const std::uint64_t w = i < 8 ? hi_ : lo_;
+    const int shift = 56 - 8 * (i & 7);
+    return static_cast<std::uint8_t>(w >> shift);
+  }
+
+  constexpr void set_byte(int i, std::uint8_t v) {
+    std::uint64_t& w = i < 8 ? hi_ : lo_;
+    const int shift = 56 - 8 * (i & 7);
+    w = (w & ~(std::uint64_t{0xff} << shift)) | (std::uint64_t{v} << shift);
+  }
+
+  /// Nibble `i` in [0, 32) (0 = most significant hex digit).
+  [[nodiscard]] constexpr unsigned nibble(int i) const {
+    const std::uint64_t w = i < 16 ? hi_ : lo_;
+    const int shift = 60 - 4 * (i & 15);
+    return static_cast<unsigned>((w >> shift) & 0xf);
+  }
+
+  constexpr void set_nibble(int i, unsigned v) {
+    std::uint64_t& w = i < 16 ? hi_ : lo_;
+    const int shift = 60 - 4 * (i & 15);
+    w = (w & ~(std::uint64_t{0xf} << shift)) |
+        (static_cast<std::uint64_t>(v & 0xf) << shift);
+  }
+
+  /// Bit `i` in [0, 128) (0 = most significant).
+  [[nodiscard]] constexpr bool bit(int i) const {
+    const std::uint64_t w = i < 64 ? hi_ : lo_;
+    return (w >> (63 - (i & 63))) & 1;
+  }
+
+  constexpr void set_bit(int i, bool v) {
+    std::uint64_t& w = i < 64 ? hi_ : lo_;
+    const std::uint64_t mask = std::uint64_t{1} << (63 - (i & 63));
+    w = v ? (w | mask) : (w & ~mask);
+  }
+
+  /// Address arithmetic on the full 128-bit value (wraps on overflow).
+  [[nodiscard]] constexpr Ipv6 plus(std::uint64_t delta) const {
+    Ipv6 r = *this;
+    const std::uint64_t old = r.lo_;
+    r.lo_ += delta;
+    if (r.lo_ < old) ++r.hi_;
+    return r;
+  }
+
+  /// Absolute distance to `other` when both share the same upper 64 bits;
+  /// otherwise returns UINT64_MAX as a saturating sentinel.
+  [[nodiscard]] constexpr std::uint64_t distance64(const Ipv6& other) const {
+    if (hi_ != other.hi_) return ~std::uint64_t{0};
+    return lo_ > other.lo_ ? lo_ - other.lo_ : other.lo_ - lo_;
+  }
+
+  friend constexpr auto operator<=>(const Ipv6&, const Ipv6&) = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// Convenience literal-ish helper for tests and tables; aborts on bad text.
+Ipv6 ip(std::string_view text);
+
+}  // namespace sixdust

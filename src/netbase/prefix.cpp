@@ -1,0 +1,51 @@
+#include "netbase/prefix.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "netbase/hash.hpp"
+
+namespace sixdust {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv6::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  const auto len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 3) return std::nullopt;
+  for (char c : len_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + (c - '0');
+  }
+  if (len > 128) return std::nullopt;
+  return make(*addr, len);
+}
+
+Ipv6 Prefix::random_address(std::uint64_t salt) const {
+  const std::uint64_t h0 = hash_combine(hash_of(base_, salt), len_);
+  const std::uint64_t h1 = mix64(h0);
+  Ipv6 a = base_;
+  for (int b = len_; b < 128; ++b) {
+    const std::uint64_t h = b < 96 ? h0 : h1;
+    a.set_bit(b, (h >> (b & 63)) & 1);
+  }
+  return a;
+}
+
+std::string Prefix::str() const {
+  return base_.str() + "/" + std::to_string(len_);
+}
+
+Prefix pfx(std::string_view text) {
+  auto p = Prefix::parse(text);
+  if (!p) {
+    std::fprintf(stderr, "sixdust::pfx: bad prefix literal '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *p;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,26 @@
+#include "netbase/prefix_set.hpp"
+
+namespace sixdust {
+
+void PrefixSet::add(const Prefix& p) { trie_.insert(p, 1); }
+
+bool PrefixSet::contains_exact(const Prefix& p) const {
+  return trie_.exact(p) != nullptr;
+}
+
+bool PrefixSet::covers(const Ipv6& a) const { return trie_.covers(a); }
+
+std::optional<Prefix> PrefixSet::covering(const Ipv6& a) const {
+  auto m = trie_.longest_match(a);
+  if (!m) return std::nullopt;
+  return m->prefix;
+}
+
+std::vector<Prefix> PrefixSet::to_vector() const {
+  std::vector<Prefix> out;
+  out.reserve(trie_.size());
+  trie_.visit([&](const Prefix& p, const char&) { out.push_back(p); });
+  return out;
+}
+
+}  // namespace sixdust

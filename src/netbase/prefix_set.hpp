@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "netbase/prefix_trie.hpp"
+
+namespace sixdust {
+
+/// A set of prefixes with coverage queries — used for blocklists and the
+/// aliased-prefix filter. An address is "covered" when any member prefix
+/// contains it.
+class PrefixSet {
+ public:
+  void add(const Prefix& p);
+  [[nodiscard]] bool contains_exact(const Prefix& p) const;
+  [[nodiscard]] bool covers(const Ipv6& a) const;
+  /// Most-specific covering prefix, if any.
+  [[nodiscard]] std::optional<Prefix> covering(const Ipv6& a) const;
+  [[nodiscard]] std::size_t size() const { return trie_.size(); }
+  [[nodiscard]] bool empty() const { return trie_.empty(); }
+  [[nodiscard]] std::vector<Prefix> to_vector() const;
+
+ private:
+  PrefixTrie<char> trie_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+
+namespace sixdust {
+
+/// Binary (radix-1) trie keyed by IPv6 prefixes, supporting exact insert /
+/// lookup and longest-prefix match. This is the core routing-table and
+/// alias-lookup structure; simple by design (one bit per level) — lookups
+/// are bounded by 128 steps and the simulation's tries are small.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  /// Insert or overwrite the value at `p`. Returns a reference to the
+  /// stored value.
+  T& insert(const Prefix& p, T value) {
+    std::size_t n = descend_create(p);
+    nodes_[n].value = std::move(value);
+    if (!nodes_[n].occupied) {
+      nodes_[n].occupied = true;
+      ++size_;
+    }
+    return *nodes_[n].value;
+  }
+
+  /// Value stored exactly at `p`, if any.
+  [[nodiscard]] const T* exact(const Prefix& p) const {
+    std::size_t n = 0;
+    for (int b = 0; b < p.len(); ++b) {
+      const std::size_t c = nodes_[n].child[p.base().bit(b)];
+      if (c == 0) return nullptr;
+      n = c;
+    }
+    return nodes_[n].occupied ? &*nodes_[n].value : nullptr;
+  }
+
+  [[nodiscard]] T* exact(const Prefix& p) {
+    return const_cast<T*>(static_cast<const PrefixTrie*>(this)->exact(p));
+  }
+
+  struct Match {
+    Prefix prefix;
+    const T* value = nullptr;
+  };
+
+  /// Longest-prefix match for `a`, if any prefix on the path is occupied.
+  [[nodiscard]] std::optional<Match> longest_match(const Ipv6& a) const {
+    std::optional<Match> best;
+    std::size_t n = 0;
+    for (int b = 0; b <= 128; ++b) {
+      if (nodes_[n].occupied)
+        best = Match{Prefix::make(a, b), &*nodes_[n].value};
+      if (b == 128) break;
+      const std::size_t c = nodes_[n].child[a.bit(b)];
+      if (c == 0) break;
+      n = c;
+    }
+    return best;
+  }
+
+  /// True if any stored prefix covers `a`.
+  [[nodiscard]] bool covers(const Ipv6& a) const {
+    return longest_match(a).has_value();
+  }
+
+  /// Visit all (prefix, value) pairs in lexicographic order.
+  void visit(const std::function<void(const Prefix&, const T&)>& fn) const {
+    Ipv6 a{};
+    visit_rec(0, a, 0, fn);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::size_t child[2] = {0, 0};
+    std::optional<T> value;
+    bool occupied = false;
+  };
+
+  std::size_t descend_create(const Prefix& p) {
+    std::size_t n = 0;
+    for (int b = 0; b < p.len(); ++b) {
+      const bool bit = p.base().bit(b);
+      if (nodes_[n].child[bit] == 0) {
+        nodes_.push_back(Node{});
+        nodes_[n].child[bit] = nodes_.size() - 1;
+      }
+      n = nodes_[n].child[bit];
+    }
+    return n;
+  }
+
+  void visit_rec(std::size_t n, Ipv6& a, int depth,
+                 const std::function<void(const Prefix&, const T&)>& fn) const {
+    if (nodes_[n].occupied) fn(Prefix::make(a, depth), *nodes_[n].value);
+    if (depth == 128) return;
+    for (int bit = 0; bit < 2; ++bit) {
+      const std::size_t c = nodes_[n].child[bit];
+      if (c == 0) continue;
+      a.set_bit(depth, bit != 0);
+      visit_rec(c, a, depth + 1, fn);
+      a.set_bit(depth, false);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sixdust {
+
+/// xoshiro256++ PRNG, deterministically seeded via SplitMix64. Used wherever
+/// a *sequence* of pseudo-random draws is needed (the single-value cases use
+/// mix64 hashing directly — see hash.hpp).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// Bernoulli draw.
+  bool chance(double p) { return unit() < p; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sixdust

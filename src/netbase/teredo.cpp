@@ -1,0 +1,38 @@
+#include "netbase/teredo.hpp"
+
+#include <cstdio>
+
+namespace sixdust {
+
+std::string Ipv4::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value >> 24,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+bool is_teredo(const Ipv6& a) { return (a.hi() >> 32) == 0x20010000; }
+
+std::optional<Ipv4> teredo_client(const Ipv6& a) {
+  if (!is_teredo(a)) return std::nullopt;
+  return Ipv4{static_cast<std::uint32_t>(a.lo() & 0xffffffff) ^ 0xffffffffu};
+}
+
+Ipv6 make_teredo(Ipv4 server, Ipv4 client, std::uint16_t flags,
+                 std::uint16_t port) {
+  const std::uint64_t hi =
+      0x2001000000000000ULL | server.value;
+  const std::uint64_t lo = (static_cast<std::uint64_t>(flags) << 48) |
+                           (static_cast<std::uint64_t>(port ^ 0xffff) << 32) |
+                           (client.value ^ 0xffffffffu);
+  return Ipv6::from_words(hi, lo);
+}
+
+bool is_6to4(const Ipv6& a) { return (a.hi() >> 48) == 0x2002; }
+
+std::optional<Ipv4> sixto4_v4(const Ipv6& a) {
+  if (!is_6to4(a)) return std::nullopt;
+  return Ipv4{static_cast<std::uint32_t>((a.hi() >> 16) & 0xffffffff)};
+}
+
+}  // namespace sixdust

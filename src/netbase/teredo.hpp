@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "netbase/ipv6.hpp"
+
+namespace sixdust {
+
+/// An IPv4 address (used for Teredo/6to4 embedding and for the A records
+/// that the Great Firewall injects).
+struct Ipv4 {
+  std::uint32_t value = 0;
+
+  [[nodiscard]] std::string str() const;
+  friend constexpr auto operator<=>(const Ipv4&, const Ipv4&) = default;
+};
+
+/// RFC 4380 Teredo: prefix 2001:0000::/32. The deprecated tunneling scheme
+/// embeds a server IPv4 (bytes 4..7) and an obfuscated client IPv4
+/// (bytes 12..15, bitwise NOT). The GFW's 2021+ injections carry Teredo
+/// AAAA records — the key detection signal in the paper (Sec. 4.2).
+[[nodiscard]] bool is_teredo(const Ipv6& a);
+
+/// The client IPv4 embedded in a Teredo address (de-obfuscated).
+[[nodiscard]] std::optional<Ipv4> teredo_client(const Ipv6& a);
+
+/// Builds a Teredo address embedding `server` and `client`.
+[[nodiscard]] Ipv6 make_teredo(Ipv4 server, Ipv4 client,
+                               std::uint16_t flags = 0,
+                               std::uint16_t port = 0);
+
+/// RFC 3056 6to4: prefix 2002::/16 with the IPv4 in bytes 2..5.
+[[nodiscard]] bool is_6to4(const Ipv6& a);
+[[nodiscard]] std::optional<Ipv4> sixto4_v4(const Ipv6& a);
+
+}  // namespace sixdust

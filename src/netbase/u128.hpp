@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace sixdust {
+
+/// Unsigned 128-bit helper for address-space accounting (an AS can announce
+/// up to 2^128 addresses; Fig. 6 of the paper bins aliased space as powers
+/// of two up to 2^112). Thin wrapper over the compiler's __int128.
+using u128 = unsigned __int128;
+
+constexpr u128 u128_pow2(int n) { return u128{1} << n; }
+
+/// Number of addresses in a prefix of length `len` (len in [0, 128]).
+constexpr u128 prefix_size(int len) {
+  return len == 0 ? ~u128{0} : u128_pow2(128 - len);
+}
+
+inline double u128_to_double(u128 v) {
+  return static_cast<double>(static_cast<std::uint64_t>(v >> 64)) *
+             18446744073709551616.0 +
+         static_cast<double>(static_cast<std::uint64_t>(v));
+}
+
+/// floor(log2(v)); returns -1 for v == 0.
+constexpr int u128_log2(u128 v) {
+  int r = -1;
+  while (v) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+inline std::string u128_str(u128 v) {
+  if (v == 0) return "0";
+  std::string s;
+  while (v) {
+    s.insert(s.begin(), static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  return s;
+}
+
+}  // namespace sixdust

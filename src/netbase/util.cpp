@@ -1,0 +1,33 @@
+#include "netbase/util.hpp"
+
+#include <cstdio>
+
+namespace sixdust {
+
+std::string human_count(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1f B", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1f M", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f k", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+std::string percent(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f %%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string ScanDate::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d", year(), month());
+  return buf;
+}
+
+}  // namespace sixdust

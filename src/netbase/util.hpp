@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sixdust {
+
+/// "1.7 M", "910.8 k", "593" — the unit style used by the paper's tables.
+[[nodiscard]] std::string human_count(double v);
+
+/// "46.44 %" style percentage.
+[[nodiscard]] std::string percent(double fraction, int decimals = 1);
+
+/// Simulation calendar. The hitlist timeline runs monthly scans from
+/// 2018-07 (scan 0) to 2022-04 (scan 45), mirroring the paper's July 2018 -
+/// April 2022 window at reduced cadence.
+struct ScanDate {
+  int index = 0;  // scan number, 0-based, one per month
+
+  [[nodiscard]] int year() const { return 2018 + (index + 6) / 12; }
+  [[nodiscard]] int month() const { return 1 + (index + 6) % 12; }
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(const ScanDate&, const ScanDate&) = default;
+};
+
+inline constexpr int kTimelineScans = 46;  // 2018-07 .. 2022-04 inclusive
+
+/// Scan indices for the paper's yearly snapshot rows (Table 1):
+/// 2018-07-01, 2019-04-01, 2020-04-01, 2021-04-02, 2022-04-07.
+inline constexpr int kSnapshotScans[5] = {0, 9, 21, 33, 45};
+
+}  // namespace sixdust

@@ -1,0 +1,273 @@
+#include "proto/dns.hpp"
+
+#include <cctype>
+
+namespace sixdust {
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v));
+}
+
+bool put_name(std::vector<std::uint8_t>& out, std::string_view name) {
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t dot = name.find('.', start);
+    if (dot == std::string_view::npos) dot = name.size();
+    const std::size_t len = dot - start;
+    if (len > 63) return false;
+    if (len > 0) {
+      out.push_back(static_cast<std::uint8_t>(len));
+      for (std::size_t i = start; i < dot; ++i)
+        out.push_back(static_cast<std::uint8_t>(name[i]));
+    }
+    if (dot >= name.size()) break;
+    start = dot + 1;
+  }
+  out.push_back(0);
+  return true;
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& wire;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool remaining(std::size_t n) const {
+    return pos + n <= wire.size();
+  }
+
+  bool get8(std::uint8_t& v) {
+    if (!remaining(1)) return false;
+    v = wire[pos++];
+    return true;
+  }
+
+  bool get16(std::uint16_t& v) {
+    if (!remaining(2)) return false;
+    v = static_cast<std::uint16_t>(wire[pos] << 8 | wire[pos + 1]);
+    pos += 2;
+    return true;
+  }
+
+  bool get32(std::uint32_t& v) {
+    std::uint16_t a = 0;
+    std::uint16_t b = 0;
+    if (!get16(a) || !get16(b)) return false;
+    v = static_cast<std::uint32_t>(a) << 16 | b;
+    return true;
+  }
+
+  bool get_name(std::string& out) {
+    out.clear();
+    while (true) {
+      std::uint8_t len = 0;
+      if (!get8(len)) return false;
+      if (len == 0) break;
+      if ((len & 0xc0) != 0) return false;  // compression pointers unused
+      if (!remaining(len)) return false;
+      if (!out.empty()) out.push_back('.');
+      for (int i = 0; i < len; ++i)
+        out.push_back(static_cast<char>(wire[pos++]));
+    }
+    return true;
+  }
+};
+
+bool encode_rr(std::vector<std::uint8_t>& out, const ResourceRecord& rr) {
+  if (!put_name(out, rr.name)) return false;
+  put16(out, static_cast<std::uint16_t>(rr.type));
+  put16(out, 1);  // class IN
+  put32(out, rr.ttl);
+  std::vector<std::uint8_t> rdata;
+  if (const auto* v4 = std::get_if<Ipv4>(&rr.rdata)) {
+    put32(rdata, v4->value);
+  } else if (const auto* v6 = std::get_if<Ipv6>(&rr.rdata)) {
+    for (int i = 0; i < 16; ++i) rdata.push_back(v6->byte(i));
+  } else {
+    const auto& name = std::get<std::string>(rr.rdata);
+    if (rr.type == RrType::MX) put16(rdata, 10);  // preference
+    if (!put_name(rdata, name)) return false;
+  }
+  put16(out, static_cast<std::uint16_t>(rdata.size()));
+  out.insert(out.end(), rdata.begin(), rdata.end());
+  return true;
+}
+
+bool decode_rr(Reader& r, ResourceRecord& rr) {
+  if (!r.get_name(rr.name)) return false;
+  std::uint16_t type = 0;
+  std::uint16_t cls = 0;
+  std::uint16_t rdlen = 0;
+  if (!r.get16(type) || !r.get16(cls) || !r.get32(rr.ttl) || !r.get16(rdlen))
+    return false;
+  rr.type = static_cast<RrType>(type);
+  if (!r.remaining(rdlen)) return false;
+  const std::size_t end = r.pos + rdlen;
+  switch (rr.type) {
+    case RrType::A: {
+      std::uint32_t v = 0;
+      if (rdlen != 4 || !r.get32(v)) return false;
+      rr.rdata = Ipv4{v};
+      break;
+    }
+    case RrType::AAAA: {
+      if (rdlen != 16) return false;
+      Ipv6 a;
+      for (int i = 0; i < 16; ++i) a.set_byte(i, r.wire[r.pos++]);
+      rr.rdata = a;
+      break;
+    }
+    case RrType::MX: {
+      std::uint16_t pref = 0;
+      if (!r.get16(pref)) return false;
+      std::string name;
+      if (!r.get_name(name)) return false;
+      rr.rdata = name;
+      break;
+    }
+    default: {
+      std::string name;
+      if (!r.get_name(name)) return false;
+      rr.rdata = name;
+      break;
+    }
+  }
+  return r.pos == end;
+}
+
+}  // namespace
+
+std::string rr_type_name(RrType t) {
+  switch (t) {
+    case RrType::A: return "A";
+    case RrType::NS: return "NS";
+    case RrType::CNAME: return "CNAME";
+    case RrType::SOA: return "SOA";
+    case RrType::PTR: return "PTR";
+    case RrType::MX: return "MX";
+    case RrType::AAAA: return "AAAA";
+  }
+  return "TYPE?";
+}
+
+std::string rcode_name(Rcode r) {
+  switch (r) {
+    case Rcode::NoError: return "NOERROR";
+    case Rcode::FormErr: return "FORMERR";
+    case Rcode::ServFail: return "SERVFAIL";
+    case Rcode::NxDomain: return "NXDOMAIN";
+    case Rcode::NotImp: return "NOTIMP";
+    case Rcode::Refused: return "REFUSED";
+  }
+  return "RCODE?";
+}
+
+std::vector<std::uint8_t> DnsMessage::encode() const {
+  std::vector<std::uint8_t> out;
+  put16(out, id);
+  std::uint16_t flags = 0;
+  if (response) flags |= 0x8000;
+  if (truncated) flags |= 0x0200;
+  if (recursion_desired) flags |= 0x0100;
+  if (recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(rcode) & 0xf;
+  put16(out, flags);
+  put16(out, static_cast<std::uint16_t>(questions.size()));
+  put16(out, static_cast<std::uint16_t>(answers.size()));
+  put16(out, static_cast<std::uint16_t>(authority.size()));
+  put16(out, static_cast<std::uint16_t>(additional.size()));
+  for (const auto& q : questions) {
+    if (!put_name(out, q.qname)) return {};
+    put16(out, static_cast<std::uint16_t>(q.qtype));
+    put16(out, 1);
+  }
+  for (const auto* sec : {&answers, &authority, &additional}) {
+    for (const auto& rr : *sec) {
+      if (!encode_rr(out, rr)) return {};
+    }
+  }
+  return out;
+}
+
+std::optional<DnsMessage> DnsMessage::decode(
+    const std::vector<std::uint8_t>& wire) {
+  Reader r{wire};
+  DnsMessage m;
+  std::uint16_t flags = 0;
+  std::uint16_t qd = 0;
+  std::uint16_t an = 0;
+  std::uint16_t ns = 0;
+  std::uint16_t ar = 0;
+  if (!r.get16(m.id) || !r.get16(flags) || !r.get16(qd) || !r.get16(an) ||
+      !r.get16(ns) || !r.get16(ar))
+    return std::nullopt;
+  m.response = flags & 0x8000;
+  m.truncated = flags & 0x0200;
+  m.recursion_desired = flags & 0x0100;
+  m.recursion_available = flags & 0x0080;
+  m.rcode = static_cast<Rcode>(flags & 0xf);
+  for (int i = 0; i < qd; ++i) {
+    DnsQuestion q;
+    std::uint16_t type = 0;
+    std::uint16_t cls = 0;
+    if (!r.get_name(q.qname) || !r.get16(type) || !r.get16(cls))
+      return std::nullopt;
+    q.qtype = static_cast<RrType>(type);
+    m.questions.push_back(std::move(q));
+  }
+  auto read_section = [&](int n, std::vector<ResourceRecord>& sec) {
+    for (int i = 0; i < n; ++i) {
+      ResourceRecord rr;
+      if (!decode_rr(r, rr)) return false;
+      sec.push_back(std::move(rr));
+    }
+    return true;
+  };
+  if (!read_section(an, m.answers) || !read_section(ns, m.authority) ||
+      !read_section(ar, m.additional))
+    return std::nullopt;
+  if (r.pos != wire.size()) return std::nullopt;
+  return m;
+}
+
+DnsMessage make_query(std::string qname, RrType qtype, std::uint16_t id) {
+  DnsMessage m;
+  m.id = id;
+  m.questions.push_back(DnsQuestion{std::move(qname), qtype});
+  return m;
+}
+
+ResourceRecord make_aaaa(std::string name, const Ipv6& addr,
+                         std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::AAAA, ttl, addr};
+}
+
+ResourceRecord make_a(std::string name, Ipv4 addr, std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::A, ttl, addr};
+}
+
+bool dns_name_equal(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+bool dns_name_under(std::string_view name, std::string_view zone) {
+  if (dns_name_equal(name, zone)) return true;
+  if (name.size() <= zone.size() + 1) return false;
+  const auto tail = name.substr(name.size() - zone.size());
+  return name[name.size() - zone.size() - 1] == '.' &&
+         dns_name_equal(tail, zone);
+}
+
+}  // namespace sixdust

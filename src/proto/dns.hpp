@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "netbase/ipv6.hpp"
+#include "netbase/teredo.hpp"
+
+namespace sixdust {
+
+/// DNS resource record types used by the hitlist ecosystem: AAAA probes,
+/// the GFW's injected A records, and the NS/MX resolutions that feed the
+/// new passive input source (Sec. 6.1).
+enum class RrType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  AAAA = 28,
+};
+
+enum class Rcode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+[[nodiscard]] std::string rr_type_name(RrType t);
+[[nodiscard]] std::string rcode_name(Rcode r);
+
+struct DnsQuestion {
+  std::string qname;
+  RrType qtype = RrType::AAAA;
+
+  friend bool operator==(const DnsQuestion&, const DnsQuestion&) = default;
+};
+
+/// RDATA is one of: IPv4 (A), IPv6 (AAAA), or a domain name (NS/MX/CNAME/
+/// PTR/SOA-mname).
+using Rdata = std::variant<Ipv4, Ipv6, std::string>;
+
+struct ResourceRecord {
+  std::string name;
+  RrType type = RrType::AAAA;
+  std::uint32_t ttl = 300;
+  Rdata rdata;
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+/// A DNS message (header + sections). This is a faithful, if compact,
+/// model of RFC 1035 semantics with a real wire codec (label encoding,
+/// big-endian fields) in encode()/decode().
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool response = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  bool truncated = false;
+  Rcode rcode = Rcode::NoError;
+  std::vector<DnsQuestion> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  /// Serialize to RFC 1035 wire format (no name compression).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Parse from wire format; nullopt on malformed input.
+  static std::optional<DnsMessage> decode(const std::vector<std::uint8_t>& wire);
+
+  friend bool operator==(const DnsMessage&, const DnsMessage&) = default;
+};
+
+/// Convenience constructors.
+[[nodiscard]] DnsMessage make_query(std::string qname, RrType qtype,
+                                    std::uint16_t id);
+[[nodiscard]] ResourceRecord make_aaaa(std::string name, const Ipv6& addr,
+                                       std::uint32_t ttl = 300);
+[[nodiscard]] ResourceRecord make_a(std::string name, Ipv4 addr,
+                                    std::uint32_t ttl = 300);
+
+/// Case-insensitive DNS name equality (RFC 1035 §2.3.3).
+[[nodiscard]] bool dns_name_equal(std::string_view a, std::string_view b);
+
+/// True if `name` equals `zone` or is a subdomain of it.
+[[nodiscard]] bool dns_name_under(std::string_view name, std::string_view zone);
+
+}  // namespace sixdust

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sixdust {
+
+/// ICMPv6 echo request parameters. `payload_size` matters for the Too Big
+/// Trick (Sec. 5.1), which sends 1300 B echoes — above the 1280 B IPv6
+/// minimum MTU — and then lowers the target's PMTU with a Packet Too Big.
+struct IcmpEchoRequest {
+  std::uint16_t payload_size = 8;
+};
+
+struct IcmpEchoReply {
+  std::uint16_t payload_size = 8;
+  /// True when the reply arrived as IPv6 fragments — i.e. the responder's
+  /// PMTU cache for our vantage point is below the reply size.
+  bool fragmented = false;
+  std::uint8_t hop_limit = 64;
+};
+
+/// ICMPv6 type 2 — sent by the prober during the TBT to install a reduced
+/// PMTU (RFC 8201 path MTU discovery) on the target.
+struct IcmpPacketTooBig {
+  std::uint16_t mtu = 1280;
+};
+
+}  // namespace sixdust

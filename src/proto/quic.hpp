@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sixdust {
+
+/// QUIC (UDP/443) probe model. The hitlist's ZMapv6 QUIC module elicits a
+/// Version Negotiation packet by sending an Initial with a reserved
+/// version; a response of any kind counts as QUIC support.
+struct QuicProbe {
+  std::uint32_t version = 0x1a2a3a4a;  // greased version forcing negotiation
+};
+
+struct QuicReply {
+  bool version_negotiation = true;
+  std::uint32_t supported_version = 0x00000001;  // QUIC v1 (RFC 9000)
+};
+
+}  // namespace sixdust

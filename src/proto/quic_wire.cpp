@@ -1,0 +1,87 @@
+#include "proto/quic_wire.hpp"
+
+namespace sixdust {
+namespace {
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::optional<std::uint32_t> get32(std::span<const std::uint8_t> w,
+                                   std::size_t off) {
+  if (off + 4 > w.size()) return std::nullopt;
+  return static_cast<std::uint32_t>(w[off]) << 24 |
+         static_cast<std::uint32_t>(w[off + 1]) << 16 |
+         static_cast<std::uint32_t>(w[off + 2]) << 8 | w[off + 3];
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_quic_initial(const QuicLongHeader& hdr,
+                                              std::size_t pad_to) {
+  std::vector<std::uint8_t> out;
+  out.push_back(0xc0);  // long header, fixed bit, Initial type
+  put32(out, hdr.version);
+  out.push_back(static_cast<std::uint8_t>(hdr.dcid.size()));
+  out.insert(out.end(), hdr.dcid.begin(), hdr.dcid.end());
+  out.push_back(static_cast<std::uint8_t>(hdr.scid.size()));
+  out.insert(out.end(), hdr.scid.begin(), hdr.scid.end());
+  // Opaque remainder (token length 0 + padding frames) up to pad_to.
+  out.push_back(0x00);
+  while (out.size() < pad_to) out.push_back(0x00);
+  return out;
+}
+
+std::optional<QuicLongHeader> decode_quic_long_header(
+    std::span<const std::uint8_t> wire) {
+  if (wire.size() < 7) return std::nullopt;
+  if ((wire[0] & 0x80) == 0) return std::nullopt;  // short header
+  QuicLongHeader hdr;
+  auto version = get32(wire, 1);
+  if (!version) return std::nullopt;
+  hdr.version = *version;
+  std::size_t off = 5;
+  const std::uint8_t dcid_len = wire[off++];
+  if (dcid_len > 20 || off + dcid_len > wire.size()) return std::nullopt;
+  hdr.dcid.assign(wire.begin() + off, wire.begin() + off + dcid_len);
+  off += dcid_len;
+  if (off >= wire.size()) return std::nullopt;
+  const std::uint8_t scid_len = wire[off++];
+  if (scid_len > 20 || off + scid_len > wire.size()) return std::nullopt;
+  hdr.scid.assign(wire.begin() + off, wire.begin() + off + scid_len);
+  return hdr;
+}
+
+std::vector<std::uint8_t> encode_version_negotiation(
+    const QuicLongHeader& client, std::span<const std::uint32_t> supported) {
+  std::vector<std::uint8_t> out;
+  out.push_back(0x80);  // long header form; other bits unused in VN
+  put32(out, 0);        // version 0 marks Version Negotiation
+  // Connection ids are echoed swapped (RFC 9000 §17.2.1).
+  out.push_back(static_cast<std::uint8_t>(client.scid.size()));
+  out.insert(out.end(), client.scid.begin(), client.scid.end());
+  out.push_back(static_cast<std::uint8_t>(client.dcid.size()));
+  out.insert(out.end(), client.dcid.begin(), client.dcid.end());
+  for (std::uint32_t v : supported) put32(out, v);
+  return out;
+}
+
+std::optional<QuicVersionNegotiation> decode_version_negotiation(
+    std::span<const std::uint8_t> wire) {
+  auto hdr = decode_quic_long_header(wire);
+  if (!hdr || hdr->version != 0) return std::nullopt;
+  QuicVersionNegotiation vn;
+  vn.dcid = hdr->dcid;
+  vn.scid = hdr->scid;
+  const std::size_t list_off = 5 + 1 + hdr->dcid.size() + 1 + hdr->scid.size();
+  if ((wire.size() - list_off) % 4 != 0 || wire.size() == list_off)
+    return std::nullopt;  // empty or ragged version list
+  for (std::size_t off = list_off; off + 4 <= wire.size(); off += 4)
+    vn.supported_versions.push_back(*get32(wire, off));
+  return vn;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace sixdust {
+
+/// Wire format of the two QUIC packets the scanner's UDP/443 probe module
+/// cares about (RFC 8999, the version-independent invariants, and
+/// RFC 9000 §17.2): a long-header Initial carrying an unsupported version
+/// to force negotiation, and the Version Negotiation packet servers send
+/// in response.
+
+struct QuicLongHeader {
+  std::uint32_t version = 0;
+  std::vector<std::uint8_t> dcid;  // destination connection id (<= 20)
+  std::vector<std::uint8_t> scid;  // source connection id (<= 20)
+};
+
+/// A Version Negotiation packet: version == 0 plus the server's supported
+/// version list.
+struct QuicVersionNegotiation {
+  std::vector<std::uint8_t> dcid;
+  std::vector<std::uint8_t> scid;
+  std::vector<std::uint32_t> supported_versions;
+};
+
+/// Encode a minimal Initial-like long-header packet with the given
+/// (typically greased) version — the probe ZMapv6's QUIC module sends.
+/// `pad_to` applies RFC 9000's client-Initial minimum size (1200 bytes).
+[[nodiscard]] std::vector<std::uint8_t> encode_quic_initial(
+    const QuicLongHeader& hdr, std::size_t pad_to = 1200);
+
+/// Parse any long-header packet's invariant fields.
+[[nodiscard]] std::optional<QuicLongHeader> decode_quic_long_header(
+    std::span<const std::uint8_t> wire);
+
+/// Build the Version Negotiation answer to a client long header.
+[[nodiscard]] std::vector<std::uint8_t> encode_version_negotiation(
+    const QuicLongHeader& client,
+    std::span<const std::uint32_t> supported);
+
+/// Parse a Version Negotiation packet; nullopt when the packet is not one
+/// (version != 0) or malformed.
+[[nodiscard]] std::optional<QuicVersionNegotiation> decode_version_negotiation(
+    std::span<const std::uint8_t> wire);
+
+/// RFC 9000 §15: versions of the form 0x?a?a?a?a are reserved to exercise
+/// version negotiation ("greasing").
+[[nodiscard]] constexpr bool is_grease_version(std::uint32_t v) {
+  return (v & 0x0f0f0f0f) == 0x0a0a0a0a;
+}
+
+inline constexpr std::uint32_t kQuicV1 = 0x00000001;
+
+}  // namespace sixdust

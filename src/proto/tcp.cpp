@@ -1,0 +1,12 @@
+#include "proto/tcp.hpp"
+
+namespace sixdust {
+
+std::uint8_t ittl_from_hop_limit(std::uint8_t observed) {
+  if (observed == 0) return 0;
+  std::uint32_t p = 1;
+  while (p < observed) p <<= 1;
+  return p > 255 ? 255 : static_cast<std::uint8_t>(p);
+}
+
+}  // namespace sixdust

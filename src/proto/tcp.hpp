@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sixdust {
+
+/// Features of a TCP SYN-ACK used for host fingerprinting, matching the
+/// feature set of the hitlist's aliased-prefix verification (Sec. 5.1):
+/// options string, window size, window scale, MSS and the initial TTL
+/// rounded up to a power of two (iTTL). Timestamps are deliberately absent
+/// (randomized by Linux >= 4.10, so the paper omits them).
+struct TcpFeatures {
+  std::string options_text;  // order-preserving option list, e.g. "MSTWS"
+  std::uint16_t window = 0;
+  std::uint8_t window_scale = 0;
+  std::uint16_t mss = 0;
+  std::uint8_t ittl = 64;
+
+  friend bool operator==(const TcpFeatures&, const TcpFeatures&) = default;
+};
+
+struct TcpSynAck {
+  TcpFeatures features;
+  std::uint8_t hop_limit = 0;  // observed TTL (iTTL minus path length)
+};
+
+/// Round an observed hop limit up to the next power of two — the iTTL
+/// normalization from Backes et al. used by the paper to undo path-length
+/// effects.
+[[nodiscard]] std::uint8_t ittl_from_hop_limit(std::uint8_t observed);
+
+}  // namespace sixdust

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sixdust {
+
+/// The five protocols probed by the IPv6 Hitlist service (Fig. 1 of the
+/// paper): ICMPv6 echo, TCP/80 (HTTP), TCP/443 (HTTPS), UDP/53 (DNS) and
+/// UDP/443 (QUIC).
+enum class Proto : std::uint8_t {
+  Icmp = 0,
+  Tcp80 = 1,
+  Tcp443 = 2,
+  Udp53 = 3,
+  Udp443 = 4,
+};
+
+inline constexpr int kProtoCount = 5;
+
+inline constexpr std::array<Proto, kProtoCount> kAllProtos = {
+    Proto::Icmp, Proto::Tcp80, Proto::Tcp443, Proto::Udp53, Proto::Udp443};
+
+[[nodiscard]] constexpr int proto_index(Proto p) {
+  return static_cast<int>(p);
+}
+
+[[nodiscard]] inline std::string proto_name(Proto p) {
+  switch (p) {
+    case Proto::Icmp: return "ICMP";
+    case Proto::Tcp80: return "TCP/80";
+    case Proto::Tcp443: return "TCP/443";
+    case Proto::Udp53: return "UDP/53";
+    case Proto::Udp443: return "UDP/443";
+  }
+  return "?";
+}
+
+/// Bitmask over protocols; bit i corresponds to proto_index == i.
+using ProtoMask = std::uint8_t;
+
+[[nodiscard]] constexpr ProtoMask proto_bit(Proto p) {
+  return static_cast<ProtoMask>(1u << proto_index(p));
+}
+
+inline constexpr ProtoMask kAllProtoMask = 0x1f;
+
+[[nodiscard]] constexpr bool mask_has(ProtoMask m, Proto p) {
+  return (m & proto_bit(p)) != 0;
+}
+
+}  // namespace sixdust

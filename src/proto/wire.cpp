@@ -1,0 +1,319 @@
+#include "proto/wire.hpp"
+
+namespace sixdust {
+namespace {
+
+constexpr std::uint8_t kProtoIcmp6 = 58;
+constexpr std::uint8_t kProtoTcp = 6;
+constexpr std::uint8_t kProtoUdp = 17;
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> w, std::size_t off) {
+  return static_cast<std::uint16_t>(w[off] << 8 | w[off + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> w, std::size_t off) {
+  return static_cast<std::uint32_t>(get16(w, off)) << 16 | get16(w, off + 2);
+}
+
+/// Patch a 16-bit checksum field in place.
+void set_checksum(std::vector<std::uint8_t>& pkt, std::size_t offset,
+                  const Ipv6& src, const Ipv6& dst, std::uint8_t next) {
+  pkt[offset] = 0;
+  pkt[offset + 1] = 0;
+  const std::uint16_t sum = checksum_ipv6(src, dst, next, pkt);
+  pkt[offset] = static_cast<std::uint8_t>(sum >> 8);
+  pkt[offset + 1] = static_cast<std::uint8_t>(sum);
+}
+
+bool checksum_ok(std::span<const std::uint8_t> wire, const Ipv6& src,
+                 const Ipv6& dst, std::uint8_t next) {
+  // Summing a packet whose checksum field contains the transmitted value
+  // yields 0xffff (i.e. ~sum == 0) when intact.
+  std::uint32_t acc = 0;
+  auto add16 = [&](std::uint16_t v) { acc += v; };
+  for (int i = 0; i < 16; i += 2)
+    add16(static_cast<std::uint16_t>(src.byte(i) << 8 | src.byte(i + 1)));
+  for (int i = 0; i < 16; i += 2)
+    add16(static_cast<std::uint16_t>(dst.byte(i) << 8 | dst.byte(i + 1)));
+  const auto len = static_cast<std::uint32_t>(wire.size());
+  add16(static_cast<std::uint16_t>(len >> 16));
+  add16(static_cast<std::uint16_t>(len));
+  add16(next);
+  for (std::size_t i = 0; i + 1 < wire.size(); i += 2)
+    add16(static_cast<std::uint16_t>(wire[i] << 8 | wire[i + 1]));
+  if (wire.size() % 2) add16(static_cast<std::uint16_t>(wire.back() << 8));
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc) == 0;
+}
+
+}  // namespace
+
+std::uint16_t checksum_ipv6(const Ipv6& src, const Ipv6& dst,
+                            std::uint8_t next_header,
+                            std::span<const std::uint8_t> data) {
+  std::uint32_t acc = 0;
+  auto add16 = [&](std::uint16_t v) { acc += v; };
+  for (int i = 0; i < 16; i += 2)
+    add16(static_cast<std::uint16_t>(src.byte(i) << 8 | src.byte(i + 1)));
+  for (int i = 0; i < 16; i += 2)
+    add16(static_cast<std::uint16_t>(dst.byte(i) << 8 | dst.byte(i + 1)));
+  const auto len = static_cast<std::uint32_t>(data.size());
+  add16(static_cast<std::uint16_t>(len >> 16));
+  add16(static_cast<std::uint16_t>(len));
+  add16(next_header);
+  for (std::size_t i = 0; i + 1 < data.size(); i += 2)
+    add16(static_cast<std::uint16_t>(data[i] << 8 | data[i + 1]));
+  if (data.size() % 2) add16(static_cast<std::uint16_t>(data.back() << 8));
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  const auto sum = static_cast<std::uint16_t>(~acc);
+  return sum == 0 ? 0xffff : sum;  // 0 is transmitted as all-ones
+}
+
+// --- ICMPv6 -----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_icmp6(const Icmp6Packet& pkt,
+                                       const Ipv6& src, const Ipv6& dst) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + pkt.payload.size());
+  out.push_back(pkt.type);
+  out.push_back(pkt.code);
+  put16(out, 0);  // checksum placeholder
+  put16(out, pkt.identifier);
+  put16(out, pkt.sequence);
+  out.insert(out.end(), pkt.payload.begin(), pkt.payload.end());
+  set_checksum(out, 2, src, dst, kProtoIcmp6);
+  return out;
+}
+
+std::optional<Icmp6Packet> decode_icmp6(std::span<const std::uint8_t> wire,
+                                        const Ipv6& src, const Ipv6& dst) {
+  if (wire.size() < 8) return std::nullopt;
+  if (!checksum_ok(wire, src, dst, kProtoIcmp6)) return std::nullopt;
+  Icmp6Packet pkt;
+  pkt.type = wire[0];
+  pkt.code = wire[1];
+  pkt.identifier = get16(wire, 4);
+  pkt.sequence = get16(wire, 6);
+  pkt.payload.assign(wire.begin() + 8, wire.end());
+  return pkt;
+}
+
+Icmp6Packet make_echo_request(std::uint16_t id, std::uint16_t seq,
+                              std::uint16_t payload_size) {
+  Icmp6Packet pkt;
+  pkt.type = kIcmp6EchoRequest;
+  pkt.identifier = id;
+  pkt.sequence = seq;
+  pkt.payload.resize(payload_size);
+  for (std::size_t i = 0; i < pkt.payload.size(); ++i)
+    pkt.payload[i] = static_cast<std::uint8_t>(i);
+  return pkt;
+}
+
+Icmp6Packet make_packet_too_big(std::uint32_t mtu) {
+  Icmp6Packet pkt;
+  pkt.type = kIcmp6PacketTooBig;
+  pkt.code = 0;
+  // RFC 4443: the 32-bit MTU occupies the former id/seq words.
+  pkt.identifier = static_cast<std::uint16_t>(mtu >> 16);
+  pkt.sequence = static_cast<std::uint16_t>(mtu);
+  return pkt;
+}
+
+std::optional<std::uint32_t> packet_too_big_mtu(const Icmp6Packet& pkt) {
+  if (pkt.type != kIcmp6PacketTooBig) return std::nullopt;
+  return static_cast<std::uint32_t>(pkt.identifier) << 16 | pkt.sequence;
+}
+
+// --- TCP --------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_tcp(const TcpSegment& seg, const Ipv6& src,
+                                     const Ipv6& dst) {
+  std::vector<std::uint8_t> options;
+  if (seg.mss) {
+    options.push_back(2);
+    options.push_back(4);
+    put16(options, *seg.mss);
+  }
+  if (seg.sack_permitted) {
+    options.push_back(4);
+    options.push_back(2);
+  }
+  if (seg.timestamps) {
+    options.push_back(8);
+    options.push_back(10);
+    put32(options, seg.timestamps->first);
+    put32(options, seg.timestamps->second);
+  }
+  if (seg.window_scale) {
+    options.push_back(3);
+    options.push_back(3);
+    options.push_back(*seg.window_scale);
+  }
+  while (options.size() % 4) options.push_back(1);  // NOP padding
+
+  std::vector<std::uint8_t> out;
+  out.reserve(20 + options.size());
+  put16(out, seg.src_port);
+  put16(out, seg.dst_port);
+  put32(out, seg.seq);
+  put32(out, seg.ack);
+  const auto data_offset = static_cast<std::uint8_t>((20 + options.size()) / 4);
+  out.push_back(static_cast<std::uint8_t>(data_offset << 4));
+  out.push_back(seg.flags);
+  put16(out, seg.window);
+  put16(out, 0);  // checksum
+  put16(out, 0);  // urgent pointer
+  out.insert(out.end(), options.begin(), options.end());
+  set_checksum(out, 16, src, dst, kProtoTcp);
+  return out;
+}
+
+std::optional<TcpSegment> decode_tcp(std::span<const std::uint8_t> wire,
+                                     const Ipv6& src, const Ipv6& dst) {
+  if (wire.size() < 20) return std::nullopt;
+  if (!checksum_ok(wire, src, dst, kProtoTcp)) return std::nullopt;
+  TcpSegment seg;
+  seg.src_port = get16(wire, 0);
+  seg.dst_port = get16(wire, 2);
+  seg.seq = get32(wire, 4);
+  seg.ack = get32(wire, 8);
+  const std::size_t header_len = static_cast<std::size_t>(wire[12] >> 4) * 4;
+  if (header_len < 20 || header_len > wire.size()) return std::nullopt;
+  seg.flags = wire[13];
+  seg.window = get16(wire, 14);
+  std::size_t off = 20;
+  while (off < header_len) {
+    const std::uint8_t kind = wire[off];
+    if (kind == 0) break;  // end of options
+    if (kind == 1) {       // NOP
+      ++off;
+      continue;
+    }
+    if (off + 1 >= header_len) return std::nullopt;
+    const std::uint8_t len = wire[off + 1];
+    if (len < 2 || off + len > header_len) return std::nullopt;
+    switch (kind) {
+      case 2:
+        if (len != 4) return std::nullopt;
+        seg.mss = get16(wire, off + 2);
+        break;
+      case 3:
+        if (len != 3) return std::nullopt;
+        seg.window_scale = wire[off + 2];
+        break;
+      case 4:
+        if (len != 2) return std::nullopt;
+        seg.sack_permitted = true;
+        break;
+      case 8:
+        if (len != 10) return std::nullopt;
+        seg.timestamps = {get32(wire, off + 2), get32(wire, off + 6)};
+        break;
+      default:
+        break;  // unknown options are skipped
+    }
+    off += len;
+  }
+  return seg;
+}
+
+std::string tcp_options_text(std::span<const std::uint8_t> wire) {
+  std::string text;
+  if (wire.size() < 20) return text;
+  const std::size_t header_len = static_cast<std::size_t>(wire[12] >> 4) * 4;
+  std::size_t off = 20;
+  while (off < header_len && off < wire.size()) {
+    const std::uint8_t kind = wire[off];
+    if (kind == 0) break;
+    if (kind == 1) {
+      text += 'N';
+      ++off;
+      continue;
+    }
+    if (off + 1 >= header_len) break;
+    switch (kind) {
+      case 2: text += 'M'; break;
+      case 3: text += 'W'; break;
+      case 4: text += 'S'; break;
+      case 8: text += 'T'; break;
+      default: text += 'E'; break;
+    }
+    const std::uint8_t len = wire[off + 1];
+    if (len < 2) break;
+    off += len;
+  }
+  return text;
+}
+
+TcpSegment segment_from_features(const TcpFeatures& features,
+                                 std::uint16_t src_port) {
+  TcpSegment seg;
+  seg.src_port = src_port;
+  seg.flags = kTcpFlagSyn | kTcpFlagAck;
+  seg.window = features.window;
+  // Emit options in the order encoded by the options string.
+  for (char c : features.options_text) {
+    switch (c) {
+      case 'M': seg.mss = features.mss; break;
+      case 'W': seg.window_scale = features.window_scale; break;
+      case 'S': seg.sack_permitted = true; break;
+      case 'T': seg.timestamps = {0, 0}; break;
+      default: break;
+    }
+  }
+  if (!seg.mss) seg.mss = features.mss;
+  if (!seg.window_scale) seg.window_scale = features.window_scale;
+  return seg;
+}
+
+TcpFeatures features_from_segment(const TcpSegment& seg,
+                                  std::span<const std::uint8_t> wire,
+                                  std::uint8_t hop_limit) {
+  TcpFeatures f;
+  f.window = seg.window;
+  f.window_scale = seg.window_scale.value_or(0);
+  f.mss = seg.mss.value_or(0);
+  f.options_text = tcp_options_text(wire);
+  f.ittl = ittl_from_hop_limit(hop_limit);
+  return f;
+}
+
+// --- UDP --------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_udp(const UdpDatagram& dgram,
+                                     const Ipv6& src, const Ipv6& dst) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + dgram.payload.size());
+  put16(out, dgram.src_port);
+  put16(out, dgram.dst_port);
+  put16(out, static_cast<std::uint16_t>(8 + dgram.payload.size()));
+  put16(out, 0);  // checksum
+  out.insert(out.end(), dgram.payload.begin(), dgram.payload.end());
+  set_checksum(out, 6, src, dst, kProtoUdp);
+  return out;
+}
+
+std::optional<UdpDatagram> decode_udp(std::span<const std::uint8_t> wire,
+                                      const Ipv6& src, const Ipv6& dst) {
+  if (wire.size() < 8) return std::nullopt;
+  if (get16(wire, 4) != wire.size()) return std::nullopt;
+  if (!checksum_ok(wire, src, dst, kProtoUdp)) return std::nullopt;
+  UdpDatagram dgram;
+  dgram.src_port = get16(wire, 0);
+  dgram.dst_port = get16(wire, 2);
+  dgram.payload.assign(wire.begin() + 8, wire.end());
+  return dgram;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/ipv6.hpp"
+#include "proto/icmp6.hpp"
+#include "proto/tcp.hpp"
+
+namespace sixdust {
+
+/// On-the-wire encodings for the probe packets the scanner models:
+/// ICMPv6 (echo / packet-too-big) and TCP segments with options, both with
+/// correct Internet checksums over the IPv6 pseudo-header (RFC 8200 §8.1,
+/// RFC 4443 §2.3). The simulation itself exchanges typed values for speed;
+/// these codecs exist so that probe packets can be exported/inspected in
+/// real formats, and they are exercised heavily by the test suite.
+
+/// RFC 1071 Internet checksum over `data` with the IPv6 pseudo-header
+/// (source, destination, upper-layer length, next header).
+[[nodiscard]] std::uint16_t checksum_ipv6(const Ipv6& src, const Ipv6& dst,
+                                          std::uint8_t next_header,
+                                          std::span<const std::uint8_t> data);
+
+// --- ICMPv6 -----------------------------------------------------------------
+
+inline constexpr std::uint8_t kIcmp6EchoRequest = 128;
+inline constexpr std::uint8_t kIcmp6EchoReply = 129;
+inline constexpr std::uint8_t kIcmp6PacketTooBig = 2;
+
+struct Icmp6Packet {
+  std::uint8_t type = kIcmp6EchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t identifier = 0;  // echo id, or high half of PTB MTU
+  std::uint16_t sequence = 0;    // echo seq, or low half of PTB MTU
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize with a correct checksum for the given address pair.
+[[nodiscard]] std::vector<std::uint8_t> encode_icmp6(const Icmp6Packet& pkt,
+                                                     const Ipv6& src,
+                                                     const Ipv6& dst);
+
+/// Parse and verify the checksum; nullopt on truncation or bad checksum.
+[[nodiscard]] std::optional<Icmp6Packet> decode_icmp6(
+    std::span<const std::uint8_t> wire, const Ipv6& src, const Ipv6& dst);
+
+/// Convenience constructors matching the simulation's probe types.
+[[nodiscard]] Icmp6Packet make_echo_request(std::uint16_t id,
+                                            std::uint16_t seq,
+                                            std::uint16_t payload_size);
+[[nodiscard]] Icmp6Packet make_packet_too_big(std::uint32_t mtu);
+[[nodiscard]] std::optional<std::uint32_t> packet_too_big_mtu(
+    const Icmp6Packet& pkt);
+
+// --- TCP --------------------------------------------------------------------
+
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;  // SYN=0x02, ACK=0x10, ...
+  std::uint16_t window = 0;
+  // Options in order of appearance.
+  std::optional<std::uint16_t> mss;           // kind 2
+  std::optional<std::uint8_t> window_scale;   // kind 3
+  bool sack_permitted = false;                // kind 4
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> timestamps;  // kind 8
+};
+
+inline constexpr std::uint8_t kTcpFlagSyn = 0x02;
+inline constexpr std::uint8_t kTcpFlagAck = 0x10;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_tcp(const TcpSegment& seg,
+                                                   const Ipv6& src,
+                                                   const Ipv6& dst);
+[[nodiscard]] std::optional<TcpSegment> decode_tcp(
+    std::span<const std::uint8_t> wire, const Ipv6& src, const Ipv6& dst);
+
+/// The order-preserving options string used by the fingerprinting stage
+/// ("M" = MSS, "W" = window scale, "S" = SACK-permitted, "T" = timestamps,
+/// "N" = NOP), derived from a decoded segment.
+[[nodiscard]] std::string tcp_options_text(
+    std::span<const std::uint8_t> wire);
+
+/// Build the SYN-ACK a host with the given fingerprint features would
+/// send, and recover the features from the wire (round-trip used to
+/// validate the fingerprint model).
+[[nodiscard]] TcpSegment segment_from_features(const TcpFeatures& features,
+                                               std::uint16_t src_port);
+[[nodiscard]] TcpFeatures features_from_segment(
+    const TcpSegment& seg, std::span<const std::uint8_t> wire,
+    std::uint8_t hop_limit);
+
+// --- UDP --------------------------------------------------------------------
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_udp(const UdpDatagram& dgram,
+                                                   const Ipv6& src,
+                                                   const Ipv6& dst);
+[[nodiscard]] std::optional<UdpDatagram> decode_udp(
+    std::span<const std::uint8_t> wire, const Ipv6& src, const Ipv6& dst);
+
+}  // namespace sixdust

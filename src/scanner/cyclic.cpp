@@ -1,0 +1,133 @@
+#include "scanner/cyclic.hpp"
+
+#include <array>
+
+#include "netbase/hash.hpp"
+
+namespace sixdust {
+
+std::uint64_t mulmod_u64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t powmod_u64(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t r = 1 % m;
+  a %= m;
+  while (e) {
+    if (e & 1) r = mulmod_u64(r, a, m);
+    a = mulmod_u64(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // Deterministic witness set for all 64-bit integers.
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = powmod_u64(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 1; i < r; ++i) {
+      x = mulmod_u64(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime_above(std::uint64_t n) {
+  std::uint64_t c = n + 1;
+  if (c <= 2) return 2;
+  if ((c & 1) == 0) ++c;
+  while (!is_prime_u64(c)) c += 2;
+  return c;
+}
+
+CyclicPermutation::CyclicPermutation(std::uint64_t n, std::uint64_t seed)
+    : n_(n == 0 ? 1 : n), p_(next_prime_above(n_ < 2 ? 2 : n_)) {
+  // Pick a generator-ish element: any element of order > n works for
+  // covering [1, p); we require a primitive root for a full cycle. For
+  // simplicity, test candidates until one has maximal order. p - 1 is
+  // factored by trial division (p is small in practice; targets are list
+  // indices, not the full 2^128 space).
+  std::uint64_t phi = p_ - 1;
+  std::array<std::uint64_t, 16> factors{};
+  std::size_t nf = 0;
+  {
+    std::uint64_t m = phi;
+    for (std::uint64_t f = 2; f * f <= m && nf < factors.size(); ++f) {
+      if (m % f) continue;
+      factors[nf++] = f;
+      while (m % f == 0) m /= f;
+    }
+    if (m > 1 && nf < factors.size()) factors[nf++] = m;
+  }
+  if (p_ <= 3) {
+    g_ = p_ - 1;
+  } else {
+    std::uint64_t h = hash_combine(seed, p_);
+    for (;;) {
+      const std::uint64_t cand = 2 + mix64(h) % (p_ - 3);
+      bool primitive = true;
+      for (std::size_t i = 0; i < nf; ++i) {
+        if (powmod_u64(cand, phi / factors[i], p_) == 1) {
+          primitive = false;
+          break;
+        }
+      }
+      if (primitive) {
+        g_ = cand;
+        break;
+      }
+      ++h;
+    }
+  }
+  start_ = 1 + hash_combine(seed, 0x57a7) % (p_ - 1);
+  cur_ = start_;
+}
+
+std::uint64_t CyclicPermutation::advance(std::uint64_t cur) const {
+  return mulmod_u64(cur, g_, p_);
+}
+
+std::uint64_t CyclicPermutation::next() {
+  while (cur_ > n_) cur_ = advance(cur_);  // skip values outside [1, n]
+  const std::uint64_t v = cur_ - 1;
+  cur_ = advance(cur_);
+  ++emitted_;
+  return v;
+}
+
+void CyclicPermutation::reset() {
+  cur_ = start_;
+  emitted_ = 0;
+}
+
+std::uint64_t CyclicPermutation::at(std::uint64_t i) const {
+  // Walks from the start; fine for tests and sharding of moderate lists.
+  std::uint64_t cur = start_;
+  for (std::uint64_t idx = 0;; cur = mulmod_u64(cur, g_, p_)) {
+    if (cur > n_) continue;
+    if (idx == i) return cur - 1;
+    ++idx;
+  }
+}
+
+}  // namespace sixdust

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sixdust {
+
+/// ZMap-style address-space iteration: a full cycle over [0, n) generated
+/// by a multiplicative group modulo a prime p > n. The scanner walks
+/// targets in this pseudo-random order so that probe load is spread across
+/// networks instead of hammering one prefix at a time, while guaranteeing
+/// that every index is visited exactly once.
+class CyclicPermutation {
+ public:
+  /// Creates a permutation of [0, n). `seed` selects the generator and the
+  /// starting point.
+  CyclicPermutation(std::uint64_t n, std::uint64_t seed);
+
+  /// i-th element of the permutation (i < size()). O(1) amortized when
+  /// iterated in order via next(); random access uses modular exponentiation.
+  [[nodiscard]] std::uint64_t at(std::uint64_t i) const;
+
+  /// Stateful iteration: returns consecutive permutation elements.
+  [[nodiscard]] std::uint64_t next();
+  void reset();
+
+  [[nodiscard]] std::uint64_t size() const { return n_; }
+  [[nodiscard]] std::uint64_t prime() const { return p_; }
+  [[nodiscard]] std::uint64_t generator() const { return g_; }
+
+  /// Shard `shard` of `shards`: the subsequence i ≡ shard (mod shards),
+  /// matching ZMap's --shards/--shard options for distributed scans.
+  [[nodiscard]] std::uint64_t shard_element(std::uint64_t i,
+                                            std::uint32_t shard,
+                                            std::uint32_t shards) const {
+    return at(i * shards + shard);
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t advance(std::uint64_t cur) const;
+
+  std::uint64_t n_;
+  std::uint64_t p_;  // smallest prime > max(n, 2)
+  std::uint64_t g_;  // generator of (Z/pZ)*
+  std::uint64_t start_;
+  std::uint64_t cur_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Smallest prime strictly greater than `n` (n < 2^62).
+[[nodiscard]] std::uint64_t next_prime_above(std::uint64_t n);
+
+/// Deterministic Miller-Rabin primality test, exact for 64-bit inputs.
+[[nodiscard]] bool is_prime_u64(std::uint64_t n);
+
+/// (a * b) mod m and (a ^ e) mod m without overflow.
+[[nodiscard]] std::uint64_t mulmod_u64(std::uint64_t a, std::uint64_t b,
+                                       std::uint64_t m);
+[[nodiscard]] std::uint64_t powmod_u64(std::uint64_t a, std::uint64_t e,
+                                       std::uint64_t m);
+
+}  // namespace sixdust

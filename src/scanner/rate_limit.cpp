@@ -1,0 +1,19 @@
+#include "scanner/rate_limit.hpp"
+
+namespace sixdust {
+
+double TokenBucket::consume(double n) {
+  double wait = 0;
+  if (tokens_ < n) {
+    // Wait exactly until enough tokens have accumulated.
+    wait = (n - tokens_) / rate_;
+    tokens_ = n;
+  }
+  tokens_ -= n;
+  now_ += wait;
+  // Waiting never overfills beyond burst (tokens were consumed on arrival).
+  if (tokens_ > burst_) tokens_ = burst_;
+  return wait;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sixdust {
+
+/// Token-bucket rate limiter over a simulated clock — the scan-rate
+/// governor of ZMap's send loop. The hitlist service scans at a fixed,
+/// ethically bounded packet rate, which is why its runtime grew from
+/// daily scans in 2018 to multi-day runs by 2022 as the input swelled
+/// (paper Sec. 3.1 / Fig. 4 caption). Deterministic: time only advances
+/// through consume().
+class TokenBucket {
+ public:
+  /// `rate` tokens per second refill, up to `burst` capacity (starts full).
+  TokenBucket(double rate, double burst)
+      : rate_(rate), burst_(burst), tokens_(burst) {}
+
+  /// Consume `n` tokens, waiting for refill when necessary. Returns the
+  /// wait (seconds of simulated time) this consumption incurred.
+  double consume(double n = 1.0);
+
+  /// Simulated time elapsed since construction.
+  [[nodiscard]] double now() const { return now_; }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double available() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  double now_ = 0;
+};
+
+/// Scan-duration accounting for a probe budget at a given rate: the time a
+/// ZMap run over `probes` packets takes at `pps`, including the cooldown
+/// the real tool waits for late responses.
+[[nodiscard]] inline double scan_duration_seconds(std::uint64_t probes,
+                                                  double pps,
+                                                  double cooldown = 8.0) {
+  if (pps <= 0) return 0;
+  return static_cast<double>(probes) / pps + cooldown;
+}
+
+}  // namespace sixdust

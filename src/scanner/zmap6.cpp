@@ -1,0 +1,123 @@
+#include "scanner/zmap6.hpp"
+
+#include "scanner/cyclic.hpp"
+#include "scanner/rate_limit.hpp"
+
+namespace sixdust {
+
+DnsObservation observe_dns(const std::vector<DnsMessage>& responses,
+                           const DnsQuestion& q) {
+  DnsObservation obs;
+  obs.response_count = static_cast<int>(responses.size());
+  bool first = true;
+  for (const auto& m : responses) {
+    if (first) {
+      obs.rcode = m.rcode;
+      first = false;
+    }
+    for (const auto& rr : m.answers) {
+      if (rr.type == RrType::A && q.qtype == RrType::AAAA) {
+        obs.a_answer_to_aaaa = true;
+        if (const auto* v4 = std::get_if<Ipv4>(&rr.rdata))
+          obs.embedded_v4.push_back(*v4);
+      } else if (rr.type == RrType::AAAA) {
+        if (const auto* v6 = std::get_if<Ipv6>(&rr.rdata)) {
+          if (auto client = teredo_client(*v6)) {
+            obs.teredo_aaaa = true;
+            obs.embedded_v4.push_back(*client);
+          } else {
+            obs.clean_aaaa = true;
+          }
+        }
+      }
+    }
+  }
+  return obs;
+}
+
+bool Zmap6::lost(const Ipv6& target, Proto proto, ScanDate date,
+                 int attempt) const {
+  if (cfg_.loss <= 0) return false;
+  const std::uint64_t h = hash_combine(
+      hash_of(target, cfg_.seed),
+      (static_cast<std::uint64_t>(date.index) << 16) |
+          (static_cast<std::uint64_t>(proto_index(proto)) << 8) |
+          static_cast<std::uint64_t>(attempt));
+  return unit_from_hash(h) < cfg_.loss;
+}
+
+std::optional<ScanRecord> Zmap6::probe_one(const World& world,
+                                           const Ipv6& target, Proto proto,
+                                           ScanDate date) const {
+  ScanRecord rec;
+  rec.target = target;
+  switch (proto) {
+    case Proto::Icmp: {
+      auto r = world.icmp_echo(target, IcmpEchoRequest{}, date);
+      if (!r) return std::nullopt;
+      rec.hop_limit = r->hop_limit;
+      return rec;
+    }
+    case Proto::Tcp80:
+    case Proto::Tcp443: {
+      auto r = world.tcp_syn(target, proto == Proto::Tcp80 ? 80 : 443, date);
+      if (!r) return std::nullopt;
+      rec.tcp = r->features;
+      rec.hop_limit = r->hop_limit;
+      return rec;
+    }
+    case Proto::Udp53: {
+      auto responses = world.dns_query(target, cfg_.dns_question, date);
+      if (responses.empty()) return std::nullopt;
+      rec.dns = observe_dns(responses, cfg_.dns_question);
+      return rec;
+    }
+    case Proto::Udp443: {
+      auto r = world.quic_probe(target, date);
+      if (!r) return std::nullopt;
+      return rec;
+    }
+  }
+  return std::nullopt;
+}
+
+ScanResult Zmap6::scan(const World& world, std::span<const Ipv6> targets,
+                       Proto proto, ScanDate date) const {
+  return scan_shard(world, targets, proto, date, 0, 1);
+}
+
+ScanResult Zmap6::scan_shard(const World& world,
+                             std::span<const Ipv6> targets, Proto proto,
+                             ScanDate date, std::uint32_t shard,
+                             std::uint32_t shards) const {
+  ScanResult result;
+  result.proto = proto;
+  result.date = date;
+  result.targets = targets.size();
+  if (targets.empty() || shards == 0 || shard >= shards) return result;
+
+  CyclicPermutation perm(targets.size(),
+                         hash_combine(cfg_.seed, proto_index(proto)));
+  for (std::uint64_t k = 0; k < targets.size(); ++k) {
+    const std::uint64_t index = perm.next();
+    if (k % shards != shard) continue;  // another shard's slice
+    const Ipv6& t = targets[index];
+    if (cfg_.blocklist != nullptr && cfg_.blocklist->covers(t)) {
+      ++result.blocked;
+      continue;
+    }
+    bool answered = false;
+    for (int attempt = 0; attempt <= cfg_.retries && !answered; ++attempt) {
+      ++result.probes_sent;
+      if (lost(t, proto, date, attempt)) continue;
+      auto rec = probe_one(world, t, proto, date);
+      if (!rec) break;  // target does not answer; retrying won't help
+      result.responsive.push_back(std::move(*rec));
+      answered = true;
+    }
+  }
+  result.duration_seconds = scan_duration_seconds(result.probes_sent, cfg_.pps);
+  return result;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,41 @@
+#include "tga/distance_clustering.hpp"
+
+#include <algorithm>
+
+namespace sixdust {
+
+std::vector<Ipv6> DistanceClustering::generate(std::span<const Ipv6> seeds,
+                                               std::size_t budget) const {
+  std::vector<Ipv6> out;
+  if (seeds.empty() || budget == 0) return out;
+
+  std::vector<Ipv6> sorted(seeds.begin(), seeds.end());
+  dedup_addresses(sorted);
+
+  std::size_t cluster_start = 0;
+  auto flush = [&](std::size_t end) {
+    // [cluster_start, end) is a maximal run with gaps <= max_distance.
+    if (end - cluster_start < cfg_.min_cluster) return;
+    const Ipv6& lo = sorted[cluster_start];
+    const Ipv6& hi = sorted[end - 1];
+    std::size_t si = cluster_start;
+    for (Ipv6 a = lo; a < hi && out.size() < budget; a = a.plus(1)) {
+      while (si < end && sorted[si] < a) ++si;
+      if (si < end && sorted[si] == a) continue;  // already known
+      out.push_back(a);
+    }
+  };
+
+  for (std::size_t i = 1; i <= sorted.size(); ++i) {
+    if (i == sorted.size() ||
+        sorted[i].distance64(sorted[i - 1]) > cfg_.max_distance) {
+      flush(i);
+      cluster_start = i;
+    }
+    if (out.size() >= budget) break;
+  }
+  dedup_addresses(out);
+  return out;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "tga/generator.hpp"
+
+namespace sixdust {
+
+/// Entropy/IP-style generator (Foremski, Plonka, Berger 2016) — the
+/// foundational structure-learning approach that 6Tree/6Graph descend
+/// from, included as an extension beyond the paper's evaluated set.
+///
+/// Method (faithful to the original's pipeline, compact in scale):
+///  1. compute the per-nibble Shannon entropy over the seed set;
+///  2. segment the 32 nibble positions into runs of similar entropy;
+///  3. model each segment from its observed values — constant, small
+///     value dictionary (with frequencies), dense numeric range, or
+///     high-entropy "random" field;
+///  4. chain segments with a first-order dependency (the original's Bayes
+///     network restricted to adjacent segments);
+///  5. sample addresses from the model.
+class EntropyIp final : public TargetGenerator {
+ public:
+  struct Config {
+    std::uint64_t seed = 43;
+    /// Entropy-difference threshold (bits) that starts a new segment.
+    double segment_split = 0.55;
+    /// Segments whose value diversity is below this fraction of the seed
+    /// count are modeled as dictionaries; denser ones as ranges.
+    double dict_max_distinct = 0.25;
+    /// The original runs per input prefix; we cluster seeds by this many
+    /// leading nibbles (8 = /32, operator level) and model each cluster.
+    int cluster_nibbles = 8;
+    std::size_t min_cluster = 30;
+  };
+
+  explicit EntropyIp(Config cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "Entropy/IP"; }
+  [[nodiscard]] std::vector<Ipv6> generate(std::span<const Ipv6> seeds,
+                                           std::size_t budget) const override;
+
+  /// Exposed for tests and the analysis example: the learned segmentation.
+  struct Segment {
+    int begin = 0;  // nibble positions [begin, end)
+    int end = 0;
+    double mean_entropy = 0;  // bits per nibble
+    enum class Kind { Constant, Dict, Range, Random } kind = Kind::Constant;
+  };
+  [[nodiscard]] std::vector<Segment> segment(std::span<const Ipv6> seeds) const;
+
+  /// Per-position Shannon entropy (bits, 0..4) over the seed nibbles.
+  [[nodiscard]] static std::array<double, 32> nibble_entropy(
+      std::span<const Ipv6> seeds);
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace sixdust

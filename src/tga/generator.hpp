@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv6.hpp"
+
+namespace sixdust {
+
+/// Common interface of the IPv6 target generation algorithms evaluated in
+/// Sec. 6 of the paper. All of them share one premise: address plans are
+/// structured, so a set of known-responsive seeds predicts further live
+/// addresses.
+class TargetGenerator {
+ public:
+  virtual ~TargetGenerator() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Generate up to `budget` candidate addresses from `seeds`. Output is
+  /// deduplicated but may include seed addresses (the evaluation pipeline
+  /// subtracts already-known input).
+  [[nodiscard]] virtual std::vector<Ipv6> generate(
+      std::span<const Ipv6> seeds, std::size_t budget) const = 0;
+};
+
+/// Nibble-array view of an address (32 hex digits, most significant first)
+/// — the representation all generation algorithms operate on.
+using Nibbles = std::array<std::uint8_t, 32>;
+
+[[nodiscard]] inline Nibbles to_nibbles(const Ipv6& a) {
+  Nibbles n;
+  for (int i = 0; i < 32; ++i)
+    n[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(a.nibble(i));
+  return n;
+}
+
+[[nodiscard]] inline Ipv6 from_nibbles(const Nibbles& n) {
+  Ipv6 a;
+  for (int i = 0; i < 32; ++i) a.set_nibble(i, n[static_cast<std::size_t>(i)]);
+  return a;
+}
+
+/// Sort + dedup helper shared by the generators.
+void dedup_addresses(std::vector<Ipv6>& addrs);
+
+}  // namespace sixdust

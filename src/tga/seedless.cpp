@@ -1,0 +1,51 @@
+#include "tga/seedless.hpp"
+
+#include <unordered_set>
+
+#include "netbase/hash.hpp"
+#include "netbase/prefix_set.hpp"
+
+namespace sixdust {
+
+std::vector<Ipv6> Seedless::generate(const Rib& rib,
+                                     std::span<const Ipv6> covered,
+                                     std::size_t budget) const {
+  // Mark announced prefixes that already contain a seed.
+  PrefixTrie<std::size_t> route_index;
+  for (std::size_t i = 0; i < rib.routes().size(); ++i)
+    route_index.insert(rib.routes()[i].prefix, i);
+  std::unordered_set<std::size_t> covered_routes;
+  for (const auto& a : covered) {
+    auto m = route_index.longest_match(a);
+    if (m) covered_routes.insert(*m->value);
+  }
+
+  std::vector<Ipv6> out;
+  out.reserve(budget);
+  for (std::size_t i = 0; i < rib.routes().size() && out.size() < budget;
+       ++i) {
+    if (covered_routes.contains(i)) continue;
+    const Prefix& p = rib.routes()[i].prefix;
+    // Enumerate the first /64s of the announced prefix (or the prefix
+    // itself when it is a /64 or longer).
+    const int sub_levels = p.len() >= 64 ? 0 : cfg_.subnets;
+    for (int s = 0; s <= sub_levels && out.size() < budget; ++s) {
+      Ipv6 net = p.base();
+      if (p.len() < 64 && s > 0) {
+        // Low subnet counters in the least significant /64-selecting bits.
+        for (int b = 0; b < 8 && 63 - b >= p.len(); ++b)
+          net.set_bit(63 - b, (s >> b) & 1);
+      }
+      for (int iid = 1; iid <= cfg_.low_iids && out.size() < budget; ++iid)
+        out.push_back(Ipv6::from_words(net.hi(), static_cast<std::uint64_t>(iid)));
+      for (std::uint64_t service : cfg_.service_iids) {
+        if (out.size() >= budget) break;
+        out.push_back(Ipv6::from_words(net.hi(), service));
+      }
+    }
+  }
+  dedup_addresses(out);
+  return out;
+}
+
+}  // namespace sixdust

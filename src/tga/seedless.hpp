@@ -1,0 +1,44 @@
+#pragma once
+
+#include "asdb/rib.hpp"
+#include "tga/generator.hpp"
+
+namespace sixdust {
+
+/// Seedless candidate generation for uncovered networks — the direction
+/// the paper's discussion points at via AddrMiner (Song et al. 2022):
+/// the hitlist covers only 62 % of announced prefixes because every other
+/// source needs a seed; for seedless ASes, candidates must come from
+/// assignment conventions alone.
+///
+/// This generator walks the BGP table and emits conventional addresses
+/// for announced prefixes that have no seed yet: low interface IDs
+/// (::1, ::2, ...), common service IIDs (::53 DNS, ::80, ::443), and the
+/// subnet-router anycast address of the first /64s.
+class Seedless {
+ public:
+  struct Config {
+    std::uint64_t seed = 53;
+    /// Low IIDs emitted per prefix.
+    int low_iids = 4;
+    /// Conventional service IIDs.
+    std::vector<std::uint64_t> service_iids = {0x53, 0x80, 0x443};
+    /// First /64 subnets enumerated per announced prefix.
+    int subnets = 4;
+  };
+
+  explicit Seedless(Config cfg) : cfg_(std::move(cfg)) {}
+
+  [[nodiscard]] std::string name() const { return "Seedless (AddrMiner-style)"; }
+
+  /// Candidates for every announced prefix that contains no address of
+  /// `covered` (the hitlist's current input).
+  [[nodiscard]] std::vector<Ipv6> generate(const Rib& rib,
+                                           std::span<const Ipv6> covered,
+                                           std::size_t budget) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace sixdust

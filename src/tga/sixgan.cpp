@@ -1,0 +1,100 @@
+#include "tga/sixgan.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "netbase/hash.hpp"
+#include "netbase/rng.hpp"
+
+namespace sixdust {
+namespace {
+
+/// Position-conditioned nibble transition model: counts[pos][prev][next].
+struct Markov {
+  // 32 positions x 16 prev x 16 next, flattened.
+  std::vector<std::uint32_t> counts = std::vector<std::uint32_t>(32 * 16 * 16, 0);
+  std::size_t support = 0;
+
+  void train(const Nibbles& n) {
+    ++support;
+    std::uint8_t prev = 0;
+    for (int pos = 0; pos < 32; ++pos) {
+      const std::uint8_t next = n[static_cast<std::size_t>(pos)];
+      ++counts[static_cast<std::size_t>(pos) * 256 + prev * 16 + next];
+      prev = next;
+    }
+  }
+
+  [[nodiscard]] std::uint8_t sample(int pos, std::uint8_t prev,
+                                    Rng& rng) const {
+    const std::uint32_t* row =
+        &counts[static_cast<std::size_t>(pos) * 256 + prev * 16];
+    std::uint64_t total = 0;
+    for (int v = 0; v < 16; ++v) total += row[v];
+    if (total == 0) return static_cast<std::uint8_t>(rng.below(16));
+    std::uint64_t pick = rng.below(total);
+    for (int v = 0; v < 16; ++v) {
+      if (pick < row[v]) return static_cast<std::uint8_t>(v);
+      pick -= row[v];
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+std::vector<Ipv6> SixGan::generate(std::span<const Ipv6> seeds,
+                                   std::size_t budget) const {
+  std::vector<Ipv6> out;
+  if (seeds.empty() || budget == 0) return out;
+
+  // Cluster seeds by their leading nibbles (operator-level patterns).
+  std::unordered_map<std::uint64_t, Markov> clusters;
+  std::unordered_map<std::uint64_t, Nibbles> representative;
+  for (const auto& a : seeds) {
+    const Nibbles n = to_nibbles(a);
+    std::uint64_t key = 0;
+    for (int i = 0; i < cfg_.cluster_nibbles; ++i)
+      key = key << 4 | n[static_cast<std::size_t>(i)];
+    clusters[key].train(n);
+    representative.try_emplace(key, n);
+  }
+
+  // Keep only the largest clusters (6GAN's narrow pattern modes).
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+  ranked.reserve(clusters.size());
+  for (const auto& [key, m] : clusters) ranked.emplace_back(key, m.support);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (ranked.size() > cfg_.max_clusters) ranked.resize(cfg_.max_clusters);
+
+  std::size_t total_support = 0;
+  for (const auto& [key, support] : ranked) total_support += support;
+  if (total_support == 0) return out;
+
+  out.reserve(budget);
+  for (const auto& [key, support] : ranked) {
+    const Markov& model = clusters[key];
+    const std::size_t share = budget * support / total_support;
+    Rng rng(hash_combine(cfg_.seed, key));
+    const Nibbles& rep = representative[key];
+    for (std::size_t k = 0; k < share; ++k) {
+      Nibbles cand = rep;  // keep the cluster's operator prefix
+      std::uint8_t prev =
+          cand[static_cast<std::size_t>(cfg_.cluster_nibbles - 1)];
+      for (int pos = cfg_.cluster_nibbles; pos < 32; ++pos) {
+        std::uint8_t v = model.sample(pos, prev, rng);
+        if (rng.unit() < cfg_.mutation_rate)
+          v = static_cast<std::uint8_t>(rng.below(16));
+        cand[static_cast<std::size_t>(pos)] = v;
+        prev = v;
+      }
+      out.push_back(from_nibbles(cand));
+    }
+  }
+  dedup_addresses(out);
+  if (out.size() > budget) out.resize(budget);
+  return out;
+}
+
+}  // namespace sixdust

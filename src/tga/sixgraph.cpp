@@ -1,0 +1,155 @@
+#include "tga/sixgraph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "netbase/hash.hpp"
+
+namespace sixdust {
+namespace {
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+/// Hash of the address with nibble `skip` masked out — seeds sharing a key
+/// differ in at most that one nibble.
+std::uint64_t masked_key(const Nibbles& n, int skip) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL ^ static_cast<std::uint64_t>(skip);
+  for (int i = 0; i < 32; ++i) {
+    const std::uint8_t v = i == skip ? 0x10 : n[static_cast<std::size_t>(i)];
+    h = mix64(h ^ v);
+  }
+  return h;
+}
+
+struct Pattern {
+  std::array<std::uint16_t, 32> values{};  // bitmask of observed nibble values
+  std::size_t support = 0;
+};
+
+void emit_pattern(const Pattern& pat, std::size_t budget, std::uint64_t seed,
+                  std::vector<Ipv6>& out) {
+  // Per-position value lists of the pattern's Cartesian product.
+  std::array<std::array<std::uint8_t, 16>, 32> values{};
+  std::array<std::uint8_t, 32> counts{};
+  double product = 1;
+  for (int p = 0; p < 32; ++p) {
+    const std::uint16_t mask = pat.values[static_cast<std::size_t>(p)];
+    for (int v = 0; v < 16; ++v)
+      if (mask >> v & 1)
+        values[static_cast<std::size_t>(p)]
+              [counts[static_cast<std::size_t>(p)]++] =
+                  static_cast<std::uint8_t>(v);
+    product *= counts[static_cast<std::size_t>(p)];
+  }
+
+  auto decode = [&](std::uint64_t r) {
+    // Mixed-radix decode: spreads samples uniformly over the product.
+    Nibbles cand{};
+    for (int p = 31; p >= 0; --p) {
+      const auto n = counts[static_cast<std::size_t>(p)];
+      cand[static_cast<std::size_t>(p)] =
+          values[static_cast<std::size_t>(p)][r % n];
+      r /= n;
+    }
+    return cand;
+  };
+
+  if (product <= static_cast<double>(budget)) {
+    // Small pattern: enumerate the full product.
+    const auto total = static_cast<std::uint64_t>(product);
+    for (std::uint64_t i = 0; i < total; ++i)
+      out.push_back(from_nibbles(decode(i)));
+    return;
+  }
+  // Large pattern: pseudo-random uniform sample of the product. A
+  // lexicographic walk would spend the whole budget on one corner of the
+  // space; sampling preserves the pattern's coverage (duplicates are
+  // removed by the caller's dedup).
+  for (std::size_t i = 0; i < budget; ++i)
+    out.push_back(from_nibbles(decode(mix64(seed + i))));
+}
+
+}  // namespace
+
+std::vector<Ipv6> SixGraph::generate(std::span<const Ipv6> seeds,
+                                     std::size_t budget) const {
+  std::vector<Ipv6> out;
+  if (seeds.empty() || budget == 0) return out;
+
+  std::vector<Ipv6> sorted(seeds.begin(), seeds.end());
+  dedup_addresses(sorted);
+  std::vector<Nibbles> nib(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) nib[i] = to_nibbles(sorted[i]);
+
+  // Build the similarity graph via masked-key buckets (distance <= 1).
+  UnionFind uf(sorted.size());
+  std::unordered_map<std::uint64_t, std::size_t> first_in_bucket;
+  first_in_bucket.reserve(sorted.size() * 8);
+  for (int skip = 0; skip < 32; ++skip) {
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const std::uint64_t key = masked_key(nib[i], skip);
+      auto [it, inserted] = first_in_bucket.try_emplace(key, i);
+      if (!inserted) uf.unite(i, it->second);
+    }
+  }
+
+  // Fuse components into patterns.
+  std::unordered_map<std::size_t, Pattern> patterns;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    Pattern& pat = patterns[uf.find(i)];
+    ++pat.support;
+    for (int p = 0; p < 32; ++p)
+      pat.values[static_cast<std::size_t>(p)] |=
+          static_cast<std::uint16_t>(1u << nib[i][static_cast<std::size_t>(p)]);
+  }
+
+  // Widen diverse positions to wildcards; drop tiny components.
+  std::vector<Pattern> usable;
+  std::size_t total_support = 0;
+  for (auto& [root, pat] : patterns) {
+    if (pat.support < cfg_.min_component) continue;
+    int wildcards = 0;
+    // Widen from the deepest position upward (host bits first).
+    for (int p = 31; p >= 0 && wildcards < cfg_.max_wildcards; --p) {
+      const int distinct = std::popcount(
+          static_cast<unsigned>(pat.values[static_cast<std::size_t>(p)]));
+      if (static_cast<std::size_t>(distinct) >= cfg_.wildcard_threshold) {
+        pat.values[static_cast<std::size_t>(p)] = 0xffff;
+        ++wildcards;
+      }
+    }
+    total_support += pat.support;
+    usable.push_back(pat);
+  }
+  if (usable.empty()) return out;
+
+  out.reserve(budget);
+  std::uint64_t pattern_seed = cfg_.seed;
+  for (const auto& pat : usable) {
+    const std::size_t share = budget * pat.support / total_support + 16;
+    emit_pattern(pat, share, hash_combine(cfg_.seed, ++pattern_seed), out);
+    if (out.size() >= budget * 2) break;  // hard memory guard
+  }
+  dedup_addresses(out);
+  if (out.size() > budget) out.resize(budget);
+  return out;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,103 @@
+#include "tga/sixhit.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netbase/hash.hpp"
+#include "netbase/rng.hpp"
+
+namespace sixdust {
+namespace {
+
+struct Region {
+  Nibbles fixed{};        // leading nibbles (the region id)
+  std::vector<Nibbles> seeds;
+  std::uint64_t probes = 0;
+  std::uint64_t hits = 0;
+
+  [[nodiscard]] double reward() const {
+    // Optimistic prior: unprobed regions look promising.
+    return (static_cast<double>(hits) + 1.0) /
+           (static_cast<double>(probes) + 2.0);
+  }
+};
+
+}  // namespace
+
+SixHit::Result SixHit::run(std::span<const Ipv6> seeds,
+                           const ProbeFn& probe) const {
+  Result result;
+  if (seeds.empty()) return result;
+
+  // Partition seeds into regions by leading nibbles.
+  std::unordered_map<std::uint64_t, Region> regions;
+  for (const auto& a : seeds) {
+    const Nibbles n = to_nibbles(a);
+    std::uint64_t key = 0;
+    for (int i = 0; i < cfg_.region_nibbles; ++i) key = key << 4 | n[static_cast<std::size_t>(i)];
+    auto& region = regions[key];
+    if (region.seeds.empty()) region.fixed = n;
+    region.seeds.push_back(n);
+  }
+  result.regions = regions.size();
+
+  std::vector<Region*> ordered;
+  ordered.reserve(regions.size());
+  for (auto& [key, region] : regions) ordered.push_back(&region);
+  std::sort(ordered.begin(), ordered.end(), [](Region* a, Region* b) {
+    return to_nibbles(from_nibbles(a->fixed)) < to_nibbles(from_nibbles(b->fixed));
+  });
+
+  Rng rng(hash_combine(cfg_.seed, seeds.size()));
+  std::unordered_set<Ipv6, Ipv6Hasher> probed;
+
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    // Budget allocation: an exploration floor shared equally, the rest
+    // proportional to observed reward.
+    double total_reward = 0;
+    for (Region* r : ordered) total_reward += r->reward();
+
+    for (Region* r : ordered) {
+      const double share =
+          cfg_.explore / static_cast<double>(ordered.size()) +
+          (1.0 - cfg_.explore) * r->reward() / total_reward;
+      const auto budget = static_cast<std::size_t>(
+          share * static_cast<double>(cfg_.round_budget) + 0.5);
+      for (std::size_t k = 0; k < budget; ++k) {
+        // Candidate: a seed of the region with its host bits mutated near
+        // observed values (counter-style neighbourhoods).
+        const Nibbles& base = r->seeds[rng.below(r->seeds.size())];
+        Nibbles cand = base;
+        const int flips = 1 + static_cast<int>(rng.below(2));
+        for (int f = 0; f < flips; ++f) {
+          const int pos =
+              cfg_.region_nibbles +
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                  32 - cfg_.region_nibbles)));
+          // Local move: wiggle the nibble rather than jumping uniformly.
+          const int delta = static_cast<int>(rng.below(7)) - 3;
+          cand[static_cast<std::size_t>(pos)] = static_cast<std::uint8_t>(
+              (cand[static_cast<std::size_t>(pos)] + 16 + delta) & 0xf);
+        }
+        const Ipv6 addr = from_nibbles(cand);
+        if (!probed.insert(addr).second) continue;
+        ++result.probes;
+        ++r->probes;
+        const bool hit = probe(addr);
+        if (hit) {
+          ++r->hits;
+          result.responsive.push_back(addr);
+          r->seeds.push_back(cand);  // hits become new anchors
+        }
+      }
+    }
+  }
+
+  result.candidates.assign(probed.begin(), probed.end());
+  dedup_addresses(result.candidates);
+  dedup_addresses(result.responsive);
+  return result;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+
+#include "tga/generator.hpp"
+
+namespace sixdust {
+
+/// 6Hit-style reinforcement-driven target generation (Hou et al. 2021,
+/// the paper's related work [25]). Unlike the offline generators, 6Hit is
+/// an *online* algorithm: it splits the seed space into regions, probes a
+/// few candidates per region, and re-allocates its probe budget toward
+/// regions that reward it with hits.
+///
+/// The probe feedback is injected as a callback so the algorithm stays
+/// decoupled from the scanner (the evaluation harness passes a Zmap6-
+/// backed lambda; tests pass synthetic ground truth).
+class SixHit {
+ public:
+  struct Config {
+    std::uint64_t seed = 47;
+    /// Region granularity: seeds sharing this many leading nibbles form
+    /// one region (16 = /64).
+    int region_nibbles = 16;
+    /// Probes per round distributed across regions.
+    std::size_t round_budget = 512;
+    int rounds = 8;
+    /// Exploration floor: every region keeps this share of an equal split
+    /// regardless of reward (epsilon-greedy flavour).
+    double explore = 0.2;
+  };
+
+  using ProbeFn = std::function<bool(const Ipv6&)>;
+
+  explicit SixHit(Config cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const { return "6Hit"; }
+
+  struct Result {
+    std::vector<Ipv6> candidates;   // everything probed (deduplicated)
+    std::vector<Ipv6> responsive;   // callback returned true
+    std::uint64_t probes = 0;
+    std::size_t regions = 0;
+  };
+
+  /// Run the reinforcement loop: `probe` is consulted for every generated
+  /// candidate and its answers steer the budget allocation.
+  [[nodiscard]] Result run(std::span<const Ipv6> seeds,
+                           const ProbeFn& probe) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,104 @@
+#include "tga/sixtree.hpp"
+
+#include <algorithm>
+
+#include "netbase/hash.hpp"
+
+namespace sixdust {
+
+void dedup_addresses(std::vector<Ipv6>& addrs) {
+  std::sort(addrs.begin(), addrs.end());
+  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+}
+
+namespace {
+
+struct Leaf {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // [begin, end) into the sorted seed array
+};
+
+/// Recursive divisive clustering: descend while all seeds agree on the
+/// current nibble; split into per-value children otherwise; stop at
+/// min_leaf.
+void split(const std::vector<Ipv6>& seeds, std::size_t begin, std::size_t end,
+           int pos, std::size_t min_leaf, std::vector<Leaf>& leaves) {
+  if (end - begin <= min_leaf || pos >= 32) {
+    leaves.push_back(Leaf{begin, end});
+    return;
+  }
+  // Seeds are sorted, so equal-valued runs at `pos` are contiguous.
+  std::size_t run_start = begin;
+  unsigned run_value = seeds[begin].nibble(pos);
+  bool uniform = true;
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    const unsigned v = seeds[i].nibble(pos);
+    if (v == run_value) continue;
+    uniform = false;
+    split(seeds, run_start, i, pos + 1, min_leaf, leaves);
+    run_start = i;
+    run_value = v;
+  }
+  if (uniform) {
+    split(seeds, begin, end, pos + 1, min_leaf, leaves);
+  } else {
+    split(seeds, run_start, end, pos + 1, min_leaf, leaves);
+  }
+}
+
+}  // namespace
+
+std::vector<Ipv6> SixTree::generate(std::span<const Ipv6> seeds,
+                                    std::size_t budget) const {
+  std::vector<Ipv6> out;
+  if (seeds.empty() || budget == 0) return out;
+
+  std::vector<Ipv6> sorted(seeds.begin(), seeds.end());
+  dedup_addresses(sorted);
+
+  std::vector<Leaf> leaves;
+  split(sorted, 0, sorted.size(), 0, cfg_.min_leaf, leaves);
+
+  out.reserve(budget);
+  for (const auto& leaf : leaves) {
+    const std::size_t count = leaf.end - leaf.begin;
+    std::size_t leaf_budget =
+        budget * count / sorted.size() + 16;  // floor share + slack
+
+    // Free dimensions: nibble positions whose values vary inside the leaf.
+    std::vector<int> dims;
+    for (int pos = 0; pos < 32; ++pos) {
+      const unsigned v0 = sorted[leaf.begin].nibble(pos);
+      for (std::size_t i = leaf.begin + 1; i < leaf.end; ++i) {
+        if (sorted[i].nibble(pos) != v0) {
+          dims.push_back(pos);
+          break;
+        }
+      }
+    }
+    if (dims.empty()) dims.push_back(31);
+    // Expand the deepest `expand_dims` free dimensions.
+    const int nd = std::min<int>(cfg_.expand_dims, static_cast<int>(dims.size()));
+    std::vector<int> expand(dims.end() - nd, dims.end());
+
+    std::size_t emitted = 0;
+    const std::size_t combos = static_cast<std::size_t>(1) << (4 * nd);
+    for (std::size_t s = leaf.begin; s < leaf.end && emitted < leaf_budget;
+         ++s) {
+      Nibbles base = to_nibbles(sorted[s]);
+      for (std::size_t c = 0; c < combos && emitted < leaf_budget; ++c) {
+        Nibbles cand = base;
+        for (int d = 0; d < nd; ++d)
+          cand[static_cast<std::size_t>(expand[static_cast<std::size_t>(d)])] =
+              static_cast<std::uint8_t>((c >> (4 * d)) & 0xf);
+        out.push_back(from_nibbles(cand));
+        ++emitted;
+      }
+    }
+  }
+  dedup_addresses(out);
+  if (out.size() > budget) out.resize(budget);
+  return out;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "tga/generator.hpp"
+
+namespace sixdust {
+
+/// 6Tree (Liu et al. 2019): divisive hierarchical clustering of the seed
+/// set into a "space tree" whose leaves are densely seeded address regions,
+/// followed by region-local candidate generation along the free nibbles.
+///
+/// Per the paper's methodology we run it in generation-only mode: the
+/// original's on-line scanning feedback (and its weak alias detection,
+/// which the paper had to disable after the Akamai /48 blow-up) is left to
+/// the hitlist pipeline's own scanner and alias filter.
+class SixTree final : public TargetGenerator {
+ public:
+  struct Config {
+    std::uint64_t seed = 23;
+    /// Stop splitting below this many seeds per node.
+    std::size_t min_leaf = 8;
+    /// Free dimensions expanded per leaf (deepest-first).
+    int expand_dims = 2;
+  };
+
+  explicit SixTree(Config cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "6Tree"; }
+  [[nodiscard]] std::vector<Ipv6> generate(std::span<const Ipv6> seeds,
+                                           std::size_t budget) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,64 @@
+#include "tga/sixveclm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "netbase/hash.hpp"
+#include "netbase/rng.hpp"
+
+namespace sixdust {
+
+std::vector<Ipv6> SixVecLm::generate(std::span<const Ipv6> seeds,
+                                     std::size_t budget) const {
+  std::vector<Ipv6> out;
+  if (seeds.empty() || budget == 0) return out;
+
+  // Global position-dependent bigram counts.
+  std::vector<std::uint32_t> counts(32 * 16 * 16, 0);
+  for (const auto& a : seeds) {
+    const Nibbles n = to_nibbles(a);
+    std::uint8_t prev = 0;
+    for (int pos = 0; pos < 32; ++pos) {
+      const std::uint8_t next = n[static_cast<std::size_t>(pos)];
+      ++counts[static_cast<std::size_t>(pos) * 256 + prev * 16 + next];
+      prev = next;
+    }
+  }
+
+  // Low-temperature sampling: mostly argmax continuations with occasional
+  // exploration, conditioned on real seed prefixes (the "language model
+  // completes the sentence" behaviour).
+  Rng rng(cfg_.seed);
+  const int prefix_keep = 16;  // keep the seed's /64, generate the IID
+  std::size_t attempts = 0;
+  while (out.size() < budget && attempts < budget * 4) {
+    ++attempts;
+    const Nibbles base =
+        to_nibbles(seeds[rng.below(seeds.size())]);
+    Nibbles cand = base;
+    std::uint8_t prev = cand[prefix_keep - 1];
+    for (int pos = prefix_keep; pos < 32; ++pos) {
+      const std::uint32_t* row =
+          &counts[static_cast<std::size_t>(pos) * 256 + prev * 16];
+      std::uint8_t v;
+      if (rng.unit() < cfg_.temperature) {
+        // exploration step
+        v = static_cast<std::uint8_t>(rng.below(16));
+      } else {
+        // argmax continuation
+        int best = 0;
+        for (int i = 1; i < 16; ++i)
+          if (row[i] > row[best]) best = i;
+        v = static_cast<std::uint8_t>(best);
+      }
+      cand[static_cast<std::size_t>(pos)] = v;
+      prev = v;
+    }
+    out.push_back(from_nibbles(cand));
+  }
+  dedup_addresses(out);
+  if (out.size() > budget) out.resize(budget);
+  return out;
+}
+
+}  // namespace sixdust

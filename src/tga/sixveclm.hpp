@@ -1,0 +1,33 @@
+#pragma once
+
+#include "tga/generator.hpp"
+
+namespace sixdust {
+
+/// 6VecLM-style generator. The original (Cui et al. 2021) embeds nibbles
+/// into a vector space and runs a Transformer language model over them.
+/// As with 6GAN, the trained model is not reproducible offline; the paper
+/// measured only ~1 k responsive addresses from 70.3 k candidates. We
+/// substitute the language model with a global position-dependent nibble
+/// bigram sampled at low temperature: like the original it produces a
+/// small, conservative candidate set concentrated on the most common
+/// address shapes (documented in DESIGN.md).
+class SixVecLm final : public TargetGenerator {
+ public:
+  struct Config {
+    std::uint64_t seed = 37;
+    /// Sampling temperature in [0, 1]: 0 = argmax continuation only.
+    double temperature = 0.15;
+  };
+
+  explicit SixVecLm(Config cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] std::string name() const override { return "6VecLM"; }
+  [[nodiscard]] std::vector<Ipv6> generate(std::span<const Ipv6> seeds,
+                                           std::size_t budget) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "proto/tcp.hpp"
+#include "proto/types.hpp"
+
+namespace sixdust {
+
+/// How a host answers UDP/53 probes. The distribution over these kinds
+/// reproduces the paper's validation of DNS responders (Sec. 4.2): 93.8 %
+/// answer with an error status (authoritative servers / closed resolvers),
+/// 4.6 % recursively resolve, 0.4 % refer to the root, a handful proxy the
+/// query through another address, and ~1.1 % are broken.
+enum class DnsServerKind : std::uint8_t {
+  ErrorStatus,   // valid DNS response, REFUSED/SERVFAIL (no recursion)
+  Recursive,     // open resolver, returns the correct record
+  Referral,      // refers to root / parent zone name servers
+  Proxy,         // resolves, but egress uses a different source address
+  Broken,        // syntactically odd replies (bad rcode, localhost referral)
+};
+
+/// Identifier of the physical machine behind an address. Aliased prefixes
+/// map many addresses to one key (or to one of k keys for load-balanced
+/// CDN prefixes) — this is what the Too Big Trick observes via the shared
+/// PMTU cache.
+using HostKey = std::uint64_t;
+
+/// Ground-truth behaviour of the host at a given address and date.
+struct HostBehavior {
+  ProtoMask responsive = 0;
+  TcpFeatures tcp;                       // valid when any TCP bit is set
+  DnsServerKind dns = DnsServerKind::ErrorStatus;
+  HostKey key = 0;
+  std::uint8_t path_len = 8;             // hops from the vantage point
+  bool can_fragment = true;              // end host honours PTB messages
+};
+
+/// Provenance tags for candidate addresses (which public source exposes
+/// them). Mirrors the input sources of the hitlist service (Sec. 3) plus
+/// the new passive sources of Sec. 6.1.
+enum SourceTag : std::uint16_t {
+  kSrcDnsAaaa = 1 << 0,     // forward DNS AAAA resolutions
+  kSrcCtLog = 1 << 1,       // Certificate Transparency hostnames
+  kSrcRipeAtlas = 1 << 2,   // RIPE Atlas traceroutes
+  kSrcTraceroute = 1 << 3,  // the service's own Yarrp runs
+  kSrcRdns = 1 << 4,        // one-shot reverse-DNS import
+  kSrcNsMx = 1 << 5,        // NEW: name server / mail exchanger records
+  kSrcCaidaArk = 1 << 6,    // NEW: CAIDA Ark traceroutes
+  kSrcDet = 1 << 7,         // NEW: DET snapshot
+};
+
+struct KnownAddress {
+  Ipv6 addr;
+  std::uint16_t tags = 0;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,65 @@
+#include "topo/gfw.hpp"
+
+#include "netbase/hash.hpp"
+
+namespace sixdust {
+
+Gfw::Era Gfw::era_at(ScanDate d) const {
+  for (const auto& w : cfg_.windows)
+    if (d.index >= w.from_scan && d.index <= w.to_scan) return w.era;
+  return Era::Off;
+}
+
+bool Gfw::blocked(std::string_view qname) const {
+  for (const auto& b : cfg_.blocked_domains)
+    if (dns_name_under(qname, b)) return true;
+  return false;
+}
+
+Ipv4 Gfw::wrong_ipv4(std::uint64_t h) {
+  // Blocks of operators unrelated to any blocked domain, matching the
+  // paper's observation (Facebook, Microsoft, Dropbox).
+  static constexpr std::uint32_t kBases[] = {
+      0x9DF00000u,  // 157.240.0.0/16   Facebook
+      0x0D6B0000u,  // 13.107.0.0/16    Microsoft
+      0xA27D0000u,  // 162.125.0.0/16   Dropbox
+  };
+  const std::uint32_t base = kBases[h % 3];
+  return Ipv4{base | (static_cast<std::uint32_t>(mix64(h)) & 0xffff)};
+}
+
+std::vector<DnsMessage> Gfw::inject(const Ipv6& target, const DnsQuestion& q,
+                                    ScanDate d) const {
+  std::vector<DnsMessage> out;
+  const Era era = era_at(d);
+  if (era == Era::Off || !blocked(q.qname)) return out;
+
+  const std::uint64_t h0 =
+      hash_combine(hash_of(target, cfg_.seed), static_cast<std::uint64_t>(d.index));
+  // Multiple injectors race: usually 2-3 responses, with a rare heavy tail
+  // (the paper saw up to 440 for one target).
+  int copies = 2 + static_cast<int>(h0 % 2);
+  if (h0 % 4099 == 0) copies = 40;
+
+  for (int c = 0; c < copies; ++c) {
+    const std::uint64_t h = hash_combine(h0, static_cast<std::uint64_t>(c));
+    DnsMessage m;
+    m.id = static_cast<std::uint16_t>(h);  // injectors guess/copy the id
+    m.response = true;
+    m.recursion_available = true;
+    m.rcode = Rcode::NoError;
+    m.questions.push_back(q);
+    if (era == Era::ARecord) {
+      // An A record answering an AAAA question — wrong on two counts.
+      m.answers.push_back(make_a(q.qname, wrong_ipv4(h)));
+    } else {
+      const Ipv4 server{0x0D6B0001u + static_cast<std::uint32_t>(h % 7)};
+      m.answers.push_back(
+          make_aaaa(q.qname, make_teredo(server, wrong_ipv4(h))));
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace sixdust

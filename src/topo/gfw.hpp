@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netbase/teredo.hpp"
+#include "netbase/util.hpp"
+#include "proto/dns.hpp"
+
+namespace sixdust {
+
+/// The Great Firewall's DNS injection, as characterized by the paper
+/// (Sec. 4.2) and by prior work (Anonymous et al., Farnan et al.):
+///  - queries for *blocked* domains crossing into censored networks get
+///    1-3 injected answers (multiple injectors), regardless of whether any
+///    host exists at the target address;
+///  - injected answers are wrong: during the 2019/2020 events, A records
+///    (an IPv4!) in reply to AAAA queries; during the 2021+ event, AAAA
+///    records carrying deprecated Teredo addresses that embed an IPv4;
+///  - the embedded IPv4s belong to unrelated operators (Facebook,
+///    Microsoft, Dropbox) — never to the queried domain's operator;
+///  - queries for unblocked domains are dropped silently (no response).
+class Gfw {
+ public:
+  enum class Era : std::uint8_t { Off, ARecord, Teredo };
+
+  struct Window {
+    int from_scan = 0;  // inclusive
+    int to_scan = 0;    // inclusive
+    Era era = Era::ARecord;
+  };
+
+  struct Config {
+    std::vector<Window> windows;
+    std::vector<std::string> blocked_domains = {
+        "www.google.com", "www.facebook.com", "twitter.com",
+        "www.youtube.com"};
+    std::uint64_t seed = 5;
+
+    /// The three injection events of the paper's timeline (Fig. 3): two
+    /// A-record events in 2019 and 2020, and the big Teredo event from
+    /// early 2021 until the authors' filter deployment in Feb 2022.
+    /// (Scan indices are months since 2018-07.)
+    static Config paper_timeline() {
+      Config c;
+      c.windows = {{8, 11, Era::ARecord},    // 2019-03 .. 2019-06
+                   {20, 23, Era::ARecord},   // 2020-03 .. 2020-06
+                   {31, 45, Era::Teredo}};   // 2021-02 .. 2022-04
+      return c;
+    }
+  };
+
+  explicit Gfw(Config cfg) : cfg_(std::move(cfg)) {}
+
+  [[nodiscard]] Era era_at(ScanDate d) const;
+  [[nodiscard]] bool active(ScanDate d) const {
+    return era_at(d) != Era::Off;
+  }
+  [[nodiscard]] bool blocked(std::string_view qname) const;
+
+  /// Injected responses for a probe toward `target` asking `q` on `d`.
+  /// Empty when the GFW is inactive or the domain is not blocked.
+  [[nodiscard]] std::vector<DnsMessage> inject(const Ipv6& target,
+                                               const DnsQuestion& q,
+                                               ScanDate d) const;
+
+  /// One of the wrong-operator IPv4 addresses used in injections
+  /// (exposed so the detector tests can check operator attribution).
+  [[nodiscard]] static Ipv4 wrong_ipv4(std::uint64_t h);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,88 @@
+#pragma once
+
+#include "topo/deployment.hpp"
+
+namespace sixdust {
+
+/// A hosting/server deployment: a provider prefix containing sequentially
+/// allocated customer subnets with low, densely packed interface IDs
+/// (::1, ::2, ...). This is the address structure that makes target
+/// generation algorithms work: addresses follow assignment patterns, so a
+/// sample of known hosts reveals the rest (Sec. 6 of the paper; also the
+/// premise of 6Tree/6Graph/Entropy-IP).
+class ServerFarm final : public Deployment {
+ public:
+  struct Config {
+    Asn asn = kAsnNone;
+    Prefix prefix;              // provider block, e.g. a /32
+    int subnet_bits = 16;       // subnets at prefix.len + subnet_bits (/48)
+    std::uint32_t subnets = 16;         // populated subnets 0..subnets-1
+    std::uint32_t hosts_per_subnet = 8; // IIDs 1 .. hosts_per_subnet*stride
+    std::uint32_t iid_stride = 1;       // host i -> IID 1 + i*stride
+    std::uint32_t growth_subnets_per_scan = 0;  // organic growth over time
+    /// Availability model: only a small core is up in *every* scan (the
+    /// paper finds just 5.4 % of responsive addresses stay responsive over
+    /// the whole period); the rest answer most scans but churn.
+    double stable_frac = 0.05;
+    double flaky_up = 0.93;
+    double tcp80_frac = 0.3;
+    double tcp443_frac = 0.25;
+    double udp53_frac = 0.04;
+    double udp443_frac = 0.02;
+    double known_frac = 0.5;    // fraction visible in public sources
+    std::uint16_t known_tags = kSrcDnsAaaa;
+    double domain_share = 0.0;
+    int appears = 0;
+    std::uint8_t path_len = 8;
+    std::uint64_t seed = 1;
+  };
+
+  explicit ServerFarm(Config cfg);
+
+  [[nodiscard]] Asn asn() const override { return cfg_.asn; }
+  [[nodiscard]] const std::vector<Prefix>& prefixes() const override {
+    return prefixes_;
+  }
+  [[nodiscard]] int appears_at() const override { return cfg_.appears; }
+
+  [[nodiscard]] std::optional<HostBehavior> host(const Ipv6& a,
+                                                 ScanDate d) const override;
+
+  void enumerate_known(ScanDate d, std::vector<KnownAddress>& out) const override;
+
+  [[nodiscard]] double domain_weight() const override {
+    return cfg_.domain_share;
+  }
+  [[nodiscard]] std::optional<Ipv6> domain_address(std::uint64_t domain_id,
+                                                   ScanDate d) const override;
+  [[nodiscard]] std::optional<Ipv6> infra_address(std::uint64_t infra_id,
+                                                  ScanDate d) const override;
+
+  /// Number of populated subnets at `d` (grows over time).
+  [[nodiscard]] std::uint32_t subnet_count(ScanDate d) const;
+
+  /// Ground-truth address of host `i` in subnet `s` (test/bench hook).
+  [[nodiscard]] Ipv6 host_address(std::uint32_t s, std::uint32_t i) const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Total hosts populated at `d` (ground truth, for calibration tests).
+  [[nodiscard]] std::uint64_t population(ScanDate d) const {
+    return static_cast<std::uint64_t>(subnet_count(d)) * cfg_.hosts_per_subnet;
+  }
+
+ private:
+  struct Loc {
+    std::uint32_t subnet;
+    std::uint32_t host;
+  };
+  [[nodiscard]] std::optional<Loc> locate(const Ipv6& a, ScanDate d) const;
+  [[nodiscard]] HostBehavior behavior_of(std::uint64_t host_id,
+                                         const Ipv6& a) const;
+  [[nodiscard]] bool host_up(std::uint64_t host_id, ScanDate d) const;
+
+  Config cfg_;
+  std::vector<Prefix> prefixes_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "asdb/geo.hpp"
+#include "asdb/registry.hpp"
+#include "asdb/rib.hpp"
+#include "proto/icmp6.hpp"
+#include "proto/quic.hpp"
+#include "topo/censored_network.hpp"
+#include "topo/deployment.hpp"
+#include "topo/gfw.hpp"
+
+namespace sixdust {
+
+/// The simulated Internet as seen from the measurement vantage point (a
+/// German university network, like the paper's). Measurement code may only
+/// use the probe surface; ground-truth accessors are clearly marked and
+/// reserved for tests and bench calibration.
+///
+/// The world is almost entirely a pure function of (address, date, seed).
+/// The two deliberate pieces of mutable state are the per-host PMTU caches
+/// (the side channel exploited by the Too Big Trick) and the log of our
+/// controlled name server (the Sec. 4.2 validation experiment).
+class World {
+ public:
+  struct TransitAs {
+    Asn asn = kAsnNone;
+    Prefix router_prefix;
+    std::uint32_t router_count = 64;
+  };
+
+  World(AsRegistry registry, Rib rib, Gfw gfw,
+        std::vector<std::unique_ptr<Deployment>> deployments,
+        std::vector<TransitAs> transits, std::uint64_t seed);
+
+  // --- Probe surface ------------------------------------------------------
+
+  [[nodiscard]] std::optional<IcmpEchoReply> icmp_echo(const Ipv6& target,
+                                                       IcmpEchoRequest req,
+                                                       ScanDate d) const;
+
+  /// Deliver an ICMPv6 Packet Too Big to `target`, updating the PMTU cache
+  /// of the machine behind it (if it exists and honours PTB).
+  void icmp_packet_too_big(const Ipv6& target, IcmpPacketTooBig ptb,
+                           ScanDate d) const;
+
+  [[nodiscard]] std::optional<TcpSynAck> tcp_syn(const Ipv6& target,
+                                                 std::uint16_t port,
+                                                 ScanDate d) const;
+
+  /// UDP/53 query. May return several messages: the GFW races 2-3 injected
+  /// answers against (possibly absent) real ones.
+  [[nodiscard]] std::vector<DnsMessage> dns_query(const Ipv6& target,
+                                                  const DnsQuestion& q,
+                                                  ScanDate d) const;
+
+  [[nodiscard]] std::optional<QuicReply> quic_probe(const Ipv6& target,
+                                                    ScanDate d) const;
+
+  /// ZMap-style binary outcome: did *any* response arrive for this proto?
+  /// (For UDP/53 this includes GFW injections — exactly the bug the paper
+  /// fixes downstream.)
+  [[nodiscard]] bool probe(const Ipv6& target, Proto p, ScanDate d) const;
+
+  struct Hop {
+    Ipv6 addr;
+    bool responds = false;
+    Asn asn = kAsnNone;
+  };
+
+  /// Router-level path from the vantage point toward `target`. The final
+  /// entry is the target itself (responds == reachable via ICMP).
+  [[nodiscard]] std::vector<Hop> path_to(const Ipv6& target, ScanDate d) const;
+
+  /// Addresses visible in public data sources on `d` (all deployments).
+  void enumerate_known(ScanDate d, std::vector<KnownAddress>& out) const;
+
+  // --- Controlled-zone validation experiment -------------------------------
+
+  /// Zone under our control; recursive resolvers hitting it are observable
+  /// on "our name server" via nameserver_log().
+  static constexpr std::string_view kOwnZone = "probe.sixdust.example";
+
+  /// The AAAA record our authoritative server returns for a name in our
+  /// zone (deterministic in the name).
+  [[nodiscard]] static Ipv6 own_zone_answer(std::string_view qname);
+
+  struct NsLogEntry {
+    std::string qname;
+    Ipv6 source;
+  };
+  [[nodiscard]] const std::vector<NsLogEntry>& nameserver_log() const {
+    return ns_log_;
+  }
+  // PMTU caches and the NS log are logically observer-side state of the
+  // mutable-by-design side channels; resetting them does not change the
+  // world itself, hence const.
+  void clear_nameserver_log() const { ns_log_.clear(); }
+  void reset_pmtu() const { pmtu_.clear(); }
+
+  // --- Context ------------------------------------------------------------
+
+  [[nodiscard]] const Rib& rib() const { return rib_; }
+  [[nodiscard]] const AsRegistry& registry() const { return registry_; }
+  [[nodiscard]] const Gfw& gfw() const { return gfw_; }
+  [[nodiscard]] const GeoDb& geo() const { return geo_; }
+
+  /// Is `target` inside a censored (GFW-fronted) network?
+  [[nodiscard]] bool behind_gfw(const Ipv6& target) const;
+
+  // --- Ground-truth hooks (tests / bench calibration only) ----------------
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Deployment>>& deployments()
+      const {
+    return deployments_;
+  }
+  [[nodiscard]] const Deployment* deployment_of(const Ipv6& a) const;
+  [[nodiscard]] std::optional<HostBehavior> truth_host(const Ipv6& a,
+                                                       ScanDate d) const;
+
+ private:
+  AsRegistry registry_;
+  Rib rib_;
+  Gfw gfw_;
+  GeoDb geo_;
+  std::vector<std::unique_ptr<Deployment>> deployments_;
+  std::vector<TransitAs> transits_;
+  std::uint64_t seed_;
+  PrefixTrie<std::size_t> by_prefix_;
+  mutable std::unordered_map<HostKey, std::uint16_t> pmtu_;
+  mutable std::vector<NsLogEntry> ns_log_;
+  // Behaviour memo for the current scan date: the scanner probes each
+  // target once per protocol, so host resolution repeats 5-7x per scan.
+  // Purely a cache of the deterministic host() function.
+  mutable int cache_date_ = -1;
+  mutable std::unordered_map<Ipv6, std::optional<HostBehavior>, Ipv6Hasher>
+      host_cache_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+
+#include "topo/world.hpp"
+
+namespace sixdust {
+
+/// Knobs for the simulated Internet. The defaults reproduce the paper's
+/// measurements at 1:1000 address scale and 1:10 prefix/AS scale; `scale`
+/// shrinks populations further for fast unit tests (it multiplies host,
+/// subnet and router counts, never structural choices).
+struct WorldConfig {
+  std::uint64_t seed = 42;
+  double scale = 1.0;
+
+  /// Procedural long-tail operators (1:10 of the paper's ~22 k input ASes).
+  int tail_as_count = 2000;
+  /// Fraction of tail ASes that run one fully-responsive /64 (middlebox) —
+  /// the organic growth of aliased prefixes between 2018 and 2022.
+  double tail_alias_frac = 0.62;
+  /// Small censored networks beyond the ten named Table-5 ASes.
+  int tail_cn_as_count = 60;
+
+  /// Trafficforce's sudden Feb-2022 appearance (Sec. 5) — scan index 43.
+  bool include_trafficforce = true;
+  int trafficforce_appears = 43;
+
+  /// The GFW injection schedule (Fig. 3's three events by default).
+  Gfw::Config gfw = Gfw::Config::paper_timeline();
+};
+
+/// Build the full simulated Internet with the paper's cast of operators.
+[[nodiscard]] std::unique_ptr<World> build_world(const WorldConfig& cfg);
+
+/// A small world for unit tests (same cast, ~1:10 extra downscale).
+[[nodiscard]] std::unique_ptr<World> build_test_world(std::uint64_t seed = 42);
+
+}  // namespace sixdust

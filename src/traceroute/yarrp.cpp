@@ -1,0 +1,54 @@
+#include "traceroute/yarrp.hpp"
+
+#include <unordered_set>
+
+#include "scanner/cyclic.hpp"
+
+namespace sixdust {
+
+Yarrp::TraceResult Yarrp::trace(const World& world,
+                                std::span<const Ipv6> targets,
+                                ScanDate date) const {
+  TraceResult result;
+  std::unordered_set<Ipv6, Ipv6Hasher> seen;
+
+  // Budget-limited sample in permuted order (stateless, like Yarrp's
+  // random probing order).
+  CyclicPermutation perm(targets.empty() ? 1 : targets.size(),
+                         hash_combine(cfg_.seed, date.index));
+  const std::size_t count =
+      targets.size() < cfg_.target_budget ? targets.size() : cfg_.target_budget;
+
+  for (std::size_t k = 0; k < count; ++k) {
+    const Ipv6& t = targets[perm.next()];
+    ++result.targets_traced;
+    const auto path = world.path_to(t, date);
+
+    // Yarrp sends one probe per TTL in randomized order; we account for
+    // the probes and collect the responsive hops.
+    result.probes_sent += static_cast<std::uint64_t>(
+        path.size() < static_cast<std::size_t>(cfg_.max_ttl)
+            ? path.size()
+            : static_cast<std::size_t>(cfg_.max_ttl));
+
+    const World::Hop* last_responsive = nullptr;
+    bool target_responded = false;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const auto& hop = path[i];
+      if (!hop.responds) continue;
+      const bool is_target = i + 1 == path.size();
+      if (is_target) {
+        target_responded = true;
+      } else {
+        last_responsive = &hop;
+      }
+      if (seen.insert(hop.addr).second)
+        result.responsive_hops.push_back(hop.addr);
+    }
+    if (!target_responded && last_responsive != nullptr)
+      result.last_hops_unreachable.push_back(last_responsive->addr);
+  }
+  return result;
+}
+
+}  // namespace sixdust

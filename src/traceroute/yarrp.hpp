@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topo/world.hpp"
+
+namespace sixdust {
+
+/// Yarrp-style randomized high-speed traceroute. Unlike classic traceroute,
+/// Yarrp probes (target, TTL) pairs in a stateless random permutation and
+/// reconstructs paths afterwards. The hitlist service runs it against every
+/// scan target to harvest router addresses as new input — and this harvest
+/// of rotating last-hop addresses inside censored networks is what fed the
+/// GFW spike (paper Sec. 4.2).
+class Yarrp {
+ public:
+  struct Config {
+    std::uint64_t seed = 9;
+    int max_ttl = 16;
+    /// Per-scan probe budget: at most this many *targets* are traced
+    /// (the real service's multi-day scan runtime translates to a bounded
+    /// traceroute rate).
+    std::size_t target_budget = 20000;
+  };
+
+  struct TraceResult {
+    /// Every responsive hop address discovered, deduplicated.
+    std::vector<Ipv6> responsive_hops;
+    /// Last responsive hop per traced target that did not itself respond.
+    std::vector<Ipv6> last_hops_unreachable;
+    std::size_t targets_traced = 0;
+    std::uint64_t probes_sent = 0;
+  };
+
+  explicit Yarrp(Config cfg) : cfg_(cfg) {}
+
+  /// Trace a sample of `targets` (budget-limited, deterministic sample).
+  [[nodiscard]] TraceResult trace(const World& world,
+                                  std::span<const Ipv6> targets,
+                                  ScanDate date) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace sixdust

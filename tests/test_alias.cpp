@@ -1,0 +1,226 @@
+// Tests for the alias module: candidate construction rules, multi-level
+// detection against ground truth, history merging under loss, TCP
+// fingerprint uniformity, and the Too Big Trick.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "alias/apd.hpp"
+#include "alias/tbt.hpp"
+#include "alias/tcp_fp.hpp"
+#include "topo/aliased_region.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+class AliasTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = build_test_world(41).release(); }
+  static void TearDownTestSuite() { delete world_; }
+
+  /// Ground-truth aliased units at `d` over all deployments.
+  static std::vector<Prefix> truth_units(ScanDate d) {
+    std::vector<Prefix> units;
+    for (const auto& dep : world_->deployments()) {
+      const auto* region = dynamic_cast<const AliasedRegion*>(dep.get());
+      if (region == nullptr) continue;
+      for (const auto& u : region->truth_aliased_units(d)) units.push_back(u);
+    }
+    return units;
+  }
+
+  static const World* world_;
+};
+
+const World* AliasTest::world_ = nullptr;
+
+TEST_F(AliasTest, CandidateRules) {
+  AliasDetector::Config cfg;
+  cfg.long_prefix_min_addrs = 4;
+
+  std::vector<Ipv6> input;
+  // One address in a /64 -> /64 candidate only.
+  input.push_back(ip("2001:db8:1:2::1"));
+  // Five addresses inside one /72 -> /68 and /72 (and deeper) candidates.
+  for (int i = 0; i < 5; ++i)
+    input.push_back(ip("2001:db8:7:7:1100::").plus(static_cast<std::uint64_t>(i)));
+
+  const auto cands =
+      AliasDetector::candidates(world_->rib(), input, cfg);
+  auto has = [&](const char* p) {
+    return std::find(cands.begin(), cands.end(), pfx(p)) != cands.end();
+  };
+  EXPECT_TRUE(has("2001:db8:1:2::/64"));
+  EXPECT_TRUE(has("2001:db8:7:7::/64"));
+  EXPECT_TRUE(has("2001:db8:7:7:1100::/72"));
+  EXPECT_FALSE(has("2001:db8:1:2::/68"));  // below the threshold
+  // BGP prefixes are candidates too.
+  std::size_t bgp_cands = 0;
+  for (const auto& r : world_->rib().routes())
+    if (std::find(cands.begin(), cands.end(), r.prefix) != cands.end())
+      ++bgp_cands;
+  EXPECT_EQ(bgp_cands, world_->rib().prefix_count());
+}
+
+TEST_F(AliasTest, DetectsTruthAliasedUnitsWithInputPresence) {
+  const ScanDate d{45};
+  const auto units = truth_units(d);
+  ASSERT_FALSE(units.empty());
+
+  // Input: one address per truth unit plus unaliased noise.
+  std::vector<Ipv6> input;
+  for (const auto& u : units) input.push_back(u.random_address(0xAB));
+  for (std::uint64_t i = 0; i < 200; ++i)
+    input.push_back(pfx("2600:3c00::/32").random_address(i));  // Linode noise
+
+  AliasDetector det(AliasDetector::Config{.seed = 1, .loss = 0.0});
+  const auto detection = det.detect_once(*world_, input, d);
+
+  // Every truth unit must be covered by a detected aliased prefix.
+  for (const auto& u : units)
+    EXPECT_TRUE(detection.aliased_set.covers(u.random_address(0xCD)))
+        << u.str();
+  // No random Linode noise address may be covered.
+  for (std::uint64_t i = 0; i < 200; ++i)
+    EXPECT_FALSE(
+        detection.aliased_set.covers(pfx("2600:3c00::/32").random_address(i)));
+}
+
+TEST_F(AliasTest, ShorterAliasedPrefixSubsumesContainedCandidates) {
+  const ScanDate d{45};
+  // EpicUp's /28s are whole-prefix aliased and BGP-announced: a /64 inside
+  // must not be reported separately.
+  std::vector<Ipv6> input;
+  Ipv6 base = ip("2602:f000::");
+  base.set_nibble(6, 0);
+  const Prefix epicup = Prefix::make(base, 28);
+  for (int i = 0; i < 5; ++i)
+    input.push_back(epicup.random_address(static_cast<std::uint64_t>(i)));
+
+  AliasDetector det(AliasDetector::Config{.seed = 1, .loss = 0.0});
+  const auto detection = det.detect_once(*world_, input, d);
+  bool found28 = false;
+  for (const auto& p : detection.aliased) {
+    if (p == epicup) found28 = true;
+    if (epicup.contains(p)) {
+      EXPECT_EQ(p.len(), 28) << p.str();
+    }
+  }
+  EXPECT_TRUE(found28);
+}
+
+TEST_F(AliasTest, HistoryMergingRecoversLoss) {
+  const ScanDate d{45};
+  const auto units = truth_units(d);
+  std::vector<Ipv6> input;
+  for (const auto& u : units) input.push_back(u.random_address(0xEF));
+
+  // Single lossy round: some units are missed.
+  AliasDetector lossy_once(AliasDetector::Config{.seed = 2, .loss = 0.25});
+  const auto once = lossy_once.detect_once(*world_, input, d);
+
+  // With history over several rounds, detection converges to complete.
+  AliasDetector lossy_hist(AliasDetector::Config{.seed = 2, .loss = 0.25});
+  AliasDetector::Detection last;
+  for (int round = 0; round < 3; ++round)
+    last = lossy_hist.detect(*world_, input, ScanDate{43 + round});
+
+  std::size_t missed_once = 0;
+  std::size_t missed_hist = 0;
+  for (const auto& u : units) {
+    if (!once.aliased_set.covers(u.random_address(1))) ++missed_once;
+    if (!last.aliased_set.covers(u.random_address(1))) ++missed_hist;
+  }
+  EXPECT_GT(missed_once, 0u);  // 25 % loss definitely breaks single rounds
+  EXPECT_LT(missed_hist, missed_once);
+  EXPECT_LE(missed_hist, units.size() / 50);
+}
+
+TEST_F(AliasTest, TcpFingerprintsUniformWithinAliasedPrefixes) {
+  const ScanDate d{45};
+  std::vector<Prefix> aliased;
+  std::vector<Prefix> multi;
+  for (const auto& dep : world_->deployments()) {
+    const auto* region = dynamic_cast<const AliasedRegion*>(dep.get());
+    if (region == nullptr) continue;
+    if (!mask_has(region->config().protos, Proto::Tcp80)) continue;
+    for (const auto& u : region->truth_aliased_units(d)) {
+      (region->config().mode == AliasMode::MultiHost ? multi : aliased)
+          .push_back(u);
+    }
+  }
+  ASSERT_FALSE(aliased.empty());
+
+  TcpFingerprinter fper(TcpFingerprinter::Config{});
+  const auto uniform_sum = fper.run(*world_, aliased, d);
+  EXPECT_EQ(uniform_sum.fingerprintable, aliased.size());
+  EXPECT_EQ(uniform_sum.uniform, uniform_sum.fingerprintable);
+
+  if (!multi.empty()) {
+    const auto multi_sum = fper.run(*world_, multi, d);
+    EXPECT_EQ(multi_sum.window_differs, multi_sum.fingerprintable);
+    EXPECT_EQ(multi_sum.uniform, 0u);
+  }
+}
+
+TEST_F(AliasTest, TbtDistinguishesHostOrganization) {
+  const ScanDate d{45};
+  world_->reset_pmtu();
+  TooBigTrick tbt(TooBigTrick::Config{});
+
+  for (const auto& dep : world_->deployments()) {
+    const auto* region = dynamic_cast<const AliasedRegion*>(dep.get());
+    if (region == nullptr) continue;
+    const auto& rc = region->config();
+    auto units = region->truth_aliased_units(d);
+    if (units.empty()) continue;
+    if (units.size() > 10) units.resize(10);
+    std::size_t all = 0;
+    std::size_t none = 0;
+    std::size_t partial = 0;
+    std::size_t unusable = 0;
+    for (const auto& u : units) {
+      switch (tbt.test(*world_, u, d).outcome) {
+        case TooBigTrick::Outcome::AllShared: ++all; break;
+        case TooBigTrick::Outcome::NoneShared: ++none; break;
+        case TooBigTrick::Outcome::PartialShared: ++partial; break;
+        case TooBigTrick::Outcome::NotUsable: ++unusable; break;
+      }
+    }
+    const auto label = world_->registry().label(rc.asn);
+    if (!rc.honors_ptb) {
+      EXPECT_EQ(unusable, units.size()) << label;
+      continue;
+    }
+    switch (rc.mode) {
+      case AliasMode::SingleHost:
+        EXPECT_EQ(all, units.size()) << label;
+        break;
+      case AliasMode::LoadBalanced:
+        // Eight probed addresses hash onto k machines: mostly partial
+        // PMTU-cache sharing, occasionally none (all seven follow-ups in
+        // other partitions) — never a full share for k > 1.
+        EXPECT_EQ(all, 0u) << label;
+        EXPECT_GT(partial + none, 0u) << label;
+        if (units.size() >= 5) {
+          EXPECT_GT(partial, 0u) << label;
+        }
+        break;
+      case AliasMode::MultiHost:
+        EXPECT_EQ(none, units.size()) << label;
+        break;
+    }
+  }
+}
+
+TEST_F(AliasTest, TbtNotUsableOnUnresponsiveSpace) {
+  world_->reset_pmtu();
+  TooBigTrick tbt(TooBigTrick::Config{});
+  const auto res = tbt.test(*world_, pfx("2600:3c00:77::/64"), ScanDate{45});
+  EXPECT_EQ(res.outcome, TooBigTrick::Outcome::NotUsable);
+}
+
+}  // namespace
+}  // namespace sixdust

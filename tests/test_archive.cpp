@@ -1,0 +1,105 @@
+// Tests for the service archive: a saved run restores bit-identically for
+// every accessor the analysis layer uses.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "hitlist/archive.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+TEST(Archive, RoundTripsPublishedState) {
+  auto world = build_test_world(81);
+  HitlistService::Config cfg;
+  HitlistService service(cfg);
+  for (int i = 0; i < 10; ++i) service.step(*world, ScanDate{i});
+
+  const std::string path = ::testing::TempDir() + "/sixdust_archive_test.bin";
+  ASSERT_TRUE(ServiceArchive::save(service, 0xF00D, path));
+
+  auto loaded = ServiceArchive::load(cfg, 0xF00D, path);
+  ASSERT_NE(loaded, nullptr);
+
+  // Input list.
+  ASSERT_EQ(loaded->input().size(), service.input().size());
+  for (std::size_t i = 0; i < service.input().addresses().size(); ++i) {
+    const Ipv6& a = service.input().addresses()[i];
+    EXPECT_EQ(loaded->input().addresses()[i], a);
+    const auto* m0 = service.input().find(a);
+    const auto* m1 = loaded->input().find(a);
+    ASSERT_NE(m1, nullptr);
+    EXPECT_EQ(m0->tags, m1->tags);
+    EXPECT_EQ(m0->first_seen, m1->first_seen);
+  }
+
+  // History.
+  ASSERT_EQ(loaded->history().entries().size(),
+            service.history().entries().size());
+  for (int s = 0; s < 10; ++s) {
+    const auto& e0 = service.history().at(s);
+    const auto& e1 = loaded->history().at(s);
+    EXPECT_EQ(e0.responsive, e1.responsive);
+    EXPECT_EQ(e0.input_total, e1.input_total);
+    EXPECT_EQ(e0.scan_targets, e1.scan_targets);
+    EXPECT_EQ(e0.aliased_prefixes, e1.aliased_prefixes);
+  }
+
+  // Aliased prefixes (current + per-scan) and the coverage set.
+  EXPECT_EQ(loaded->aliased_list(), service.aliased_list());
+  ASSERT_EQ(loaded->aliased_per_scan().size(),
+            service.aliased_per_scan().size());
+  for (const auto& p : service.aliased_list())
+    EXPECT_TRUE(loaded->aliased().covers(p.random_address(1)));
+
+  // Exclusion pool.
+  EXPECT_EQ(loaded->unresponsive_pool(), service.unresponsive_pool());
+  for (const auto& a : service.unresponsive_pool())
+    EXPECT_TRUE(loaded->excluded(a));
+
+  // GFW taint.
+  EXPECT_EQ(loaded->gfw().tainted_count(), service.gfw().tainted_count());
+  for (const auto& [a, rec] : service.gfw().taint_records()) {
+    ASSERT_TRUE(loaded->gfw().tainted(a));
+    const auto& r1 = loaded->gfw().taint_records().at(a);
+    EXPECT_EQ(r1.first_scan, rec.first_scan);
+    EXPECT_EQ(r1.saw_a_record, rec.saw_a_record);
+    EXPECT_EQ(r1.saw_teredo, rec.saw_teredo);
+    EXPECT_EQ(r1.max_responses, rec.max_responses);
+  }
+
+  // Cleaned counts — the analysis benches' core query — must agree.
+  for (int s = 0; s < 10; ++s) {
+    const auto c0 = service.history().counts(s, &service.gfw());
+    const auto c1 = loaded->history().counts(s, &loaded->gfw());
+    EXPECT_EQ(c0.any, c1.any);
+    EXPECT_EQ(c0.per_proto, c1.per_proto);
+  }
+
+  std::remove(path.c_str());
+}
+
+TEST(Archive, RejectsWrongFingerprintAndMissingFile) {
+  auto world = build_test_world(82);
+  HitlistService::Config cfg;
+  HitlistService service(cfg);
+  service.step(*world, ScanDate{0});
+  const std::string path = ::testing::TempDir() + "/sixdust_archive_fp.bin";
+  ASSERT_TRUE(ServiceArchive::save(service, 1, path));
+  EXPECT_EQ(ServiceArchive::load(cfg, 2, path), nullptr);
+  EXPECT_EQ(ServiceArchive::load(cfg, 1, path + ".nope"), nullptr);
+  // Truncated file.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_EQ(ServiceArchive::load(cfg, 1, path), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sixdust

@@ -1,0 +1,55 @@
+// Tests for the CLI argument parser shared by the sixdust-* tools.
+
+#include <gtest/gtest.h>
+
+#include "cli.hpp"
+
+namespace sixdust {
+namespace {
+
+cli::Args parse(std::vector<std::string> argv) {
+  std::vector<char*> raw;
+  static std::vector<std::string> storage;
+  storage = std::move(argv);
+  raw.push_back(const_cast<char*>("tool"));
+  for (auto& s : storage) raw.push_back(s.data());
+  return cli::Args(static_cast<int>(raw.size()), raw.data());
+}
+
+TEST(Cli, SpaceAndEqualsForms) {
+  const auto args = parse({"--scans", "12", "--world-scale=0.5"});
+  EXPECT_EQ(args.get_u64("scans", 0), 12u);
+  EXPECT_DOUBLE_EQ(args.get_double("world-scale", 0), 0.5);
+}
+
+TEST(Cli, BareFlagsAndDefaults) {
+  const auto args = parse({"--verify", "--out", "x.txt"});
+  EXPECT_TRUE(args.has("verify"));
+  EXPECT_EQ(args.get("verify"), "true");
+  EXPECT_EQ(args.get("out"), "x.txt");
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(args.get_u64("missing", 7), 7u);
+}
+
+TEST(Cli, FlagFollowedByFlagIsBare) {
+  const auto args = parse({"--verify", "--scan", "--out", "f"});
+  EXPECT_EQ(args.get("verify"), "true");
+  EXPECT_EQ(args.get("scan"), "true");
+  EXPECT_EQ(args.get("out"), "f");
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto args = parse({"one", "--k", "v", "two"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "one");
+  EXPECT_EQ(args.positional()[1], "two");
+}
+
+TEST(Cli, LaterValueWins) {
+  const auto args = parse({"--seed", "1", "--seed", "2"});
+  EXPECT_EQ(args.get_u64("seed", 0), 2u);
+}
+
+}  // namespace
+}  // namespace sixdust

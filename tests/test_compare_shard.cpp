@@ -1,0 +1,106 @@
+// Tests for scan sharding (distributed ZMap) and the service-diff
+// maintenance tooling.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hitlist/compare.hpp"
+#include "scanner/zmap6.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+TEST(Sharding, UnionOfShardsEqualsFullScan) {
+  auto world = build_test_world(130);
+  std::vector<KnownAddress> known;
+  world->enumerate_known(ScanDate{0}, known);
+  std::vector<Ipv6> targets;
+  for (const auto& k : known) targets.push_back(k.addr);
+  ASSERT_GT(targets.size(), 100u);
+
+  Zmap6 zmap(Zmap6::Config{.seed = 3, .loss = 0.0});
+  const auto full = zmap.scan(*world, targets, Proto::Icmp, ScanDate{0});
+
+  const std::uint32_t shards = 4;
+  std::unordered_set<Ipv6, Ipv6Hasher> merged;
+  std::uint64_t probes = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const auto part =
+        zmap.scan_shard(*world, targets, Proto::Icmp, ScanDate{0}, s, shards);
+    probes += part.probes_sent;
+    for (const auto& rec : part.responsive) {
+      // Shards are disjoint.
+      EXPECT_TRUE(merged.insert(rec.target).second) << rec.target.str();
+    }
+  }
+  EXPECT_EQ(probes, full.probes_sent);
+  EXPECT_EQ(merged.size(), full.responsive.size());
+  for (const auto& rec : full.responsive)
+    EXPECT_TRUE(merged.contains(rec.target));
+}
+
+TEST(Sharding, ShardsAreBalanced) {
+  auto world = build_test_world(130);
+  std::vector<Ipv6> targets;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    targets.push_back(pfx("2600:3c00::/32").random_address(i));
+  Zmap6 zmap(Zmap6::Config{.seed = 3, .loss = 0.0});
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    const auto part =
+        zmap.scan_shard(*world, targets, Proto::Icmp, ScanDate{0}, s, 3);
+    EXPECT_NEAR(static_cast<double>(part.probes_sent), 1000.0 / 3, 1.0);
+  }
+}
+
+TEST(Sharding, InvalidShardYieldsNothing) {
+  auto world = build_test_world(130);
+  std::vector<Ipv6> targets = {ip("2600:3c00::1")};
+  Zmap6 zmap(Zmap6::Config{});
+  EXPECT_EQ(zmap.scan_shard(*world, targets, Proto::Icmp, ScanDate{0}, 5, 4)
+                .probes_sent,
+            0u);
+  EXPECT_EQ(zmap.scan_shard(*world, targets, Proto::Icmp, ScanDate{0}, 0, 0)
+                .probes_sent,
+            0u);
+}
+
+TEST(ServiceDiffTool, DetectsGrowthBetweenRuns) {
+  auto world = build_test_world(131);
+  HitlistService early{HitlistService::Config{}};
+  for (int i = 0; i < 3; ++i) early.step(*world, ScanDate{i});
+  HitlistService late{HitlistService::Config{}};
+  for (int i = 0; i < 10; ++i) late.step(*world, ScanDate{i});
+
+  const auto diff = diff_services(early, late, world->rib());
+  EXPECT_EQ(diff.before_responsive, early.history().counts(2).any);
+  EXPECT_GT(diff.after_responsive, 0u);
+  // The longer run discovered addresses the short one never saw.
+  EXPECT_FALSE(diff.gained.empty());
+  EXPECT_GE(diff.after_ases, diff.before_ases / 2);
+  EXPECT_GT(diff.aliased_delta, 0);   // alias knowledge accumulates
+  EXPECT_GT(diff.excluded_delta, 0);  // so does the exclusion pool
+
+  const auto text = diff.summary(world->registry());
+  EXPECT_NE(text.find("responsive:"), std::string::npos);
+  EXPECT_NE(text.find("AS coverage:"), std::string::npos);
+}
+
+TEST(ServiceDiffTool, IdenticalRunsDiffEmpty) {
+  auto world = build_test_world(132);
+  HitlistService a{HitlistService::Config{}};
+  HitlistService b{HitlistService::Config{}};
+  for (int i = 0; i < 4; ++i) {
+    a.step(*world, ScanDate{i});
+    b.step(*world, ScanDate{i});
+  }
+  const auto diff = diff_services(a, b, world->rib());
+  EXPECT_TRUE(diff.gained.empty());
+  EXPECT_TRUE(diff.lost.empty());
+  EXPECT_EQ(diff.aliased_delta, 0);
+  EXPECT_EQ(diff.tainted_delta, 0);
+}
+
+}  // namespace
+}  // namespace sixdust

@@ -1,0 +1,140 @@
+// Tests for the dns module: the domain universe, AAAA/NS/MX resolution,
+// hosting assignment, and the synthetic top lists.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dns/zonedb.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+class ZoneDbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = build_test_world(61).release();
+    ZoneDb::Config cfg;
+    cfg.domain_count = 30000;
+    cfg.toplist_size = 1000;
+    zones_ = new ZoneDb(world_, cfg);
+  }
+  static void TearDownTestSuite() {
+    delete zones_;
+    delete world_;
+  }
+  static const World* world_;
+  static const ZoneDb* zones_;
+};
+
+const World* ZoneDbTest::world_ = nullptr;
+const ZoneDb* ZoneDbTest::zones_ = nullptr;
+
+TEST_F(ZoneDbTest, DomainNamesAreWellFormed) {
+  EXPECT_EQ(zones_->domain_name(0), "site0.com");
+  EXPECT_EQ(zones_->domain_name(7), "site7.net");
+  EXPECT_NE(zones_->domain_name(1), zones_->domain_name(2));
+}
+
+TEST_F(ZoneDbTest, ResolutionIsDeterministicAndConsistentWithHosting) {
+  const ScanDate d{10};
+  std::size_t with_aaaa = 0;
+  for (std::uint32_t id = 0; id < 2000; ++id) {
+    const auto a1 = zones_->resolve_aaaa(id, d);
+    const auto a2 = zones_->resolve_aaaa(id, d);
+    EXPECT_EQ(a1, a2);
+    if (!a1) {
+      // Either IPv4-only, or hosted on an operator that has not deployed
+      // IPv6 yet at this date (tail operators appear over time).
+      continue;
+    }
+    ++with_aaaa;
+    const Deployment* dep = zones_->hosting(id);
+    ASSERT_NE(dep, nullptr);
+    bool inside = false;
+    for (const auto& p : dep->prefixes())
+      if (p.contains(*a1)) inside = true;
+    EXPECT_TRUE(inside) << a1->str();
+  }
+  EXPECT_GT(with_aaaa, 200u);
+  EXPECT_LT(with_aaaa, 2000u);  // IPv4-only domains exist
+}
+
+TEST_F(ZoneDbTest, CdnResolutionsRotateBetweenScans) {
+  std::size_t rotating = 0;
+  std::size_t cdn_domains = 0;
+  for (std::uint32_t id = 0; id < 5000 && cdn_domains < 50; ++id) {
+    const Deployment* dep = zones_->hosting(id);
+    if (dep == nullptr || !dep->fully_responsive()) continue;
+    ++cdn_domains;
+    const auto a = zones_->resolve_aaaa(id, ScanDate{1});
+    const auto b = zones_->resolve_aaaa(id, ScanDate{2});
+    if (a != b) ++rotating;
+  }
+  ASSERT_GT(cdn_domains, 10u);
+  EXPECT_GT(rotating, cdn_domains / 2);
+}
+
+TEST_F(ZoneDbTest, NsMxConcentrateOnAmazon) {
+  const ScanDate d{10};
+  std::size_t amazon = 0;
+  std::size_t total = 0;
+  for (std::uint32_t id = 0; id < 3000; ++id) {
+    const auto ns = zones_->resolve_ns(id, d);
+    if (!ns) continue;
+    ++total;
+    if (world_->rib().origin(*ns) == std::optional<Asn>{kAsAmazon}) ++amazon;
+  }
+  ASSERT_GT(total, 1000u);
+  const double share = static_cast<double>(amazon) / static_cast<double>(total);
+  EXPECT_GT(share, 0.5);  // paper: 71 % of NS/MX addresses in Amazon
+  EXPECT_LT(share, 0.9);
+}
+
+TEST_F(ZoneDbTest, NsPoolIsShared) {
+  const ScanDate d{10};
+  std::set<Ipv6> ns_addrs;
+  for (std::uint32_t id = 0; id < 5000; ++id) {
+    if (auto ns = zones_->resolve_ns(id, d)) ns_addrs.insert(*ns);
+  }
+  // Many domains, few name servers.
+  EXPECT_LE(ns_addrs.size(), 520u);
+  EXPECT_GE(ns_addrs.size(), 50u);
+}
+
+TEST_F(ZoneDbTest, TopListsBiasTowardCdns) {
+  const auto measure = [&](ZoneDb::TopList list) {
+    const auto& ids = zones_->toplist(list);
+    EXPECT_EQ(ids.size(), 1000u);
+    std::size_t cdn = 0;
+    for (auto id : ids) {
+      const Deployment* dep = zones_->hosting(id);
+      if (dep != nullptr && dep->fully_responsive()) ++cdn;
+    }
+    return static_cast<double>(cdn) / static_cast<double>(ids.size());
+  };
+  const double alexa = measure(ZoneDb::TopList::Alexa);
+  const double majestic = measure(ZoneDb::TopList::Majestic);
+  const double umbrella = measure(ZoneDb::TopList::Umbrella);
+  // Paper: 17.7 % / 17.0 % / 11.8 % of top-list domains in aliased space.
+  EXPECT_GT(alexa, 0.10);
+  EXPECT_LT(alexa, 0.30);
+  EXPECT_GT(umbrella, 0.05);
+  EXPECT_LT(umbrella, alexa);
+  EXPECT_NEAR(majestic, alexa, 0.08);
+}
+
+TEST_F(ZoneDbTest, TopListsAreStable) {
+  const auto& a = zones_->toplist(ZoneDb::TopList::Alexa);
+  const auto& b = zones_->toplist(ZoneDb::TopList::Alexa);
+  EXPECT_EQ(&a, &b);
+  ZoneDb::Config cfg;
+  cfg.domain_count = 30000;
+  cfg.toplist_size = 1000;
+  ZoneDb other(world_, cfg);
+  EXPECT_EQ(other.toplist(ZoneDb::TopList::Alexa), a);
+}
+
+}  // namespace
+}  // namespace sixdust

@@ -1,0 +1,77 @@
+// Tests for the GFW era statistics.
+
+#include <gtest/gtest.h>
+
+#include "gfw/era_stats.hpp"
+#include "hitlist/service.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+TEST(GfwEraStats, ClassifiesEraMembership) {
+  GfwFilter filter;
+  GfwFilter::TaintRecord a;
+  a.addr = ip("240e::1");
+  a.first_scan = 9;
+  a.saw_a_record = true;
+  a.max_responses = 3;
+  filter.restore_taint(a);
+
+  GfwFilter::TaintRecord t;
+  t.addr = ip("240e::2");
+  t.first_scan = 35;
+  t.saw_teredo = true;
+  t.max_responses = 440;
+  filter.restore_taint(t);
+
+  GfwFilter::TaintRecord both;
+  both.addr = ip("240e::3");
+  both.first_scan = 9;
+  both.saw_a_record = true;
+  both.saw_teredo = true;
+  both.max_responses = 2;
+  filter.restore_taint(both);
+
+  const auto stats = gfw_era_stats(filter);
+  EXPECT_EQ(stats.total, 3u);
+  EXPECT_EQ(stats.a_record_only, 1u);
+  EXPECT_EQ(stats.teredo_only, 1u);
+  EXPECT_EQ(stats.both_eras, 1u);
+  EXPECT_EQ(stats.max_responses, 440);
+  EXPECT_NEAR(stats.mean_responses, (3 + 440 + 2) / 3.0, 1e-9);
+  EXPECT_EQ(stats.first_seen_histogram.at(9), 2u);
+  EXPECT_EQ(stats.first_seen_histogram.at(35), 1u);
+
+  const auto text = stats.summary();
+  EXPECT_NE(text.find("worst 440"), std::string::npos);
+  EXPECT_NE(text.find("Teredo era only: 1"), std::string::npos);
+}
+
+TEST(GfwEraStats, EmptyFilter) {
+  GfwFilter filter;
+  const auto stats = gfw_era_stats(filter);
+  EXPECT_EQ(stats.total, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_responses, 0.0);
+  EXPECT_TRUE(stats.first_seen_histogram.empty());
+}
+
+TEST(GfwEraStats, EndToEndErasMatchTheSchedule) {
+  auto world = build_test_world(140);
+  HitlistService service{HitlistService::Config{}};
+  // Run through the first A-record event (scans 8-11) only.
+  for (int i = 0; i <= 13; ++i) service.step(*world, ScanDate{i});
+  const auto stats = gfw_era_stats(service.gfw());
+  ASSERT_GT(stats.total, 0u);
+  EXPECT_EQ(stats.teredo_only, 0u);  // the Teredo era starts at scan 31
+  EXPECT_EQ(stats.both_eras, 0u);
+  EXPECT_GE(stats.mean_responses, 2.0);  // multiple injectors race
+  // First-seen scans sit inside the event window.
+  for (const auto& [scan, count] : stats.first_seen_histogram) {
+    EXPECT_GE(scan, 8);
+    EXPECT_LE(scan, 11);
+  }
+}
+
+}  // namespace
+}  // namespace sixdust

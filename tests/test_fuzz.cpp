@@ -1,0 +1,199 @@
+// Randomized differential tests: the prefix trie against a naive
+// reference, the IPv6 codec against the platform's inet_pton/inet_ntop,
+// and prefix arithmetic against bit-level reference implementations.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix_trie.hpp"
+#include "netbase/rng.hpp"
+
+namespace sixdust {
+namespace {
+
+Ipv6 random_addr(Rng& rng) { return Ipv6::from_words(rng.next(), rng.next()); }
+
+/// Random prefix with a bias toward realistic lengths.
+Prefix random_prefix(Rng& rng) {
+  static constexpr int kLens[] = {16, 24, 28, 32, 40, 48, 56, 64, 96, 128};
+  return Prefix::make(random_addr(rng), kLens[rng.below(10)]);
+}
+
+struct NaiveLpm {
+  std::vector<std::pair<Prefix, int>> entries;
+
+  void insert(const Prefix& p, int v) {
+    for (auto& [q, qv] : entries) {
+      if (q == p) {
+        qv = v;
+        return;
+      }
+    }
+    entries.emplace_back(p, v);
+  }
+
+  [[nodiscard]] std::optional<int> longest_match(const Ipv6& a) const {
+    std::optional<int> best;
+    int best_len = -1;
+    for (const auto& [p, v] : entries) {
+      if (p.contains(a) && p.len() > best_len) {
+        best_len = p.len();
+        best = v;
+      }
+    }
+    return best;
+  }
+};
+
+class TrieFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrieFuzz, MatchesNaiveReference) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  PrefixTrie<int> trie;
+  NaiveLpm naive;
+  const int n = GetParam();
+  std::vector<Prefix> inserted;
+  for (int i = 0; i < n; ++i) {
+    const Prefix p = random_prefix(rng);
+    trie.insert(p, i);
+    naive.insert(p, i);
+    inserted.push_back(p);
+  }
+  // Probe random addresses plus addresses inside inserted prefixes (to
+  // exercise matches at all depths).
+  for (int i = 0; i < 400; ++i) {
+    Ipv6 probe = random_addr(rng);
+    if (i % 2 == 0 && !inserted.empty())
+      probe = inserted[rng.below(inserted.size())].random_address(rng.next());
+    const auto got = trie.longest_match(probe);
+    const auto want = naive.longest_match(probe);
+    ASSERT_EQ(got.has_value(), want.has_value()) << probe.str();
+    if (got) {
+      EXPECT_EQ(*got->value, *want) << probe.str();
+    }
+  }
+  // Exact lookups agree for every inserted prefix.
+  for (const auto& [p, v] : naive.entries) {
+    const int* got = trie.exact(p);
+    ASSERT_NE(got, nullptr) << p.str();
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_EQ(trie.size(), naive.entries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, TrieFuzz,
+                         ::testing::Values(1, 5, 25, 100, 500));
+
+TEST(Ipv6Fuzz, FormatAgreesWithInetNtop) {
+  Rng rng(77);
+  for (int i = 0; i < 3000; ++i) {
+    Ipv6 a = random_addr(rng);
+    // Mix in zero-heavy addresses to stress the compression rules.
+    if (i % 3 == 0) {
+      for (int b = 0; b < 96; ++b)
+        a.set_bit(static_cast<int>(rng.below(128)), false);
+    }
+    unsigned char bytes[16];
+    for (int b = 0; b < 16; ++b) bytes[b] = a.byte(b);
+    char buf[INET6_ADDRSTRLEN];
+    ASSERT_NE(inet_ntop(AF_INET6, bytes, buf, sizeof buf), nullptr);
+    EXPECT_EQ(a.str(), buf);
+  }
+}
+
+TEST(Ipv6Fuzz, ParseAgreesWithInetPton) {
+  Rng rng(78);
+  for (int i = 0; i < 3000; ++i) {
+    // Round trip through the platform's formatter, then compare parsers.
+    Ipv6 a = random_addr(rng);
+    if (i % 2 == 0) a = Ipv6::from_words(a.hi() & 0xffff, a.lo() & 0xff);
+    unsigned char bytes[16];
+    for (int b = 0; b < 16; ++b) bytes[b] = a.byte(b);
+    char buf[INET6_ADDRSTRLEN];
+    ASSERT_NE(inet_ntop(AF_INET6, bytes, buf, sizeof buf), nullptr);
+    const auto parsed = Ipv6::parse(buf);
+    ASSERT_TRUE(parsed.has_value()) << buf;
+    EXPECT_EQ(*parsed, a) << buf;
+  }
+}
+
+TEST(Ipv6Fuzz, ParseRejectsWhatInetPtonRejects) {
+  // Textual mutations of valid addresses: both parsers must agree on
+  // acceptance (our parser must not be more lenient).
+  Rng rng(79);
+  const char kMutations[] = ":gx.12345";
+  for (int i = 0; i < 2000; ++i) {
+    unsigned char bytes[16];
+    const Ipv6 a = random_addr(rng);
+    for (int b = 0; b < 16; ++b) bytes[b] = a.byte(b);
+    char buf[INET6_ADDRSTRLEN];
+    ASSERT_NE(inet_ntop(AF_INET6, bytes, buf, sizeof buf), nullptr);
+    std::string text = buf;
+    // Mutate one character.
+    text[rng.below(text.size())] =
+        kMutations[rng.below(sizeof kMutations - 1)];
+    unsigned char out[16];
+    const bool pton_ok = inet_pton(AF_INET6, text.c_str(), out) == 1;
+    const bool ours_ok = Ipv6::parse(text).has_value();
+    if (!pton_ok) {
+      EXPECT_FALSE(ours_ok) << text;
+    } else {
+      EXPECT_TRUE(ours_ok) << text;
+    }
+  }
+}
+
+TEST(PrefixFuzz, MaskMatchesBitReference) {
+  Rng rng(80);
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv6 a = random_addr(rng);
+    const int len = static_cast<int>(rng.below(129));
+    const Ipv6 masked = Prefix::mask(a, len);
+    for (int b = 0; b < 128; ++b) {
+      if (b < len) {
+        EXPECT_EQ(masked.bit(b), a.bit(b)) << len << " bit " << b;
+      } else {
+        EXPECT_FALSE(masked.bit(b)) << len << " bit " << b;
+      }
+    }
+  }
+}
+
+TEST(PrefixFuzz, ContainmentIsConsistentWithMask) {
+  Rng rng(81);
+  for (int i = 0; i < 2000; ++i) {
+    const Prefix p = random_prefix(rng);
+    const Ipv6 inside = p.random_address(rng.next());
+    EXPECT_TRUE(p.contains(inside));
+    // An address differing in a covered bit is outside.
+    if (p.len() > 0) {
+      Ipv6 outside = inside;
+      const int flip = static_cast<int>(rng.below(static_cast<std::uint64_t>(p.len())));
+      outside.set_bit(flip, !outside.bit(flip));
+      EXPECT_FALSE(p.contains(outside));
+    }
+    // last() is inside, last()+1 is outside (unless ::/0).
+    EXPECT_TRUE(p.contains(p.last()));
+    if (p.len() > 0 && p.last() != Ipv6::from_words(~0ULL, ~0ULL)) {
+      EXPECT_FALSE(p.contains(p.last().plus(1)));
+    }
+  }
+}
+
+TEST(PrefixFuzz, StringRoundTrip) {
+  Rng rng(82);
+  for (int i = 0; i < 2000; ++i) {
+    const Prefix p = random_prefix(rng);
+    const auto back = Prefix::parse(p.str());
+    ASSERT_TRUE(back.has_value()) << p.str();
+    EXPECT_EQ(*back, p);
+  }
+}
+
+}  // namespace
+}  // namespace sixdust

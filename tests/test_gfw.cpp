@@ -1,0 +1,172 @@
+// Tests for the GFW detector and filter: classification of injected
+// observations, filtering semantics (keep targets with genuine answers),
+// taint accumulation for the historical cleaning.
+
+#include <gtest/gtest.h>
+
+#include "gfw/detector.hpp"
+#include "topo/gfw.hpp"
+
+namespace sixdust {
+namespace {
+
+DnsObservation clean_obs() {
+  DnsObservation obs;
+  obs.response_count = 1;
+  obs.clean_aaaa = true;
+  return obs;
+}
+
+DnsObservation a_injected_obs() {
+  DnsObservation obs;
+  obs.response_count = 3;
+  obs.a_answer_to_aaaa = true;
+  obs.embedded_v4 = {Ipv4{0x9DF00001}};
+  return obs;
+}
+
+DnsObservation teredo_obs() {
+  DnsObservation obs;
+  obs.response_count = 2;
+  obs.teredo_aaaa = true;
+  obs.embedded_v4 = {Ipv4{0x0D6B1234}};
+  return obs;
+}
+
+TEST(GfwDetector, ClassifiesObservations) {
+  EXPECT_EQ(classify_dns(clean_obs()), DnsVerdict::Genuine);
+  EXPECT_EQ(classify_dns(a_injected_obs()), DnsVerdict::InjectedA);
+  EXPECT_EQ(classify_dns(teredo_obs()), DnsVerdict::InjectedTeredo);
+  EXPECT_FALSE(is_injected(DnsVerdict::Genuine));
+  EXPECT_TRUE(is_injected(DnsVerdict::InjectedA));
+  EXPECT_TRUE(is_injected(DnsVerdict::InjectedTeredo));
+
+  // An error-status response without answers is genuine (the 93.8 % case).
+  DnsObservation refused;
+  refused.response_count = 1;
+  refused.rcode = Rcode::Refused;
+  EXPECT_EQ(classify_dns(refused), DnsVerdict::Genuine);
+}
+
+ScanResult make_scan(int scan_index, std::vector<ScanRecord> records) {
+  ScanResult r;
+  r.proto = Proto::Udp53;
+  r.date = ScanDate{scan_index};
+  r.responsive = std::move(records);
+  return r;
+}
+
+ScanRecord rec_with(const Ipv6& a, DnsObservation obs) {
+  ScanRecord rec;
+  rec.target = a;
+  rec.dns = std::move(obs);
+  return rec;
+}
+
+TEST(GfwFilter, DropsInjectedKeepsGenuine) {
+  GfwFilter filter;
+  const Ipv6 injected = ip("240e::1");
+  const Ipv6 genuine = ip("2001:db8::1");
+  const auto kept = filter.filter_scan(make_scan(
+      40, {rec_with(injected, teredo_obs()), rec_with(genuine, clean_obs())}));
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].target, genuine);
+  EXPECT_TRUE(filter.tainted(injected));
+  EXPECT_FALSE(filter.tainted(genuine));
+}
+
+TEST(GfwFilter, KeepsTargetWhenGenuineAnswerRacesInjection) {
+  GfwFilter filter;
+  const Ipv6 target = ip("240e::2");
+  DnsObservation obs = teredo_obs();
+  obs.clean_aaaa = true;  // real answer raced the injectors
+  const auto kept = filter.filter_scan(make_scan(40, {rec_with(target, obs)}));
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_TRUE(filter.tainted(target));  // still recorded as injection-prone
+}
+
+TEST(GfwFilter, TaintRecordsAccumulateAcrossScans) {
+  GfwFilter filter;
+  const Ipv6 target = ip("240e::3");
+  filter.observe_scan(make_scan(9, {rec_with(target, a_injected_obs())}));
+  filter.observe_scan(make_scan(35, {rec_with(target, teredo_obs())}));
+  ASSERT_TRUE(filter.tainted(target));
+  const auto& rec = filter.taint_records().at(target);
+  EXPECT_EQ(rec.first_scan, 9);
+  EXPECT_TRUE(rec.saw_a_record);
+  EXPECT_TRUE(rec.saw_teredo);
+  EXPECT_EQ(rec.max_responses, 3);
+  EXPECT_EQ(filter.injected_at(9).size(), 1u);
+  EXPECT_EQ(filter.injected_at(35).size(), 1u);
+  EXPECT_TRUE(filter.injected_at(10).empty());
+}
+
+TEST(GfwFilter, RecordsWithoutDnsObservationAreDropped) {
+  GfwFilter filter;
+  ScanRecord no_dns;
+  no_dns.target = ip("2001:db8::9");
+  const auto kept = filter.filter_scan(make_scan(1, {no_dns}));
+  EXPECT_TRUE(kept.empty());
+  EXPECT_EQ(filter.tainted_count(), 0u);
+}
+
+TEST(GfwModel, EraSchedule) {
+  Gfw gfw(Gfw::Config::paper_timeline());
+  EXPECT_EQ(gfw.era_at(ScanDate{0}), Gfw::Era::Off);
+  EXPECT_EQ(gfw.era_at(ScanDate{9}), Gfw::Era::ARecord);
+  EXPECT_EQ(gfw.era_at(ScanDate{15}), Gfw::Era::Off);
+  EXPECT_EQ(gfw.era_at(ScanDate{21}), Gfw::Era::ARecord);
+  EXPECT_EQ(gfw.era_at(ScanDate{35}), Gfw::Era::Teredo);
+  EXPECT_TRUE(gfw.active(ScanDate{44}));
+  EXPECT_TRUE(gfw.blocked("www.google.com"));
+  EXPECT_TRUE(gfw.blocked("maps.www.google.com"));
+  EXPECT_FALSE(gfw.blocked("example.com"));
+}
+
+TEST(GfwModel, InjectionMatchesEraPayload) {
+  Gfw gfw(Gfw::Config::paper_timeline());
+  const DnsQuestion q{"www.google.com", RrType::AAAA};
+  const Ipv6 target = ip("240e::42");
+
+  const auto a_era = gfw.inject(target, q, ScanDate{9});
+  ASSERT_GE(a_era.size(), 2u);
+  for (const auto& m : a_era) {
+    ASSERT_EQ(m.answers.size(), 1u);
+    EXPECT_EQ(m.answers[0].type, RrType::A);
+  }
+
+  const auto teredo_era = gfw.inject(target, q, ScanDate{40});
+  ASSERT_GE(teredo_era.size(), 2u);
+  for (const auto& m : teredo_era) {
+    ASSERT_EQ(m.answers.size(), 1u);
+    ASSERT_EQ(m.answers[0].type, RrType::AAAA);
+    const auto& v6 = std::get<Ipv6>(m.answers[0].rdata);
+    EXPECT_TRUE(is_teredo(v6));
+  }
+
+  EXPECT_TRUE(gfw.inject(target, q, ScanDate{15}).empty());
+  EXPECT_TRUE(
+      gfw.inject(target, DnsQuestion{"example.com", RrType::AAAA}, ScanDate{40})
+          .empty());
+}
+
+TEST(GfwModel, EndToEndDetectorCatchesInjection) {
+  // The injected payloads must be exactly what the detector keys on.
+  Gfw gfw(Gfw::Config::paper_timeline());
+  const DnsQuestion q{"www.google.com", RrType::AAAA};
+  for (int scan : {9, 21, 35, 44}) {
+    for (std::uint64_t t = 0; t < 50; ++t) {
+      const Ipv6 target = pfx("240e::/24").random_address(t);
+      const auto responses = gfw.inject(target, q, ScanDate{scan});
+      if (responses.empty()) continue;
+      const auto obs = observe_dns(responses, q);
+      EXPECT_TRUE(is_injected(classify_dns(obs)))
+          << "scan " << scan << " target " << target.str();
+      EXPECT_GE(obs.response_count, 2);
+      EXPECT_FALSE(obs.embedded_v4.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sixdust

@@ -1,0 +1,261 @@
+// Tests for the hitlist module: input accumulation, source collection,
+// history bookkeeping (counts / cumulative / churn / cleaning), and the
+// full service pipeline on a small world.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hitlist/discovery.hpp"
+#include "hitlist/service.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+TEST(InputDb, AccumulatesWithTagsAndFirstSeen) {
+  InputDb db;
+  EXPECT_TRUE(db.add(ip("2001:db8::1"), kSrcDnsAaaa, 3));
+  EXPECT_FALSE(db.add(ip("2001:db8::1"), kSrcTraceroute, 7));
+  EXPECT_TRUE(db.add(ip("2001:db8::2"), kSrcRdns, 7));
+  EXPECT_EQ(db.size(), 2u);
+  const auto* meta = db.find(ip("2001:db8::1"));
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->first_seen, 3);
+  EXPECT_EQ(meta->tags, kSrcDnsAaaa | kSrcTraceroute);
+  EXPECT_EQ(db.addresses()[0], ip("2001:db8::1"));
+  EXPECT_FALSE(db.contains(ip("2001:db8::3")));
+}
+
+History::Entry entry_of(int scan,
+                        std::vector<std::pair<Ipv6, ProtoMask>> rows) {
+  History::Entry e;
+  e.scan_index = scan;
+  e.responsive = std::move(rows);
+  return e;
+}
+
+TEST(HistoryStore, CountsPerProtocol) {
+  History h;
+  h.record(entry_of(0, {{ip("::1"), proto_bit(Proto::Icmp)},
+                        {ip("::2"), static_cast<ProtoMask>(
+                                        proto_bit(Proto::Icmp) |
+                                        proto_bit(Proto::Tcp80))}}));
+  const auto c = h.counts(0);
+  EXPECT_EQ(c.any, 2u);
+  EXPECT_EQ(c.per_proto[proto_index(Proto::Icmp)], 2u);
+  EXPECT_EQ(c.per_proto[proto_index(Proto::Tcp80)], 1u);
+  EXPECT_EQ(c.per_proto[proto_index(Proto::Udp53)], 0u);
+}
+
+TEST(HistoryStore, CumulativeUnionsScans) {
+  History h;
+  h.record(entry_of(0, {{ip("::1"), proto_bit(Proto::Icmp)}}));
+  h.record(entry_of(1, {{ip("::2"), proto_bit(Proto::Icmp)}}));
+  h.record(entry_of(2, {{ip("::1"), proto_bit(Proto::Tcp80)}}));
+  const auto c = h.cumulative(2);
+  EXPECT_EQ(c.any, 2u);
+  EXPECT_EQ(c.per_proto[proto_index(Proto::Icmp)], 2u);
+  EXPECT_EQ(c.per_proto[proto_index(Proto::Tcp80)], 1u);
+  EXPECT_EQ(h.cumulative(1).any, 2u);
+  EXPECT_EQ(h.cumulative(0).any, 1u);
+}
+
+TEST(HistoryStore, ChurnDecomposition) {
+  History h;
+  h.record(entry_of(0, {{ip("::1"), 1}, {ip("::2"), 1}}));
+  h.record(entry_of(1, {{ip("::2"), 1}, {ip("::3"), 1}}));
+  h.record(entry_of(2, {{ip("::1"), 1}, {ip("::3"), 1}, {ip("::4"), 1}}));
+  const auto ch = h.churn(2);
+  EXPECT_EQ(ch.completely_new, 1u);  // ::4
+  EXPECT_EQ(ch.recurring, 1u);       // ::1 (seen at 0, absent at 1)
+  EXPECT_EQ(ch.stable, 1u);          // ::3
+  EXPECT_EQ(ch.lost, 1u);            // ::2
+}
+
+TEST(HistoryStore, AlwaysResponsive) {
+  History h;
+  h.record(entry_of(0, {{ip("::1"), 1}, {ip("::2"), 1}}));
+  h.record(entry_of(1, {{ip("::1"), 1}}));
+  EXPECT_EQ(h.always_responsive(), 1u);
+}
+
+TEST(HistoryStore, CleaningStripsUdp53OfTaintedAddresses) {
+  History h;
+  const Ipv6 injected = ip("240e::1");
+  const Ipv6 dual = ip("240e::2");  // injected but also ICMP-responsive
+  h.record(entry_of(
+      0, {{injected, proto_bit(Proto::Udp53)},
+          {dual, static_cast<ProtoMask>(proto_bit(Proto::Udp53) |
+                                        proto_bit(Proto::Icmp))}}));
+  GfwFilter filter;
+  ScanResult scan;
+  scan.proto = Proto::Udp53;
+  scan.date = ScanDate{0};
+  DnsObservation obs;
+  obs.teredo_aaaa = true;
+  obs.response_count = 2;
+  for (const Ipv6& a : {injected, dual}) {
+    ScanRecord rec;
+    rec.target = a;
+    rec.dns = obs;
+    scan.responsive.push_back(rec);
+  }
+  filter.observe_scan(scan);
+
+  const auto published = h.counts(0);
+  const auto cleaned = h.counts(0, &filter);
+  EXPECT_EQ(published.any, 2u);
+  EXPECT_EQ(published.per_proto[proto_index(Proto::Udp53)], 2u);
+  EXPECT_EQ(cleaned.per_proto[proto_index(Proto::Udp53)], 0u);
+  // The dual-responsive target stays in the hitlist (paper's rule).
+  EXPECT_EQ(cleaned.any, 1u);
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = build_test_world(51).release();
+    HitlistService::Config cfg;
+    cfg.traceroute.target_budget = 4000;
+    service_ = new HitlistService(cfg);
+    for (int i = 0; i < 12; ++i) service_->step(*world_, ScanDate{i});
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    delete world_;
+  }
+  static const World* world_;
+  static HitlistService* service_;
+};
+
+const World* ServiceTest::world_ = nullptr;
+HitlistService* ServiceTest::service_ = nullptr;
+
+TEST_F(ServiceTest, InputGrowsMonotonically) {
+  const auto& entries = service_->history().entries();
+  ASSERT_EQ(entries.size(), 12u);
+  for (std::size_t i = 1; i < entries.size(); ++i)
+    EXPECT_GE(entries[i].input_total, entries[i - 1].input_total);
+  EXPECT_GT(entries.back().input_total, entries.front().input_total);
+}
+
+TEST_F(ServiceTest, AliasedAddressesAreNeverScanned) {
+  // No responsive address may sit inside a detected aliased prefix.
+  for (const auto& e : service_->history().entries()) {
+    for (const auto& [a, mask] : e.responsive)
+      EXPECT_FALSE(service_->aliased().covers(a)) << a.str();
+  }
+  EXPECT_GT(service_->aliased_list().size(), 10u);
+}
+
+TEST_F(ServiceTest, AliasedDetectionMatchesGroundTruthUnits) {
+  // Every detected aliased prefix must be backed by a fully-responsive
+  // ground-truth region (no false positives).
+  const ScanDate d{11};
+  for (const auto& p : service_->aliased_list()) {
+    const auto probe = p.random_address(0x600d);
+    const auto h = world_->truth_host(probe, d);
+    EXPECT_TRUE(h.has_value()) << p.str();
+  }
+}
+
+TEST_F(ServiceTest, ThirtyDayFilterExcludesAndNeverRetests) {
+  EXPECT_GT(service_->unresponsive_pool().size(), 100u);
+  // Excluded addresses never appear as scan targets again.
+  const auto& pool = service_->unresponsive_pool();
+  const std::unordered_set<Ipv6, Ipv6Hasher> pool_set(pool.begin(),
+                                                      pool.end());
+  const auto targets = service_->eligible_targets();
+  for (const auto& t : targets) EXPECT_FALSE(pool_set.contains(t));
+}
+
+TEST_F(ServiceTest, GfwSpikeAppearsInPublishedCountsOnly) {
+  const auto& h = service_->history();
+  const auto& gfw = service_->gfw();
+  // Scan 9 is inside the first injection window (2019-03..06).
+  const auto pub = h.counts(9);
+  const auto clean = h.counts(9, &gfw);
+  EXPECT_GT(pub.per_proto[proto_index(Proto::Udp53)],
+            clean.per_proto[proto_index(Proto::Udp53)] * 5);
+  // Outside the window (scan 3) both views agree.
+  const auto pub3 = h.counts(3);
+  const auto clean3 = h.counts(3, &gfw);
+  EXPECT_EQ(pub3.per_proto[proto_index(Proto::Udp53)],
+            clean3.per_proto[proto_index(Proto::Udp53)]);
+}
+
+TEST_F(ServiceTest, TaintedAddressesAreCensoredNetworkResidents) {
+  std::size_t checked = 0;
+  for (const auto& [a, rec] : service_->gfw().taint_records()) {
+    EXPECT_TRUE(world_->behind_gfw(a)) << a.str();
+    if (++checked == 200) break;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST_F(ServiceTest, BlocklistIsRespected) {
+  HitlistService::Config cfg;
+  cfg.blocklist_prefixes = {pfx("2600:3c00::/32")};  // opt-out: Linode
+  HitlistService svc(cfg);
+  svc.step(*world_, ScanDate{0});
+  for (const auto& [a, mask] : svc.history().at(0).responsive)
+    EXPECT_FALSE(pfx("2600:3c00::/32").contains(a)) << a.str();
+}
+
+TEST_F(ServiceTest, SourcesDeliverRdnsOneShot) {
+  SourceCollector collector(SourceCollector::Config{});
+  const auto before = collector.collect(*world_, ScanDate{6});
+  const auto at = collector.collect(*world_, ScanDate{7});
+  std::size_t rdns_before = 0;
+  std::size_t rdns_at = 0;
+  for (const auto& k : before)
+    if (k.tags & kSrcRdns) ++rdns_before;
+  for (const auto& k : at)
+    if (k.tags & kSrcRdns) ++rdns_at;
+  EXPECT_EQ(rdns_before, 0u);
+  EXPECT_GT(rdns_at, 10u);
+}
+
+TEST_F(ServiceTest, NewSourceEvaluatorFiltersKnownAndAliased) {
+  NewSourceEvaluator::Config cfg;
+  cfg.seed_scan = 11;
+  cfg.first_eval_scan = 9;
+  NewSourceEvaluator eval(world_, service_, cfg);
+
+  // Candidates: some already-known input + some aliased + fresh ones.
+  std::vector<Ipv6> cands;
+  const auto& input = service_->input().addresses();
+  for (std::size_t i = 0; i < 50 && i < input.size(); ++i)
+    cands.push_back(input[i]);
+  const auto aliased = service_->aliased_list();
+  for (std::size_t i = 0; i < 20 && i < aliased.size(); ++i)
+    cands.push_back(aliased[i].random_address(0x11));
+  for (std::uint64_t i = 0; i < 30; ++i)
+    cands.push_back(pfx("3fff::/20").random_address(i));  // unrouted
+
+  const auto rep = eval.evaluate("mix", cands);
+  EXPECT_EQ(rep.raw, cands.size());
+  EXPECT_LE(rep.new_candidates, rep.raw - 50);
+  EXPECT_LE(rep.non_aliased, rep.new_candidates);
+  EXPECT_TRUE(rep.responsive.empty());  // unrouted space never answers
+}
+
+TEST_F(ServiceTest, TgaSeedsExcludeInjectedOnlyAddresses) {
+  NewSourceEvaluator::Config cfg;
+  cfg.seed_scan = 9;  // inside the first GFW window
+  NewSourceEvaluator eval(world_, service_, cfg);
+  const auto seeds = eval.tga_seeds();
+  const auto& gfw = service_->gfw();
+  for (const auto& s : seeds) {
+    if (!gfw.tainted(s)) continue;
+    // tainted seeds must have been responsive on another protocol
+    bool other = false;
+    for (const auto& [a, mask] : service_->history().at(9).responsive)
+      if (a == s && (mask & ~proto_bit(Proto::Udp53)) != 0) other = true;
+    EXPECT_TRUE(other) << s.str();
+  }
+}
+
+}  // namespace
+}  // namespace sixdust

@@ -1,0 +1,150 @@
+// Tests for the proto module: DNS message wire codec, TCP fingerprint
+// helpers, protocol enums/masks.
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "proto/dns.hpp"
+#include "proto/tcp.hpp"
+#include "proto/types.hpp"
+
+namespace sixdust {
+namespace {
+
+TEST(ProtoTypes, MaskRoundTrip) {
+  ProtoMask m = 0;
+  m |= proto_bit(Proto::Icmp);
+  m |= proto_bit(Proto::Udp443);
+  EXPECT_TRUE(mask_has(m, Proto::Icmp));
+  EXPECT_TRUE(mask_has(m, Proto::Udp443));
+  EXPECT_FALSE(mask_has(m, Proto::Tcp80));
+  EXPECT_EQ(kAllProtoMask, 0x1f);
+  for (Proto p : kAllProtos) EXPECT_TRUE(mask_has(kAllProtoMask, p));
+}
+
+TEST(ProtoTypes, Names) {
+  EXPECT_EQ(proto_name(Proto::Icmp), "ICMP");
+  EXPECT_EQ(proto_name(Proto::Udp53), "UDP/53");
+  EXPECT_EQ(proto_name(Proto::Udp443), "UDP/443");
+}
+
+TEST(Tcp, IttlRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ittl_from_hop_limit(0), 0);
+  EXPECT_EQ(ittl_from_hop_limit(1), 1);
+  EXPECT_EQ(ittl_from_hop_limit(52), 64);
+  EXPECT_EQ(ittl_from_hop_limit(64), 64);
+  EXPECT_EQ(ittl_from_hop_limit(65), 128);
+  EXPECT_EQ(ittl_from_hop_limit(120), 128);
+  EXPECT_EQ(ittl_from_hop_limit(129), 255);  // capped
+}
+
+TEST(Dns, QueryEncodeDecodeRoundTrip) {
+  const DnsMessage q = make_query("www.google.com", RrType::AAAA, 0x1234);
+  const auto wire = q.encode();
+  ASSERT_FALSE(wire.empty());
+  const auto back = DnsMessage::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, q);
+}
+
+TEST(Dns, ResponseWithAllRecordTypesRoundTrips) {
+  DnsMessage m;
+  m.id = 7;
+  m.response = true;
+  m.recursion_available = true;
+  m.rcode = Rcode::NoError;
+  m.questions.push_back(DnsQuestion{"example.com", RrType::AAAA});
+  m.answers.push_back(make_aaaa("example.com", ip("2001:db8::1"), 60));
+  m.answers.push_back(make_a("example.com", Ipv4{0x01020304}, 60));
+  m.authority.push_back(
+      ResourceRecord{"example.com", RrType::NS, 3600, std::string("ns1.example.com")});
+  m.additional.push_back(
+      ResourceRecord{"example.com", RrType::MX, 3600, std::string("mx.example.com")});
+  const auto wire = m.encode();
+  const auto back = DnsMessage::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(Dns, DecodeRejectsTruncatedWire) {
+  const DnsMessage q = make_query("www.example.org", RrType::A, 9);
+  auto wire = q.encode();
+  for (std::size_t cut = 1; cut < wire.size(); cut += 3) {
+    std::vector<std::uint8_t> trunc(wire.begin(),
+                                    wire.end() - static_cast<long>(cut));
+    EXPECT_FALSE(DnsMessage::decode(trunc).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Dns, DecodeRejectsTrailingGarbage) {
+  auto wire = make_query("a.b", RrType::AAAA, 1).encode();
+  wire.push_back(0);
+  EXPECT_FALSE(DnsMessage::decode(wire).has_value());
+}
+
+TEST(Dns, EncodeRejectsOversizedLabel) {
+  const std::string big(64, 'x');
+  const DnsMessage q = make_query(big + ".com", RrType::AAAA, 1);
+  EXPECT_TRUE(q.encode().empty());
+}
+
+TEST(Dns, RcodeSurvivesRoundTrip) {
+  for (auto rc : {Rcode::NoError, Rcode::ServFail, Rcode::NxDomain,
+                  Rcode::Refused}) {
+    DnsMessage m = make_query("x.y", RrType::AAAA, 3);
+    m.response = true;
+    m.rcode = rc;
+    const auto back = DnsMessage::decode(m.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->rcode, rc);
+  }
+}
+
+TEST(Dns, NameComparisonIsCaseInsensitive) {
+  EXPECT_TRUE(dns_name_equal("WWW.Google.COM", "www.google.com"));
+  EXPECT_FALSE(dns_name_equal("www.google.com", "www.google.co"));
+  EXPECT_TRUE(dns_name_under("a.b.example.com", "example.com"));
+  EXPECT_TRUE(dns_name_under("example.com", "example.com"));
+  EXPECT_FALSE(dns_name_under("notexample.com", "example.com"));
+  EXPECT_FALSE(dns_name_under("com", "example.com"));
+}
+
+TEST(Dns, RrTypeNames) {
+  EXPECT_EQ(rr_type_name(RrType::AAAA), "AAAA");
+  EXPECT_EQ(rr_type_name(RrType::MX), "MX");
+  EXPECT_EQ(rcode_name(Rcode::Refused), "REFUSED");
+}
+
+// Property: random well-formed messages survive the codec.
+TEST(Dns, RandomMessagesRoundTrip) {
+  Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    DnsMessage m;
+    m.id = static_cast<std::uint16_t>(rng.next());
+    m.response = rng.chance(0.5);
+    m.recursion_desired = rng.chance(0.5);
+    m.recursion_available = rng.chance(0.5);
+    m.rcode = static_cast<Rcode>(rng.below(6));
+    m.questions.push_back(
+        DnsQuestion{"q" + std::to_string(rng.below(1000)) + ".test",
+                    rng.chance(0.5) ? RrType::AAAA : RrType::A});
+    const auto n_ans = rng.below(4);
+    for (std::uint64_t i = 0; i < n_ans; ++i) {
+      if (rng.chance(0.5)) {
+        m.answers.push_back(make_aaaa(
+            "a" + std::to_string(i) + ".test",
+            Ipv6::from_words(rng.next(), rng.next()), 30));
+      } else {
+        m.answers.push_back(make_a("a" + std::to_string(i) + ".test",
+                                   Ipv4{static_cast<std::uint32_t>(rng.next())},
+                                   30));
+      }
+    }
+    const auto back = DnsMessage::decode(m.encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+}  // namespace
+}  // namespace sixdust

@@ -1,0 +1,120 @@
+// Tests for the QUIC wire codecs: long-header invariants, version
+// negotiation, greased versions, and the probe/response exchange the
+// scanner's UDP/443 module models.
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "proto/quic_wire.hpp"
+
+namespace sixdust {
+namespace {
+
+QuicLongHeader client_header() {
+  QuicLongHeader hdr;
+  hdr.version = 0x1a2a3a4a;  // greased
+  hdr.dcid = {1, 2, 3, 4, 5, 6, 7, 8};
+  hdr.scid = {9, 10, 11, 12};
+  return hdr;
+}
+
+TEST(QuicWire, GreaseVersions) {
+  EXPECT_TRUE(is_grease_version(0x1a2a3a4a));
+  EXPECT_TRUE(is_grease_version(0x0a0a0a0a));
+  EXPECT_FALSE(is_grease_version(kQuicV1));
+  EXPECT_FALSE(is_grease_version(0x1a2a3a4b));
+}
+
+TEST(QuicWire, InitialIsPaddedAndParses) {
+  const auto hdr = client_header();
+  const auto wire = encode_quic_initial(hdr);
+  EXPECT_GE(wire.size(), 1200u);  // RFC 9000 client Initial minimum
+  EXPECT_EQ(wire[0] & 0xc0, 0xc0);
+  const auto back = decode_quic_long_header(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, hdr.version);
+  EXPECT_EQ(back->dcid, hdr.dcid);
+  EXPECT_EQ(back->scid, hdr.scid);
+}
+
+TEST(QuicWire, VersionNegotiationRoundTrip) {
+  const auto client = client_header();
+  const std::uint32_t supported[] = {kQuicV1, 0x6b3343cf /* v2 */};
+  const auto wire = encode_version_negotiation(client, supported);
+  const auto vn = decode_version_negotiation(wire);
+  ASSERT_TRUE(vn.has_value());
+  // Connection ids echoed swapped.
+  EXPECT_EQ(vn->dcid, client.scid);
+  EXPECT_EQ(vn->scid, client.dcid);
+  ASSERT_EQ(vn->supported_versions.size(), 2u);
+  EXPECT_EQ(vn->supported_versions[0], kQuicV1);
+}
+
+TEST(QuicWire, VersionNegotiationRequiresVersionZero) {
+  const auto initial = encode_quic_initial(client_header());
+  EXPECT_FALSE(decode_version_negotiation(initial).has_value());
+}
+
+TEST(QuicWire, MalformedPacketsRejected) {
+  // Short header bit.
+  std::vector<std::uint8_t> short_hdr = {0x40, 0, 0, 0, 1, 0, 0};
+  EXPECT_FALSE(decode_quic_long_header(short_hdr).has_value());
+  // Truncated everywhere.
+  const auto wire = encode_version_negotiation(client_header(),
+                                               std::array{kQuicV1});
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    std::vector<std::uint8_t> trunc(wire.begin(),
+                                    wire.end() - static_cast<long>(cut));
+    const auto vn = decode_version_negotiation(trunc);
+    if (vn) {
+      // Only acceptable if the cut removed whole versions and left >= 1.
+      EXPECT_EQ((wire.size() - cut - 19) % 4, 0u);
+    }
+  }
+  // Oversized connection id.
+  std::vector<std::uint8_t> bad = {0xc0, 0, 0, 0, 1, 21};
+  bad.resize(30, 0);
+  EXPECT_FALSE(decode_quic_long_header(bad).has_value());
+  // Ragged version list.
+  auto ragged = wire;
+  ragged.push_back(0x00);
+  EXPECT_FALSE(decode_version_negotiation(ragged).has_value());
+}
+
+TEST(QuicWire, ProbeExchange) {
+  // The scanner's UDP/443 interaction end to end: greased Initial out,
+  // Version Negotiation back, support confirmed.
+  const auto probe_hdr = client_header();
+  const auto probe = encode_quic_initial(probe_hdr);
+  const auto seen = decode_quic_long_header(probe);
+  ASSERT_TRUE(seen.has_value());
+  ASSERT_TRUE(is_grease_version(seen->version));  // server must negotiate
+  const std::uint32_t supported[] = {kQuicV1};
+  const auto reply = encode_version_negotiation(*seen, supported);
+  const auto vn = decode_version_negotiation(reply);
+  ASSERT_TRUE(vn.has_value());
+  EXPECT_EQ(vn->supported_versions.front(), kQuicV1);
+}
+
+TEST(QuicWire, RandomHeadersRoundTrip) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 300; ++iter) {
+    QuicLongHeader hdr;
+    hdr.version = static_cast<std::uint32_t>(rng.next());
+    const auto dlen = rng.below(21);
+    const auto slen = rng.below(21);
+    for (std::uint64_t i = 0; i < dlen; ++i)
+      hdr.dcid.push_back(static_cast<std::uint8_t>(rng.next()));
+    for (std::uint64_t i = 0; i < slen; ++i)
+      hdr.scid.push_back(static_cast<std::uint8_t>(rng.next()));
+    const auto wire = encode_quic_initial(hdr, 64);
+    const auto back = decode_quic_long_header(wire);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->version, hdr.version);
+    EXPECT_EQ(back->dcid, hdr.dcid);
+    EXPECT_EQ(back->scid, hdr.scid);
+  }
+}
+
+}  // namespace
+}  // namespace sixdust

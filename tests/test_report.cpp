@@ -1,0 +1,91 @@
+// Tests for the service publications: markdown report and CSV exports.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hitlist/report_gen.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = build_test_world(111).release();
+    service_ = new HitlistService(HitlistService::Config{});
+    for (int i = 0; i < 10; ++i) service_->step(*world_, ScanDate{i});
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    delete world_;
+  }
+  static const World* world_;
+  static HitlistService* service_;
+};
+
+const World* ReportTest::world_ = nullptr;
+HitlistService* ReportTest::service_ = nullptr;
+
+TEST_F(ReportTest, MarkdownContainsTheKeySections) {
+  ServiceReport report(service_, &world_->rib(), &world_->registry());
+  const std::string md = report.markdown();
+  EXPECT_NE(md.find("# IPv6 Hitlist service"), std::string::npos);
+  EXPECT_NE(md.find("## Input"), std::string::npos);
+  EXPECT_NE(md.find("## Responsiveness"), std::string::npos);
+  EXPECT_NE(md.find("## Top ASes"), std::string::npos);
+  EXPECT_NE(md.find("GFW-tainted"), std::string::npos);
+  EXPECT_NE(md.find("2019-04"), std::string::npos);  // latest scan date
+  // A known operator appears in the top-AS table of the small world.
+  EXPECT_NE(md.find("(AS"), std::string::npos);
+}
+
+TEST_F(ReportTest, TimelineCsvHasOneRowPerScan) {
+  ServiceReport report(service_, &world_->rib(), &world_->registry());
+  const std::string csv = report.timeline_csv();
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("scan,date,input", 0), 0u);
+  // Header columns == data columns.
+  const auto count_commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  const auto header_commas = count_commas(line);
+  int rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(count_commas(line), header_commas) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 10);
+  // Published >= cleaned on the UDP/53 column during an injection scan.
+  EXPECT_NE(csv.find("2019-03"), std::string::npos);
+}
+
+TEST_F(ReportTest, AsDistributionCsvSharesSumToOne) {
+  ServiceReport report(service_, &world_->rib(), &world_->registry());
+  std::istringstream in(report.as_distribution_csv());
+  std::string line;
+  std::getline(in, line);  // header
+  double total_share = 0;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    const auto last_comma = line.rfind(',');
+    total_share += std::stod(line.substr(last_comma + 1));
+    ++rows;
+  }
+  EXPECT_GT(rows, 10);
+  EXPECT_NEAR(total_share, 1.0, 1e-3);
+}
+
+TEST(ReportEmpty, HandlesFreshService) {
+  auto world = build_test_world(112);
+  HitlistService service{HitlistService::Config{}};
+  ServiceReport report(&service, &world->rib(), &world->registry());
+  EXPECT_NE(report.markdown().find("No scans recorded"), std::string::npos);
+  EXPECT_EQ(report.timeline_csv().find("2018"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sixdust

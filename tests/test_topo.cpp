@@ -1,0 +1,480 @@
+// Tests for the topo module: deployment membership/behaviour inverses,
+// aliased regions, ISP pools with rotating EUI-64 CPEs, censored networks,
+// GFW injection, path model, and the PMTU-cache side channel.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/aliased_region.hpp"
+#include "topo/censored_network.hpp"
+#include "topo/isp_pool.hpp"
+#include "topo/server_farm.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+// ---------------------------------------------------------------- ServerFarm
+
+ServerFarm::Config small_farm() {
+  ServerFarm::Config cfg;
+  cfg.asn = 65001;
+  cfg.prefix = pfx("2001:db8::/32");
+  cfg.subnet_bits = 8;
+  cfg.subnets = 4;
+  cfg.hosts_per_subnet = 8;
+  cfg.stable_frac = 1.0;  // deterministic for membership tests
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(ServerFarm, HostAddressesAreMembers) {
+  ServerFarm farm(small_farm());
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const Ipv6 a = farm.host_address(s, i);
+      EXPECT_TRUE(farm.host(a, ScanDate{0}).has_value())
+          << a.str() << " s=" << s << " i=" << i;
+    }
+  }
+}
+
+TEST(ServerFarm, NonHostAddressesRejected) {
+  ServerFarm farm(small_farm());
+  const ScanDate d{0};
+  EXPECT_FALSE(farm.host(ip("2001:db8::"), d).has_value());      // IID 0
+  EXPECT_FALSE(farm.host(ip("2001:db8::9"), d).has_value());     // IID > max
+  EXPECT_FALSE(farm.host(ip("2001:db8:500::1"), d).has_value()); // subnet > max
+  EXPECT_FALSE(farm.host(ip("2001:db9::1"), d).has_value());     // outside
+  EXPECT_FALSE(farm.host(ip("2001:db8:1:1::1"), d).has_value()); // middle bits
+}
+
+TEST(ServerFarm, StrideControlsIidSpacing) {
+  auto cfg = small_farm();
+  cfg.iid_stride = 8;
+  ServerFarm farm(cfg);
+  EXPECT_TRUE(farm.host(ip("2001:db8::1"), ScanDate{0}).has_value());
+  EXPECT_TRUE(farm.host(ip("2001:db8::9"), ScanDate{0}).has_value());
+  EXPECT_FALSE(farm.host(ip("2001:db8::2"), ScanDate{0}).has_value());
+  EXPECT_EQ(farm.host_address(0, 1), ip("2001:db8::9"));
+}
+
+TEST(ServerFarm, GrowthAddsSubnetsOverTime) {
+  auto cfg = small_farm();
+  cfg.growth_subnets_per_scan = 2;
+  ServerFarm farm(cfg);
+  EXPECT_EQ(farm.subnet_count(ScanDate{0}), 4u);
+  EXPECT_EQ(farm.subnet_count(ScanDate{10}), 24u);
+  const Ipv6 later = farm.host_address(20, 0);
+  EXPECT_FALSE(farm.host(later, ScanDate{0}).has_value());
+  EXPECT_TRUE(farm.host(later, ScanDate{10}).has_value());
+}
+
+TEST(ServerFarm, AppearsGatesExistence) {
+  auto cfg = small_farm();
+  cfg.appears = 5;
+  ServerFarm farm(cfg);
+  EXPECT_FALSE(farm.host(farm.host_address(0, 0), ScanDate{4}).has_value());
+  EXPECT_TRUE(farm.host(farm.host_address(0, 0), ScanDate{5}).has_value());
+}
+
+TEST(ServerFarm, EnumerationRespectsKnownFraction) {
+  auto cfg = small_farm();
+  cfg.subnets = 64;
+  cfg.known_frac = 0.5;
+  ServerFarm farm(cfg);
+  std::vector<KnownAddress> known;
+  farm.enumerate_known(ScanDate{0}, known);
+  const double frac = static_cast<double>(known.size()) / (64.0 * 8.0);
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.6);
+  for (const auto& k : known)
+    EXPECT_TRUE(farm.host(k.addr, ScanDate{0}).has_value());
+}
+
+TEST(ServerFarm, FlakyHostsChurnStableOnesDoNot) {
+  auto cfg = small_farm();
+  cfg.subnets = 64;
+  cfg.stable_frac = 0.3;
+  cfg.flaky_up = 0.5;
+  ServerFarm farm(cfg);
+  std::size_t always = 0;
+  std::size_t sometimes = 0;
+  for (std::uint32_t s = 0; s < 64; ++s) {
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const Ipv6 a = farm.host_address(s, i);
+      int up = 0;
+      for (int t = 0; t < 20; ++t)
+        if (farm.host(a, ScanDate{t})) ++up;
+      if (up == 20) {
+        ++always;
+      } else if (up > 0) {
+        ++sometimes;
+      }
+    }
+  }
+  EXPECT_GT(always, 90u);   // ~30 % of 512
+  EXPECT_LT(always, 220u);
+  EXPECT_GT(sometimes, 200u);
+}
+
+TEST(ServerFarm, DomainAddressesResolveToHosts) {
+  auto cfg = small_farm();
+  cfg.domain_share = 0.1;
+  ServerFarm farm(cfg);
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    auto a = farm.domain_address(id, ScanDate{0});
+    ASSERT_TRUE(a.has_value());
+    EXPECT_TRUE(cfg.prefix.contains(*a));
+    // The web server behind a domain is a real (possibly flaky) host slot.
+    const Ipv6 host_slot = *a;
+    bool is_slot = false;
+    for (std::uint32_t s = 0; s < cfg.subnets && !is_slot; ++s)
+      for (std::uint32_t i = 0; i < cfg.hosts_per_subnet && !is_slot; ++i)
+        if (farm.host_address(s, i) == host_slot) is_slot = true;
+    EXPECT_TRUE(is_slot);
+  }
+}
+
+// ------------------------------------------------------------------ IspPool
+
+IspPool::Config small_pool() {
+  IspPool::Config cfg;
+  cfg.asn = 65002;
+  cfg.prefix = pfx("2800:a000::/32");
+  cfg.subnet_bits = 20;
+  cfg.active_per_scan = 50;
+  cfg.discovered_per_scan = 150;
+  cfg.mac_pool = 40;
+  cfg.oui = kOuiZte;
+  cfg.rotation_scans = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(IspPool, ActiveCpesRespondWithEui64Addresses) {
+  IspPool pool(small_pool());
+  std::vector<KnownAddress> known;
+  pool.enumerate_known(ScanDate{0}, known);
+  ASSERT_GE(known.size(), 50u);
+  std::size_t responsive = 0;
+  for (const auto& k : known) {
+    EXPECT_TRUE(has_eui64_iid(k.addr)) << k.addr.str();
+    auto mac = eui64_mac(k.addr);
+    ASSERT_TRUE(mac.has_value());
+    EXPECT_EQ(mac->oui(), kOuiZte);
+    if (pool.host(k.addr, ScanDate{0})) ++responsive;
+  }
+  // All active CPEs are enumerated, transients are not responsive.
+  EXPECT_GE(responsive, 45u);
+  EXPECT_LT(responsive, known.size());
+}
+
+TEST(IspPool, PrefixRotationChangesActiveSet) {
+  IspPool pool(small_pool());
+  std::vector<KnownAddress> e0;
+  std::vector<KnownAddress> e2;
+  pool.enumerate_known(ScanDate{0}, e0);
+  pool.enumerate_known(ScanDate{2}, e2);  // next rotation epoch
+  std::size_t live_later = 0;
+  for (const auto& k : e0)
+    if (pool.host(k.addr, ScanDate{2})) ++live_later;
+  // Nearly all epoch-0 addresses are gone after rotation (no reactivation).
+  EXPECT_LT(live_later, 5u);
+}
+
+TEST(IspPool, ReactivationRevivesOldAddresses) {
+  auto cfg = small_pool();
+  cfg.reactivation = 0.5;
+  IspPool pool(cfg);
+  std::vector<KnownAddress> e0;
+  pool.enumerate_known(ScanDate{0}, e0);
+  std::size_t revived = 0;
+  std::size_t active0 = 0;
+  for (const auto& k : e0) {
+    if (!pool.host(k.addr, ScanDate{0})) continue;
+    ++active0;
+    if (pool.host(k.addr, ScanDate{4})) ++revived;
+  }
+  ASSERT_GT(active0, 0u);
+  EXPECT_GT(revived, active0 / 5);
+  EXPECT_LT(revived, active0 * 4 / 5);
+}
+
+TEST(IspPool, MacFleetIsShared) {
+  IspPool pool(small_pool());
+  std::set<std::uint64_t> macs;
+  std::size_t addrs = 0;
+  for (int epoch = 0; epoch < 6; epoch += 2) {
+    std::vector<KnownAddress> known;
+    pool.enumerate_known(ScanDate{epoch}, known);
+    for (const auto& k : known) {
+      ++addrs;
+      macs.insert(eui64_mac(k.addr)->value());
+    }
+  }
+  EXPECT_LE(macs.size(), 40u);     // bounded by the fleet
+  EXPECT_GT(addrs, macs.size() * 2);  // heavy reuse across prefixes
+}
+
+// ------------------------------------------------------------- AliasedRegion
+
+TEST(AliasedRegion, WholePrefixRespondsEverywhere) {
+  AliasedRegion::Config cfg;
+  cfg.asn = 65003;
+  cfg.prefixes = {pfx("2606:4700:1::/48")};
+  cfg.mode = AliasMode::SingleHost;
+  cfg.seed = 5;
+  AliasedRegion region(cfg);
+  const ScanDate d{0};
+  for (std::uint64_t salt = 0; salt < 64; ++salt) {
+    const Ipv6 a = cfg.prefixes[0].random_address(salt);
+    auto h = region.host(a, d);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_TRUE(mask_has(h->responsive, Proto::Icmp));
+  }
+  EXPECT_FALSE(region.host(ip("2606:4700:2::1"), d).has_value());
+}
+
+TEST(AliasedRegion, SingleHostSharesOneKey) {
+  AliasedRegion::Config cfg;
+  cfg.asn = 65003;
+  cfg.prefixes = {pfx("2606:4700:1::/48")};
+  cfg.mode = AliasMode::SingleHost;
+  AliasedRegion region(cfg);
+  std::set<HostKey> keys;
+  for (std::uint64_t salt = 0; salt < 32; ++salt)
+    keys.insert(
+        region.host(cfg.prefixes[0].random_address(salt), ScanDate{0})->key);
+  EXPECT_EQ(keys.size(), 1u);
+}
+
+TEST(AliasedRegion, LoadBalancedPartitionsKeys) {
+  AliasedRegion::Config cfg;
+  cfg.asn = 65003;
+  cfg.prefixes = {pfx("2606:4700:1::/48")};
+  cfg.mode = AliasMode::LoadBalanced;
+  cfg.lb_partitions = 4;
+  AliasedRegion region(cfg);
+  std::set<HostKey> keys;
+  for (std::uint64_t salt = 0; salt < 200; ++salt)
+    keys.insert(
+        region.host(cfg.prefixes[0].random_address(salt), ScanDate{0})->key);
+  EXPECT_EQ(keys.size(), 4u);
+}
+
+TEST(AliasedRegion, MultiHostVariesKeysAndWindow) {
+  AliasedRegion::Config cfg;
+  cfg.asn = 65003;
+  cfg.prefixes = {pfx("2606:4700:1::/48")};
+  cfg.mode = AliasMode::MultiHost;
+  AliasedRegion region(cfg);
+  std::set<HostKey> keys;
+  std::set<std::uint16_t> windows;
+  for (std::uint64_t salt = 0; salt < 50; ++salt) {
+    auto h = region.host(cfg.prefixes[0].random_address(salt), ScanDate{0});
+    keys.insert(h->key);
+    windows.insert(h->tcp.window);
+  }
+  EXPECT_GT(keys.size(), 40u);
+  EXPECT_GT(windows.size(), 10u);
+}
+
+TEST(AliasedRegion, SparseOnlyActiveSlash64sRespond) {
+  AliasedRegion::Config cfg;
+  cfg.asn = 65003;
+  cfg.prefixes = {pfx("2600:1f00::/24")};
+  cfg.sparse64_count = 10;
+  cfg.seed = 17;
+  AliasedRegion region(cfg);
+  const ScanDate d{0};
+  const auto units = region.truth_aliased_units(d);
+  ASSERT_EQ(units.size(), 10u);
+  for (const auto& unit : units) {
+    EXPECT_EQ(unit.len(), 64);
+    EXPECT_TRUE(region.host(unit.random_address(1), d).has_value());
+  }
+  // A random /64 inside the big prefix is almost surely inactive.
+  EXPECT_FALSE(
+      region.host(ip("2600:1f42:1234:5678::1"), d).has_value());
+}
+
+TEST(AliasedRegion, SparseGrowthActivatesMoreUnits) {
+  AliasedRegion::Config cfg;
+  cfg.asn = 65003;
+  cfg.prefixes = {pfx("2600:1f00::/24")};
+  cfg.sparse64_count = 5;
+  cfg.sparse64_growth = 3;
+  AliasedRegion region(cfg);
+  EXPECT_EQ(region.truth_aliased_units(ScanDate{0}).size(), 5u);
+  EXPECT_EQ(region.truth_aliased_units(ScanDate{4}).size(), 17u);
+  // Old units stay active.
+  const auto early = region.truth_aliased_units(ScanDate{0});
+  for (const auto& u : early)
+    EXPECT_TRUE(region.host(u.random_address(9), ScanDate{4}).has_value());
+}
+
+TEST(AliasedRegion, HonorsPtbFlagPropagates) {
+  AliasedRegion::Config cfg;
+  cfg.asn = 65003;
+  cfg.prefixes = {pfx("2a0d:5600::/48")};
+  cfg.honors_ptb = false;
+  AliasedRegion region(cfg);
+  auto h = region.host(cfg.prefixes[0].random_address(3), ScanDate{0});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_FALSE(h->can_fragment);
+}
+
+// ----------------------------------------------------------- CensoredNetwork
+
+TEST(CensoredNetwork, OnlyRealHostsRespond) {
+  CensoredNetwork::Config cfg;
+  cfg.asn = 4134;
+  cfg.prefix = pfx("240e::/24");
+  cfg.real_hosts = 10;
+  cfg.seed = 23;
+  CensoredNetwork net(cfg);
+  std::vector<KnownAddress> known;
+  net.enumerate_known(ScanDate{0}, known);
+  ASSERT_EQ(known.size(), 10u);
+  int up = 0;
+  for (const auto& k : known)
+    if (net.host(k.addr, ScanDate{0})) ++up;
+  EXPECT_GE(up, 7);  // availability churn allows a few misses
+  EXPECT_FALSE(net.host(cfg.prefix.random_address(0xdead), ScanDate{0}));
+}
+
+TEST(CensoredNetwork, BorderRoutersRotatePerScanAndAreBounded) {
+  CensoredNetwork::Config cfg;
+  cfg.asn = 4134;
+  cfg.prefix = pfx("240e::/24");
+  cfg.router_count = 8;
+  cfg.seed = 23;
+  CensoredNetwork net(cfg);
+  std::set<Ipv6> scan0;
+  std::set<Ipv6> scan1;
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    const Ipv6 target = cfg.prefix.random_address(t);
+    scan0.insert(net.border_router(target, ScanDate{0}));
+    scan1.insert(net.border_router(target, ScanDate{1}));
+  }
+  EXPECT_LE(scan0.size(), 8u);  // bounded by physical routers
+  EXPECT_GE(scan0.size(), 6u);
+  for (const auto& r : scan0) EXPECT_FALSE(scan1.contains(r)) << "no rotation";
+}
+
+// ----------------------------------------------------------------- Gfw/World
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = build_test_world(31).release(); }
+  static void TearDownTestSuite() { delete world_; }
+  static const World* world_;
+};
+
+const World* WorldTest::world_ = nullptr;
+
+Ipv6 censored_target(const World&) {
+  return pfx("240e::/24").random_address(0x61);  // China Telecom BB block
+}
+
+TEST_F(WorldTest, GfwInjectsForBlockedDomainsDuringEvents) {
+  const Ipv6 target = censored_target(*world_);
+  ASSERT_TRUE(world_->behind_gfw(target));
+  const DnsQuestion q{"www.google.com", RrType::AAAA};
+  // Event 3 (Teredo era): scan 35.
+  const auto during = world_->dns_query(target, q, ScanDate{35});
+  ASSERT_GE(during.size(), 2u);  // multiple injectors
+  bool teredo = false;
+  for (const auto& m : during)
+    for (const auto& rr : m.answers)
+      if (const auto* v6 = std::get_if<Ipv6>(&rr.rdata))
+        if (is_teredo(*v6)) teredo = true;
+  EXPECT_TRUE(teredo);
+  // Between events: silence.
+  EXPECT_TRUE(world_->dns_query(target, q, ScanDate{15}).empty());
+}
+
+TEST_F(WorldTest, GfwAEraInjectsARecords) {
+  const Ipv6 target = censored_target(*world_);
+  const auto responses = world_->dns_query(
+      target, DnsQuestion{"www.google.com", RrType::AAAA}, ScanDate{9});
+  ASSERT_FALSE(responses.empty());
+  bool a_record = false;
+  for (const auto& m : responses)
+    for (const auto& rr : m.answers)
+      if (rr.type == RrType::A) a_record = true;
+  EXPECT_TRUE(a_record);
+}
+
+TEST_F(WorldTest, GfwIgnoresUnblockedDomains) {
+  const Ipv6 target = censored_target(*world_);
+  EXPECT_TRUE(world_
+                  ->dns_query(target, DnsQuestion{"example.com", RrType::AAAA},
+                              ScanDate{35})
+                  .empty());
+}
+
+TEST_F(WorldTest, GfwDoesNotAffectUncensoredTargets) {
+  const Ipv6 target = ip("2600:3c00:42::9999");  // Linode, no host there
+  EXPECT_TRUE(world_
+                  ->dns_query(target,
+                              DnsQuestion{"www.google.com", RrType::AAAA},
+                              ScanDate{35})
+                  .empty());
+}
+
+TEST_F(WorldTest, WrongIpv4sBelongToUnrelatedOperators) {
+  for (std::uint64_t h = 0; h < 100; ++h) {
+    const std::uint32_t v = Gfw::wrong_ipv4(h).value >> 16;
+    EXPECT_TRUE(v == 0x9DF0 || v == 0x0D6B || v == 0xA27D) << std::hex << v;
+  }
+}
+
+TEST_F(WorldTest, PathEndsAtTargetAndLeaksCensoredRouters) {
+  const Ipv6 target = censored_target(*world_);
+  const auto path0 = world_->path_to(target, ScanDate{0});
+  ASSERT_GE(path0.size(), 3u);
+  EXPECT_EQ(path0.back().addr, target);
+  EXPECT_FALSE(path0.back().responds);  // no host at this address
+  // The last responsive hop sits inside the censored network...
+  const auto& border = path0[path0.size() - 2];
+  EXPECT_TRUE(border.responds);
+  EXPECT_TRUE(pfx("240e::/24").contains(border.addr));
+  // ...and rotates between scans.
+  const auto path1 = world_->path_to(target, ScanDate{1});
+  EXPECT_NE(path1[path1.size() - 2].addr, border.addr);
+}
+
+TEST_F(WorldTest, PmtuCacheDrivesFragmentation) {
+  // Pick an aliased (fully responsive) address: the Fastly /32.
+  const Ipv6 a = pfx("2a04:4e40::/32").random_address(77);
+  const ScanDate d{0};
+  auto first = world_->icmp_echo(a, IcmpEchoRequest{1300}, d);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->fragmented);
+  world_->icmp_packet_too_big(a, IcmpPacketTooBig{1280}, d);
+  auto second = world_->icmp_echo(a, IcmpEchoRequest{1300}, d);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->fragmented);
+  // Small packets still pass unfragmented.
+  auto small = world_->icmp_echo(a, IcmpEchoRequest{800}, d);
+  EXPECT_FALSE(small->fragmented);
+  world_->reset_pmtu();
+  auto after_reset = world_->icmp_echo(a, IcmpEchoRequest{1300}, d);
+  EXPECT_FALSE(after_reset->fragmented);
+}
+
+TEST_F(WorldTest, RibAndRegistryAreConsistent) {
+  EXPECT_GT(world_->rib().prefix_count(), 100u);
+  EXPECT_GT(world_->rib().as_count(), 50u);
+  const auto origin = world_->rib().origin(ip("2a04:4e40::1"));
+  ASSERT_TRUE(origin.has_value());
+  EXPECT_EQ(*origin, kAsFastly);
+  EXPECT_EQ(world_->registry().label(kAsFastly), "Fastly (AS54113)");
+  EXPECT_EQ(world_->geo().country(censored_target(*world_)), "CN");
+}
+
+}  // namespace
+}  // namespace sixdust

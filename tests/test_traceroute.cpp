@@ -1,0 +1,91 @@
+// Tests for the traceroute module: Yarrp semantics — hop discovery,
+// last-responsive-hop extraction, budget limiting, and the censored-
+// network feedback loop the GFW analysis depends on.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "traceroute/yarrp.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+class YarrpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = build_test_world(71).release(); }
+  static void TearDownTestSuite() { delete world_; }
+  static const World* world_;
+};
+
+const World* YarrpTest::world_ = nullptr;
+
+TEST_F(YarrpTest, DiscoversRoutersTowardResponsiveTargets) {
+  std::vector<KnownAddress> known;
+  world_->enumerate_known(ScanDate{0}, known);
+  std::vector<Ipv6> targets;
+  for (const auto& k : known) {
+    if (world_->truth_host(k.addr, ScanDate{0})) targets.push_back(k.addr);
+    if (targets.size() == 50) break;
+  }
+  ASSERT_GE(targets.size(), 10u);
+
+  Yarrp yarrp(Yarrp::Config{});
+  const auto result = yarrp.trace(*world_, targets, ScanDate{0});
+  EXPECT_EQ(result.targets_traced, targets.size());
+  EXPECT_GT(result.probes_sent, targets.size());
+  // Reachable ICMP targets appear among the responsive hops.
+  std::unordered_set<Ipv6, Ipv6Hasher> hops(result.responsive_hops.begin(),
+                                            result.responsive_hops.end());
+  std::size_t reached = 0;
+  for (const auto& t : targets)
+    if (hops.contains(t)) ++reached;
+  EXPECT_GT(reached, targets.size() / 2);
+  // These targets responded, so they are not "last hop before silence".
+  std::unordered_set<Ipv6, Ipv6Hasher> last(
+      result.last_hops_unreachable.begin(), result.last_hops_unreachable.end());
+  for (const auto& t : targets) EXPECT_FALSE(last.contains(t));
+}
+
+TEST_F(YarrpTest, CensoredTargetsLeakRotatingLastHops) {
+  std::vector<Ipv6> targets;
+  for (std::uint64_t i = 0; i < 40; ++i)
+    targets.push_back(pfx("240e::/24").random_address(0x900 + i));
+
+  Yarrp yarrp(Yarrp::Config{});
+  const auto r0 = yarrp.trace(*world_, targets, ScanDate{0});
+  const auto r1 = yarrp.trace(*world_, targets, ScanDate{1});
+  ASSERT_FALSE(r0.last_hops_unreachable.empty());
+  // Last hops sit inside the censored network...
+  for (const auto& h : r0.last_hops_unreachable)
+    EXPECT_TRUE(pfx("240e::/24").contains(h)) << h.str();
+  // ...and the sets rotate between scans.
+  std::unordered_set<Ipv6, Ipv6Hasher> set0(r0.last_hops_unreachable.begin(),
+                                            r0.last_hops_unreachable.end());
+  for (const auto& h : r1.last_hops_unreachable)
+    EXPECT_FALSE(set0.contains(h)) << h.str();
+}
+
+TEST_F(YarrpTest, BudgetLimitsTracedTargets) {
+  std::vector<Ipv6> targets;
+  for (std::uint64_t i = 0; i < 500; ++i)
+    targets.push_back(pfx("2600:3c00::/32").random_address(i));
+  Yarrp::Config cfg;
+  cfg.target_budget = 100;
+  Yarrp yarrp(cfg);
+  const auto result = yarrp.trace(*world_, targets, ScanDate{0});
+  EXPECT_EQ(result.targets_traced, 100u);
+}
+
+TEST_F(YarrpTest, HopsAreDeduplicated) {
+  std::vector<Ipv6> targets(20, ip("2600:3c00::1"));
+  Yarrp yarrp(Yarrp::Config{});
+  const auto result = yarrp.trace(*world_, targets, ScanDate{0});
+  std::unordered_set<Ipv6, Ipv6Hasher> set(result.responsive_hops.begin(),
+                                           result.responsive_hops.end());
+  EXPECT_EQ(set.size(), result.responsive_hops.size());
+}
+
+}  // namespace
+}  // namespace sixdust

@@ -1,0 +1,113 @@
+// Structural invariants of the built world (any seed): deployment
+// prefixes only nest within one operator, the RIB covers every
+// deployment, censored networks are exactly the CN-registered ASes, and
+// the named cast of the paper is present with its defining properties.
+
+#include <gtest/gtest.h>
+
+#include "topo/aliased_region.hpp"
+#include "topo/censored_network.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+class WorldInvariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override { world_ = build_test_world(GetParam()); }
+  std::unique_ptr<World> world_;
+};
+
+TEST_P(WorldInvariants, DeploymentPrefixesNestOnlyWithinOneOperator) {
+  struct Entry {
+    Prefix prefix;
+    Asn asn;
+  };
+  std::vector<Entry> entries;
+  for (const auto& dep : world_->deployments())
+    for (const auto& p : dep->prefixes())
+      entries.push_back({p, dep->asn()});
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+      if (i == j) continue;
+      if (!entries[i].prefix.contains(entries[j].prefix)) continue;
+      // Nesting (e.g. a tail operator's aliased /64 inside its /32) is
+      // only allowed within the same AS — otherwise longest-prefix match
+      // would attribute one operator's space to another.
+      EXPECT_EQ(entries[i].asn, entries[j].asn)
+          << entries[i].prefix.str() << " contains "
+          << entries[j].prefix.str();
+    }
+  }
+}
+
+TEST_P(WorldInvariants, RibCoversEveryDeploymentWithItsOwnAs) {
+  for (const auto& dep : world_->deployments()) {
+    for (const auto& p : dep->prefixes()) {
+      const auto origin = world_->rib().origin(p.random_address(1));
+      ASSERT_TRUE(origin.has_value()) << p.str();
+      EXPECT_EQ(*origin, dep->asn()) << p.str();
+    }
+  }
+}
+
+TEST_P(WorldInvariants, CensoredNetworksAreExactlyTheCnAses) {
+  for (const auto& dep : world_->deployments()) {
+    const bool censored =
+        dynamic_cast<const CensoredNetwork*>(dep.get()) != nullptr;
+    const AsInfo* info = world_->registry().find(dep->asn());
+    ASSERT_NE(info, nullptr) << dep->asn();
+    if (censored) {
+      EXPECT_EQ(info->cc, "CN") << world_->registry().label(dep->asn());
+      EXPECT_TRUE(world_->behind_gfw(dep->prefixes().front().random_address(1)));
+    }
+  }
+}
+
+TEST_P(WorldInvariants, ThePapersCastIsPresent) {
+  bool has_trafficforce = false;
+  bool has_amazon_sparse = false;
+  bool has_fastly = false;
+  std::size_t isp_eui64 = 0;
+  for (const auto& dep : world_->deployments()) {
+    if (dep->asn() == kAsTrafficforce) {
+      has_trafficforce = true;
+      EXPECT_GT(dep->appears_at(), 40);  // the Feb-2022 event
+      const auto* region = dynamic_cast<const AliasedRegion*>(dep.get());
+      ASSERT_NE(region, nullptr);
+      EXPECT_EQ(region->config().protos, proto_bit(Proto::Icmp));
+      EXPECT_FALSE(region->config().honors_ptb);
+    }
+    if (dep->asn() == kAsAmazon) {
+      const auto* region = dynamic_cast<const AliasedRegion*>(dep.get());
+      if (region != nullptr && region->config().sparse64_count > 0)
+        has_amazon_sparse = true;
+    }
+    if (dep->asn() == kAsFastly) has_fastly = true;
+  }
+  EXPECT_TRUE(has_trafficforce);
+  EXPECT_TRUE(has_amazon_sparse);
+  EXPECT_TRUE(has_fastly);
+  (void)isp_eui64;
+  // Fastly's announced space exceeds its deployment coverage (the quiet
+  // /38s behind the 95.3 % figure).
+  EXPECT_GT(world_->rib().prefixes_of(kAsFastly).size(), 1u);
+}
+
+TEST_P(WorldInvariants, ProbeSurfaceIsDeterministic) {
+  std::vector<KnownAddress> known;
+  world_->enumerate_known(ScanDate{7}, known);
+  ASSERT_FALSE(known.empty());
+  for (std::size_t i = 0; i < known.size() && i < 64; ++i) {
+    const Ipv6& a = known[i].addr;
+    for (Proto p : kAllProtos)
+      EXPECT_EQ(world_->probe(a, p, ScanDate{7}),
+                world_->probe(a, p, ScanDate{7}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldInvariants,
+                         ::testing::Values(1, 42, 1234));
+
+}  // namespace
+}  // namespace sixdust

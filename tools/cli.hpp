@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sixdust::cli {
+
+/// Minimal long-option parser for the sixdust command-line tools:
+/// `--name value` or `--name=value`; bare `--flag` yields "true";
+/// positional arguments are collected in order.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg.erase(0, 2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[arg] = argv[++i];
+      } else {
+        options_[arg] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return options_.contains(name);
+  }
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const {
+    auto it = options_.find(name);
+    return it == options_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name,
+                                      std::uint64_t fallback) const {
+    auto it = options_.find(name);
+    if (it == options_.end()) return fallback;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const {
+    auto it = options_.find(name);
+    if (it == options_.end()) return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Prints usage and exits when --help was passed.
+  void usage_on_help(const char* text) const {
+    if (!has("help")) return;
+    std::fputs(text, stdout);
+    std::exit(0);
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+[[noreturn]] inline void die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(1);
+}
+
+}  // namespace sixdust::cli
