@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_apd.dir/bench/bench_ablation_apd.cpp.o"
+  "CMakeFiles/bench_ablation_apd.dir/bench/bench_ablation_apd.cpp.o.d"
+  "CMakeFiles/bench_ablation_apd.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_ablation_apd.dir/bench/support.cpp.o.d"
+  "bench/bench_ablation_apd"
+  "bench/bench_ablation_apd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_apd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gfw_filter.dir/bench/bench_ablation_gfw_filter.cpp.o"
+  "CMakeFiles/bench_ablation_gfw_filter.dir/bench/bench_ablation_gfw_filter.cpp.o.d"
+  "CMakeFiles/bench_ablation_gfw_filter.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_ablation_gfw_filter.dir/bench/support.cpp.o.d"
+  "bench/bench_ablation_gfw_filter"
+  "bench/bench_ablation_gfw_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gfw_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unresponsive.dir/bench/bench_ablation_unresponsive.cpp.o"
+  "CMakeFiles/bench_ablation_unresponsive.dir/bench/bench_ablation_unresponsive.cpp.o.d"
+  "CMakeFiles/bench_ablation_unresponsive.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_ablation_unresponsive.dir/bench/support.cpp.o.d"
+  "bench/bench_ablation_unresponsive"
+  "bench/bench_ablation_unresponsive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unresponsive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_generators.dir/bench/bench_ext_generators.cpp.o"
+  "CMakeFiles/bench_ext_generators.dir/bench/bench_ext_generators.cpp.o.d"
+  "CMakeFiles/bench_ext_generators.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_ext_generators.dir/bench/support.cpp.o.d"
+  "bench/bench_ext_generators"
+  "bench/bench_ext_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

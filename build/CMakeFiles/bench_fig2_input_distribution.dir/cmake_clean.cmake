@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_input_distribution.dir/bench/bench_fig2_input_distribution.cpp.o"
+  "CMakeFiles/bench_fig2_input_distribution.dir/bench/bench_fig2_input_distribution.cpp.o.d"
+  "CMakeFiles/bench_fig2_input_distribution.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_fig2_input_distribution.dir/bench/support.cpp.o.d"
+  "bench/bench_fig2_input_distribution"
+  "bench/bench_fig2_input_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_input_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_churn.dir/bench/bench_fig4_churn.cpp.o"
+  "CMakeFiles/bench_fig4_churn.dir/bench/bench_fig4_churn.cpp.o.d"
+  "CMakeFiles/bench_fig4_churn.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_fig4_churn.dir/bench/support.cpp.o.d"
+  "bench/bench_fig4_churn"
+  "bench/bench_fig4_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

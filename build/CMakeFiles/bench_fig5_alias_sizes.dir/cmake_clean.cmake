@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_alias_sizes.dir/bench/bench_fig5_alias_sizes.cpp.o"
+  "CMakeFiles/bench_fig5_alias_sizes.dir/bench/bench_fig5_alias_sizes.cpp.o.d"
+  "CMakeFiles/bench_fig5_alias_sizes.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_fig5_alias_sizes.dir/bench/support.cpp.o.d"
+  "bench/bench_fig5_alias_sizes"
+  "bench/bench_fig5_alias_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_alias_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

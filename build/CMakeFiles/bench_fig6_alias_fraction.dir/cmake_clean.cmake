@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_alias_fraction.dir/bench/bench_fig6_alias_fraction.cpp.o"
+  "CMakeFiles/bench_fig6_alias_fraction.dir/bench/bench_fig6_alias_fraction.cpp.o.d"
+  "CMakeFiles/bench_fig6_alias_fraction.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_fig6_alias_fraction.dir/bench/support.cpp.o.d"
+  "bench/bench_fig6_alias_fraction"
+  "bench/bench_fig6_alias_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_alias_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

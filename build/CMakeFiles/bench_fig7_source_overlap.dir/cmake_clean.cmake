@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_source_overlap.dir/bench/bench_fig7_source_overlap.cpp.o"
+  "CMakeFiles/bench_fig7_source_overlap.dir/bench/bench_fig7_source_overlap.cpp.o.d"
+  "CMakeFiles/bench_fig7_source_overlap.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_fig7_source_overlap.dir/bench/support.cpp.o.d"
+  "bench/bench_fig7_source_overlap"
+  "bench/bench_fig7_source_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_source_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

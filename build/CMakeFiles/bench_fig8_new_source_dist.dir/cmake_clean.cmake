@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_new_source_dist.dir/bench/bench_fig8_new_source_dist.cpp.o"
+  "CMakeFiles/bench_fig8_new_source_dist.dir/bench/bench_fig8_new_source_dist.cpp.o.d"
+  "CMakeFiles/bench_fig8_new_source_dist.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_fig8_new_source_dist.dir/bench/support.cpp.o.d"
+  "bench/bench_fig8_new_source_dist"
+  "bench/bench_fig8_new_source_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_new_source_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

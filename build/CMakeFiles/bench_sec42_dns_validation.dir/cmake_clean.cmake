@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_dns_validation.dir/bench/bench_sec42_dns_validation.cpp.o"
+  "CMakeFiles/bench_sec42_dns_validation.dir/bench/bench_sec42_dns_validation.cpp.o.d"
+  "CMakeFiles/bench_sec42_dns_validation.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_sec42_dns_validation.dir/bench/support.cpp.o.d"
+  "bench/bench_sec42_dns_validation"
+  "bench/bench_sec42_dns_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_dns_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_fingerprints.dir/bench/bench_sec51_fingerprints.cpp.o"
+  "CMakeFiles/bench_sec51_fingerprints.dir/bench/bench_sec51_fingerprints.cpp.o.d"
+  "CMakeFiles/bench_sec51_fingerprints.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_sec51_fingerprints.dir/bench/support.cpp.o.d"
+  "bench/bench_sec51_fingerprints"
+  "bench/bench_sec51_fingerprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_fingerprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_protocols.dir/bench/bench_table1_protocols.cpp.o"
+  "CMakeFiles/bench_table1_protocols.dir/bench/bench_table1_protocols.cpp.o.d"
+  "CMakeFiles/bench_table1_protocols.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_table1_protocols.dir/bench/support.cpp.o.d"
+  "bench/bench_table1_protocols"
+  "bench/bench_table1_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_alias_resp.dir/bench/bench_table2_alias_resp.cpp.o"
+  "CMakeFiles/bench_table2_alias_resp.dir/bench/bench_table2_alias_resp.cpp.o.d"
+  "CMakeFiles/bench_table2_alias_resp.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_table2_alias_resp.dir/bench/support.cpp.o.d"
+  "bench/bench_table2_alias_resp"
+  "bench/bench_table2_alias_resp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_alias_resp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_new_sources.cpp" "CMakeFiles/bench_table3_new_sources.dir/bench/bench_table3_new_sources.cpp.o" "gcc" "CMakeFiles/bench_table3_new_sources.dir/bench/bench_table3_new_sources.cpp.o.d"
+  "/root/repo/bench/support.cpp" "CMakeFiles/bench_table3_new_sources.dir/bench/support.cpp.o" "gcc" "CMakeFiles/bench_table3_new_sources.dir/bench/support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hitlist/CMakeFiles/sixdust_hitlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/traceroute/CMakeFiles/sixdust_traceroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sixdust_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/alias/CMakeFiles/sixdust_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfw/CMakeFiles/sixdust_gfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/sixdust_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/sixdust_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sixdust_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tga/CMakeFiles/sixdust_tga.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sixdust_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/sixdust_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sixdust_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_new_sources.dir/bench/bench_table3_new_sources.cpp.o"
+  "CMakeFiles/bench_table3_new_sources.dir/bench/bench_table3_new_sources.cpp.o.d"
+  "CMakeFiles/bench_table3_new_sources.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_table3_new_sources.dir/bench/support.cpp.o.d"
+  "bench/bench_table3_new_sources"
+  "bench/bench_table3_new_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_new_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_new_responsive.dir/bench/bench_table4_new_responsive.cpp.o"
+  "CMakeFiles/bench_table4_new_responsive.dir/bench/bench_table4_new_responsive.cpp.o.d"
+  "CMakeFiles/bench_table4_new_responsive.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_table4_new_responsive.dir/bench/support.cpp.o.d"
+  "bench/bench_table4_new_responsive"
+  "bench/bench_table4_new_responsive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_new_responsive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_gfw_ases.dir/bench/bench_table5_gfw_ases.cpp.o"
+  "CMakeFiles/bench_table5_gfw_ases.dir/bench/bench_table5_gfw_ases.cpp.o.d"
+  "CMakeFiles/bench_table5_gfw_ases.dir/bench/support.cpp.o"
+  "CMakeFiles/bench_table5_gfw_ases.dir/bench/support.cpp.o.d"
+  "bench/bench_table5_gfw_ases"
+  "bench/bench_table5_gfw_ases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_gfw_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_gfw_ases.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_alias_survey.dir/alias_survey.cpp.o"
+  "CMakeFiles/example_alias_survey.dir/alias_survey.cpp.o.d"
+  "alias_survey"
+  "alias_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_alias_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dns_validation.dir/dns_validation.cpp.o"
+  "CMakeFiles/example_dns_validation.dir/dns_validation.cpp.o.d"
+  "dns_validation"
+  "dns_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dns_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

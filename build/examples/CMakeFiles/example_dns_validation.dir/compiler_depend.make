@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_dns_validation.
+# This may be replaced when dependencies are built.

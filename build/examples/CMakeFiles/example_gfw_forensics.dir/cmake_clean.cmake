@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gfw_forensics.dir/gfw_forensics.cpp.o"
+  "CMakeFiles/example_gfw_forensics.dir/gfw_forensics.cpp.o.d"
+  "gfw_forensics"
+  "gfw_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gfw_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_service_maintenance.dir/service_maintenance.cpp.o"
+  "CMakeFiles/example_service_maintenance.dir/service_maintenance.cpp.o.d"
+  "service_maintenance"
+  "service_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_service_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

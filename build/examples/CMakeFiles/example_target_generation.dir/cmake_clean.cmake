@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_target_generation.dir/target_generation.cpp.o"
+  "CMakeFiles/example_target_generation.dir/target_generation.cpp.o.d"
+  "target_generation"
+  "target_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_target_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

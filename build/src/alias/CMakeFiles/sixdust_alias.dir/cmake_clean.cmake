@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_alias.dir/apd.cpp.o"
+  "CMakeFiles/sixdust_alias.dir/apd.cpp.o.d"
+  "CMakeFiles/sixdust_alias.dir/tbt.cpp.o"
+  "CMakeFiles/sixdust_alias.dir/tbt.cpp.o.d"
+  "CMakeFiles/sixdust_alias.dir/tcp_fp.cpp.o"
+  "CMakeFiles/sixdust_alias.dir/tcp_fp.cpp.o.d"
+  "libsixdust_alias.a"
+  "libsixdust_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsixdust_alias.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/distribution.cpp" "src/analysis/CMakeFiles/sixdust_analysis.dir/distribution.cpp.o" "gcc" "src/analysis/CMakeFiles/sixdust_analysis.dir/distribution.cpp.o.d"
+  "/root/repo/src/analysis/eui_stats.cpp" "src/analysis/CMakeFiles/sixdust_analysis.dir/eui_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/sixdust_analysis.dir/eui_stats.cpp.o.d"
+  "/root/repo/src/analysis/overlap.cpp" "src/analysis/CMakeFiles/sixdust_analysis.dir/overlap.cpp.o" "gcc" "src/analysis/CMakeFiles/sixdust_analysis.dir/overlap.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/sixdust_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/sixdust_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/sixdust_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/sixdust_analysis.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asdb/CMakeFiles/sixdust_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sixdust_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

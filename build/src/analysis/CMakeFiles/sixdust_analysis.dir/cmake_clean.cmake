@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_analysis.dir/distribution.cpp.o"
+  "CMakeFiles/sixdust_analysis.dir/distribution.cpp.o.d"
+  "CMakeFiles/sixdust_analysis.dir/eui_stats.cpp.o"
+  "CMakeFiles/sixdust_analysis.dir/eui_stats.cpp.o.d"
+  "CMakeFiles/sixdust_analysis.dir/overlap.cpp.o"
+  "CMakeFiles/sixdust_analysis.dir/overlap.cpp.o.d"
+  "CMakeFiles/sixdust_analysis.dir/report.cpp.o"
+  "CMakeFiles/sixdust_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/sixdust_analysis.dir/stats.cpp.o"
+  "CMakeFiles/sixdust_analysis.dir/stats.cpp.o.d"
+  "libsixdust_analysis.a"
+  "libsixdust_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

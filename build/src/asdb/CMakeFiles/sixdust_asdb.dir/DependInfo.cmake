@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asdb/geo.cpp" "src/asdb/CMakeFiles/sixdust_asdb.dir/geo.cpp.o" "gcc" "src/asdb/CMakeFiles/sixdust_asdb.dir/geo.cpp.o.d"
+  "/root/repo/src/asdb/registry.cpp" "src/asdb/CMakeFiles/sixdust_asdb.dir/registry.cpp.o" "gcc" "src/asdb/CMakeFiles/sixdust_asdb.dir/registry.cpp.o.d"
+  "/root/repo/src/asdb/rib.cpp" "src/asdb/CMakeFiles/sixdust_asdb.dir/rib.cpp.o" "gcc" "src/asdb/CMakeFiles/sixdust_asdb.dir/rib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/sixdust_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

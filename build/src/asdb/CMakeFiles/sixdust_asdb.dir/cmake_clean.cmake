@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_asdb.dir/geo.cpp.o"
+  "CMakeFiles/sixdust_asdb.dir/geo.cpp.o.d"
+  "CMakeFiles/sixdust_asdb.dir/registry.cpp.o"
+  "CMakeFiles/sixdust_asdb.dir/registry.cpp.o.d"
+  "CMakeFiles/sixdust_asdb.dir/rib.cpp.o"
+  "CMakeFiles/sixdust_asdb.dir/rib.cpp.o.d"
+  "libsixdust_asdb.a"
+  "libsixdust_asdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_asdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_dns.dir/zonedb.cpp.o"
+  "CMakeFiles/sixdust_dns.dir/zonedb.cpp.o.d"
+  "libsixdust_dns.a"
+  "libsixdust_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_gfw.dir/detector.cpp.o"
+  "CMakeFiles/sixdust_gfw.dir/detector.cpp.o.d"
+  "CMakeFiles/sixdust_gfw.dir/era_stats.cpp.o"
+  "CMakeFiles/sixdust_gfw.dir/era_stats.cpp.o.d"
+  "libsixdust_gfw.a"
+  "libsixdust_gfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_gfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hitlist/archive.cpp" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/archive.cpp.o" "gcc" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/archive.cpp.o.d"
+  "/root/repo/src/hitlist/compare.cpp" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/compare.cpp.o" "gcc" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/compare.cpp.o.d"
+  "/root/repo/src/hitlist/discovery.cpp" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/discovery.cpp.o" "gcc" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/discovery.cpp.o.d"
+  "/root/repo/src/hitlist/history.cpp" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/history.cpp.o" "gcc" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/history.cpp.o.d"
+  "/root/repo/src/hitlist/input_db.cpp" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/input_db.cpp.o" "gcc" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/input_db.cpp.o.d"
+  "/root/repo/src/hitlist/report_gen.cpp" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/report_gen.cpp.o" "gcc" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/report_gen.cpp.o.d"
+  "/root/repo/src/hitlist/service.cpp" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/service.cpp.o" "gcc" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/service.cpp.o.d"
+  "/root/repo/src/hitlist/sources.cpp" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/sources.cpp.o" "gcc" "src/hitlist/CMakeFiles/sixdust_hitlist.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scanner/CMakeFiles/sixdust_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/traceroute/CMakeFiles/sixdust_traceroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/alias/CMakeFiles/sixdust_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfw/CMakeFiles/sixdust_gfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sixdust_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/tga/CMakeFiles/sixdust_tga.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sixdust_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/sixdust_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sixdust_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/sixdust_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sixdust_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_hitlist.dir/archive.cpp.o"
+  "CMakeFiles/sixdust_hitlist.dir/archive.cpp.o.d"
+  "CMakeFiles/sixdust_hitlist.dir/compare.cpp.o"
+  "CMakeFiles/sixdust_hitlist.dir/compare.cpp.o.d"
+  "CMakeFiles/sixdust_hitlist.dir/discovery.cpp.o"
+  "CMakeFiles/sixdust_hitlist.dir/discovery.cpp.o.d"
+  "CMakeFiles/sixdust_hitlist.dir/history.cpp.o"
+  "CMakeFiles/sixdust_hitlist.dir/history.cpp.o.d"
+  "CMakeFiles/sixdust_hitlist.dir/input_db.cpp.o"
+  "CMakeFiles/sixdust_hitlist.dir/input_db.cpp.o.d"
+  "CMakeFiles/sixdust_hitlist.dir/report_gen.cpp.o"
+  "CMakeFiles/sixdust_hitlist.dir/report_gen.cpp.o.d"
+  "CMakeFiles/sixdust_hitlist.dir/service.cpp.o"
+  "CMakeFiles/sixdust_hitlist.dir/service.cpp.o.d"
+  "CMakeFiles/sixdust_hitlist.dir/sources.cpp.o"
+  "CMakeFiles/sixdust_hitlist.dir/sources.cpp.o.d"
+  "libsixdust_hitlist.a"
+  "libsixdust_hitlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_hitlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

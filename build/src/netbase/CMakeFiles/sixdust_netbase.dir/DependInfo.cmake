@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/addrio.cpp" "src/netbase/CMakeFiles/sixdust_netbase.dir/addrio.cpp.o" "gcc" "src/netbase/CMakeFiles/sixdust_netbase.dir/addrio.cpp.o.d"
+  "/root/repo/src/netbase/eui64.cpp" "src/netbase/CMakeFiles/sixdust_netbase.dir/eui64.cpp.o" "gcc" "src/netbase/CMakeFiles/sixdust_netbase.dir/eui64.cpp.o.d"
+  "/root/repo/src/netbase/ipv6.cpp" "src/netbase/CMakeFiles/sixdust_netbase.dir/ipv6.cpp.o" "gcc" "src/netbase/CMakeFiles/sixdust_netbase.dir/ipv6.cpp.o.d"
+  "/root/repo/src/netbase/prefix.cpp" "src/netbase/CMakeFiles/sixdust_netbase.dir/prefix.cpp.o" "gcc" "src/netbase/CMakeFiles/sixdust_netbase.dir/prefix.cpp.o.d"
+  "/root/repo/src/netbase/prefix_set.cpp" "src/netbase/CMakeFiles/sixdust_netbase.dir/prefix_set.cpp.o" "gcc" "src/netbase/CMakeFiles/sixdust_netbase.dir/prefix_set.cpp.o.d"
+  "/root/repo/src/netbase/rng.cpp" "src/netbase/CMakeFiles/sixdust_netbase.dir/rng.cpp.o" "gcc" "src/netbase/CMakeFiles/sixdust_netbase.dir/rng.cpp.o.d"
+  "/root/repo/src/netbase/teredo.cpp" "src/netbase/CMakeFiles/sixdust_netbase.dir/teredo.cpp.o" "gcc" "src/netbase/CMakeFiles/sixdust_netbase.dir/teredo.cpp.o.d"
+  "/root/repo/src/netbase/util.cpp" "src/netbase/CMakeFiles/sixdust_netbase.dir/util.cpp.o" "gcc" "src/netbase/CMakeFiles/sixdust_netbase.dir/util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

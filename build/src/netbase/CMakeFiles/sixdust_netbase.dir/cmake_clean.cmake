@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_netbase.dir/addrio.cpp.o"
+  "CMakeFiles/sixdust_netbase.dir/addrio.cpp.o.d"
+  "CMakeFiles/sixdust_netbase.dir/eui64.cpp.o"
+  "CMakeFiles/sixdust_netbase.dir/eui64.cpp.o.d"
+  "CMakeFiles/sixdust_netbase.dir/ipv6.cpp.o"
+  "CMakeFiles/sixdust_netbase.dir/ipv6.cpp.o.d"
+  "CMakeFiles/sixdust_netbase.dir/prefix.cpp.o"
+  "CMakeFiles/sixdust_netbase.dir/prefix.cpp.o.d"
+  "CMakeFiles/sixdust_netbase.dir/prefix_set.cpp.o"
+  "CMakeFiles/sixdust_netbase.dir/prefix_set.cpp.o.d"
+  "CMakeFiles/sixdust_netbase.dir/rng.cpp.o"
+  "CMakeFiles/sixdust_netbase.dir/rng.cpp.o.d"
+  "CMakeFiles/sixdust_netbase.dir/teredo.cpp.o"
+  "CMakeFiles/sixdust_netbase.dir/teredo.cpp.o.d"
+  "CMakeFiles/sixdust_netbase.dir/util.cpp.o"
+  "CMakeFiles/sixdust_netbase.dir/util.cpp.o.d"
+  "libsixdust_netbase.a"
+  "libsixdust_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/dns.cpp" "src/proto/CMakeFiles/sixdust_proto.dir/dns.cpp.o" "gcc" "src/proto/CMakeFiles/sixdust_proto.dir/dns.cpp.o.d"
+  "/root/repo/src/proto/quic_wire.cpp" "src/proto/CMakeFiles/sixdust_proto.dir/quic_wire.cpp.o" "gcc" "src/proto/CMakeFiles/sixdust_proto.dir/quic_wire.cpp.o.d"
+  "/root/repo/src/proto/tcp.cpp" "src/proto/CMakeFiles/sixdust_proto.dir/tcp.cpp.o" "gcc" "src/proto/CMakeFiles/sixdust_proto.dir/tcp.cpp.o.d"
+  "/root/repo/src/proto/wire.cpp" "src/proto/CMakeFiles/sixdust_proto.dir/wire.cpp.o" "gcc" "src/proto/CMakeFiles/sixdust_proto.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/sixdust_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_proto.dir/dns.cpp.o"
+  "CMakeFiles/sixdust_proto.dir/dns.cpp.o.d"
+  "CMakeFiles/sixdust_proto.dir/quic_wire.cpp.o"
+  "CMakeFiles/sixdust_proto.dir/quic_wire.cpp.o.d"
+  "CMakeFiles/sixdust_proto.dir/tcp.cpp.o"
+  "CMakeFiles/sixdust_proto.dir/tcp.cpp.o.d"
+  "CMakeFiles/sixdust_proto.dir/wire.cpp.o"
+  "CMakeFiles/sixdust_proto.dir/wire.cpp.o.d"
+  "libsixdust_proto.a"
+  "libsixdust_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

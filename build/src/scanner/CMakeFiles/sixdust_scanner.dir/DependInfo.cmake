@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanner/cyclic.cpp" "src/scanner/CMakeFiles/sixdust_scanner.dir/cyclic.cpp.o" "gcc" "src/scanner/CMakeFiles/sixdust_scanner.dir/cyclic.cpp.o.d"
+  "/root/repo/src/scanner/rate_limit.cpp" "src/scanner/CMakeFiles/sixdust_scanner.dir/rate_limit.cpp.o" "gcc" "src/scanner/CMakeFiles/sixdust_scanner.dir/rate_limit.cpp.o.d"
+  "/root/repo/src/scanner/zmap6.cpp" "src/scanner/CMakeFiles/sixdust_scanner.dir/zmap6.cpp.o" "gcc" "src/scanner/CMakeFiles/sixdust_scanner.dir/zmap6.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/sixdust_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/sixdust_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sixdust_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sixdust_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

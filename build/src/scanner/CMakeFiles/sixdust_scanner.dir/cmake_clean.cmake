@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_scanner.dir/cyclic.cpp.o"
+  "CMakeFiles/sixdust_scanner.dir/cyclic.cpp.o.d"
+  "CMakeFiles/sixdust_scanner.dir/rate_limit.cpp.o"
+  "CMakeFiles/sixdust_scanner.dir/rate_limit.cpp.o.d"
+  "CMakeFiles/sixdust_scanner.dir/zmap6.cpp.o"
+  "CMakeFiles/sixdust_scanner.dir/zmap6.cpp.o.d"
+  "libsixdust_scanner.a"
+  "libsixdust_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tga/distance_clustering.cpp" "src/tga/CMakeFiles/sixdust_tga.dir/distance_clustering.cpp.o" "gcc" "src/tga/CMakeFiles/sixdust_tga.dir/distance_clustering.cpp.o.d"
+  "/root/repo/src/tga/entropyip.cpp" "src/tga/CMakeFiles/sixdust_tga.dir/entropyip.cpp.o" "gcc" "src/tga/CMakeFiles/sixdust_tga.dir/entropyip.cpp.o.d"
+  "/root/repo/src/tga/seedless.cpp" "src/tga/CMakeFiles/sixdust_tga.dir/seedless.cpp.o" "gcc" "src/tga/CMakeFiles/sixdust_tga.dir/seedless.cpp.o.d"
+  "/root/repo/src/tga/sixgan.cpp" "src/tga/CMakeFiles/sixdust_tga.dir/sixgan.cpp.o" "gcc" "src/tga/CMakeFiles/sixdust_tga.dir/sixgan.cpp.o.d"
+  "/root/repo/src/tga/sixgraph.cpp" "src/tga/CMakeFiles/sixdust_tga.dir/sixgraph.cpp.o" "gcc" "src/tga/CMakeFiles/sixdust_tga.dir/sixgraph.cpp.o.d"
+  "/root/repo/src/tga/sixhit.cpp" "src/tga/CMakeFiles/sixdust_tga.dir/sixhit.cpp.o" "gcc" "src/tga/CMakeFiles/sixdust_tga.dir/sixhit.cpp.o.d"
+  "/root/repo/src/tga/sixtree.cpp" "src/tga/CMakeFiles/sixdust_tga.dir/sixtree.cpp.o" "gcc" "src/tga/CMakeFiles/sixdust_tga.dir/sixtree.cpp.o.d"
+  "/root/repo/src/tga/sixveclm.cpp" "src/tga/CMakeFiles/sixdust_tga.dir/sixveclm.cpp.o" "gcc" "src/tga/CMakeFiles/sixdust_tga.dir/sixveclm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/sixdust_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/sixdust_asdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_tga.dir/distance_clustering.cpp.o"
+  "CMakeFiles/sixdust_tga.dir/distance_clustering.cpp.o.d"
+  "CMakeFiles/sixdust_tga.dir/entropyip.cpp.o"
+  "CMakeFiles/sixdust_tga.dir/entropyip.cpp.o.d"
+  "CMakeFiles/sixdust_tga.dir/seedless.cpp.o"
+  "CMakeFiles/sixdust_tga.dir/seedless.cpp.o.d"
+  "CMakeFiles/sixdust_tga.dir/sixgan.cpp.o"
+  "CMakeFiles/sixdust_tga.dir/sixgan.cpp.o.d"
+  "CMakeFiles/sixdust_tga.dir/sixgraph.cpp.o"
+  "CMakeFiles/sixdust_tga.dir/sixgraph.cpp.o.d"
+  "CMakeFiles/sixdust_tga.dir/sixhit.cpp.o"
+  "CMakeFiles/sixdust_tga.dir/sixhit.cpp.o.d"
+  "CMakeFiles/sixdust_tga.dir/sixtree.cpp.o"
+  "CMakeFiles/sixdust_tga.dir/sixtree.cpp.o.d"
+  "CMakeFiles/sixdust_tga.dir/sixveclm.cpp.o"
+  "CMakeFiles/sixdust_tga.dir/sixveclm.cpp.o.d"
+  "libsixdust_tga.a"
+  "libsixdust_tga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_tga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/aliased_region.cpp" "src/topo/CMakeFiles/sixdust_topo.dir/aliased_region.cpp.o" "gcc" "src/topo/CMakeFiles/sixdust_topo.dir/aliased_region.cpp.o.d"
+  "/root/repo/src/topo/censored_network.cpp" "src/topo/CMakeFiles/sixdust_topo.dir/censored_network.cpp.o" "gcc" "src/topo/CMakeFiles/sixdust_topo.dir/censored_network.cpp.o.d"
+  "/root/repo/src/topo/gfw.cpp" "src/topo/CMakeFiles/sixdust_topo.dir/gfw.cpp.o" "gcc" "src/topo/CMakeFiles/sixdust_topo.dir/gfw.cpp.o.d"
+  "/root/repo/src/topo/isp_pool.cpp" "src/topo/CMakeFiles/sixdust_topo.dir/isp_pool.cpp.o" "gcc" "src/topo/CMakeFiles/sixdust_topo.dir/isp_pool.cpp.o.d"
+  "/root/repo/src/topo/server_farm.cpp" "src/topo/CMakeFiles/sixdust_topo.dir/server_farm.cpp.o" "gcc" "src/topo/CMakeFiles/sixdust_topo.dir/server_farm.cpp.o.d"
+  "/root/repo/src/topo/world.cpp" "src/topo/CMakeFiles/sixdust_topo.dir/world.cpp.o" "gcc" "src/topo/CMakeFiles/sixdust_topo.dir/world.cpp.o.d"
+  "/root/repo/src/topo/world_builder.cpp" "src/topo/CMakeFiles/sixdust_topo.dir/world_builder.cpp.o" "gcc" "src/topo/CMakeFiles/sixdust_topo.dir/world_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/sixdust_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/sixdust_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sixdust_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_topo.dir/aliased_region.cpp.o"
+  "CMakeFiles/sixdust_topo.dir/aliased_region.cpp.o.d"
+  "CMakeFiles/sixdust_topo.dir/censored_network.cpp.o"
+  "CMakeFiles/sixdust_topo.dir/censored_network.cpp.o.d"
+  "CMakeFiles/sixdust_topo.dir/gfw.cpp.o"
+  "CMakeFiles/sixdust_topo.dir/gfw.cpp.o.d"
+  "CMakeFiles/sixdust_topo.dir/isp_pool.cpp.o"
+  "CMakeFiles/sixdust_topo.dir/isp_pool.cpp.o.d"
+  "CMakeFiles/sixdust_topo.dir/server_farm.cpp.o"
+  "CMakeFiles/sixdust_topo.dir/server_farm.cpp.o.d"
+  "CMakeFiles/sixdust_topo.dir/world.cpp.o"
+  "CMakeFiles/sixdust_topo.dir/world.cpp.o.d"
+  "CMakeFiles/sixdust_topo.dir/world_builder.cpp.o"
+  "CMakeFiles/sixdust_topo.dir/world_builder.cpp.o.d"
+  "libsixdust_topo.a"
+  "libsixdust_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traceroute/yarrp.cpp" "src/traceroute/CMakeFiles/sixdust_traceroute.dir/yarrp.cpp.o" "gcc" "src/traceroute/CMakeFiles/sixdust_traceroute.dir/yarrp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/sixdust_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/sixdust_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/sixdust_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sixdust_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sixdust_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sixdust_traceroute.dir/yarrp.cpp.o"
+  "CMakeFiles/sixdust_traceroute.dir/yarrp.cpp.o.d"
+  "libsixdust_traceroute.a"
+  "libsixdust_traceroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sixdust_traceroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_addrio.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_addrio.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_addrio.cpp.o.d"
+  "/root/repo/tests/test_alias.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_alias.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_alias.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_archive.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_archive.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_archive.cpp.o.d"
+  "/root/repo/tests/test_asdb.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_asdb.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_asdb.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_compare_shard.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_compare_shard.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_compare_shard.cpp.o.d"
+  "/root/repo/tests/test_dns.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_dns.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_dns.cpp.o.d"
+  "/root/repo/tests/test_entropyip.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_entropyip.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_entropyip.cpp.o.d"
+  "/root/repo/tests/test_era_stats.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_era_stats.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_era_stats.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gfw.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_gfw.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_gfw.cpp.o.d"
+  "/root/repo/tests/test_hitlist.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_hitlist.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_hitlist.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_netbase.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_netbase.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_netbase.cpp.o.d"
+  "/root/repo/tests/test_proto.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_proto.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_proto.cpp.o.d"
+  "/root/repo/tests/test_quic_wire.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_quic_wire.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_quic_wire.cpp.o.d"
+  "/root/repo/tests/test_rate_limit.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_rate_limit.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_rate_limit.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_scanner.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_scanner.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_scanner.cpp.o.d"
+  "/root/repo/tests/test_sixhit_seedless.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_sixhit_seedless.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_sixhit_seedless.cpp.o.d"
+  "/root/repo/tests/test_tga.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_tga.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_tga.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_traceroute.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_traceroute.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_traceroute.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_wire.cpp.o.d"
+  "/root/repo/tests/test_world_invariants.cpp" "tests/CMakeFiles/sixdust_tests.dir/test_world_invariants.cpp.o" "gcc" "tests/CMakeFiles/sixdust_tests.dir/test_world_invariants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hitlist/CMakeFiles/sixdust_hitlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/traceroute/CMakeFiles/sixdust_traceroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sixdust_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/alias/CMakeFiles/sixdust_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfw/CMakeFiles/sixdust_gfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/sixdust_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/sixdust_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sixdust_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tga/CMakeFiles/sixdust_tga.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sixdust_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/sixdust_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sixdust_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sixdust_apd.dir/sixdust_apd.cpp.o"
+  "CMakeFiles/tool_sixdust_apd.dir/sixdust_apd.cpp.o.d"
+  "sixdust-apd"
+  "sixdust-apd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sixdust_apd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

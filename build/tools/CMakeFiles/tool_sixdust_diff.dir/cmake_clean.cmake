@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sixdust_diff.dir/sixdust_diff.cpp.o"
+  "CMakeFiles/tool_sixdust_diff.dir/sixdust_diff.cpp.o.d"
+  "sixdust-diff"
+  "sixdust-diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sixdust_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sixdust_hitlist.dir/sixdust_hitlist.cpp.o"
+  "CMakeFiles/tool_sixdust_hitlist.dir/sixdust_hitlist.cpp.o.d"
+  "sixdust-hitlist"
+  "sixdust-hitlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sixdust_hitlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sixdust_scan.dir/sixdust_scan.cpp.o"
+  "CMakeFiles/tool_sixdust_scan.dir/sixdust_scan.cpp.o.d"
+  "sixdust-scan"
+  "sixdust-scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sixdust_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

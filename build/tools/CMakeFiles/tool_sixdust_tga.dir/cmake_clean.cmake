@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_sixdust_tga.dir/sixdust_tga.cpp.o"
+  "CMakeFiles/tool_sixdust_tga.dir/sixdust_tga.cpp.o.d"
+  "sixdust-tga"
+  "sixdust-tga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_sixdust_tga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
