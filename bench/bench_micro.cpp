@@ -111,6 +111,55 @@ void BM_ScannerFullSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_ScannerFullSweep);
 
+void BM_ParallelScan(benchmark::State& state) {
+  // Thread-scaling of the parallel scan engine on a >= 2^16-target sweep;
+  // Arg is the Config::threads value (1 = exact sequential path).
+  static auto world = build_test_world(8);
+  static const std::vector<Ipv6> targets = [] {
+    std::vector<KnownAddress> known;
+    world->enumerate_known(ScanDate{0}, known);
+    std::vector<Ipv6> t;
+    for (const auto& k : known) t.push_back(k.addr);
+    for (std::uint64_t i = 0; t.size() < (1u << 16); ++i)
+      t.push_back(pfx("2600:3c00::/32").random_address(0xBE7C4 + i));
+    return t;
+  }();
+  Zmap6 zmap(Zmap6::Config{.seed = 1,
+                           .loss = 0.01,
+                           .retries = 1,
+                           .threads = static_cast<unsigned>(state.range(0))});
+  for (auto _ : state) {
+    auto r = zmap.scan(*world, targets, Proto::Icmp, ScanDate{0});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(targets.size()));
+}
+BENCHMARK(BM_ParallelScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ParallelApd(benchmark::State& state) {
+  // Thread-scaling of the per-candidate APD probe fan-out.
+  static auto world = build_test_world(9);
+  static const std::vector<Ipv6> input = [] {
+    std::vector<KnownAddress> known;
+    world->enumerate_known(ScanDate{0}, known);
+    std::vector<Ipv6> t;
+    for (const auto& k : known) t.push_back(k.addr);
+    for (std::uint64_t i = 0; t.size() < 20000; ++i)
+      t.push_back(pfx("240e::/24").random_address(0xA9D + i));
+    return t;
+  }();
+  AliasDetector apd(AliasDetector::Config{
+      .threads = static_cast<unsigned>(state.range(0))});
+  for (auto _ : state) {
+    auto d = apd.detect_once(*world, input, ScanDate{0});
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_ParallelApd)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_ApdCandidates(benchmark::State& state) {
   static auto world = build_test_world(6);
   std::vector<Ipv6> input;

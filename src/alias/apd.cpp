@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/parallel.hpp"
 #include "netbase/hash.hpp"
 
 namespace sixdust {
@@ -108,14 +109,38 @@ AliasDetector::Detection AliasDetector::finalize(
   return det;
 }
 
+std::unordered_map<Prefix, std::uint16_t, PrefixHasher>
+AliasDetector::probe_round(const World& world,
+                           const std::vector<Prefix>& cands, ScanDate date,
+                           std::uint64_t* probes) const {
+  // Masks land in position-addressed slots and per-chunk probe counters
+  // are summed in chunk order, so the round is identical for any thread
+  // count (probe loss is a pure function of the target, not of timing).
+  ThreadPool* pool = pool_.get();
+  const std::size_t chunks = parallel_chunks(pool, cands.size());
+  std::vector<std::uint16_t> masks(cands.size());
+  std::vector<std::uint64_t> chunk_probes(chunks, 0);
+  parallel_for(pool, cands.size(), chunks,
+               [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+                 std::uint64_t local = 0;
+                 for (std::size_t i = lo; i < hi; ++i)
+                   masks[i] = probe_mask(world, cands[i], date, &local);
+                 chunk_probes[chunk] = local;
+               });
+
+  std::unordered_map<Prefix, std::uint16_t, PrefixHasher> round;
+  round.reserve(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) round[cands[i]] = masks[i];
+  for (const std::uint64_t c : chunk_probes) *probes += c;
+  return round;
+}
+
 AliasDetector::Detection AliasDetector::detect(const World& world,
                                                std::span<const Ipv6> input,
                                                ScanDate date) {
   const auto cands = candidates(world.rib(), input, cfg_);
-  std::unordered_map<Prefix, std::uint16_t, PrefixHasher> round;
-  round.reserve(cands.size());
   std::uint64_t probes = 0;
-  for (const auto& p : cands) round[p] = probe_mask(world, p, date, &probes);
+  auto round = probe_round(world, cands, date, &probes);
 
   // Merge with up to `history` previous rounds: a sub-prefix counts as
   // responsive if it responded in any merged round.
@@ -137,10 +162,8 @@ AliasDetector::Detection AliasDetector::detect(const World& world,
 AliasDetector::Detection AliasDetector::detect_once(
     const World& world, std::span<const Ipv6> input, ScanDate date) const {
   const auto cands = candidates(world.rib(), input, cfg_);
-  std::unordered_map<Prefix, std::uint16_t, PrefixHasher> round;
-  round.reserve(cands.size());
   std::uint64_t probes = 0;
-  for (const auto& p : cands) round[p] = probe_mask(world, p, date, &probes);
+  const auto round = probe_round(world, cands, date, &probes);
   return finalize(round, cands.size(), probes);
 }
 

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "asdb/rib.hpp"
+#include "core/thread_pool.hpp"
 #include "netbase/prefix_set.hpp"
 #include "topo/world.hpp"
 
@@ -36,9 +38,17 @@ class AliasDetector {
     int history = 3;
     /// Channel loss applied to detection probes.
     double loss = 0.01;
+    /// Prober threads: 0 = hardware concurrency, 1 = sequential. The
+    /// per-candidate probe masks are position-addressed, so any thread
+    /// count yields identical detections.
+    unsigned threads = 1;
   };
 
-  explicit AliasDetector(Config cfg) : cfg_(cfg) {}
+  explicit AliasDetector(Config cfg)
+      : cfg_(cfg), pool_(ThreadPool::create(cfg.threads)) {}
+
+  /// Share an executor with the other probe stages (null = sequential).
+  void set_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
 
   /// Candidate prefixes per the three rules above.
   [[nodiscard]] static std::vector<Prefix> candidates(
@@ -75,7 +85,14 @@ class AliasDetector {
 
   [[nodiscard]] bool lost(const Ipv6& a, ScanDate d, int proto_tag) const;
 
+  /// Probe all candidates (in parallel when a pool is set) into a
+  /// per-prefix mask map; adds the probes issued to `*probes`.
+  [[nodiscard]] std::unordered_map<Prefix, std::uint16_t, PrefixHasher>
+  probe_round(const World& world, const std::vector<Prefix>& cands,
+              ScanDate date, std::uint64_t* probes) const;
+
   Config cfg_;
+  std::shared_ptr<ThreadPool> pool_;
   std::deque<std::unordered_map<Prefix, std::uint16_t, PrefixHasher>> history_;
 };
 

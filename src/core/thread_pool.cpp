@@ -1,0 +1,92 @@
+#include "core/thread_pool.hpp"
+
+namespace sixdust {
+
+/// Completion state of one run() call. Heap-held via shared_ptr from every
+/// task and from the waiter, so no lifetime race exists between the last
+/// task signalling completion and the waiter returning.
+struct ThreadPool::Batch {
+  explicit Batch(std::size_t n) : remaining(n) {}
+  std::size_t remaining;  // guarded by m
+  std::mutex m;
+  std::condition_variable done;
+};
+
+unsigned ThreadPool::resolve(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::create(unsigned requested) {
+  const unsigned n = resolve(requested);
+  if (n < 2) return nullptr;
+  return std::make_shared<ThreadPool>(n);
+}
+
+ThreadPool::ThreadPool(unsigned threads) : size_(threads < 1 ? 1 : threads) {
+  workers_.reserve(size_ - 1);
+  for (unsigned i = 0; i + 1 < size_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task t;
+    {
+      std::unique_lock lk(m_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      t = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(t);
+  }
+}
+
+void ThreadPool::execute(Task& t) {
+  t.fn();
+  std::lock_guard lk(t.batch->m);
+  if (--t.batch->remaining == 0) t.batch->done.notify_all();
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (auto& f : tasks) f();
+    return;
+  }
+  auto batch = std::make_shared<Batch>(tasks.size());
+  {
+    std::lock_guard lk(m_);
+    for (auto& f : tasks) queue_.push_back(Task{std::move(f), batch});
+  }
+  cv_.notify_all();
+
+  // Help: drain pending tasks (this batch's or a sibling's) instead of
+  // blocking — this is what makes nested run() calls deadlock-free.
+  for (;;) {
+    Task t;
+    {
+      std::lock_guard lk(m_);
+      if (queue_.empty()) break;
+      t = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(t);
+  }
+
+  std::unique_lock lk(batch->m);
+  batch->done.wait(lk, [&] { return batch->remaining == 0; });
+}
+
+}  // namespace sixdust

@@ -1,7 +1,9 @@
 #include "hitlist/service.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "core/parallel.hpp"
 #include "scanner/rate_limit.hpp"
 
 namespace sixdust {
@@ -17,6 +19,12 @@ HitlistService::HitlistService(Config cfg)
       }()),
       yarrp_(cfg_.traceroute) {
   for (const auto& p : cfg_.blocklist_prefixes) blocklist_.add(p);
+  pool_ = ThreadPool::create(cfg_.threads);
+  if (pool_) {
+    zmap_.set_pool(pool_);
+    apd_.set_pool(pool_);
+    yarrp_.set_pool(pool_);
+  }
 }
 
 std::vector<Ipv6> HitlistService::eligible_targets() const {
@@ -57,8 +65,18 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   double duration_seconds =
       scan_duration_seconds(detection.probes_sent, cfg_.scanner.pps);
 
-  for (Proto p : kAllProtos) {
-    ScanResult result = zmap_.scan(world, targets, p, date);
+  // All five protocol scans are independent reads of the world, so they
+  // fan out over the pool; the pool may further split each scan into
+  // shard slices. Results are then consumed strictly in kAllProtos order
+  // so that GFW state mutation and float duration sums stay deterministic.
+  std::vector<ScanResult> per_proto = ordered_map<ScanResult>(
+      pool_.get(), kAllProtos.size(), [&](std::size_t i) {
+        return zmap_.scan(world, targets, kAllProtos[i], date);
+      });
+
+  for (std::size_t pi = 0; pi < kAllProtos.size(); ++pi) {
+    const Proto p = kAllProtos[pi];
+    ScanResult& result = per_proto[pi];
     duration_seconds += result.duration_seconds;
     if (p == Proto::Udp53) {
       const bool filter_on = cfg_.enable_gfw_filter &&
@@ -91,7 +109,6 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
       ++newly_excluded;
     }
   }
-  (void)newly_excluded;
 
   // 7. Yarrp traceroutes toward the (alias-filtered) targets; discovered
   // router addresses become next scan's input.
@@ -116,6 +133,7 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   outcome.scan_targets = targets.size();
   outcome.aliased_count = aliased_list_.size();
   outcome.excluded_total = excluded_.size();
+  outcome.newly_excluded = newly_excluded;
   outcome.responsive_any = responsive.size();
   for (const auto& [a, mask] : entry.responsive)
     for (Proto p : kAllProtos)

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <unordered_set>
 
 #include "alias/apd.hpp"
+#include "core/thread_pool.hpp"
 #include "hitlist/history.hpp"
 #include "hitlist/input_db.hpp"
 #include "hitlist/sources.hpp"
@@ -39,6 +41,10 @@ class HitlistService {
     bool enable_gfw_filter = true;
     int gfw_filter_from_scan = 43;
     std::vector<Prefix> blocklist_prefixes;
+    /// Worker threads for the scan/APD/traceroute stages. 0 = one per
+    /// hardware core, 1 = the exact sequential path. Output is
+    /// byte-identical for every value (see DESIGN.md, "Concurrency model").
+    unsigned threads = 1;
   };
 
   explicit HitlistService(Config cfg);
@@ -49,6 +55,9 @@ class HitlistService {
     std::size_t scan_targets = 0;
     std::size_t aliased_count = 0;
     std::size_t excluded_total = 0;
+    /// Addresses that hit the 30-day-unresponsive limit *this* scan and
+    /// moved into the permanent exclusion pool.
+    std::size_t newly_excluded = 0;
     std::size_t responsive_any = 0;
     std::array<std::size_t, kProtoCount> responsive_per_proto{};
   };
@@ -94,6 +103,10 @@ class HitlistService {
   friend class ServiceArchive;
 
   Config cfg_;
+  /// Shared executor for all pipeline stages (null when threads resolves
+  /// to 1); injected into zmap_/apd_/yarrp_ so nested fan-out reuses the
+  /// same workers instead of oversubscribing.
+  std::shared_ptr<ThreadPool> pool_;
   PrefixSet blocklist_;
   SourceCollector sources_;
   AliasDetector apd_;

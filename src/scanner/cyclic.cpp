@@ -130,4 +130,17 @@ std::uint64_t CyclicPermutation::at(std::uint64_t i) const {
   }
 }
 
+std::uint64_t CyclicPermutation::cycle_element(std::uint64_t j) const {
+  return mulmod_u64(start_, powmod_u64(g_, j, p_), p_);
+}
+
+CyclicPermutation::Arc CyclicPermutation::shard_arc(std::uint32_t shard,
+                                                    std::uint32_t shards) const {
+  const auto len = static_cast<unsigned __int128>(p_ - 1);
+  Arc arc;
+  arc.begin = static_cast<std::uint64_t>(len * shard / shards);
+  arc.end = static_cast<std::uint64_t>(len * (shard + 1) / shards);
+  return arc;
+}
+
 }  // namespace sixdust

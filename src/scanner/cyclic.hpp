@@ -27,13 +27,45 @@ class CyclicPermutation {
   [[nodiscard]] std::uint64_t prime() const { return p_; }
   [[nodiscard]] std::uint64_t generator() const { return g_; }
 
-  /// Shard `shard` of `shards`: the subsequence i ≡ shard (mod shards),
-  /// matching ZMap's --shards/--shard options for distributed scans.
-  [[nodiscard]] std::uint64_t shard_element(std::uint64_t i,
-                                            std::uint32_t shard,
-                                            std::uint32_t shards) const {
-    return at(i * shards + shard);
+  // --- Cycle arcs (sharding) ----------------------------------------------
+  //
+  // The permutation of [0, n) is the underlying group cycle — positions
+  // 0 .. cycle_length()-1, element start·g^j at position j — filtered to
+  // values in [1, n]. Walking positions in order and keeping in-range
+  // values yields exactly the next() sequence, so a *contiguous* slice of
+  // cycle positions ("arc") is a resumable slice of the scan order:
+  // concatenating the arcs 0..shards-1 reproduces the full permutation
+  // byte-for-byte. This is how ZMap's --shards partitions the cycle, and
+  // it makes each shard O(cycle_length/shards) instead of walking the
+  // whole cycle and discarding other shards' positions.
+
+  /// Number of positions in the group cycle (p - 1 ≥ n).
+  [[nodiscard]] std::uint64_t cycle_length() const { return p_ - 1; }
+
+  /// Group element (in [1, p)) at cycle position `j`; O(log j) modular
+  /// exponentiation. Continue a walk with cycle_advance().
+  [[nodiscard]] std::uint64_t cycle_element(std::uint64_t j) const;
+
+  /// Successor of group element `e` along the cycle.
+  [[nodiscard]] std::uint64_t cycle_advance(std::uint64_t e) const {
+    return advance(e);
   }
+
+  /// Permutation value of group element `e`, or size() when `e` falls
+  /// outside [1, n] (a skipped position).
+  [[nodiscard]] std::uint64_t cycle_value(std::uint64_t e) const {
+    return e <= n_ ? e - 1 : n_;
+  }
+
+  struct Arc {
+    std::uint64_t begin = 0;  // first cycle position
+    std::uint64_t end = 0;    // one past the last cycle position
+  };
+
+  /// Contiguous cycle arc of shard `shard` of `shards` (ZMap-style
+  /// distributed scanning): the arcs partition [0, cycle_length()) into
+  /// near-equal slices in shard order.
+  [[nodiscard]] Arc shard_arc(std::uint32_t shard, std::uint32_t shards) const;
 
  private:
   [[nodiscard]] std::uint64_t advance(std::uint64_t cur) const;

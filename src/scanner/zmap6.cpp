@@ -1,9 +1,18 @@
 #include "scanner/zmap6.hpp"
 
+#include "core/parallel.hpp"
 #include "scanner/cyclic.hpp"
 #include "scanner/rate_limit.hpp"
 
 namespace sixdust {
+
+namespace {
+
+/// Below this many targets a parallel dispatch costs more than it saves;
+/// the sequential and parallel paths produce identical output either way.
+constexpr std::size_t kParallelMinTargets = 256;
+
+}  // namespace
 
 DnsObservation observe_dns(const std::vector<DnsMessage>& responses,
                            const DnsQuestion& q) {
@@ -83,7 +92,31 @@ std::optional<ScanRecord> Zmap6::probe_one(const World& world,
 
 ScanResult Zmap6::scan(const World& world, std::span<const Ipv6> targets,
                        Proto proto, ScanDate date) const {
-  return scan_shard(world, targets, proto, date, 0, 1);
+  ThreadPool* pool = pool_.get();
+  if (pool == nullptr || targets.size() < kParallelMinTargets)
+    return scan_shard(world, targets, proto, date, 0, 1);
+
+  // One shard slice per pool thread; the ordered reduce concatenates the
+  // slices in shard order, which is exactly the sequential probe order.
+  const auto slices = static_cast<std::uint32_t>(pool->size());
+  ScanResult merged = ordered_reduce(
+      pool, slices, ScanResult{},
+      [&](std::size_t s) {
+        return scan_shard(world, targets, proto, date,
+                          static_cast<std::uint32_t>(s), slices);
+      },
+      [](ScanResult& acc, ScanResult& part) {
+        acc.blocked += part.blocked;
+        acc.probes_sent += part.probes_sent;
+        acc.responsive.insert(acc.responsive.end(),
+                              std::make_move_iterator(part.responsive.begin()),
+                              std::make_move_iterator(part.responsive.end()));
+      });
+  merged.proto = proto;
+  merged.date = date;
+  merged.targets = targets.size();
+  merged.duration_seconds = scan_duration_seconds(merged.probes_sent, cfg_.pps);
+  return merged;
 }
 
 ScanResult Zmap6::scan_shard(const World& world,
@@ -96,11 +129,14 @@ ScanResult Zmap6::scan_shard(const World& world,
   result.targets = targets.size();
   if (targets.empty() || shards == 0 || shard >= shards) return result;
 
-  CyclicPermutation perm(targets.size(),
-                         hash_combine(cfg_.seed, proto_index(proto)));
-  for (std::uint64_t k = 0; k < targets.size(); ++k) {
-    const std::uint64_t index = perm.next();
-    if (k % shards != shard) continue;  // another shard's slice
+  const CyclicPermutation perm(targets.size(),
+                               hash_combine(cfg_.seed, proto_index(proto)));
+  const auto arc = perm.shard_arc(shard, shards);
+  std::uint64_t cur = perm.cycle_element(arc.begin);
+  for (std::uint64_t j = arc.begin; j < arc.end;
+       ++j, cur = perm.cycle_advance(cur)) {
+    const std::uint64_t index = perm.cycle_value(cur);
+    if (index >= targets.size()) continue;  // skipped cycle position
     const Ipv6& t = targets[index];
     if (cfg_.blocklist != nullptr && cfg_.blocklist->covers(t)) {
       ++result.blocked;

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "netbase/prefix_set.hpp"
 #include "topo/world.hpp"
 
@@ -66,18 +68,30 @@ class Zmap6 {
     /// days — the runtime growth of the paper's Fig. 4 caption. (The real
     /// service probes ~10^4x faster at 10^3-10^4x the target count.)
     double pps = 3.0;
+    /// Sender threads for scan(): 0 = hardware concurrency, 1 = the exact
+    /// sequential path. Any thread count produces byte-identical results
+    /// (shard slices are merged in deterministic shard order).
+    unsigned threads = 1;
   };
 
-  explicit Zmap6(Config cfg) : cfg_(cfg) {}
+  explicit Zmap6(Config cfg)
+      : cfg_(cfg), pool_(ThreadPool::create(cfg.threads)) {}
+
+  /// Share an executor (the hitlist service runs all its probe stages on
+  /// one pool). A null pool restores the sequential path.
+  void set_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
 
   /// Scan `targets` for `proto` on `date`.
   [[nodiscard]] ScanResult scan(const World& world, std::span<const Ipv6> targets,
                                 Proto proto, ScanDate date) const;
 
   /// Distributed scanning (ZMap --shards/--shard): probe only the targets
-  /// of shard `shard` of `shards`. The shards partition the permuted
-  /// sequence, so the union over all shards equals a full scan and each
-  /// shard's load spreads across the address space like the full run.
+  /// of shard `shard` of `shards`. Each shard owns a contiguous arc of
+  /// the permutation cycle, so the union over all shards equals a full
+  /// scan, each shard only walks its own O(N/shards) slice, each shard's
+  /// load spreads across the address space like the full run, and
+  /// concatenating shard results in shard order reproduces the full
+  /// scan's probe order byte-for-byte (which is how scan() parallelizes).
   [[nodiscard]] ScanResult scan_shard(const World& world,
                                       std::span<const Ipv6> targets,
                                       Proto proto, ScanDate date,
@@ -98,6 +112,7 @@ class Zmap6 {
                           int attempt) const;
 
   Config cfg_;
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 /// Summarize DNS responses into the observation record.

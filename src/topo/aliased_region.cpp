@@ -1,5 +1,7 @@
 #include "topo/aliased_region.hpp"
 
+#include <mutex>
+
 #include "netbase/hash.hpp"
 
 namespace sixdust {
@@ -26,6 +28,26 @@ Prefix AliasedRegion::sparse_unit(std::size_t prefix_idx,
   return Prefix::make(base, 64);
 }
 
+bool AliasedRegion::sparse_member(std::size_t pi, const Ipv6& a,
+                                  std::uint32_t want) const {
+  const std::uint64_t key = Prefix::mask(a, 64).hi();
+  {
+    std::shared_lock lk(sparse_mutex_);
+    if (sparse_built_for_ >= want) return sparse_sets_[pi].contains(key);
+  }
+  std::unique_lock lk(sparse_mutex_);
+  if (sparse_built_for_ < want) {
+    for (std::size_t i = 0; i < cfg_.prefixes.size(); ++i) {
+      auto& set = sparse_sets_[i];
+      set.reserve(want * 2);
+      for (std::uint32_t j = sparse_built_for_; j < want; ++j)
+        set.insert(sparse_unit(i, j).base().hi());
+    }
+    sparse_built_for_ = want;
+  }
+  return sparse_sets_[pi].contains(key);
+}
+
 std::optional<Prefix> AliasedRegion::unit_of(const Ipv6& a,
                                              ScanDate d) const {
   if (d.index < cfg_.appears) return std::nullopt;
@@ -34,19 +56,9 @@ std::optional<Prefix> AliasedRegion::unit_of(const Ipv6& a,
   if (cfg_.sparse64_count == 0) return covering;
 
   const std::uint32_t want = sparse_count_at(d);
-  if (sparse_built_for_ < want) {
-    for (std::size_t pi = 0; pi < cfg_.prefixes.size(); ++pi) {
-      auto& set = sparse_sets_[pi];
-      set.reserve(want * 2);
-      for (std::uint32_t j = sparse_built_for_; j < want; ++j)
-        set.insert(sparse_unit(pi, j).base().hi());
-    }
-    sparse_built_for_ = want;
-  }
   for (std::size_t pi = 0; pi < cfg_.prefixes.size(); ++pi) {
     if (!cfg_.prefixes[pi].contains(a)) continue;
-    if (sparse_sets_[pi].contains(Prefix::mask(a, 64).hi()))
-      return Prefix::make(a, 64);
+    if (sparse_member(pi, a, want)) return Prefix::make(a, 64);
     return std::nullopt;
   }
   return std::nullopt;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_set>
 
 #include "netbase/prefix_set.hpp"
@@ -90,9 +91,18 @@ class AliasedRegion final : public Deployment {
   /// The aliased unit containing `a` (whole prefix or active /64).
   [[nodiscard]] std::optional<Prefix> unit_of(const Ipv6& a, ScanDate d) const;
 
+  /// Extend the lazy active-/64 lookup to cover `want` units and test
+  /// membership of `a`'s /64 in prefix `pi` — thread-safe (host() runs
+  /// concurrently on the parallel scan path; the cache grows append-only
+  /// under a writer lock and is a pure memo, so growth order is
+  /// irrelevant).
+  [[nodiscard]] bool sparse_member(std::size_t pi, const Ipv6& a,
+                                   std::uint32_t want) const;
+
   Config cfg_;
   PrefixSet coverage_;
   // Lazily built lookup of active /64 base words per configured prefix.
+  mutable std::shared_mutex sparse_mutex_;
   mutable std::vector<std::unordered_set<std::uint64_t>> sparse_sets_;
   mutable std::uint32_t sparse_built_for_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "topo/isp_pool.hpp"
 
 #include <cmath>
+#include <mutex>
 
 #include "netbase/hash.hpp"
 
@@ -52,7 +53,13 @@ std::optional<std::uint32_t> IspPool::subnet_of(const Ipv6& a) const {
 }
 
 const std::unordered_set<std::uint32_t>& IspPool::active_set(int epoch) const {
-  auto it = active_.find(epoch);
+  {
+    std::shared_lock lk(active_mutex_);
+    auto it = active_.find(epoch);
+    if (it != active_.end()) return it->second;
+  }
+  std::unique_lock lk(active_mutex_);
+  auto it = active_.find(epoch);  // another thread may have built it
   if (it != active_.end()) return it->second;
   std::unordered_set<std::uint32_t> set;
   set.reserve(cfg_.active_per_scan * 2);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -64,6 +65,10 @@ class IspPool final : public Deployment {
   [[nodiscard]] int epoch(ScanDate d) const {
     return d.index / cfg_.rotation_scans;
   }
+  /// Memo of the active-subnet draw for `epoch` — thread-safe: host()
+  /// runs concurrently on the parallel scan path. Entries are built once
+  /// under a writer lock and never modified afterwards, so the returned
+  /// reference stays valid and immutable (unordered_map nodes are stable).
   [[nodiscard]] const std::unordered_set<std::uint32_t>& active_set(
       int epoch) const;
   [[nodiscard]] std::uint32_t mac_index(std::uint32_t subnet) const;
@@ -72,6 +77,7 @@ class IspPool final : public Deployment {
   Config cfg_;
   std::vector<Prefix> prefixes_;
   std::uint32_t subnet_space_mask_;
+  mutable std::shared_mutex active_mutex_;
   mutable std::unordered_map<int, std::unordered_set<std::uint32_t>> active_;
 };
 

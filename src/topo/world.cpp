@@ -35,18 +35,37 @@ const Deployment* World::deployment_of(const Ipv6& a) const {
   return deployments_[*m->value].get();
 }
 
+void World::roll_host_cache(int date_index) const {
+  std::lock_guard roll(cache_roll_mutex_);
+  if (cache_date_.load(std::memory_order_relaxed) == date_index) return;
+  for (auto& stripe : host_cache_) {
+    std::lock_guard lk(stripe.m);
+    stripe.map.clear();
+  }
+  cache_date_.store(date_index, std::memory_order_release);
+}
+
 std::optional<HostBehavior> World::truth_host(const Ipv6& a,
                                               ScanDate d) const {
-  if (cache_date_ != d.index) {
-    host_cache_.clear();
-    cache_date_ = d.index;
-  }
-  auto it = host_cache_.find(a);
-  if (it != host_cache_.end()) return it->second;
+  if (cache_date_.load(std::memory_order_acquire) != d.index)
+    roll_host_cache(d.index);
 
+  auto& stripe = host_cache_[hash_of(a, 0x5717) % kHostCacheStripes];
+  {
+    std::lock_guard lk(stripe.m);
+    auto it = stripe.map.find(a);
+    if (it != stripe.map.end()) return it->second;
+  }
+
+  // Compute outside the stripe lock: host behaviour is deterministic, so
+  // two threads racing on the same address agree and the second emplace
+  // is a no-op.
   std::optional<HostBehavior> result;
   if (const Deployment* dep = deployment_of(a)) result = dep->host(a, d);
-  host_cache_.emplace(a, result);
+  {
+    std::lock_guard lk(stripe.m);
+    stripe.map.emplace(a, result);
+  }
   return result;
 }
 
@@ -70,8 +89,12 @@ std::optional<IcmpEchoReply> World::icmp_echo(const Ipv6& target,
   if (!h || !mask_has(h->responsive, Proto::Icmp)) return std::nullopt;
   IcmpEchoReply reply;
   reply.payload_size = req.payload_size;
-  auto it = pmtu_.find(h->key);
-  const std::uint16_t pmtu = it == pmtu_.end() ? kDefaultPmtu : it->second;
+  std::uint16_t pmtu = kDefaultPmtu;
+  {
+    std::shared_lock lk(pmtu_mutex_);
+    auto it = pmtu_.find(h->key);
+    if (it != pmtu_.end()) pmtu = it->second;
+  }
   reply.fragmented = req.payload_size > pmtu;
   reply.hop_limit = static_cast<std::uint8_t>(64 - h->path_len);
   return reply;
@@ -81,6 +104,7 @@ void World::icmp_packet_too_big(const Ipv6& target, IcmpPacketTooBig ptb,
                                 ScanDate d) const {
   auto h = truth_host(target, d);
   if (!h || !h->can_fragment) return;
+  std::unique_lock lk(pmtu_mutex_);
   pmtu_[h->key] = ptb.mtu;
 }
 
@@ -125,6 +149,7 @@ std::vector<DnsMessage> World::dns_query(const Ipv6& target,
       m.recursion_available = true;
       if (dns_name_under(q.qname, kOwnZone)) {
         m.answers.push_back(make_aaaa(q.qname, own_zone_answer(q.qname)));
+        std::lock_guard lk(ns_log_mutex_);
         ns_log_.push_back(NsLogEntry{q.qname, target});
       } else {
         m.answers.push_back(make_aaaa(q.qname, generic_answer(q.qname)));
@@ -146,6 +171,7 @@ std::vector<DnsMessage> World::dns_query(const Ipv6& target,
         // interface of the resolver.
         Ipv6 egress = target;
         egress.set_byte(15, static_cast<std::uint8_t>(target.byte(15) ^ 0x42));
+        std::lock_guard lk(ns_log_mutex_);
         ns_log_.push_back(NsLogEntry{q.qname, egress});
       } else {
         m.answers.push_back(make_aaaa(q.qname, generic_answer(q.qname)));

@@ -1,6 +1,10 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +29,23 @@ namespace sixdust {
 /// The two deliberate pieces of mutable state are the per-host PMTU caches
 /// (the side channel exploited by the Too Big Trick) and the log of our
 /// controlled name server (the Sec. 4.2 validation experiment).
+///
+/// Thread-safety contract (see DESIGN.md, "Concurrency model"): the const
+/// probe surface — icmp_echo, tcp_syn, dns_query, quic_probe, probe,
+/// path_to, truth_host — may be called concurrently, provided all in-flight
+/// probes share one ScanDate (the scan stages satisfy this; the per-date
+/// host-behaviour memo rolls over at the sequential boundary between
+/// dates). Probe results are pure functions of (address, date, seed), so
+/// interleaving never changes what a probe observes. The mutable memo and
+/// side-channel state is internally guarded: the host cache by striped
+/// mutexes, the PMTU caches by a reader/writer lock, the name-server log
+/// by a mutex. Two order-sensitive side channels remain deterministic only
+/// under single-threaded use, which their callers guarantee: PTB writes
+/// (the Too Big Trick runs its own sequential probe discipline) and the
+/// ns_log_ append order (only own-zone queries log, and the validation
+/// experiments issue those sequentially — the scan path queries a foreign
+/// name). Accessors that *reset* observer state (clear_nameserver_log,
+/// reset_pmtu) must not race with probes.
 class World {
  public:
   struct TransitAs {
@@ -99,8 +120,14 @@ class World {
   // PMTU caches and the NS log are logically observer-side state of the
   // mutable-by-design side channels; resetting them does not change the
   // world itself, hence const.
-  void clear_nameserver_log() const { ns_log_.clear(); }
-  void reset_pmtu() const { pmtu_.clear(); }
+  void clear_nameserver_log() const {
+    std::lock_guard lk(ns_log_mutex_);
+    ns_log_.clear();
+  }
+  void reset_pmtu() const {
+    std::unique_lock lk(pmtu_mutex_);
+    pmtu_.clear();
+  }
 
   // --- Context ------------------------------------------------------------
 
@@ -123,6 +150,10 @@ class World {
                                                        ScanDate d) const;
 
  private:
+  /// Clear the per-date host memo and adopt `date_index` (exactly once
+  /// even when concurrent probes race into the rollover).
+  void roll_host_cache(int date_index) const;
+
   AsRegistry registry_;
   Rib rib_;
   Gfw gfw_;
@@ -131,14 +162,22 @@ class World {
   std::vector<TransitAs> transits_;
   std::uint64_t seed_;
   PrefixTrie<std::size_t> by_prefix_;
+  mutable std::shared_mutex pmtu_mutex_;
   mutable std::unordered_map<HostKey, std::uint16_t> pmtu_;
+  mutable std::mutex ns_log_mutex_;
   mutable std::vector<NsLogEntry> ns_log_;
   // Behaviour memo for the current scan date: the scanner probes each
   // target once per protocol, so host resolution repeats 5-7x per scan.
-  // Purely a cache of the deterministic host() function.
-  mutable int cache_date_ = -1;
-  mutable std::unordered_map<Ipv6, std::optional<HostBehavior>, Ipv6Hasher>
-      host_cache_;
+  // Purely a cache of the deterministic host() function, striped so that
+  // concurrent prober threads rarely contend on the same lock.
+  static constexpr std::size_t kHostCacheStripes = 64;
+  struct HostCacheStripe {
+    std::mutex m;
+    std::unordered_map<Ipv6, std::optional<HostBehavior>, Ipv6Hasher> map;
+  };
+  mutable std::atomic<int> cache_date_{-1};
+  mutable std::mutex cache_roll_mutex_;
+  mutable std::array<HostCacheStripe, kHostCacheStripes> host_cache_;
 };
 
 }  // namespace sixdust

@@ -2,31 +2,21 @@
 
 #include <unordered_set>
 
+#include "core/parallel.hpp"
 #include "scanner/cyclic.hpp"
 
 namespace sixdust {
 
-Yarrp::TraceResult Yarrp::trace(const World& world,
-                                std::span<const Ipv6> targets,
-                                ScanDate date) const {
-  TraceResult result;
+void Yarrp::trace_slice(const World& world, std::span<const Ipv6> sample,
+                        ScanDate date, TraceResult& out) const {
   std::unordered_set<Ipv6, Ipv6Hasher> seen;
-
-  // Budget-limited sample in permuted order (stateless, like Yarrp's
-  // random probing order).
-  CyclicPermutation perm(targets.empty() ? 1 : targets.size(),
-                         hash_combine(cfg_.seed, date.index));
-  const std::size_t count =
-      targets.size() < cfg_.target_budget ? targets.size() : cfg_.target_budget;
-
-  for (std::size_t k = 0; k < count; ++k) {
-    const Ipv6& t = targets[perm.next()];
-    ++result.targets_traced;
+  for (const Ipv6& t : sample) {
+    ++out.targets_traced;
     const auto path = world.path_to(t, date);
 
     // Yarrp sends one probe per TTL in randomized order; we account for
     // the probes and collect the responsive hops.
-    result.probes_sent += static_cast<std::uint64_t>(
+    out.probes_sent += static_cast<std::uint64_t>(
         path.size() < static_cast<std::size_t>(cfg_.max_ttl)
             ? path.size()
             : static_cast<std::size_t>(cfg_.max_ttl));
@@ -42,11 +32,58 @@ Yarrp::TraceResult Yarrp::trace(const World& world,
       } else {
         last_responsive = &hop;
       }
-      if (seen.insert(hop.addr).second)
-        result.responsive_hops.push_back(hop.addr);
+      if (seen.insert(hop.addr).second) out.responsive_hops.push_back(hop.addr);
     }
     if (!target_responded && last_responsive != nullptr)
-      result.last_hops_unreachable.push_back(last_responsive->addr);
+      out.last_hops_unreachable.push_back(last_responsive->addr);
+  }
+}
+
+Yarrp::TraceResult Yarrp::trace(const World& world,
+                                std::span<const Ipv6> targets,
+                                ScanDate date) const {
+  // Budget-limited sample in permuted order (stateless, like Yarrp's
+  // random probing order). Drawing the sample is a cheap permutation
+  // walk; only the tracing itself is worth parallelizing.
+  CyclicPermutation perm(targets.empty() ? 1 : targets.size(),
+                         hash_combine(cfg_.seed, date.index));
+  const std::size_t count =
+      targets.size() < cfg_.target_budget ? targets.size() : cfg_.target_budget;
+  std::vector<Ipv6> sample;
+  sample.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) sample.push_back(targets[perm.next()]);
+
+  ThreadPool* pool = pool_.get();
+  const std::size_t chunks = parallel_chunks(pool, count);
+  if (chunks <= 1) {
+    TraceResult result;
+    trace_slice(world, sample, date, result);
+    return result;
+  }
+
+  // Each slice dedups its own hops in first-seen order; merging the
+  // slices in slice order with a global first-seen dedup reconstructs the
+  // sequential discovery order exactly (a hop's first occurrence lives in
+  // the earliest slice that saw it).
+  auto parts = ordered_map<TraceResult>(pool, chunks, [&](std::size_t c) {
+    const auto [lo, hi] = chunk_range(count, chunks, c);
+    TraceResult local;
+    trace_slice(world,
+                std::span<const Ipv6>(sample).subspan(lo, hi - lo), date,
+                local);
+    return local;
+  });
+
+  TraceResult result;
+  std::unordered_set<Ipv6, Ipv6Hasher> seen;
+  for (TraceResult& part : parts) {
+    result.targets_traced += part.targets_traced;
+    result.probes_sent += part.probes_sent;
+    for (const Ipv6& hop : part.responsive_hops)
+      if (seen.insert(hop).second) result.responsive_hops.push_back(hop);
+    result.last_hops_unreachable.insert(
+        result.last_hops_unreachable.end(),
+        part.last_hops_unreachable.begin(), part.last_hops_unreachable.end());
   }
   return result;
 }

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "topo/world.hpp"
 
 namespace sixdust {
@@ -22,10 +24,15 @@ class Yarrp {
     /// (the real service's multi-day scan runtime translates to a bounded
     /// traceroute rate).
     std::size_t target_budget = 20000;
+    /// Tracer threads: 0 = hardware concurrency, 1 = sequential. Results
+    /// are merged in slice order with first-seen dedup, so any thread
+    /// count reproduces the sequential hop order exactly.
+    unsigned threads = 1;
   };
 
   struct TraceResult {
-    /// Every responsive hop address discovered, deduplicated.
+    /// Every responsive hop address discovered, deduplicated, in order of
+    /// first discovery.
     std::vector<Ipv6> responsive_hops;
     /// Last responsive hop per traced target that did not itself respond.
     std::vector<Ipv6> last_hops_unreachable;
@@ -33,7 +40,11 @@ class Yarrp {
     std::uint64_t probes_sent = 0;
   };
 
-  explicit Yarrp(Config cfg) : cfg_(cfg) {}
+  explicit Yarrp(Config cfg)
+      : cfg_(cfg), pool_(ThreadPool::create(cfg.threads)) {}
+
+  /// Share an executor with the other probe stages (null = sequential).
+  void set_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
 
   /// Trace a sample of `targets` (budget-limited, deterministic sample).
   [[nodiscard]] TraceResult trace(const World& world,
@@ -41,7 +52,13 @@ class Yarrp {
                                   ScanDate date) const;
 
  private:
+  /// Trace `sample` in order, appending to `out` and deduplicating hops
+  /// against out.responsive_hops only (local first-seen order).
+  void trace_slice(const World& world, std::span<const Ipv6> sample,
+                   ScanDate date, TraceResult& out) const;
+
   Config cfg_;
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace sixdust

@@ -47,10 +47,13 @@ TEST(Sharding, ShardsAreBalanced) {
   for (std::uint64_t i = 0; i < 1000; ++i)
     targets.push_back(pfx("2600:3c00::/32").random_address(i));
   Zmap6 zmap(Zmap6::Config{.seed = 3, .loss = 0.0});
+  // Arc sharding splits the (p-1)-element group cycle evenly; a shard's
+  // probe count can deviate from n/shards by however many of the p-1-n
+  // skipped cycle positions land in its arc (here p = 1009, so up to 9).
   for (std::uint32_t s = 0; s < 3; ++s) {
     const auto part =
         zmap.scan_shard(*world, targets, Proto::Icmp, ScanDate{0}, s, 3);
-    EXPECT_NEAR(static_cast<double>(part.probes_sent), 1000.0 / 3, 1.0);
+    EXPECT_NEAR(static_cast<double>(part.probes_sent), 1000.0 / 3, 10.0);
   }
 }
 

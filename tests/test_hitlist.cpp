@@ -170,6 +170,21 @@ TEST_F(ServiceTest, ThirtyDayFilterExcludesAndNeverRetests) {
   for (const auto& t : targets) EXPECT_FALSE(pool_set.contains(t));
 }
 
+TEST_F(ServiceTest, NewlyExcludedCountsSumToExclusionPool) {
+  HitlistService svc{HitlistService::Config{}};
+  std::size_t total = 0;
+  std::size_t steps_with_exclusions = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto outcome = svc.step(*world_, ScanDate{i});
+    total += outcome.newly_excluded;
+    if (outcome.newly_excluded > 0) ++steps_with_exclusions;
+    // The running pool size is exactly the sum of the per-step deltas.
+    EXPECT_EQ(total, outcome.excluded_total);
+  }
+  EXPECT_EQ(total, svc.unresponsive_pool().size());
+  EXPECT_GT(steps_with_exclusions, 0u);
+}
+
 TEST_F(ServiceTest, GfwSpikeAppearsInPublishedCountsOnly) {
   const auto& h = service_->history();
   const auto& gfw = service_->gfw();

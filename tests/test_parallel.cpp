@@ -1,0 +1,280 @@
+// Tests for the deterministic parallel scan engine: the core thread pool
+// and parallel helpers, shard-equivalence of the arc-sharded scanner, and
+// thread-count invariance of every parallelized pipeline stage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "alias/apd.hpp"
+#include "core/parallel.hpp"
+#include "core/thread_pool.hpp"
+#include "hitlist/service.hpp"
+#include "scanner/zmap6.hpp"
+#include "topo/world_builder.hpp"
+#include "traceroute/yarrp.hpp"
+
+namespace sixdust {
+namespace {
+
+TEST(ThreadPool, ResolveAndCreate) {
+  EXPECT_EQ(ThreadPool::resolve(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve(4), 4u);
+  EXPECT_GE(ThreadPool::resolve(0), 1u);  // hardware concurrency
+
+  EXPECT_EQ(ThreadPool::create(1), nullptr);  // sequential needs no pool
+  auto pool = ThreadPool::create(4);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->size(), 4u);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 100;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < kTasks; ++i)
+    tasks.push_back([&hits, i] { ++hits[i]; });
+  pool.run(std::move(tasks));
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, NestedRunDoesNotDeadlock) {
+  // A task submitting its own batch must not deadlock even when the batch
+  // count exceeds the worker count — the waiter helps drain the queue.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 3; ++i)
+    outer.push_back([&pool, &total] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 4; ++j) inner.push_back([&total] { ++total; });
+      pool.run(std::move(inner));
+    });
+  pool.run(std::move(outer));
+  EXPECT_EQ(total.load(), 12);
+}
+
+TEST(Parallel, ChunkRangeTilesExactly) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{100}}) {
+    for (std::size_t chunks : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+      std::size_t expected_lo = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto [lo, hi] = chunk_range(n, chunks, c);
+        EXPECT_EQ(lo, expected_lo);
+        EXPECT_LE(lo, hi);
+        expected_lo = hi;
+      }
+      EXPECT_EQ(expected_lo, n);
+    }
+  }
+}
+
+TEST(Parallel, ParallelForCoversAllItems) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(&pool, kN, parallel_chunks(&pool, kN),
+               [&](std::size_t, std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+               });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, OrderedMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto out = ordered_map<std::size_t>(
+      &pool, 200, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 200u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, OrderedReduceMatchesSequentialFold) {
+  // String concatenation is order-sensitive, so this fails for any merge
+  // ordering other than strict index order.
+  auto digit = [](std::size_t i) { return std::to_string(i) + ","; };
+  auto merge = [](std::string& acc, std::string& p) { acc += p; };
+  const auto sequential =
+      ordered_reduce(nullptr, 50, std::string{}, digit, merge);
+  ThreadPool pool(4);
+  const auto parallel =
+      ordered_reduce(&pool, 50, std::string{}, digit, merge);
+  EXPECT_EQ(parallel, sequential);
+}
+
+// --- scan-stage equivalence --------------------------------------------------
+
+void expect_same_scan(const ScanResult& a, const ScanResult& b) {
+  EXPECT_EQ(a.proto, b.proto);
+  EXPECT_EQ(a.targets, b.targets);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.duration_seconds, b.duration_seconds);
+  ASSERT_EQ(a.responsive.size(), b.responsive.size());
+  for (std::size_t i = 0; i < a.responsive.size(); ++i) {
+    const ScanRecord& ra = a.responsive[i];
+    const ScanRecord& rb = b.responsive[i];
+    EXPECT_EQ(ra.target, rb.target) << "record " << i;
+    EXPECT_EQ(ra.hop_limit, rb.hop_limit);
+    EXPECT_EQ(ra.tcp, rb.tcp);
+    EXPECT_EQ(ra.dns.has_value(), rb.dns.has_value());
+    if (ra.dns && rb.dns) {
+      EXPECT_EQ(ra.dns->response_count, rb.dns->response_count);
+      EXPECT_EQ(ra.dns->rcode, rb.dns->rcode);
+    }
+  }
+}
+
+class ParallelScanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = build_test_world(77).release();
+    std::vector<KnownAddress> known;
+    world_->enumerate_known(ScanDate{0}, known);
+    for (const auto& k : known) targets_.push_back(k.addr);
+    // Pad well past the parallel-dispatch threshold with addresses that
+    // are mostly unresponsive (they still consume probes and loss draws).
+    for (std::uint64_t i = 0; targets_.size() < 2048; ++i)
+      targets_.push_back(pfx("2600:3c00::/32").random_address(0xF111 + i));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+    targets_.clear();
+  }
+
+  static const World* world_;
+  static std::vector<Ipv6> targets_;
+};
+
+const World* ParallelScanTest::world_ = nullptr;
+std::vector<Ipv6> ParallelScanTest::targets_;
+
+TEST_F(ParallelScanTest, ShardConcatenationMatchesSequentialScan) {
+  Zmap6 zmap(Zmap6::Config{.seed = 3, .loss = 0.02, .retries = 1});
+  const auto full = zmap.scan(*world_, targets_, Proto::Icmp, ScanDate{2});
+  for (std::uint32_t shards : {2u, 3u, 8u}) {
+    ScanResult concat;
+    concat.proto = full.proto;
+    concat.date = full.date;
+    concat.targets = targets_.size();
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      auto part =
+          zmap.scan_shard(*world_, targets_, Proto::Icmp, ScanDate{2}, s, shards);
+      concat.blocked += part.blocked;
+      concat.probes_sent += part.probes_sent;
+      concat.responsive.insert(concat.responsive.end(),
+                               part.responsive.begin(), part.responsive.end());
+    }
+    concat.duration_seconds = full.duration_seconds;
+    expect_same_scan(concat, full);
+  }
+}
+
+TEST_F(ParallelScanTest, ScanIsThreadCountInvariant) {
+  Zmap6 sequential(Zmap6::Config{.seed = 3, .loss = 0.02, .retries = 1});
+  const auto base =
+      sequential.scan(*world_, targets_, Proto::Tcp80, ScanDate{1});
+  EXPECT_GT(base.responsive.size(), 0u);
+  for (unsigned threads : {2u, 8u}) {
+    Zmap6 parallel(
+        Zmap6::Config{.seed = 3, .loss = 0.02, .retries = 1, .threads = threads});
+    const auto out =
+        parallel.scan(*world_, targets_, Proto::Tcp80, ScanDate{1});
+    expect_same_scan(out, base);
+  }
+}
+
+TEST_F(ParallelScanTest, ApdDetectionIsThreadCountInvariant) {
+  AliasDetector sequential(AliasDetector::Config{});
+  const auto base = sequential.detect_once(*world_, targets_, ScanDate{2});
+  EXPECT_GT(base.candidates_tested, 0u);
+
+  AliasDetector parallel(AliasDetector::Config{.threads = 8});
+  const auto out = parallel.detect_once(*world_, targets_, ScanDate{2});
+  EXPECT_EQ(out.aliased, base.aliased);
+  EXPECT_EQ(out.candidates_tested, base.candidates_tested);
+  EXPECT_EQ(out.probes_sent, base.probes_sent);
+
+  // The stateful (history-merging) path must agree round for round.
+  AliasDetector seq_hist(AliasDetector::Config{});
+  AliasDetector par_hist(AliasDetector::Config{.threads = 4});
+  for (int i = 0; i < 3; ++i) {
+    const auto s = seq_hist.detect(*world_, targets_, ScanDate{i});
+    const auto p = par_hist.detect(*world_, targets_, ScanDate{i});
+    EXPECT_EQ(p.aliased, s.aliased) << "round " << i;
+    EXPECT_EQ(p.probes_sent, s.probes_sent);
+  }
+}
+
+TEST_F(ParallelScanTest, YarrpTraceIsThreadCountInvariant) {
+  Yarrp sequential(Yarrp::Config{.target_budget = 600});
+  const auto base = sequential.trace(*world_, targets_, ScanDate{1});
+  EXPECT_GT(base.responsive_hops.size(), 0u);
+  for (unsigned threads : {2u, 8u}) {
+    Yarrp parallel(Yarrp::Config{.target_budget = 600, .threads = threads});
+    const auto out = parallel.trace(*world_, targets_, ScanDate{1});
+    EXPECT_EQ(out.responsive_hops, base.responsive_hops);
+    EXPECT_EQ(out.last_hops_unreachable, base.last_hops_unreachable);
+    EXPECT_EQ(out.targets_traced, base.targets_traced);
+    EXPECT_EQ(out.probes_sent, base.probes_sent);
+  }
+}
+
+TEST(ParallelService, FullRunIsThreadCountInvariant) {
+  // End-to-end determinism: the whole service pipeline over ten scans must
+  // write an identical History no matter the thread count.
+  auto world = build_test_world(78);
+  HitlistService::Config seq_cfg;
+  seq_cfg.traceroute.target_budget = 2000;
+  HitlistService::Config par_cfg = seq_cfg;
+  par_cfg.threads = 8;
+
+  HitlistService sequential(seq_cfg);
+  HitlistService parallel(par_cfg);
+  sequential.run(*world, 10);
+  parallel.run(*world, 10);
+
+  const auto& se = sequential.history().entries();
+  const auto& pe = parallel.history().entries();
+  ASSERT_EQ(se.size(), pe.size());
+  for (std::size_t i = 0; i < se.size(); ++i) {
+    EXPECT_EQ(pe[i].scan_index, se[i].scan_index);
+    EXPECT_EQ(pe[i].responsive, se[i].responsive) << "scan " << i;
+    EXPECT_EQ(pe[i].input_total, se[i].input_total);
+    EXPECT_EQ(pe[i].scan_targets, se[i].scan_targets);
+    EXPECT_EQ(pe[i].aliased_prefixes, se[i].aliased_prefixes);
+    EXPECT_EQ(pe[i].duration_days, se[i].duration_days);
+  }
+  EXPECT_EQ(parallel.aliased_list(), sequential.aliased_list());
+  EXPECT_EQ(parallel.unresponsive_pool(), sequential.unresponsive_pool());
+}
+
+TEST(ParallelService, ConcurrentWorldProbesAreSafe) {
+  // Hammer the shared World caches (host memo, PMTU, sparse-/64 sets)
+  // from many threads on one date — the TSan preset runs this test.
+  auto world = build_test_world(79);
+  std::vector<KnownAddress> known;
+  world->enumerate_known(ScanDate{3}, known);
+  ThreadPool pool(8);
+  std::atomic<std::size_t> responsive{0};
+  parallel_for(&pool, known.size(), 64,
+               [&](std::size_t, std::size_t lo, std::size_t hi) {
+                 std::size_t local = 0;
+                 for (std::size_t i = lo; i < hi; ++i)
+                   for (Proto p : kAllProtos)
+                     if (world->probe(known[i].addr, p, ScanDate{3})) ++local;
+                 responsive += local;
+               });
+  std::size_t expected = 0;
+  for (const auto& k : known)
+    for (Proto p : kAllProtos)
+      if (world->probe(k.addr, p, ScanDate{3})) ++expected;
+  EXPECT_EQ(responsive.load(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+}  // namespace
+}  // namespace sixdust

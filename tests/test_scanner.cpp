@@ -80,13 +80,45 @@ TEST(Cyclic, SeedsChangeOrder) {
 TEST(Cyclic, ShardsPartitionTheSpace) {
   const std::uint64_t n = 1000;
   CyclicPermutation perm(n, 5);
-  std::set<std::uint64_t> all;
   const std::uint32_t shards = 4;
+  std::set<std::uint64_t> all;
+  std::uint64_t covered = 0;
+  std::uint64_t expected_begin = 0;
   for (std::uint32_t s = 0; s < shards; ++s) {
-    for (std::uint64_t i = 0; i * shards + s < n; ++i)
-      all.insert(perm.shard_element(i, s, shards));
+    const auto arc = perm.shard_arc(s, shards);
+    EXPECT_EQ(arc.begin, expected_begin);  // arcs tile the cycle contiguously
+    expected_begin = arc.end;
+    covered += arc.end - arc.begin;
+    std::uint64_t cur = perm.cycle_element(arc.begin);
+    for (std::uint64_t j = arc.begin; j < arc.end;
+         ++j, cur = perm.cycle_advance(cur)) {
+      const std::uint64_t v = perm.cycle_value(cur);
+      if (v >= n) continue;  // cycle position past the list — skipped
+      EXPECT_TRUE(all.insert(v).second) << "duplicate index " << v;
+    }
   }
+  EXPECT_EQ(covered, perm.cycle_length());
   EXPECT_EQ(all.size(), n);
+}
+
+TEST(Cyclic, ShardArcsConcatenateToSequentialOrder) {
+  const std::uint64_t n = 500;
+  CyclicPermutation perm(n, 77);
+  std::vector<std::uint64_t> sequential;
+  for (std::uint64_t i = 0; i < n; ++i) sequential.push_back(perm.next());
+  for (std::uint32_t shards : {1u, 2u, 3u, 7u}) {
+    std::vector<std::uint64_t> concat;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const auto arc = perm.shard_arc(s, shards);
+      std::uint64_t cur = perm.cycle_element(arc.begin);
+      for (std::uint64_t j = arc.begin; j < arc.end;
+           ++j, cur = perm.cycle_advance(cur)) {
+        const std::uint64_t v = perm.cycle_value(cur);
+        if (v < n) concat.push_back(v);
+      }
+    }
+    EXPECT_EQ(concat, sequential) << "shards=" << shards;
+  }
 }
 
 class ScannerTest : public ::testing::Test {

@@ -25,6 +25,8 @@ usage: sixdust-hitlist [options]
   --world-scale X    world scale (default 0.1 = test world)
   --no-gfw-filter    run the pre-2022 pipeline (published, spiky view)
   --gfw-filter-from N  filter deployment scan (default 43)
+  --threads N        worker threads for the probe stages, 0 = all cores
+                     (default 1; results are identical for every value)
   --blocklist FILE   prefix list of opt-out networks
   --outdir DIR       publish data files into DIR (address/prefix lists,
                      markdown report, timeline + AS-distribution CSVs)
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   sc.enable_gfw_filter = !args.has("no-gfw-filter");
   sc.gfw_filter_from_scan =
       static_cast<int>(args.get_u64("gfw-filter-from", 43));
+  sc.threads = static_cast<unsigned>(args.get_u64("threads", 1));
   if (args.has("blocklist")) {
     auto prefixes = read_prefix_file(args.get("blocklist"));
     if (!prefixes) cli::die("cannot read blocklist");

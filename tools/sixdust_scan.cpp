@@ -27,6 +27,8 @@ usage: sixdust-scan [options]
   --world-scale X    world scale (default 0.1 = test world)
   --loss P           probe loss probability (default 0.01)
   --retries N        retransmissions (default 1)
+  --threads N        scanner threads, 0 = all cores (default 1; output is
+                     identical for every value)
   --blocklist FILE   prefix list to exclude
   --out FILE         write responsive addresses (proto=all: any protocol)
   --help
@@ -80,6 +82,7 @@ int main(int argc, char** argv) {
   Zmap6::Config zc;
   zc.loss = args.get_double("loss", 0.01);
   zc.retries = static_cast<int>(args.get_u64("retries", 1));
+  zc.threads = static_cast<unsigned>(args.get_u64("threads", 1));
   zc.blocklist = &blocklist;
   Zmap6 zmap(zc);
 
