@@ -5,10 +5,26 @@
 file(GLOB SIXDUST_BENCH_SOURCES CONFIGURE_DEPENDS
      ${CMAKE_SOURCE_DIR}/bench/bench_*.cpp)
 
+# Smoke-run benches under ctest (label: bench-smoke) with a tiny
+# --benchmark_min_time so each case compiles *and executes* at least one
+# iteration. The micro bench is cheap and always registered; the
+# table/figure benches run full multi-scan services per iteration (minutes
+# apiece), so their smoke tests are opt-in to keep the default ctest wall
+# time bounded:
+#   cmake -DSIXDUST_BENCH_SMOKE_ALL=ON .. && ctest -L bench-smoke
+option(SIXDUST_BENCH_SMOKE_ALL
+       "Register ctest smoke runs for every bench binary (slow)" OFF)
+set(SIXDUST_BENCH_SMOKE_CHEAP bench_micro)
+
 foreach(src ${SIXDUST_BENCH_SOURCES})
   get_filename_component(name ${src} NAME_WE)
   add_executable(${name} ${src} ${CMAKE_SOURCE_DIR}/bench/support.cpp)
   target_link_libraries(${name} PRIVATE sixdust benchmark::benchmark)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  if(SIXDUST_BENCH_SMOKE_ALL OR name IN_LIST SIXDUST_BENCH_SMOKE_CHEAP)
+    add_test(NAME smoke.${name}
+             COMMAND ${name} --benchmark_min_time=0.01)
+    set_tests_properties(smoke.${name} PROPERTIES LABELS bench-smoke)
+  endif()
 endforeach()

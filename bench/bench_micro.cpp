@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include "alias/apd.hpp"
+#include "netbase/frozen_lpm.hpp"
 #include "netbase/prefix_trie.hpp"
+#include "netbase/rng.hpp"
 #include "proto/dns.hpp"
 #include "proto/wire.hpp"
 #include "scanner/cyclic.hpp"
@@ -51,6 +53,176 @@ void BM_TrieLongestMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrieLongestMatch);
+
+// --- LPM engine: realistic prefix distributions ---------------------------
+//
+// A RIB-like announcement mix (/32../48 allocations with covering /32s and
+// more-specific /40../48s) plus a band of aliased /64s — the shapes the
+// service resolves against on every probe: origin lookups, blocklist
+// checks, and the aliased filter. The legacy radix-1 trie (the seed's
+// bit-at-a-time structure) is kept here as the baseline the compressed
+// trie and the frozen snapshot are measured against.
+
+/// The seed's binary (radix-1) trie, verbatim minus visit/exact — baseline
+/// for the BM_LpmLookup comparison.
+template <typename T>
+class LegacyRadix1Trie {
+ public:
+  LegacyRadix1Trie() { nodes_.push_back(Node{}); }
+
+  void insert(const Prefix& p, T value) {
+    std::size_t n = 0;
+    for (int b = 0; b < p.len(); ++b) {
+      const bool bit = p.base().bit(b);
+      if (nodes_[n].child[bit] == 0) {
+        nodes_.push_back(Node{});
+        nodes_[n].child[bit] = nodes_.size() - 1;
+      }
+      n = nodes_[n].child[bit];
+    }
+    nodes_[n].value = std::move(value);
+    nodes_[n].occupied = true;
+  }
+
+  struct Match {
+    Prefix prefix;
+    const T* value = nullptr;
+  };
+
+  [[nodiscard]] std::optional<Match> longest_match(const Ipv6& a) const {
+    std::optional<Match> best;
+    std::size_t n = 0;
+    for (int b = 0; b <= 128; ++b) {
+      if (nodes_[n].occupied) best = Match{Prefix::make(a, b), &*nodes_[n].value};
+      if (b == 128) break;
+      const std::size_t c = nodes_[n].child[a.bit(b)];
+      if (c == 0) break;
+      n = c;
+    }
+    return best;
+  }
+
+ private:
+  struct Node {
+    std::size_t child[2] = {0, 0};
+    std::optional<T> value;
+    bool occupied = false;
+  };
+  std::vector<Node> nodes_;
+};
+
+std::vector<Prefix> rib_scale_prefixes() {
+  // ~12k prefixes: 2k /32 allocations spread over the RIR /12 blocks the
+  // way a real global table is, nested /40 and /48 more-specifics, and 8k
+  // aliased /64s concentrated under a handful of hosting /48s.
+  static constexpr std::uint64_t kRirBlocks[] = {
+      0x2001, 0x2400, 0x2600, 0x2620, 0x2800, 0x2a00, 0x2a10, 0x2c00};
+  std::vector<Prefix> out;
+  Rng rng(0x41B5CA1E);
+  std::vector<Prefix> slash32;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t block = kRirBlocks[rng.below(std::size(kRirBlocks))];
+    const Ipv6 base =
+        Ipv6::from_words((block << 48) | (rng.next() & 0xffffffff0000ULL), 0);
+    slash32.push_back(Prefix::make(base, 32));
+    out.push_back(slash32.back());
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const Prefix& p = slash32[rng.below(slash32.size())];
+    out.push_back(Prefix::make(p.random_address(rng.next()), 40));
+    out.push_back(Prefix::make(p.random_address(rng.next()), 48));
+  }
+  for (int h = 0; h < 8; ++h) {
+    const Prefix hoster =
+        Prefix::make(slash32[rng.below(slash32.size())].random_address(rng.next()), 48);
+    for (int i = 0; i < 1000; ++i)
+      out.push_back(Prefix::make(hoster.random_address(rng.next()), 64));
+  }
+  return out;
+}
+
+std::vector<Ipv6> lpm_probe_batch(const std::vector<Prefix>& prefixes) {
+  // Probe mix: almost everything inside announced space (all depths) with
+  // a sliver of unrouted strays — the shape of origin lookups, where every
+  // simulated host lives under some announcement and only the odd
+  // traceroute hop misses the table.
+  std::vector<Ipv6> probes;
+  Rng rng(0x9B0BE5);
+  for (int i = 0; i < 4096; ++i) {
+    if (i % 16 == 7) {
+      probes.push_back(Ipv6::from_words(rng.next(), rng.next()));
+    } else {
+      probes.push_back(
+          prefixes[rng.below(prefixes.size())].random_address(rng.next()));
+    }
+  }
+  return probes;
+}
+
+void BM_LpmLookup(benchmark::State& state) {
+  static const std::vector<Prefix> prefixes = rib_scale_prefixes();
+  static const std::vector<Ipv6> probes = lpm_probe_batch(prefixes);
+
+  static const LegacyRadix1Trie<int> legacy = [] {
+    LegacyRadix1Trie<int> t;
+    for (std::size_t i = 0; i < prefixes.size(); ++i)
+      t.insert(prefixes[i], static_cast<int>(i));
+    return t;
+  }();
+  static const PrefixTrie<int> trie = [] {
+    PrefixTrie<int> t;
+    for (std::size_t i = 0; i < prefixes.size(); ++i)
+      t.insert(prefixes[i], static_cast<int>(i));
+    return t;
+  }();
+  static const FrozenLpm<int> frozen{trie};
+
+  // Each engine pays its real call-site cost: the seed's only API was
+  // longest_match (an optional<Match> built on the way down); the new
+  // engines serve the probe path through the value-only lookup().
+  const int engine = static_cast<int>(state.range(0));
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    for (const Ipv6& a : probes) {
+      switch (engine) {
+        case 0:
+          hits += legacy.longest_match(a).has_value();
+          break;
+        case 1:
+          hits += trie.lookup(a) != nullptr;
+          break;
+        default:
+          hits += frozen.lookup(a) != nullptr;
+          break;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(probes.size()));
+}
+BENCHMARK(BM_LpmLookup)
+    ->Arg(0)  // 0 = seed radix-1 baseline
+    ->Arg(1)  // 1 = compressed trie
+    ->Arg(2); // 2 = frozen snapshot
+
+void BM_LpmBuild(benchmark::State& state) {
+  static const std::vector<Prefix> prefixes = rib_scale_prefixes();
+  const bool freeze = state.range(0) != 0;
+  for (auto _ : state) {
+    PrefixTrie<int> trie;
+    for (std::size_t i = 0; i < prefixes.size(); ++i)
+      trie.insert(prefixes[i], static_cast<int>(i));
+    if (freeze) {
+      FrozenLpm<int> f{trie};
+      benchmark::DoNotOptimize(f);
+    }
+    benchmark::DoNotOptimize(trie);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(prefixes.size()));
+}
+BENCHMARK(BM_LpmBuild)->Arg(0)->Arg(1);
 
 void BM_CyclicPermutation(benchmark::State& state) {
   CyclicPermutation perm(1 << 20, 42);

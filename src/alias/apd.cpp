@@ -106,6 +106,9 @@ AliasDetector::Detection AliasDetector::finalize(
     det.aliased.push_back(p);
     det.aliased_set.add(p);
   }
+  // The set is complete and will only be queried from here on (once per
+  // scan target in the service's alias filter) — compile the snapshot.
+  det.aliased_set.freeze();
   return det;
 }
 

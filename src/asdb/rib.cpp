@@ -4,17 +4,27 @@ namespace sixdust {
 
 void Rib::announce(const Prefix& p, Asn origin) {
   trie_.insert(p, origin);
+  frozen_.reset();
   by_as_[origin].push_back(routes_.size());
   routes_.push_back(Route{p, origin});
 }
 
+void Rib::freeze() {
+  if (!frozen_) frozen_.emplace(trie_);
+}
+
 std::optional<Asn> Rib::origin(const Ipv6& a) const {
-  auto m = trie_.longest_match(a);
-  if (!m) return std::nullopt;
-  return *m->value;
+  const Asn* v = frozen_ ? frozen_->lookup(a) : trie_.lookup(a);
+  if (v == nullptr) return std::nullopt;
+  return *v;
 }
 
 std::optional<Rib::Route> Rib::route(const Ipv6& a) const {
+  if (frozen_) {
+    auto m = frozen_->longest_match(a);
+    if (!m) return std::nullopt;
+    return Route{m->prefix, *m->value};
+  }
   auto m = trie_.longest_match(a);
   if (!m) return std::nullopt;
   return Route{m->prefix, *m->value};

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "asdb/asn.hpp"
+#include "netbase/frozen_lpm.hpp"
 #include "netbase/prefix_trie.hpp"
 #include "netbase/u128.hpp"
 
@@ -21,6 +22,14 @@ class Rib {
   };
 
   void announce(const Prefix& p, Asn origin);
+
+  /// Compile the immutable lookup snapshot; origin()/route() run on it
+  /// until the next announce(). The world builder announces everything and
+  /// the World constructor freezes, so every probe-path lookup during a
+  /// scan hits the snapshot. Idempotent; a frozen Rib is safe to query
+  /// concurrently.
+  void freeze();
+  [[nodiscard]] bool frozen() const { return frozen_.has_value(); }
 
   /// Origin AS by longest-prefix match.
   [[nodiscard]] std::optional<Asn> origin(const Ipv6& a) const;
@@ -44,6 +53,7 @@ class Rib {
 
  private:
   PrefixTrie<Asn> trie_;
+  std::optional<FrozenLpm<Asn>> frozen_;
   std::vector<Route> routes_;
   std::unordered_map<Asn, std::vector<std::size_t>> by_as_;
 };

@@ -157,7 +157,10 @@ std::unique_ptr<HitlistService> ServiceArchive::load(
     const Ipv6 a = r.addr();
     const std::uint16_t tags = r.u16();
     const std::int32_t first = r.i32();
-    service->input_.add(a, tags, first);
+    // The blocklist is part of the config, not the archive: recompute the
+    // cached per-address verdict against the service's own (frozen)
+    // blocklist so eligible_targets() agrees with a never-archived run.
+    service->input_.add(a, tags, first, &service->blocklist_);
   }
 
   const std::uint64_t n_entries = r.u64();
@@ -187,8 +190,9 @@ std::unique_ptr<HitlistService> ServiceArchive::load(
     service->aliased_per_scan_.push_back(std::move(scan));
   }
   if (!service->aliased_per_scan_.empty()) {
-    service->aliased_list_ = service->aliased_per_scan_.back();
-    for (const auto& p : service->aliased_list_) service->aliased_.add(p);
+    for (const auto& p : service->aliased_per_scan_.back())
+      service->aliased_.add(p);
+    service->aliased_.freeze();
   }
 
   const std::uint64_t n_pool = r.u64();

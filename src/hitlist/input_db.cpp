@@ -2,13 +2,16 @@
 
 namespace sixdust {
 
-bool InputDb::add(const Ipv6& a, std::uint16_t tags, int scan_index) {
-  auto [it, inserted] = meta_.try_emplace(a, Meta{tags, scan_index});
+bool InputDb::add(const Ipv6& a, std::uint16_t tags, int scan_index,
+                  const PrefixSet* blocklist) {
+  auto [it, inserted] = meta_.try_emplace(a, Meta{tags, scan_index, false});
   if (!inserted) {
     it->second.tags |= tags;
     return false;
   }
+  it->second.blocked = blocklist != nullptr && blocklist->covers(a);
   order_.push_back(a);
+  blocked_.push_back(it->second.blocked ? 1 : 0);
   return true;
 }
 

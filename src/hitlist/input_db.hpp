@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "netbase/hash.hpp"
+#include "netbase/prefix_set.hpp"
 #include "topo/behavior.hpp"
 
 namespace sixdust {
@@ -17,10 +18,18 @@ class InputDb {
   struct Meta {
     std::uint16_t tags = 0;
     int first_seen = 0;
+    /// Blocklist verdict, computed once on first insertion. The service's
+    /// blocklist is immutable after construction, so the verdict never
+    /// changes and eligible_targets() becomes a flag check instead of a
+    /// longest-prefix match over the whole accumulated DB every scan.
+    bool blocked = false;
   };
 
-  /// Returns true when the address is new.
-  bool add(const Ipv6& a, std::uint16_t tags, int scan_index);
+  /// Returns true when the address is new. `blocklist` (may be null) is
+  /// consulted only for new addresses, caching the coverage verdict in the
+  /// address's Meta.
+  bool add(const Ipv6& a, std::uint16_t tags, int scan_index,
+           const PrefixSet* blocklist = nullptr);
 
   [[nodiscard]] bool contains(const Ipv6& a) const {
     return meta_.contains(a);
@@ -31,6 +40,12 @@ class InputDb {
   /// Addresses in insertion order (stable iteration for scans).
   [[nodiscard]] const std::vector<Ipv6>& addresses() const { return order_; }
 
+  /// Blocklist verdicts aligned with addresses() — blocked_flags()[i] is
+  /// the cached verdict for addresses()[i].
+  [[nodiscard]] const std::vector<std::uint8_t>& blocked_flags() const {
+    return blocked_;
+  }
+
   [[nodiscard]] const std::unordered_map<Ipv6, Meta, Ipv6Hasher>& all() const {
     return meta_;
   }
@@ -38,6 +53,7 @@ class InputDb {
  private:
   std::unordered_map<Ipv6, Meta, Ipv6Hasher> meta_;
   std::vector<Ipv6> order_;
+  std::vector<std::uint8_t> blocked_;
 };
 
 }  // namespace sixdust

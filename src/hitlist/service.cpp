@@ -19,6 +19,9 @@ HitlistService::HitlistService(Config cfg)
       }()),
       yarrp_(cfg_.traceroute) {
   for (const auto& p : cfg_.blocklist_prefixes) blocklist_.add(p);
+  // Immutable from here on: freeze for snapshot-backed coverage queries
+  // (and InputDb caches the per-address verdict on first insertion).
+  blocklist_.freeze();
   pool_ = ThreadPool::create(cfg_.threads);
   if (pool_) {
     zmap_.set_pool(pool_);
@@ -30,10 +33,12 @@ HitlistService::HitlistService(Config cfg)
 std::vector<Ipv6> HitlistService::eligible_targets() const {
   std::vector<Ipv6> targets;
   targets.reserve(input_.size() - excluded_.size());
-  for (const auto& a : input_.addresses()) {
-    if (excluded_.contains(a)) continue;
-    if (blocklist_.covers(a)) continue;
-    targets.push_back(a);
+  const auto& addrs = input_.addresses();
+  const auto& blocked = input_.blocked_flags();
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (blocked[i] != 0) continue;  // verdict cached at insertion
+    if (excluded_.contains(addrs[i])) continue;
+    targets.push_back(addrs[i]);
   }
   return targets;
 }
@@ -42,7 +47,7 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
                                                  ScanDate date) {
   // 1. Input collection (all sources re-deliver every scan; dedup).
   for (const auto& known : sources_.collect(world, date))
-    input_.add(known.addr, known.tags, date.index);
+    input_.add(known.addr, known.tags, date.index, &blocklist_);
 
   // 2. Exclusion + blocklist filters.
   std::vector<Ipv6> targets = eligible_targets();
@@ -50,8 +55,7 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   // 3. Multi-level aliased prefix detection (with 3-round history).
   auto detection = apd_.detect(world, targets, date);
   aliased_ = std::move(detection.aliased_set);
-  aliased_list_ = std::move(detection.aliased);
-  aliased_per_scan_.push_back(aliased_list_);
+  aliased_per_scan_.push_back(std::move(detection.aliased));
 
   // 4. Aliased-prefix filter.
   std::erase_if(targets, [&](const Ipv6& a) { return aliased_.covers(a); });
@@ -114,7 +118,7 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   // router addresses become next scan's input.
   auto traces = yarrp_.trace(world, targets, date);
   for (const auto& hop : traces.responsive_hops)
-    input_.add(hop, kSrcTraceroute, date.index);
+    input_.add(hop, kSrcTraceroute, date.index, &blocklist_);
   duration_seconds +=
       scan_duration_seconds(traces.probes_sent, cfg_.scanner.pps);
 
@@ -124,14 +128,14 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   std::sort(entry.responsive.begin(), entry.responsive.end());
   entry.input_total = input_.size();
   entry.scan_targets = targets.size();
-  entry.aliased_prefixes = aliased_list_.size();
+  entry.aliased_prefixes = aliased_list().size();
   entry.duration_days = duration_seconds / 86400.0;
 
   ScanOutcome outcome;
   outcome.date = date;
   outcome.input_total = input_.size();
   outcome.scan_targets = targets.size();
-  outcome.aliased_count = aliased_list_.size();
+  outcome.aliased_count = aliased_list().size();
   outcome.excluded_total = excluded_.size();
   outcome.newly_excluded = newly_excluded;
   outcome.responsive_any = responsive.size();

@@ -75,8 +75,11 @@ class HitlistService {
   [[nodiscard]] GfwFilter& gfw() { return gfw_; }
   [[nodiscard]] const GfwFilter& gfw() const { return gfw_; }
   [[nodiscard]] const PrefixSet& aliased() const { return aliased_; }
+  /// The latest scan's aliased prefixes — a view of aliased_per_scan()'s
+  /// last entry (the growth log owns the storage; no per-scan copy).
   [[nodiscard]] const std::vector<Prefix>& aliased_list() const {
-    return aliased_list_;
+    static const std::vector<Prefix> kEmpty;
+    return aliased_per_scan_.empty() ? kEmpty : aliased_per_scan_.back();
   }
   /// Aliased-prefix count per recorded scan (Fig. 5 growth analysis).
   [[nodiscard]] const std::vector<std::vector<Prefix>>& aliased_per_scan()
@@ -117,7 +120,6 @@ class HitlistService {
   InputDb input_;
   History history_;
   PrefixSet aliased_;
-  std::vector<Prefix> aliased_list_;
   std::vector<std::vector<Prefix>> aliased_per_scan_;
   std::unordered_set<Ipv6, Ipv6Hasher> excluded_;
   std::vector<Ipv6> excluded_order_;

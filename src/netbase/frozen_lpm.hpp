@@ -1,0 +1,192 @@
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix_trie.hpp"
+
+namespace sixdust {
+
+/// Immutable longest-prefix-match snapshot, flattened from a PrefixTrie.
+///
+/// The prefix set is compiled once into a sorted interval table: every
+/// address maps to the most specific covering prefix, so the 128-level (or
+/// 32-level, for the compressed trie) descent collapses into a single
+/// binary search over a contiguous array of 128-bit boundaries. The
+/// boundaries are stored in Eytzinger (BFS heap) order, which turns the
+/// search into a tight, prefetch-friendly loop over one flat array. This
+/// is the structure behind the read-mostly consumers that never mutate
+/// while a scan is probing: the RIB after world build, the service
+/// blocklist, the deployment map, and the per-scan aliased set.
+///
+/// Construction consumes the trie's lexicographic visit order, so two
+/// tries holding the same (prefix, value) pairs freeze into byte-identical
+/// tables regardless of insertion order — lookups stay deterministic.
+///
+/// Thread-safety: a FrozenLpm is deeply immutable after construction; any
+/// number of threads may call the const interface concurrently without
+/// synchronization. There is deliberately no way to add or remove entries
+/// — rebuild from a trie to change the set (see DESIGN.md, "The LPM
+/// layer").
+template <typename T>
+class FrozenLpm {
+ public:
+  FrozenLpm() = default;
+
+  explicit FrozenLpm(const PrefixTrie<T>& trie) {
+    prefixes_.reserve(trie.size());
+    values_.reserve(trie.size());
+    trie.visit([&](const Prefix& p, const T& v) {
+      prefixes_.push_back(p);
+      values_.push_back(v);
+    });
+    compile();
+  }
+
+  struct Match {
+    Prefix prefix;
+    const T* value = nullptr;
+  };
+
+  /// Longest-prefix match for `a`, if any stored prefix covers it.
+  [[nodiscard]] std::optional<Match> longest_match(const Ipv6& a) const {
+    const std::int32_t s = slot_of(a);
+    if (s < 0) return std::nullopt;
+    return Match{prefixes_[static_cast<std::size_t>(s)],
+                 &values_[static_cast<std::size_t>(s)]};
+  }
+
+  /// Value of the longest stored prefix covering `a`, or nullptr — the
+  /// fast path for consumers that do not need the matched prefix itself.
+  [[nodiscard]] const T* lookup(const Ipv6& a) const {
+    const std::int32_t s = slot_of(a);
+    return s < 0 ? nullptr : &values_[static_cast<std::size_t>(s)];
+  }
+
+  /// True if any stored prefix covers `a`.
+  [[nodiscard]] bool covers(const Ipv6& a) const { return slot_of(a) >= 0; }
+
+  [[nodiscard]] std::size_t size() const { return prefixes_.size(); }
+  [[nodiscard]] bool empty() const { return prefixes_.empty(); }
+
+  /// The stored prefixes in lexicographic (base, len) order.
+  [[nodiscard]] const std::vector<Prefix>& prefixes() const {
+    return prefixes_;
+  }
+
+ private:
+  static constexpr Ipv6 kMaxAddr =
+      Ipv6::from_words(~std::uint64_t{0}, ~std::uint64_t{0});
+
+  /// Index of the interval covering `a`: the predecessor of the first
+  /// boundary > `a`. Branch-reduced Eytzinger descent — node k's children
+  /// are 2k and 2k+1, so the search is one multiply-add per level over a
+  /// single contiguous array, with the grandchildren's cache line
+  /// prefetched ahead.
+  [[nodiscard]] std::int32_t slot_of(const Ipv6& a) const {
+    const std::size_t n = ekey_.size() - 1;  // slot 0 unused (heap layout)
+    if (n == 0) return -1;
+    const u128 key = pack(a);
+    std::size_t k = 1;
+    while (k <= n) {
+      // Prefetch four levels ahead (a 64-byte line holds 4 boundaries),
+      // clamped in-bounds: stray prefetches still pay for TLB walks.
+      __builtin_prefetch(ekey_.data() + std::min(k * 16, n));
+      k = 2 * k + (ekey_[k] <= key ? 1 : 0);
+    }
+    // Cancel the trailing right turns plus the final left turn: k is now
+    // the heap position of the first boundary > `a`, or 0 when every
+    // boundary is <= `a` (then the last interval applies).
+    k >>= static_cast<unsigned>(std::countr_one(k)) + 1;
+    return k == 0 ? last_slot_ : eslot_[k];
+  }
+
+  /// Sweep the (base, len)-sorted prefixes into disjoint half-open
+  /// intervals annotated with the most specific covering prefix. Prefixes
+  /// are pairwise nested or disjoint, so a stack of currently-open
+  /// (containing) prefixes suffices.
+  void compile() {
+    starts_.reserve(2 * prefixes_.size() + 1);
+    slot_.reserve(2 * prefixes_.size() + 1);
+    boundary(Ipv6{}, -1);
+    std::vector<std::int32_t> open;
+    for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+      const Prefix& p = prefixes_[i];
+      close_until(open, p);
+      boundary(p.base(), static_cast<std::int32_t>(i));
+      open.push_back(static_cast<std::int32_t>(i));
+    }
+    close_until(open, std::nullopt);
+
+    // Re-lay the boundary table in Eytzinger order. Each heap node stores
+    // its boundary address and the slot of the interval *ending* there
+    // (its sorted predecessor), which is exactly what the predecessor
+    // search needs; the head boundary :: can never be an upper bound.
+    const std::size_t n = starts_.size();
+    ekey_.assign(n + 1, u128{0});
+    eslot_.assign(n + 1, -1);
+    last_slot_ = slot_.back();
+    eytzingerize(0, 1);
+    starts_.clear();
+    starts_.shrink_to_fit();
+    slot_.clear();
+    slot_.shrink_to_fit();
+  }
+
+  std::size_t eytzingerize(std::size_t i, std::size_t k) {
+    if (k < ekey_.size()) {
+      i = eytzingerize(i, 2 * k);
+      ekey_[k] = pack(starts_[i]);
+      eslot_[k] = i == 0 ? -1 : slot_[i - 1];
+      i = eytzingerize(i + 1, 2 * k + 1);
+    }
+    return i;
+  }
+
+  static u128 pack(const Ipv6& a) {
+    return (u128{a.hi()} << 64) | a.lo();
+  }
+
+  /// Pop open prefixes that end before `next` starts (all of them when
+  /// `next` is empty), emitting the boundary where each one's coverage
+  /// hands back to its parent.
+  void close_until(std::vector<std::int32_t>& open,
+                   std::optional<Prefix> next) {
+    while (!open.empty()) {
+      const Prefix& top = prefixes_[static_cast<std::size_t>(open.back())];
+      if (next && top.contains(*next)) return;
+      open.pop_back();
+      const Ipv6 end = top.last();
+      if (end == kMaxAddr) continue;  // nothing above; outer ends there too
+      boundary(end.plus(1), open.empty() ? -1 : open.back());
+    }
+  }
+
+  void boundary(const Ipv6& start, std::int32_t slot) {
+    if (!starts_.empty() && starts_.back() == start) {
+      slot_.back() = slot;  // a more specific prefix starts at the same base
+      return;
+    }
+    starts_.push_back(start);
+    slot_.push_back(slot);
+  }
+
+  /// Interval i covers [starts_[i], starts_[i+1]) and resolves to
+  /// prefixes_[slot_[i]] (no match when the slot is -1). Both vectors are
+  /// scratch during compile(); lookups run on the Eytzinger arrays below.
+  std::vector<Ipv6> starts_;
+  std::vector<std::int32_t> slot_;
+  /// Heap-ordered boundary addresses (1-based; ekey_[0] unused, packed as
+  /// raw 128-bit integers for flat compares) and the slot of the interval
+  /// ending at each boundary.
+  std::vector<u128> ekey_;
+  std::vector<std::int32_t> eslot_;
+  std::int32_t last_slot_ = -1;
+  std::vector<Prefix> prefixes_;
+  std::vector<T> values_;
+};
+
+}  // namespace sixdust

@@ -2,15 +2,30 @@
 
 namespace sixdust {
 
-void PrefixSet::add(const Prefix& p) { trie_.insert(p, 1); }
+void PrefixSet::add(const Prefix& p) {
+  trie_.insert(p, 1);
+  frozen_.reset();
+}
+
+void PrefixSet::freeze() {
+  if (!frozen_) frozen_.emplace(trie_);
+}
 
 bool PrefixSet::contains_exact(const Prefix& p) const {
   return trie_.exact(p) != nullptr;
 }
 
-bool PrefixSet::covers(const Ipv6& a) const { return trie_.covers(a); }
+bool PrefixSet::covers(const Ipv6& a) const {
+  if (frozen_) return frozen_->covers(a);
+  return trie_.covers(a);
+}
 
 std::optional<Prefix> PrefixSet::covering(const Ipv6& a) const {
+  if (frozen_) {
+    auto m = frozen_->longest_match(a);
+    if (!m) return std::nullopt;
+    return m->prefix;
+  }
   auto m = trie_.longest_match(a);
   if (!m) return std::nullopt;
   return m->prefix;

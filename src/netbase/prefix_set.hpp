@@ -1,7 +1,9 @@
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "netbase/frozen_lpm.hpp"
 #include "netbase/prefix_trie.hpp"
 
 namespace sixdust {
@@ -9,9 +11,19 @@ namespace sixdust {
 /// A set of prefixes with coverage queries — used for blocklists and the
 /// aliased-prefix filter. An address is "covered" when any member prefix
 /// contains it.
+///
+/// Read-mostly consumers call freeze() once the set is complete (the
+/// service blocklist at construction, the per-scan aliased set after
+/// detection): coverage queries then run on a FrozenLpm snapshot instead
+/// of walking the trie. add() after freeze() drops the snapshot and
+/// returns to trie-backed queries; a frozen set is safe to query from any
+/// number of threads concurrently.
 class PrefixSet {
  public:
   void add(const Prefix& p);
+  /// Compile the immutable lookup snapshot; idempotent.
+  void freeze();
+  [[nodiscard]] bool frozen() const { return frozen_.has_value(); }
   [[nodiscard]] bool contains_exact(const Prefix& p) const;
   [[nodiscard]] bool covers(const Ipv6& a) const;
   /// Most-specific covering prefix, if any.
@@ -22,6 +34,7 @@ class PrefixSet {
 
  private:
   PrefixTrie<char> trie_;
+  std::optional<FrozenLpm<char>> frozen_;
 };
 
 }  // namespace sixdust

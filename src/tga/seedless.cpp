@@ -16,8 +16,8 @@ std::vector<Ipv6> Seedless::generate(const Rib& rib,
     route_index.insert(rib.routes()[i].prefix, i);
   std::unordered_set<std::size_t> covered_routes;
   for (const auto& a : covered) {
-    auto m = route_index.longest_match(a);
-    if (m) covered_routes.insert(*m->value);
+    if (const std::size_t* r = route_index.lookup(a))
+      covered_routes.insert(*r);
   }
 
   std::vector<Ipv6> out;

@@ -25,21 +25,26 @@ World::World(AsRegistry registry, Rib rib, Gfw gfw,
       deployments_(std::move(deployments)),
       transits_(std::move(transits)),
       seed_(seed) {
+  // The routing table and deployment map are immutable from here on: every
+  // probe resolves through them, so both are frozen into flat LPM
+  // snapshots (see DESIGN.md, "The LPM layer").
+  rib_.freeze();
+  PrefixTrie<std::size_t> by_prefix;
   for (std::size_t i = 0; i < deployments_.size(); ++i)
-    for (const auto& p : deployments_[i]->prefixes()) by_prefix_.insert(p, i);
+    for (const auto& p : deployments_[i]->prefixes()) by_prefix.insert(p, i);
+  by_prefix_ = FrozenLpm<std::size_t>(by_prefix);
 }
 
 const Deployment* World::deployment_of(const Ipv6& a) const {
-  auto m = by_prefix_.longest_match(a);
-  if (!m) return nullptr;
-  return deployments_[*m->value].get();
+  const std::size_t* i = by_prefix_.lookup(a);
+  return i == nullptr ? nullptr : deployments_[*i].get();
 }
 
 void World::roll_host_cache(int date_index) const {
   std::lock_guard roll(cache_roll_mutex_);
   if (cache_date_.load(std::memory_order_relaxed) == date_index) return;
   for (auto& stripe : host_cache_) {
-    std::lock_guard lk(stripe.m);
+    std::unique_lock lk(stripe.m);
     stripe.map.clear();
   }
   cache_date_.store(date_index, std::memory_order_release);
@@ -52,7 +57,7 @@ std::optional<HostBehavior> World::truth_host(const Ipv6& a,
 
   auto& stripe = host_cache_[hash_of(a, 0x5717) % kHostCacheStripes];
   {
-    std::lock_guard lk(stripe.m);
+    std::shared_lock lk(stripe.m);
     auto it = stripe.map.find(a);
     if (it != stripe.map.end()) return it->second;
   }
@@ -63,7 +68,7 @@ std::optional<HostBehavior> World::truth_host(const Ipv6& a,
   std::optional<HostBehavior> result;
   if (const Deployment* dep = deployment_of(a)) result = dep->host(a, d);
   {
-    std::lock_guard lk(stripe.m);
+    std::unique_lock lk(stripe.m);
     stripe.map.emplace(a, result);
   }
   return result;

@@ -12,6 +12,7 @@
 #include "asdb/geo.hpp"
 #include "asdb/registry.hpp"
 #include "asdb/rib.hpp"
+#include "netbase/frozen_lpm.hpp"
 #include "proto/icmp6.hpp"
 #include "proto/quic.hpp"
 #include "topo/censored_network.hpp"
@@ -161,7 +162,10 @@ class World {
   std::vector<std::unique_ptr<Deployment>> deployments_;
   std::vector<TransitAs> transits_;
   std::uint64_t seed_;
-  PrefixTrie<std::size_t> by_prefix_;
+  /// Deployment index by covering prefix — frozen in the constructor
+  /// (deployments never change after world build), so deployment_of() is
+  /// one binary search on every probe path.
+  FrozenLpm<std::size_t> by_prefix_;
   mutable std::shared_mutex pmtu_mutex_;
   mutable std::unordered_map<HostKey, std::uint16_t> pmtu_;
   mutable std::mutex ns_log_mutex_;
@@ -171,8 +175,12 @@ class World {
   // Purely a cache of the deterministic host() function, striped so that
   // concurrent prober threads rarely contend on the same lock.
   static constexpr std::size_t kHostCacheStripes = 64;
+  /// Reader/writer stripes: cache hits (the common case — each target is
+  /// resolved 5-7x per scan) take only a shared lock, so parallel probers
+  /// no longer serialize on hot stripes; the exclusive lock is reserved
+  /// for first-resolution inserts and the per-date rollover.
   struct HostCacheStripe {
-    std::mutex m;
+    std::shared_mutex m;
     std::unordered_map<Ipv6, std::optional<HostBehavior>, Ipv6Hasher> map;
   };
   mutable std::atomic<int> cache_date_{-1};
