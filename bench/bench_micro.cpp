@@ -7,6 +7,7 @@
 
 #include "alias/apd.hpp"
 #include "netbase/frozen_lpm.hpp"
+#include "obs/metrics.hpp"
 #include "netbase/prefix_trie.hpp"
 #include "netbase/rng.hpp"
 #include "proto/dns.hpp"
@@ -308,6 +309,68 @@ void BM_ParallelScan(benchmark::State& state) {
                           static_cast<std::int64_t>(targets.size()));
 }
 BENCHMARK(BM_ParallelScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ParallelScanMetrics(benchmark::State& state) {
+  // BM_ParallelScan with telemetry attached: the overhead is a handful of
+  // striped relaxed fetch_adds per shard, so the two benchmarks should sit
+  // within noise of each other (< 3% is the PR acceptance bar).
+  static auto world = build_test_world(8);
+  static const std::vector<Ipv6> targets = [] {
+    std::vector<KnownAddress> known;
+    world->enumerate_known(ScanDate{0}, known);
+    std::vector<Ipv6> t;
+    for (const auto& k : known) t.push_back(k.addr);
+    for (std::uint64_t i = 0; t.size() < (1u << 16); ++i)
+      t.push_back(pfx("2600:3c00::/32").random_address(0xBE7C4 + i));
+    return t;
+  }();
+  static MetricsRegistry registry;
+  Zmap6::Config cfg{.seed = 1,
+                    .loss = 0.01,
+                    .retries = 1,
+                    .threads = static_cast<unsigned>(state.range(0))};
+  cfg.metrics = &registry;
+  Zmap6 zmap(cfg);
+  for (auto _ : state) {
+    auto r = zmap.scan(*world, targets, Proto::Icmp, ScanDate{0});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(targets.size()));
+}
+BENCHMARK(BM_ParallelScanMetrics)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_MetricsIncrement(benchmark::State& state) {
+  // The hot-path cost of one counter increment (striped relaxed fetch_add).
+  static MetricsRegistry registry;
+  Counter& c = registry.counter("bench.increment");
+  for (auto _ : state) c.inc();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsIncrement);
+
+void BM_Snapshot(benchmark::State& state) {
+  // Snapshot + JSON export of a registry about the size of a service run.
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry;
+    for (int i = 0; i < 48; ++i)
+      r->counter("bench.counter" + std::to_string(i)).add(
+          static_cast<std::uint64_t>(i) * 977);
+    for (int i = 0; i < 8; ++i)
+      r->gauge("bench.gauge" + std::to_string(i)).set(i * 31);
+    static constexpr std::uint64_t kBounds[] = {16, 256, 4096, 65536};
+    for (int i = 0; i < 6; ++i) {
+      Histogram& h = r->histogram("bench.hist" + std::to_string(i), kBounds);
+      for (std::uint64_t v = 1; v < 100000; v *= 3) h.record(v);
+    }
+    return r;
+  }();
+  for (auto _ : state) {
+    auto json = registry->snapshot().to_json();
+    benchmark::DoNotOptimize(json);
+  }
+}
+BENCHMARK(BM_Snapshot);
 
 void BM_ParallelApd(benchmark::State& state) {
   // Thread-scaling of the per-candidate APD probe fan-out.

@@ -41,6 +41,18 @@ std::vector<Prefix> AliasDetector::candidates(const Rib& rib,
   return out;
 }
 
+void AliasDetector::init_metrics() {
+  MetricsRegistry* reg = cfg_.metrics;
+  if (reg == nullptr) return;
+  m_rounds_ = &reg->counter("apd.rounds");
+  m_candidates_ = &reg->counter("apd.candidates_tested");
+  m_probes_ = &reg->counter("apd.probes_sent");
+  m_aliased_ = &reg->counter("apd.aliased_verdicts");
+  static constexpr std::uint64_t kBounds[] = {256,   1024,   4096,  16384,
+                                              65536, 262144, 1048576};
+  m_probes_per_round_ = &reg->histogram("apd.probes_per_round", kBounds);
+}
+
 bool AliasDetector::lost(const Ipv6& a, ScanDate d, int proto_tag) const {
   if (cfg_.loss <= 0) return false;
   const std::uint64_t h =
@@ -109,6 +121,13 @@ AliasDetector::Detection AliasDetector::finalize(
   // The set is complete and will only be queried from here on (once per
   // scan target in the service's alias filter) — compile the snapshot.
   det.aliased_set.freeze();
+  if (m_rounds_ != nullptr) {
+    m_rounds_->inc();
+    m_candidates_->add(tested);
+    m_probes_->add(probes);
+    m_aliased_->add(det.aliased.size());
+    m_probes_per_round_->record(probes);
+  }
   return det;
 }
 

@@ -9,6 +9,7 @@
 #include "asdb/rib.hpp"
 #include "core/thread_pool.hpp"
 #include "netbase/prefix_set.hpp"
+#include "obs/metrics.hpp"
 #include "topo/world.hpp"
 
 namespace sixdust {
@@ -42,10 +43,15 @@ class AliasDetector {
     /// per-candidate probe masks are position-addressed, so any thread
     /// count yields identical detections.
     unsigned threads = 1;
+    /// Detection telemetry sink (null = no metrics). Round/candidate/probe
+    /// counters are stable across thread counts.
+    MetricsRegistry* metrics = nullptr;
   };
 
   explicit AliasDetector(Config cfg)
-      : cfg_(cfg), pool_(ThreadPool::create(cfg.threads)) {}
+      : cfg_(cfg), pool_(ThreadPool::create(cfg.threads)) {
+    init_metrics();
+  }
 
   /// Share an executor with the other probe stages (null = sequential).
   void set_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
@@ -91,9 +97,17 @@ class AliasDetector {
   probe_round(const World& world, const std::vector<Prefix>& cands,
               ScanDate date, std::uint64_t* probes) const;
 
+  void init_metrics();
+
   Config cfg_;
   std::shared_ptr<ThreadPool> pool_;
   std::deque<std::unordered_map<Prefix, std::uint16_t, PrefixHasher>> history_;
+
+  Counter* m_rounds_ = nullptr;
+  Counter* m_candidates_ = nullptr;
+  Counter* m_probes_ = nullptr;
+  Counter* m_aliased_ = nullptr;
+  Histogram* m_probes_per_round_ = nullptr;
 };
 
 }  // namespace sixdust

@@ -1,12 +1,39 @@
 #include "alias/tbt.hpp"
 
 #include "netbase/hash.hpp"
+#include "obs/metrics.hpp"
 
 namespace sixdust {
+
+TooBigTrick::TooBigTrick(Config cfg) : cfg_(cfg) { init_metrics(); }
+
+void TooBigTrick::init_metrics() {
+  if (cfg_.metrics == nullptr) return;
+  MetricsRegistry& reg = *cfg_.metrics;
+  m_tested_ = &reg.counter("tbt.prefixes_tested");
+  m_usable_ = &reg.counter("tbt.usable");
+  constexpr const char* kOutcomes[4] = {"not_usable", "all_shared",
+                                        "none_shared", "partial_shared"};
+  for (std::size_t i = 0; i < m_verdicts_.size(); ++i)
+    m_verdicts_[i] =
+        &reg.counter(std::string("tbt.verdicts{outcome=") + kOutcomes[i] + "}");
+}
 
 TooBigTrick::PrefixResult TooBigTrick::test(const World& world,
                                             const Prefix& p,
                                             ScanDate date) const {
+  PrefixResult res = test_impl(world, p, date);
+  if (m_tested_ != nullptr) {
+    m_tested_->inc();
+    m_verdicts_[static_cast<std::size_t>(res.outcome)]->inc();
+    if (res.outcome != Outcome::NotUsable) m_usable_->inc();
+  }
+  return res;
+}
+
+TooBigTrick::PrefixResult TooBigTrick::test_impl(const World& world,
+                                                 const Prefix& p,
+                                                 ScanDate date) const {
   PrefixResult res;
   res.prefix = p;
 

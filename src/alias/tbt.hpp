@@ -1,11 +1,15 @@
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
 #include "topo/world.hpp"
 
 namespace sixdust {
+
+class MetricsRegistry;
+class Counter;
 
 /// The "Too Big Trick" (Beverly et al. 2013; applied to aliased prefixes by
 /// Song et al. 2022 and by the paper's Sec. 5.1): exploit the fact that a
@@ -25,9 +29,11 @@ class TooBigTrick {
     int addresses = 8;
     std::uint16_t echo_size = 1300;  // > 1280 minimum IPv6 MTU
     std::uint16_t ptb_mtu = 1280;
+    /// Optional run telemetry (tbt.* counters). Null = no accounting.
+    MetricsRegistry* metrics = nullptr;
   };
 
-  explicit TooBigTrick(Config cfg) : cfg_(cfg) {}
+  explicit TooBigTrick(Config cfg);
 
   enum class Outcome {
     NotUsable,      // initial echoes unanswered/fragmented, or PTB ignored
@@ -57,7 +63,16 @@ class TooBigTrick {
                             ScanDate date) const;
 
  private:
+  void init_metrics();
+  [[nodiscard]] PrefixResult test_impl(const World& world, const Prefix& p,
+                                       ScanDate date) const;
+
   Config cfg_;
+  Counter* m_tested_ = nullptr;
+  Counter* m_usable_ = nullptr;
+  /// Per-outcome verdict counters: tbt.verdicts{outcome=...}, indexed by
+  /// static_cast<int>(Outcome).
+  std::array<Counter*, 4> m_verdicts_{};
 };
 
 }  // namespace sixdust

@@ -1,5 +1,7 @@
 #include "core/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace sixdust {
 
 /// Completion state of one run() call. Heap-held via shared_ptr from every
@@ -39,6 +41,17 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::set_metrics(MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    m_batches_ = m_tasks_ = m_tasks_helped_ = m_tasks_worker_ = nullptr;
+    return;
+  }
+  m_batches_ = &reg->counter("pool.batches", Stability::kVolatile);
+  m_tasks_ = &reg->counter("pool.tasks", Stability::kVolatile);
+  m_tasks_helped_ = &reg->counter("pool.tasks_helped", Stability::kVolatile);
+  m_tasks_worker_ = &reg->counter("pool.tasks_worker", Stability::kVolatile);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     Task t;
@@ -49,6 +62,7 @@ void ThreadPool::worker_loop() {
       t = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (m_tasks_worker_ != nullptr) m_tasks_worker_->inc();
     execute(t);
   }
 }
@@ -61,7 +75,12 @@ void ThreadPool::execute(Task& t) {
 
 void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  if (m_batches_ != nullptr) {
+    m_batches_->inc();
+    m_tasks_->add(tasks.size());
+  }
   if (workers_.empty()) {
+    if (m_tasks_helped_ != nullptr) m_tasks_helped_->add(tasks.size());
     for (auto& f : tasks) f();
     return;
   }
@@ -82,6 +101,7 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
       t = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (m_tasks_helped_ != nullptr) m_tasks_helped_->inc();
     execute(t);
   }
 

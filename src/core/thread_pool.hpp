@@ -10,6 +10,9 @@
 
 namespace sixdust {
 
+class MetricsRegistry;
+class Counter;
+
 /// Fixed-size work-crew executor shared by the scan stages (ZMapv6 shard
 /// slices, APD candidate chunks, Yarrp trace slices, the service's
 /// per-protocol fan-out).
@@ -48,6 +51,13 @@ class ThreadPool {
   /// queue; the waiter helps execute whatever is pending).
   void run(std::vector<std::function<void()>> tasks);
 
+  /// Attach task accounting (pool.batches / pool.tasks / pool.tasks_helped
+  /// / pool.tasks_worker). All pool metrics are volatile: batch sizes
+  /// depend on the pool size and helped-vs-worker split on scheduling, so
+  /// none of them belong to the deterministic snapshot surface. Call
+  /// before the first run(); a null registry detaches.
+  void set_metrics(MetricsRegistry* reg);
+
  private:
   struct Batch;
   struct Task {
@@ -57,6 +67,11 @@ class ThreadPool {
 
   static void execute(Task& t);
   void worker_loop();
+
+  Counter* m_batches_ = nullptr;
+  Counter* m_tasks_ = nullptr;
+  Counter* m_tasks_helped_ = nullptr;
+  Counter* m_tasks_worker_ = nullptr;
 
   unsigned size_;
   std::vector<std::thread> workers_;

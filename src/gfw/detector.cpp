@@ -11,9 +11,28 @@ DnsVerdict classify_dns(const DnsObservation& obs) {
   return DnsVerdict::Genuine;
 }
 
+void GfwFilter::set_metrics(MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    m_inspected_ = m_kept_ = m_dropped_ = m_taint_new_ = nullptr;
+    m_injected_a_ = m_injected_teredo_ = nullptr;
+    return;
+  }
+  m_inspected_ = &reg->counter("gfw.records_inspected");
+  m_kept_ = &reg->counter("gfw.records_kept");
+  m_dropped_ = &reg->counter("gfw.records_dropped");
+  m_taint_new_ = &reg->counter("gfw.taint_new");
+  m_injected_a_ = &reg->counter("gfw.injected{kind=a_record}");
+  m_injected_teredo_ = &reg->counter("gfw.injected{kind=teredo}");
+}
+
 void GfwFilter::note(const ScanRecord& rec, int scan_index, DnsVerdict v) {
+  if (m_injected_a_ != nullptr) {
+    if (v == DnsVerdict::InjectedA) m_injected_a_->inc();
+    if (v == DnsVerdict::InjectedTeredo) m_injected_teredo_->inc();
+  }
   auto [it, inserted] = taint_.try_emplace(
       rec.target, TaintRecord{rec.target, scan_index, false, false, 0});
+  if (inserted && m_taint_new_ != nullptr) m_taint_new_->inc();
   auto& t = it->second;
   if (v == DnsVerdict::InjectedA) t.saw_a_record = true;
   if (v == DnsVerdict::InjectedTeredo) t.saw_teredo = true;
@@ -27,13 +46,18 @@ std::vector<ScanRecord> GfwFilter::filter_scan(const ScanResult& udp53) {
   kept.reserve(udp53.responsive.size());
   for (const auto& rec : udp53.responsive) {
     if (!rec.dns) continue;
+    if (m_inspected_ != nullptr) m_inspected_->inc();
     const DnsVerdict v = classify_dns(*rec.dns);
     if (is_injected(v)) {
       note(rec, udp53.date.index, v);
       // A genuine answer may still have raced the injection; keep the
       // target only if a clean record was among the responses.
-      if (!rec.dns->clean_aaaa) continue;
+      if (!rec.dns->clean_aaaa) {
+        if (m_dropped_ != nullptr) m_dropped_->inc();
+        continue;
+      }
     }
+    if (m_kept_ != nullptr) m_kept_->inc();
     kept.push_back(rec);
   }
   return kept;

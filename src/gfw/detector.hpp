@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "scanner/zmap6.hpp"
 
 namespace sixdust {
@@ -42,6 +43,12 @@ class GfwFilter {
     int max_responses = 0;       // worst-case response multiplicity
   };
 
+  /// Attach filter telemetry: records inspected/kept/dropped, new taint
+  /// records, and injected-answer counts split by signature kind — the
+  /// A-record counter tracks the 2019/2020 injector era, the Teredo
+  /// counter the 2021+ era. All stable. A null registry detaches.
+  void set_metrics(MetricsRegistry* reg);
+
   /// Inspect one UDP/53 scan result; returns the records that survive
   /// (genuine responses). Injected observations are recorded as tainted.
   std::vector<ScanRecord> filter_scan(const ScanResult& udp53);
@@ -73,6 +80,13 @@ class GfwFilter {
 
   std::unordered_map<Ipv6, TaintRecord, Ipv6Hasher> taint_;
   std::unordered_map<int, std::vector<Ipv6>> per_scan_;
+
+  Counter* m_inspected_ = nullptr;
+  Counter* m_kept_ = nullptr;
+  Counter* m_dropped_ = nullptr;
+  Counter* m_taint_new_ = nullptr;
+  Counter* m_injected_a_ = nullptr;
+  Counter* m_injected_teredo_ = nullptr;
 };
 
 }  // namespace sixdust

@@ -12,6 +12,7 @@ bool InputDb::add(const Ipv6& a, std::uint16_t tags, int scan_index,
   it->second.blocked = blocklist != nullptr && blocklist->covers(a);
   order_.push_back(a);
   blocked_.push_back(it->second.blocked ? 1 : 0);
+  if (it->second.blocked) ++blocked_count_;
   return true;
 }
 

@@ -36,6 +36,8 @@ class InputDb {
   }
   [[nodiscard]] const Meta* find(const Ipv6& a) const;
   [[nodiscard]] std::size_t size() const { return order_.size(); }
+  /// Accumulated addresses whose cached blocklist verdict is "covered".
+  [[nodiscard]] std::size_t blocked_count() const { return blocked_count_; }
 
   /// Addresses in insertion order (stable iteration for scans).
   [[nodiscard]] const std::vector<Ipv6>& addresses() const { return order_; }
@@ -54,6 +56,7 @@ class InputDb {
   std::unordered_map<Ipv6, Meta, Ipv6Hasher> meta_;
   std::vector<Ipv6> order_;
   std::vector<std::uint8_t> blocked_;
+  std::size_t blocked_count_ = 0;
 };
 
 }  // namespace sixdust

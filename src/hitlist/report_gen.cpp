@@ -5,6 +5,7 @@
 
 #include "analysis/distribution.hpp"
 #include "netbase/util.hpp"
+#include "obs/metrics.hpp"
 
 namespace sixdust {
 namespace {
@@ -71,6 +72,41 @@ std::string ServiceReport::markdown() const {
     if (rank == 10) break;
   }
   append_fmt(out, "\n%zu ASes hold responsive addresses.\n", dist.as_count());
+
+  // Run telemetry: accumulated counters from the service's metrics
+  // registry (stable values only — identical for every thread count).
+  const MetricsSnapshot snap = service_->metrics().snapshot();
+  const auto counter = [&](const std::string& name) {
+    return static_cast<unsigned long long>(snap.counter_value(name));
+  };
+  out += "## Run telemetry\n\n";
+  out += "| protocol | probes sent | answered | blocked |\n|---|---|---|---|\n";
+  for (Proto p : kAllProtos) {
+    const std::string label = "{proto=" + proto_token(p) + "}";
+    append_fmt(out, "| %s | %llu | %llu | %llu |\n", proto_name(p).c_str(),
+               counter("scanner.probes_sent" + label),
+               counter("scanner.answered" + label),
+               counter("scanner.blocked" + label));
+  }
+  append_fmt(out,
+             "\n- APD: %llu rounds, %llu probes, %llu aliased verdicts\n"
+             "- traceroute: %llu probes, %llu hops discovered, %llu gaps\n"
+             "- GFW filter: %llu records inspected, %llu dropped "
+             "(injected: %llu A-for-AAAA, %llu Teredo)\n",
+             counter("apd.rounds"), counter("apd.probes_sent"),
+             counter("apd.aliased_verdicts"),
+             counter("traceroute.probes_sent"),
+             counter("traceroute.hops_discovered"), counter("traceroute.gaps"),
+             counter("gfw.records_inspected"), counter("gfw.records_dropped"),
+             counter("gfw.injected{kind=a_record}"),
+             counter("gfw.injected{kind=teredo}"));
+  out += "\nNew-input attribution (addresses first delivered by source):\n\n";
+  out += "| source | new addresses |\n|---|---|\n";
+  for (const char* src : {"dns_aaaa", "ct_log", "ripe_atlas", "traceroute",
+                          "rdns", "ns_mx", "caida_ark", "det"}) {
+    append_fmt(out, "| %s | %llu |\n", src,
+               counter(std::string("service.input_new{source=") + src + "}"));
+  }
   return out;
 }
 

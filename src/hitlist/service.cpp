@@ -4,30 +4,96 @@
 #include <array>
 
 #include "core/parallel.hpp"
+#include "obs/phase_timer.hpp"
 #include "scanner/rate_limit.hpp"
 
 namespace sixdust {
 
+namespace {
+
+/// SourceTag bit position -> attribution label (see topo/behavior.hpp).
+constexpr const char* kSourceNames[8] = {
+    "dns_aaaa", "ct_log",    "ripe_atlas", "traceroute",
+    "rdns",     "ns_mx",     "caida_ark",  "det"};
+
+}  // namespace
+
 HitlistService::HitlistService(Config cfg)
     : cfg_(std::move(cfg)),
+      owned_metrics_(cfg_.metrics != nullptr ? nullptr : new MetricsRegistry),
+      metrics_(cfg_.metrics != nullptr ? cfg_.metrics : owned_metrics_.get()),
       sources_(cfg_.sources),
-      apd_(cfg_.apd),
+      apd_([this] {
+        AliasDetector::Config c = cfg_.apd;
+        c.metrics = metrics_;
+        return c;
+      }()),
       zmap_([this] {
         Zmap6::Config c = cfg_.scanner;
         c.blocklist = &blocklist_;
+        c.metrics = metrics_;
         return c;
       }()),
-      yarrp_(cfg_.traceroute) {
+      yarrp_([this] {
+        Yarrp::Config c = cfg_.traceroute;
+        c.metrics = metrics_;
+        return c;
+      }()) {
+  init_metrics();
+  gfw_.set_metrics(metrics_);
   for (const auto& p : cfg_.blocklist_prefixes) blocklist_.add(p);
   // Immutable from here on: freeze for snapshot-backed coverage queries
   // (and InputDb caches the per-address verdict on first insertion).
   blocklist_.freeze();
   pool_ = ThreadPool::create(cfg_.threads);
   if (pool_) {
+    pool_->set_metrics(metrics_);
     zmap_.set_pool(pool_);
     apd_.set_pool(pool_);
     yarrp_.set_pool(pool_);
   }
+}
+
+void HitlistService::init_metrics() {
+  MetricsRegistry& reg = *metrics_;
+  svc_metrics_.steps = &reg.counter("service.steps");
+  svc_metrics_.input_total = &reg.gauge("service.input_total");
+  svc_metrics_.input_blocked = &reg.gauge("service.input_blocked");
+  svc_metrics_.scan_targets = &reg.gauge("service.scan_targets");
+  svc_metrics_.aliased_prefixes = &reg.gauge("service.aliased_prefixes");
+  svc_metrics_.excluded_total = &reg.gauge("service.excluded_total");
+  svc_metrics_.newly_excluded = &reg.counter("service.newly_excluded");
+  svc_metrics_.responsive_any = &reg.counter("service.responsive{proto=any}");
+  for (Proto p : kAllProtos)
+    svc_metrics_.responsive[static_cast<std::size_t>(proto_index(p))] =
+        &reg.counter("service.responsive{proto=" + proto_token(p) + "}");
+  for (std::size_t bit = 0; bit < svc_metrics_.input_new.size(); ++bit)
+    svc_metrics_.input_new[bit] = &reg.counter(
+        std::string("service.input_new{source=") + kSourceNames[bit] + "}");
+  static constexpr std::uint64_t kRespBounds[] = {16,   64,    256,  1024,
+                                                  4096, 16384, 65536};
+  svc_metrics_.responsive_per_scan =
+      &reg.histogram("service.responsive_per_scan", kRespBounds);
+}
+
+void HitlistService::record_new_input(std::uint16_t tags) {
+  for (std::size_t bit = 0; bit < svc_metrics_.input_new.size(); ++bit)
+    if (tags & (1u << bit)) svc_metrics_.input_new[bit]->inc();
+}
+
+void HitlistService::record_outcome(const ScanOutcome& outcome) {
+  SvcMetrics& m = svc_metrics_;
+  m.steps->inc();
+  m.input_total->set(static_cast<std::int64_t>(outcome.input_total));
+  m.input_blocked->set(static_cast<std::int64_t>(input_.blocked_count()));
+  m.scan_targets->set(static_cast<std::int64_t>(outcome.scan_targets));
+  m.aliased_prefixes->set(static_cast<std::int64_t>(outcome.aliased_count));
+  m.excluded_total->set(static_cast<std::int64_t>(outcome.excluded_total));
+  m.newly_excluded->add(outcome.newly_excluded);
+  m.responsive_any->add(outcome.responsive_any);
+  for (std::size_t p = 0; p < kProtoCount; ++p)
+    m.responsive[p]->add(outcome.responsive_per_proto[p]);
+  m.responsive_per_scan->record(outcome.responsive_any);
 }
 
 std::vector<Ipv6> HitlistService::eligible_targets() const {
@@ -45,15 +111,24 @@ std::vector<Ipv6> HitlistService::eligible_targets() const {
 
 HitlistService::ScanOutcome HitlistService::step(const World& world,
                                                  ScanDate date) {
-  // 1. Input collection (all sources re-deliver every scan; dedup).
-  for (const auto& known : sources_.collect(world, date))
-    input_.add(known.addr, known.tags, date.index, &blocklist_);
+  PhaseTimer step_timer(metrics_, "service.phase.step");
+
+  // 1. Input collection (all sources re-deliver every scan; dedup). New
+  // addresses are attributed to every source tag that delivered them.
+  {
+    PhaseTimer t(metrics_, "service.phase.inputs");
+    for (const auto& known : sources_.collect(world, date))
+      if (input_.add(known.addr, known.tags, date.index, &blocklist_))
+        record_new_input(known.tags);
+  }
 
   // 2. Exclusion + blocklist filters.
   std::vector<Ipv6> targets = eligible_targets();
 
   // 3. Multi-level aliased prefix detection (with 3-round history).
+  PhaseTimer apd_timer(metrics_, "service.phase.apd");
   auto detection = apd_.detect(world, targets, date);
+  apd_timer.stop();
   aliased_ = std::move(detection.aliased_set);
   aliased_per_scan_.push_back(std::move(detection.aliased));
 
@@ -73,10 +148,12 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   // fan out over the pool; the pool may further split each scan into
   // shard slices. Results are then consumed strictly in kAllProtos order
   // so that GFW state mutation and float duration sums stay deterministic.
+  PhaseTimer scan_timer(metrics_, "service.phase.scan");
   std::vector<ScanResult> per_proto = ordered_map<ScanResult>(
       pool_.get(), kAllProtos.size(), [&](std::size_t i) {
         return zmap_.scan(world, targets, kAllProtos[i], date);
       });
+  scan_timer.stop();
 
   for (std::size_t pi = 0; pi < kAllProtos.size(); ++pi) {
     const Proto p = kAllProtos[pi];
@@ -116,9 +193,12 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
 
   // 7. Yarrp traceroutes toward the (alias-filtered) targets; discovered
   // router addresses become next scan's input.
+  PhaseTimer trace_timer(metrics_, "service.phase.traceroute");
   auto traces = yarrp_.trace(world, targets, date);
   for (const auto& hop : traces.responsive_hops)
-    input_.add(hop, kSrcTraceroute, date.index, &blocklist_);
+    if (input_.add(hop, kSrcTraceroute, date.index, &blocklist_))
+      record_new_input(kSrcTraceroute);
+  trace_timer.stop();
   duration_seconds +=
       scan_duration_seconds(traces.probes_sent, cfg_.scanner.pps);
 
@@ -144,6 +224,7 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
       if (mask_has(mask, p)) ++outcome.responsive_per_proto[proto_index(p)];
 
   history_.record(std::move(entry));
+  record_outcome(outcome);
   return outcome;
 }
 

@@ -8,6 +8,7 @@
 #include "hitlist/history.hpp"
 #include "hitlist/input_db.hpp"
 #include "hitlist/sources.hpp"
+#include "obs/metrics.hpp"
 #include "scanner/zmap6.hpp"
 #include "traceroute/yarrp.hpp"
 
@@ -45,6 +46,11 @@ class HitlistService {
     /// hardware core, 1 = the exact sequential path. Output is
     /// byte-identical for every value (see DESIGN.md, "Concurrency model").
     unsigned threads = 1;
+    /// Run telemetry registry shared by every pipeline stage. Null (the
+    /// default) makes the service own a private registry — metrics are
+    /// always on; injection exists so callers can aggregate several
+    /// services or assert on a registry they control (see DESIGN.md §9).
+    MetricsRegistry* metrics = nullptr;
   };
 
   explicit HitlistService(Config cfg);
@@ -96,6 +102,11 @@ class HitlistService {
   }
   [[nodiscard]] const PrefixSet& blocklist() const { return blocklist_; }
 
+  /// The run-telemetry registry (the injected one, or the service's own).
+  /// Snapshot it after run()/step() for the RunReport / --metrics-out
+  /// exports; a stable-only export is byte-identical across thread counts.
+  [[nodiscard]] MetricsRegistry& metrics() const { return *metrics_; }
+
   /// The scan target list for `date` given current state (blocklist,
   /// exclusion; before alias filtering).
   [[nodiscard]] std::vector<Ipv6> eligible_targets() const;
@@ -105,7 +116,33 @@ class HitlistService {
  private:
   friend class ServiceArchive;
 
+  /// Per-step service metrics, resolved once at construction.
+  struct SvcMetrics {
+    Counter* steps = nullptr;
+    Gauge* input_total = nullptr;
+    Gauge* input_blocked = nullptr;
+    Gauge* scan_targets = nullptr;
+    Gauge* aliased_prefixes = nullptr;
+    Gauge* excluded_total = nullptr;
+    Counter* newly_excluded = nullptr;
+    Counter* responsive_any = nullptr;
+    std::array<Counter*, kProtoCount> responsive{};
+    /// New-input attribution, indexed by SourceTag bit position.
+    std::array<Counter*, 8> input_new{};
+    Histogram* responsive_per_scan = nullptr;
+  };
+
+  void init_metrics();
+  void record_new_input(std::uint16_t tags);
+  void record_outcome(const ScanOutcome& outcome);
+
   Config cfg_;
+  /// Owned when cfg_.metrics is null; metrics_ always points at the live
+  /// registry. Declared before the pipeline stages so their configs can
+  /// carry the pointer.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  SvcMetrics svc_metrics_;
   /// Shared executor for all pipeline stages (null when threads resolves
   /// to 1); injected into zmap_/apd_/yarrp_ so nested fan-out reuses the
   /// same workers instead of oversubscribing.

@@ -1,0 +1,163 @@
+// Exporters for MetricsSnapshot: the JSON document used by golden-metrics
+// regression tests and --metrics-out, and a prometheus-style text
+// exposition. Both emit samples in the snapshot's sorted-by-name order and
+// format nothing but integers, so a stable-only export is a byte-exact
+// function of the simulated run.
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace sixdust {
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void append_u64_array(std::string& out, const std::vector<std::uint64_t>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ',';
+    append_fmt(out, "%" PRIu64, v[i]);
+  }
+  out += ']';
+}
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+/// Split `name{label=v,...}` into its base and label block.
+std::pair<std::string_view, std::string_view> split_labels(
+    std::string_view name) {
+  const auto brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+/// `subsystem.metric{proto=icmp}` -> `subsystem_metric{proto="icmp"}`.
+std::string prometheus_name(std::string_view name) {
+  const auto [base, labels] = split_labels(name);
+  std::string out;
+  out.reserve(name.size() + 8);
+  for (const char c : base) out += c == '.' ? '_' : c;
+  if (labels.empty()) return out;
+  out += '{';
+  bool in_value = false;
+  for (const char c : labels.substr(1, labels.size() - 2)) {
+    if (c == '=') {
+      out += "=\"";
+      in_value = true;
+    } else if (c == ',') {
+      out += "\",";
+      in_value = false;
+    } else {
+      out += c;
+    }
+  }
+  if (in_value) out += '"';
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json(bool include_volatile) const {
+  std::string out = "{\n  \"schema\": \"sixdust-metrics/1\",\n  \"metrics\": [";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!include_volatile && s.stability == Stability::kVolatile) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    append_fmt(out, "{\"name\":\"%s\",\"kind\":\"%s\",\"stability\":\"%s\"",
+               s.name.c_str(), kind_name(s.kind),
+               s.stability == Stability::kStable ? "stable" : "volatile");
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        append_fmt(out, ",\"value\":%" PRIu64, s.value);
+        break;
+      case MetricKind::kGauge:
+        append_fmt(out, ",\"value\":%" PRId64, s.gauge);
+        break;
+      case MetricKind::kHistogram:
+        out += ",\"bounds\":";
+        append_u64_array(out, s.bounds);
+        out += ",\"buckets\":";
+        append_u64_array(out, s.buckets);
+        append_fmt(out, ",\"sum\":%" PRIu64 ",\"count\":%" PRIu64, s.sum,
+                   s.count);
+        break;
+    }
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_text(bool include_volatile) const {
+  std::string out;
+  for (const MetricSample& s : samples) {
+    if (!include_volatile && s.stability == Stability::kVolatile) continue;
+    const std::string name = prometheus_name(s.name);
+    const auto [base, labels] = split_labels(name);
+    const std::string base_s(base);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        append_fmt(out, "# TYPE %s counter\n", base_s.c_str());
+        append_fmt(out, "%s %" PRIu64 "\n", name.c_str(), s.value);
+        break;
+      case MetricKind::kGauge:
+        append_fmt(out, "# TYPE %s gauge\n", base_s.c_str());
+        append_fmt(out, "%s %" PRId64 "\n", name.c_str(), s.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        append_fmt(out, "# TYPE %s histogram\n", base_s.c_str());
+        // Cumulative le-buckets, prometheus exposition style.
+        std::uint64_t cum = 0;
+        const std::string label_body =
+            labels.empty()
+                ? std::string()
+                : std::string(labels.substr(1, labels.size() - 2)) + ",";
+        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+          cum += s.buckets[b];
+          if (b < s.bounds.size()) {
+            append_fmt(out, "%s_bucket{%sle=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                       base_s.c_str(), label_body.c_str(), s.bounds[b], cum);
+          } else {
+            append_fmt(out, "%s_bucket{%sle=\"+Inf\"} %" PRIu64 "\n",
+                       base_s.c_str(), label_body.c_str(), cum);
+          }
+        }
+        append_fmt(out, "%s_sum%s %" PRIu64 "\n", base_s.c_str(),
+                   std::string(labels).c_str(), s.sum);
+        append_fmt(out, "%s_count%s %" PRIu64 "\n", base_s.c_str(),
+                   std::string(labels).c_str(), s.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sixdust

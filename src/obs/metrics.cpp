@@ -1,0 +1,180 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace sixdust {
+
+namespace obs_detail {
+
+unsigned thread_stripe() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return slot;
+}
+
+}  // namespace obs_detail
+
+// --- Histogram ---------------------------------------------------------------
+
+namespace {
+
+/// Cells per stripe row, rounded up to a whole cache line so rows never
+/// share a line (8 x uint64 per 64-byte line).
+std::size_t padded_row(std::size_t cells) { return (cells + 7) / 8 * 8; }
+
+}  // namespace
+
+Histogram::Histogram(std::span<const std::uint64_t> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      // buckets (bounds + overflow) + one sum slot
+      row_(padded_row(bounds_.size() + 2)),
+      cells_(new std::atomic<std::uint64_t>[obs_detail::kStripes * row_]) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (std::size_t i = 0; i < obs_detail::kStripes * row_; ++i)
+    cells_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow when == size
+  std::atomic<std::uint64_t>* row =
+      cells_.get() + obs_detail::thread_stripe() * row_;
+  row[bucket].fetch_add(1, std::memory_order_relaxed);
+  row[bounds_.size() + 1].fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_values() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (unsigned s = 0; s < obs_detail::kStripes; ++s) {
+    const std::atomic<std::uint64_t>* row = cells_.get() + s * row_;
+    for (std::size_t b = 0; b < out.size(); ++b)
+      out[b] += row[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : bucket_values()) total += b;
+  return total;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < obs_detail::kStripes; ++s)
+    total += cells_[s * row_ + bounds_.size() + 1].load(
+        std::memory_order_relaxed);
+  return total;
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry::Entry& MetricsRegistry::get_or_create(std::string_view name,
+                                                       MetricKind kind,
+                                                       Stability s) {
+  std::lock_guard lk(m_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return entries_[it->second];
+  Entry e;
+  e.name = std::string(name);
+  e.kind = kind;
+  e.stability = s;
+  switch (kind) {
+    case MetricKind::kCounter:
+      e.c.reset(new Counter);
+      break;
+    case MetricKind::kGauge:
+      e.g.reset(new Gauge);
+      break;
+    case MetricKind::kHistogram:
+      break;  // caller constructs (needs bounds)
+  }
+  entries_.push_back(std::move(e));
+  index_.emplace(entries_.back().name, entries_.size() - 1);
+  return entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Stability s) {
+  return *get_or_create(name, MetricKind::kCounter, s).c;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Stability s) {
+  return *get_or_create(name, MetricKind::kGauge, s).g;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const std::uint64_t> bounds,
+                                      Stability s) {
+  Entry& e = get_or_create(name, MetricKind::kHistogram, s);
+  if (!e.h) e.h.reset(new Histogram(bounds));
+  return *e.h;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard lk(m_);
+    snap.samples.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      MetricSample s;
+      s.name = e.name;
+      s.kind = e.kind;
+      s.stability = e.stability;
+      switch (e.kind) {
+        case MetricKind::kCounter:
+          s.value = e.c->value();
+          break;
+        case MetricKind::kGauge:
+          s.gauge = e.g->value();
+          break;
+        case MetricKind::kHistogram:
+          s.bounds.assign(e.h->bounds().begin(), e.h->bounds().end());
+          s.buckets = e.h->bucket_values();
+          s.sum = e.h->sum();
+          s.count = e.h->count();
+          break;
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  // Sorted by name: the snapshot order is a function of the metric set,
+  // never of registration interleaving.
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lk(m_);
+  for (Entry& e : entries_) {
+    if (e.c)
+      for (auto& cell : e.c->cells_) cell.v.store(0, std::memory_order_relaxed);
+    if (e.g) e.g->v_.store(0, std::memory_order_relaxed);
+    if (e.h)
+      for (std::size_t i = 0; i < obs_detail::kStripes * e.h->row_; ++i)
+        e.h->cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  std::lock_guard lk(m_);
+  return entries_.size();
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& s : samples)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  const MetricSample* s = find(name);
+  return s == nullptr ? 0 : s->value;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sixdust {
+
+/// What a metric measures. Counters only go up (probes sent, records
+/// dropped); gauges hold the latest observation of a level (input size,
+/// exclusion-pool size); histograms count observations into fixed integer
+/// buckets (probes per scan, simulated wait times).
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Determinism class of a metric. Stable metrics depend only on the seeded
+/// simulation — their snapshot values are byte-identical for every thread
+/// count and make up the golden-file / thread-invariance surface. Volatile
+/// metrics describe the execution itself (wall-clock phase timers, pool
+/// task accounting, shard fan-out) and legitimately vary run to run; the
+/// exporters segregate them behind a flag.
+enum class Stability : std::uint8_t { kStable, kVolatile };
+
+namespace obs_detail {
+
+/// Per-worker shard count. Each mutator thread is pinned to one stripe (a
+/// padded cache line), so concurrent increments never contend on a line;
+/// snapshot() merges stripes strictly in index order — the same
+/// merge-in-index-order contract as core/parallel.hpp's ordered_reduce.
+/// Because every stored quantity is an unsigned integer, the merged value
+/// is exact and independent of which thread landed on which stripe.
+inline constexpr unsigned kStripes = 16;
+
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Stripe index of the calling thread (assigned round-robin on first use).
+[[nodiscard]] unsigned thread_stripe() noexcept;
+
+}  // namespace obs_detail
+
+/// Monotonic counter. add() is wait-free: one relaxed fetch_add on the
+/// calling thread's stripe. Handles returned by MetricsRegistry stay valid
+/// for the registry's lifetime, so hot paths resolve them once and then
+/// never touch the registry again.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[obs_detail::thread_stripe()].v.fetch_add(n,
+                                                    std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  /// Stripe sum, merged in index order.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::array<obs_detail::Cell, obs_detail::kStripes> cells_;
+};
+
+/// Last-write-wins level. Meant to be set from one logical place (the
+/// service loop); not striped.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket integer histogram. Bucket i counts observations with
+/// value <= bounds[i] (first match wins); one implicit overflow bucket
+/// catches the rest. record() touches only the calling thread's stripe row.
+class Histogram {
+ public:
+  void record(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::span<const std::uint64_t> bounds() const {
+    return bounds_;
+  }
+  /// Bucket counts (bounds().size() + 1 entries, last = overflow), merged
+  /// in stripe-index order.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_values() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t sum() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::span<const std::uint64_t> bounds);
+
+  std::vector<std::uint64_t> bounds_;  // ascending inclusive upper bounds
+  std::size_t row_;                    // cells per stripe row (padded)
+  // Stripe-major: row s holds [bucket 0 .. bucket n, sum] for stripe s.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+};
+
+/// One exported metric in a snapshot.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  Stability stability = Stability::kStable;
+  std::uint64_t value = 0;  // counter value
+  std::int64_t gauge = 0;   // gauge value
+  std::vector<std::uint64_t> bounds;   // histogram only
+  std::vector<std::uint64_t> buckets;  // histogram only (incl. overflow)
+  std::uint64_t sum = 0;               // histogram only
+  std::uint64_t count = 0;             // histogram only
+};
+
+/// Point-in-time export of a registry: samples sorted by name (the
+/// deterministic snapshot order), values merged from the per-thread
+/// stripes in index order.
+class MetricsSnapshot {
+ public:
+  std::vector<MetricSample> samples;
+
+  /// JSON export (schema sixdust-metrics/1), one metric per line, sorted
+  /// by name. With include_volatile = false the output contains only
+  /// stable metrics and is byte-identical across thread counts — the
+  /// golden-file format.
+  [[nodiscard]] std::string to_json(bool include_volatile = true) const;
+
+  /// Prometheus-style text exposition ('.' becomes '_', label blocks pass
+  /// through with quoted values).
+  [[nodiscard]] std::string to_text(bool include_volatile = true) const;
+
+  [[nodiscard]] const MetricSample* find(std::string_view name) const;
+  /// Counter value by name; 0 when absent (test convenience).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+};
+
+/// Lock-cheap metrics registry. Registration (name -> handle) takes a
+/// mutex once; the returned handles are wait-free and stable for the
+/// registry's lifetime. Metric names follow `subsystem.metric{label=v}`;
+/// the label block is part of the name (exporters split it back out).
+///
+/// Determinism contract: snapshot() lists metrics sorted by name and sums
+/// per-thread stripes in index order. Every stable metric is derived from
+/// the seeded simulation only, so a stable-only export is byte-identical
+/// for any thread count (see DESIGN.md §9).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. Re-registering an existing name returns the existing
+  /// handle (the kind must match; stability sticks to the first caller).
+  Counter& counter(std::string_view name, Stability s = Stability::kStable);
+  Gauge& gauge(std::string_view name, Stability s = Stability::kStable);
+  Histogram& histogram(std::string_view name,
+                       std::span<const std::uint64_t> bounds,
+                       Stability s = Stability::kStable);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every value; registered metrics and handles survive.
+  void reset();
+
+  [[nodiscard]] std::size_t metric_count() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    Stability stability;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  Entry& get_or_create(std::string_view name, MetricKind kind, Stability s);
+
+  mutable std::mutex m_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace sixdust

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace sixdust {
+
+/// RAII phase timer for pipeline stages. Each timed phase owns two
+/// metrics: `<phase>.calls` (stable — how often the stage ran, a pure
+/// function of the run) and `<phase>.wall_ns` (volatile — measured
+/// wall-clock nanoseconds, excluded from deterministic exports). A null
+/// registry makes the timer a no-op.
+class PhaseTimer {
+ public:
+  PhaseTimer(MetricsRegistry* reg, std::string_view phase) {
+    if (reg == nullptr) return;
+    const std::string p(phase);
+    calls_ = &reg->counter(p + ".calls", Stability::kStable);
+    wall_ns_ = &reg->counter(p + ".wall_ns", Stability::kVolatile);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() { stop(); }
+
+  /// Record now instead of at destruction (idempotent).
+  void stop() {
+    if (calls_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    calls_->inc();
+    wall_ns_->add(ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+    calls_ = nullptr;
+    wall_ns_ = nullptr;
+  }
+
+ private:
+  Counter* calls_ = nullptr;
+  Counter* wall_ns_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sixdust

@@ -37,6 +37,19 @@ inline constexpr std::array<Proto, kProtoCount> kAllProtos = {
   return "?";
 }
 
+/// Lowercase label token for machine-readable surfaces (metric names, CLI
+/// flags): "udp53", where proto_name() says "UDP/53".
+[[nodiscard]] inline std::string proto_token(Proto p) {
+  switch (p) {
+    case Proto::Icmp: return "icmp";
+    case Proto::Tcp80: return "tcp80";
+    case Proto::Tcp443: return "tcp443";
+    case Proto::Udp53: return "udp53";
+    case Proto::Udp443: return "udp443";
+  }
+  return "?";
+}
+
 /// Bitmask over protocols; bit i corresponds to proto_index == i.
 using ProtoMask = std::uint8_t;
 

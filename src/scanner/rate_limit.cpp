@@ -1,6 +1,23 @@
 #include "scanner/rate_limit.hpp"
 
+#include <cmath>
+#include <string>
+
 namespace sixdust {
+
+void TokenBucket::attach_metrics(MetricsRegistry* reg, std::string_view name) {
+  if (reg == nullptr) {
+    m_consumed_ = m_waits_ = nullptr;
+    m_wait_us_ = nullptr;
+    return;
+  }
+  const std::string prefix = "rate." + std::string(name);
+  m_consumed_ = &reg->counter(prefix + ".tokens_consumed");
+  m_waits_ = &reg->counter(prefix + ".waits");
+  static constexpr std::uint64_t kWaitBoundsUs[] = {
+      1, 10, 100, 1000, 10000, 100000, 1000000};
+  m_wait_us_ = &reg->histogram(prefix + ".wait_us", kWaitBoundsUs);
+}
 
 double TokenBucket::consume(double n) {
   double wait = 0;
@@ -13,6 +30,11 @@ double TokenBucket::consume(double n) {
   now_ += wait;
   // Waiting never overfills beyond burst (tokens were consumed on arrival).
   if (tokens_ > burst_) tokens_ = burst_;
+  if (m_consumed_ != nullptr) {
+    m_consumed_->add(static_cast<std::uint64_t>(std::llround(n)));
+    if (wait > 0) m_waits_->inc();
+    m_wait_us_->record(static_cast<std::uint64_t>(std::llround(wait * 1e6)));
+  }
   return wait;
 }
 

@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
 
 namespace sixdust {
 
@@ -15,6 +18,12 @@ class TokenBucket {
   /// `rate` tokens per second refill, up to `burst` capacity (starts full).
   TokenBucket(double rate, double burst)
       : rate_(rate), burst_(burst), tokens_(burst) {}
+
+  /// Surface this bucket's accounting under `rate.<name>.*`: tokens
+  /// consumed, consumptions that had to wait, and a histogram of the
+  /// simulated waits in microseconds. All stable — the simulated clock is
+  /// deterministic. A null registry detaches.
+  void attach_metrics(MetricsRegistry* reg, std::string_view name);
 
   /// Consume `n` tokens, waiting for refill when necessary. Returns the
   /// wait (seconds of simulated time) this consumption incurred.
@@ -31,6 +40,10 @@ class TokenBucket {
   double burst_;
   double tokens_;
   double now_ = 0;
+
+  Counter* m_consumed_ = nullptr;  // whole tokens consumed (rounded)
+  Counter* m_waits_ = nullptr;     // consumptions that found the bucket dry
+  Histogram* m_wait_us_ = nullptr; // simulated wait per consumption, in us
 };
 
 /// Scan-duration accounting for a probe budget at a given rate: the time a

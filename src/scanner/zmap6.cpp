@@ -12,7 +12,44 @@ namespace {
 /// the sequential and parallel paths produce identical output either way.
 constexpr std::size_t kParallelMinTargets = 256;
 
+/// Probes-per-scan size histogram buckets (shared with APD's round
+/// histogram): scan sizes from test fixtures up to full-service sweeps.
+constexpr std::uint64_t kProbeCountBounds[] = {256,    1024,    4096,   16384,
+                                               65536,  262144,  1048576};
+
 }  // namespace
+
+void Zmap6::init_metrics() {
+  MetricsRegistry* reg = cfg_.metrics;
+  if (reg == nullptr) return;
+  for (Proto p : kAllProtos) {
+    ProtoMetrics& m = proto_metrics_[static_cast<std::size_t>(proto_index(p))];
+    const std::string label = "{proto=" + proto_token(p) + "}";
+    m.sent = &reg->counter("scanner.probes_sent" + label);
+    m.answered = &reg->counter("scanner.answered" + label);
+    m.blocked = &reg->counter("scanner.blocked" + label);
+    m.scans = &reg->counter("scanner.scans" + label);
+  }
+  probes_per_scan_ = &reg->histogram("scanner.probes_per_scan",
+                                     kProbeCountBounds);
+}
+
+void Zmap6::record_shard(const ScanResult& r) const {
+  const ProtoMetrics& m =
+      proto_metrics_[static_cast<std::size_t>(proto_index(r.proto))];
+  if (m.sent == nullptr) return;
+  m.sent->add(r.probes_sent);
+  m.answered->add(r.responsive.size());
+  m.blocked->add(r.blocked);
+}
+
+void Zmap6::record_scan(const ScanResult& r) const {
+  const ProtoMetrics& m =
+      proto_metrics_[static_cast<std::size_t>(proto_index(r.proto))];
+  if (m.scans == nullptr) return;
+  m.scans->inc();
+  probes_per_scan_->record(r.probes_sent);
+}
 
 DnsObservation observe_dns(const std::vector<DnsMessage>& responses,
                            const DnsQuestion& q) {
@@ -93,8 +130,11 @@ std::optional<ScanRecord> Zmap6::probe_one(const World& world,
 ScanResult Zmap6::scan(const World& world, std::span<const Ipv6> targets,
                        Proto proto, ScanDate date) const {
   ThreadPool* pool = pool_.get();
-  if (pool == nullptr || targets.size() < kParallelMinTargets)
-    return scan_shard(world, targets, proto, date, 0, 1);
+  if (pool == nullptr || targets.size() < kParallelMinTargets) {
+    ScanResult merged = scan_shard(world, targets, proto, date, 0, 1);
+    record_scan(merged);
+    return merged;
+  }
 
   // One shard slice per pool thread; the ordered reduce concatenates the
   // slices in shard order, which is exactly the sequential probe order.
@@ -116,6 +156,7 @@ ScanResult Zmap6::scan(const World& world, std::span<const Ipv6> targets,
   merged.date = date;
   merged.targets = targets.size();
   merged.duration_seconds = scan_duration_seconds(merged.probes_sent, cfg_.pps);
+  record_scan(merged);
   return merged;
 }
 
@@ -153,6 +194,7 @@ ScanResult Zmap6::scan_shard(const World& world,
     }
   }
   result.duration_seconds = scan_duration_seconds(result.probes_sent, cfg_.pps);
+  record_shard(result);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <span>
@@ -7,6 +8,7 @@
 
 #include "core/thread_pool.hpp"
 #include "netbase/prefix_set.hpp"
+#include "obs/metrics.hpp"
 #include "topo/world.hpp"
 
 namespace sixdust {
@@ -72,10 +74,16 @@ class Zmap6 {
     /// sequential path. Any thread count produces byte-identical results
     /// (shard slices are merged in deterministic shard order).
     unsigned threads = 1;
+    /// Scan telemetry sink (null = no metrics). Per-protocol probe/answer/
+    /// exclusion counters are stable — their totals are identical for
+    /// every thread count.
+    MetricsRegistry* metrics = nullptr;
   };
 
   explicit Zmap6(Config cfg)
-      : cfg_(cfg), pool_(ThreadPool::create(cfg.threads)) {}
+      : cfg_(cfg), pool_(ThreadPool::create(cfg.threads)) {
+    init_metrics();
+  }
 
   /// Share an executor (the hitlist service runs all its probe stages on
   /// one pool). A null pool restores the sequential path.
@@ -111,8 +119,25 @@ class Zmap6 {
   [[nodiscard]] bool lost(const Ipv6& target, Proto proto, ScanDate date,
                           int attempt) const;
 
+  void init_metrics();
+  /// Shard-level accounting: each shard slice adds its own totals (the
+  /// per-worker shards of the registry merge them at snapshot time).
+  void record_shard(const ScanResult& r) const;
+  void record_scan(const ScanResult& r) const;
+
+  /// Handles resolved once at construction — the hot loop never touches
+  /// the registry. Indexed by proto_index().
+  struct ProtoMetrics {
+    Counter* sent = nullptr;
+    Counter* answered = nullptr;
+    Counter* blocked = nullptr;
+    Counter* scans = nullptr;
+  };
+
   Config cfg_;
   std::shared_ptr<ThreadPool> pool_;
+  std::array<ProtoMetrics, kProtoCount> proto_metrics_{};
+  Histogram* probes_per_scan_ = nullptr;
 };
 
 /// Summarize DNS responses into the observation record.

@@ -7,6 +7,25 @@
 
 namespace sixdust {
 
+void Yarrp::init_metrics() {
+  MetricsRegistry* reg = cfg_.metrics;
+  if (reg == nullptr) return;
+  m_runs_ = &reg->counter("traceroute.runs");
+  m_targets_ = &reg->counter("traceroute.targets_traced");
+  m_probes_ = &reg->counter("traceroute.probes_sent");
+  m_hops_ = &reg->counter("traceroute.hops_discovered");
+  m_gaps_ = &reg->counter("traceroute.gaps");
+}
+
+void Yarrp::record_run(const TraceResult& r) const {
+  if (m_runs_ == nullptr) return;
+  m_runs_->inc();
+  m_targets_->add(r.targets_traced);
+  m_probes_->add(r.probes_sent);
+  m_hops_->add(r.responsive_hops.size());
+  m_gaps_->add(r.last_hops_unreachable.size());
+}
+
 void Yarrp::trace_slice(const World& world, std::span<const Ipv6> sample,
                         ScanDate date, TraceResult& out) const {
   std::unordered_set<Ipv6, Ipv6Hasher> seen;
@@ -58,6 +77,7 @@ Yarrp::TraceResult Yarrp::trace(const World& world,
   if (chunks <= 1) {
     TraceResult result;
     trace_slice(world, sample, date, result);
+    record_run(result);
     return result;
   }
 
@@ -85,6 +105,7 @@ Yarrp::TraceResult Yarrp::trace(const World& world,
         result.last_hops_unreachable.end(),
         part.last_hops_unreachable.begin(), part.last_hops_unreachable.end());
   }
+  record_run(result);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "topo/world.hpp"
 
 namespace sixdust {
@@ -28,6 +29,9 @@ class Yarrp {
     /// are merged in slice order with first-seen dedup, so any thread
     /// count reproduces the sequential hop order exactly.
     unsigned threads = 1;
+    /// Trace telemetry sink (null = no metrics): targets, probes, hops
+    /// discovered, and gaps (traces whose target never answered). Stable.
+    MetricsRegistry* metrics = nullptr;
   };
 
   struct TraceResult {
@@ -41,7 +45,9 @@ class Yarrp {
   };
 
   explicit Yarrp(Config cfg)
-      : cfg_(cfg), pool_(ThreadPool::create(cfg.threads)) {}
+      : cfg_(cfg), pool_(ThreadPool::create(cfg.threads)) {
+    init_metrics();
+  }
 
   /// Share an executor with the other probe stages (null = sequential).
   void set_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
@@ -57,8 +63,17 @@ class Yarrp {
   void trace_slice(const World& world, std::span<const Ipv6> sample,
                    ScanDate date, TraceResult& out) const;
 
+  void init_metrics();
+  void record_run(const TraceResult& r) const;
+
   Config cfg_;
   std::shared_ptr<ThreadPool> pool_;
+
+  Counter* m_runs_ = nullptr;
+  Counter* m_targets_ = nullptr;
+  Counter* m_probes_ = nullptr;
+  Counter* m_hops_ = nullptr;
+  Counter* m_gaps_ = nullptr;
 };
 
 }  // namespace sixdust

@@ -1,6 +1,7 @@
 // Randomized differential tests: the prefix trie against a naive
 // reference, the IPv6 codec against the platform's inet_pton/inet_ntop,
-// and prefix arithmetic against bit-level reference implementations.
+// prefix arithmetic against bit-level reference implementations, and the
+// metrics registry against the scan results it accounts for.
 
 #include <gtest/gtest.h>
 
@@ -10,8 +11,12 @@
 #include <optional>
 #include <vector>
 
+#include "gfw/detector.hpp"
 #include "netbase/prefix_trie.hpp"
 #include "netbase/rng.hpp"
+#include "obs/metrics.hpp"
+#include "scanner/zmap6.hpp"
+#include "topo/world_builder.hpp"
 
 namespace sixdust {
 namespace {
@@ -194,6 +199,122 @@ TEST(PrefixFuzz, StringRoundTrip) {
     EXPECT_EQ(*back, p);
   }
 }
+
+// --- metrics differential fuzz ---------------------------------------------
+//
+// Random worlds, instrumented scans: whatever the registry reports must
+// decompose exactly into the scan results it was fed.
+
+class MetricsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<Ipv6> world_targets(const World& world, ScanDate date) {
+  std::vector<KnownAddress> known;
+  world.enumerate_known(date, known);
+  std::vector<Ipv6> targets;
+  targets.reserve(known.size());
+  for (const auto& k : known) targets.push_back(k.addr);
+  return targets;
+}
+
+TEST_P(MetricsFuzz, ScanCountersMatchScanResults) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const auto world = build_test_world(seed);
+  const ScanDate date{static_cast<int>(rng.below(46))};
+  const std::vector<Ipv6> targets = world_targets(*world, date);
+  ASSERT_FALSE(targets.empty());
+
+  // A random blocklist over a few target /48s exercises the blocked path.
+  PrefixSet blocklist;
+  for (int i = 0; i < 5; ++i)
+    blocklist.add(
+        Prefix::make(targets[rng.below(targets.size())], 48));
+  blocklist.freeze();
+
+  MetricsRegistry reg;
+  Zmap6::Config zc;
+  zc.seed = seed;
+  zc.loss = 0.02;
+  zc.blocklist = &blocklist;
+  zc.metrics = &reg;
+  Zmap6 zmap(zc);
+
+  std::uint64_t total_sent = 0;
+  for (Proto p : kAllProtos) {
+    const auto result = zmap.scan(*world, targets, p, date);
+    total_sent += result.probes_sent;
+    const std::string label = "{proto=" + proto_token(p) + "}";
+    const auto snap = reg.snapshot();
+    // Counters mirror the ScanResult fields exactly.
+    EXPECT_EQ(snap.counter_value("scanner.probes_sent" + label),
+              result.probes_sent);
+    EXPECT_EQ(snap.counter_value("scanner.answered" + label),
+              result.responsive.size());
+    EXPECT_EQ(snap.counter_value("scanner.blocked" + label), result.blocked);
+    // A target answers at most once per retry round it was probed in.
+    EXPECT_GE(snap.counter_value("scanner.probes_sent" + label),
+              snap.counter_value("scanner.answered" + label));
+  }
+
+  // Histogram totals equal the counter totals: one sample per scan, the
+  // sample values summing to the probes-sent counters.
+  const auto snap = reg.snapshot();
+  const auto* hist = snap.find("scanner.probes_per_scan");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, kAllProtos.size());
+  EXPECT_EQ(hist->sum, total_sent);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : hist->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hist->count);
+}
+
+TEST_P(MetricsFuzz, GfwFilterCountersDecomposeAnswered) {
+  const std::uint64_t seed = GetParam();
+  const auto world = build_test_world(seed + 9000);
+  const ScanDate date{43};  // inside the Teredo-injection era
+  const std::vector<Ipv6> targets = world_targets(*world, date);
+  ASSERT_FALSE(targets.empty());
+
+  MetricsRegistry reg;
+  Zmap6::Config zc;
+  zc.seed = seed;
+  zc.metrics = &reg;
+  Zmap6 zmap(zc);
+  const auto result = zmap.scan(*world, targets, Proto::Udp53, date);
+
+  GfwFilter gfw;
+  gfw.set_metrics(&reg);
+  const auto kept = gfw.filter_scan(result);
+
+  const auto snap = reg.snapshot();
+  const auto inspected = snap.counter_value("gfw.records_inspected");
+  const auto kept_c = snap.counter_value("gfw.records_kept");
+  const auto dropped = snap.counter_value("gfw.records_dropped");
+  const auto injected = snap.counter_value("gfw.injected{kind=a_record}") +
+                        snap.counter_value("gfw.injected{kind=teredo}");
+
+  // Every answered record carrying DNS evidence was inspected, and each
+  // inspected record was either kept or dropped — nothing vanishes.
+  std::size_t with_dns = 0;
+  for (const auto& rec : result.responsive)
+    if (rec.dns) ++with_dns;
+  EXPECT_EQ(inspected, with_dns);
+  EXPECT_EQ(inspected, kept_c + dropped);
+  EXPECT_EQ(kept_c, kept.size());
+  // Drops only happen on injected evidence; taints are per-address, so at
+  // most one new taint per injected record.
+  EXPECT_GE(injected, dropped);
+  EXPECT_LE(snap.counter_value("gfw.taint_new"), injected);
+  EXPECT_EQ(snap.counter_value("gfw.taint_new"), gfw.tainted_count());
+  // answered = cleanly-kept + injected-evidence + answers without DNS data.
+  EXPECT_GE(snap.counter_value("scanner.answered{proto=udp53}"),
+            kept_c + dropped);
+  EXPECT_GE(snap.counter_value("scanner.probes_sent{proto=udp53}"),
+            snap.counter_value("scanner.answered{proto=udp53}"));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorlds, MetricsFuzz,
+                         ::testing::Values(201u, 202u, 203u));
 
 }  // namespace
 }  // namespace sixdust

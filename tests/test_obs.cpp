@@ -1,0 +1,221 @@
+// Tests for the observability subsystem (src/obs/): registry and handle
+// semantics, stripe-merged values, deterministic snapshot ordering, the
+// JSON/text exporters, thread-count invariance of the stable surface, and
+// the golden-metrics regression over a 12-scan service run.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hitlist/service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+TEST(ObsCounter, AddAndValue) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsRegistry, GetOrCreateReturnsSameHandle) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("same.name");
+  Counter& b = reg.counter("same.name");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.metric_count(), 1u);
+  Gauge& g1 = reg.gauge("a.gauge");
+  Gauge& g2 = reg.gauge("a.gauge");
+  EXPECT_EQ(&g1, &g2);
+  EXPECT_EQ(reg.metric_count(), 2u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("t.gauge");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(ObsHistogram, InclusiveUpperBoundsAndOverflow) {
+  MetricsRegistry reg;
+  static constexpr std::uint64_t kBounds[] = {10, 100};
+  Histogram& h = reg.histogram("t.hist", kBounds);
+  h.record(5);     // bucket 0
+  h.record(10);    // bucket 0 (inclusive upper bound)
+  h.record(11);    // bucket 1
+  h.record(100);   // bucket 1
+  h.record(1000);  // overflow
+  const auto buckets = h.bucket_values();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 5u + 10 + 11 + 100 + 1000);
+}
+
+TEST(ObsStripes, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t.concurrent");
+  static constexpr std::uint64_t kBounds[] = {100};
+  Histogram& h = reg.histogram("t.concurrent_hist", kBounds);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        h.record(static_cast<std::uint64_t>(i % 7));
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.bucket_values()[0], static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ObsSnapshot, SamplesSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("zebra");
+  reg.counter("alpha");
+  reg.gauge("mid");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "alpha");
+  EXPECT_EQ(snap.samples[1].name, "mid");
+  EXPECT_EQ(snap.samples[2].name, "zebra");
+  EXPECT_EQ(snap.counter_value("zebra"), 0u);
+  EXPECT_EQ(snap.counter_value("missing"), 0u);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+  ASSERT_NE(snap.find("mid"), nullptr);
+  EXPECT_EQ(snap.find("mid")->kind, MetricKind::kGauge);
+}
+
+TEST(ObsExport, JsonFiltersVolatileMetrics) {
+  MetricsRegistry reg;
+  reg.counter("stable.metric").add(3);
+  reg.counter("volatile.metric", Stability::kVolatile).add(9);
+  const auto snap = reg.snapshot();
+  const std::string all = snap.to_json(true);
+  const std::string stable = snap.to_json(false);
+  EXPECT_NE(all.find("sixdust-metrics/1"), std::string::npos);
+  EXPECT_NE(all.find("volatile.metric"), std::string::npos);
+  EXPECT_NE(all.find("stable.metric"), std::string::npos);
+  EXPECT_EQ(stable.find("volatile.metric"), std::string::npos);
+  EXPECT_NE(stable.find("stable.metric"), std::string::npos);
+}
+
+TEST(ObsExport, TextExporterManglesNamesAndLabels) {
+  MetricsRegistry reg;
+  reg.counter("scanner.probes_sent{proto=icmp}").add(7);
+  static constexpr std::uint64_t kBounds[] = {10};
+  Histogram& h = reg.histogram("t.sizes", kBounds);
+  h.record(4);
+  h.record(40);
+  const std::string text = reg.snapshot().to_text();
+  EXPECT_NE(text.find("scanner_probes_sent{proto=\"icmp\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_sizes_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("t_sizes_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("t_sizes_count 2"), std::string::npos);
+  EXPECT_NE(text.find("t_sizes_sum 44"), std::string::npos);
+}
+
+TEST(ObsRegistry, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t.reset");
+  static constexpr std::uint64_t kBounds[] = {10};
+  Histogram& h = reg.histogram("t.reset_hist", kBounds);
+  c.add(5);
+  h.record(3);
+  reg.reset();
+  EXPECT_EQ(reg.metric_count(), 2u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  c.inc();  // handle still live after reset
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ObsPhaseTimer, CountsCallsAndIsIdempotent) {
+  MetricsRegistry reg;
+  {
+    PhaseTimer t(&reg, "t.phase");
+    t.stop();
+    t.stop();  // second stop is a no-op
+  }
+  { PhaseTimer t(&reg, "t.phase"); }  // stop via destructor
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("t.phase.calls"), 2u);
+  const auto* wall = snap.find("t.phase.wall_ns");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->stability, Stability::kVolatile);
+  PhaseTimer null_timer(nullptr, "t.none");  // null registry: no-op
+}
+
+// --- service-level determinism ---------------------------------------------
+
+std::string stable_json_after_run(const World& world, unsigned threads,
+                                  int scans) {
+  HitlistService::Config cfg;
+  cfg.threads = threads;
+  HitlistService service(cfg);
+  service.run(world, scans);
+  return service.metrics().snapshot().to_json(/*include_volatile=*/false);
+}
+
+TEST(ObsThreadInvariance, StableSnapshotsByteIdenticalAcrossThreadCounts) {
+  const auto world = build_test_world(7);
+  const std::string one = stable_json_after_run(*world, 1, 5);
+  const std::string two = stable_json_after_run(*world, 2, 5);
+  const std::string seven = stable_json_after_run(*world, 7, 5);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, seven);
+}
+
+#ifndef SIXDUST_SOURCE_DIR
+#error "SIXDUST_SOURCE_DIR must be defined for the golden-metrics test"
+#endif
+
+TEST(ObsGoldenMetrics, TwelveScanServiceMatchesCheckedInSnapshot) {
+  const std::string golden_path =
+      std::string(SIXDUST_SOURCE_DIR) + "/tests/golden/metrics_12scan.json";
+  const auto world = build_test_world(42);
+  const std::string json = stable_json_after_run(*world, 1, 12);
+
+  if (std::getenv("SIXDUST_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << json;
+    GTEST_SKIP() << "golden file regenerated: " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " — regenerate with tools/update-golden-metrics.sh";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(json, buf.str())
+      << "stable metrics drifted from the golden snapshot; if the change is "
+         "intentional run tools/update-golden-metrics.sh";
+}
+
+}  // namespace
+}  // namespace sixdust

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "hitlist/service.hpp"
+#include "obs/metrics.hpp"
 #include "scanner/rate_limit.hpp"
 #include "scanner/zmap6.hpp"
 #include "topo/world_builder.hpp"
@@ -34,6 +35,63 @@ TEST(TokenBucket, ThroughputConvergesToRate) {
   for (int i = 0; i < n; ++i) bucket.consume();
   // (n - burst) tokens had to be waited for.
   EXPECT_NEAR(bucket.now(), (n - 100) / 250.0, 1e-6);
+}
+
+TEST(TokenBucket, SingleConsumptionLargerThanBurst) {
+  TokenBucket bucket(10.0, 5.0);
+  // A request above the burst capacity is served after waiting for the
+  // shortfall; the bucket is exactly empty afterwards.
+  EXPECT_NEAR(bucket.consume(25.0), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(bucket.available(), 0.0);
+  // The next token costs a full refill interval again.
+  EXPECT_NEAR(bucket.consume(), 0.1, 1e-12);
+}
+
+TEST(TokenBucket, RepeatedExhaustionKeepsAvailableWithinBurst) {
+  TokenBucket bucket(100.0, 8.0);
+  for (int i = 0; i < 1000; ++i) {
+    bucket.consume(3.0);
+    EXPECT_GE(bucket.available(), 0.0);
+    EXPECT_LE(bucket.available(), 8.0);
+  }
+  // 3000 tokens at 100/s minus the 8-token burst.
+  EXPECT_NEAR(bucket.now(), (3000.0 - 8.0) / 100.0, 1e-9);
+}
+
+TEST(TokenBucket, MetricsAccountConsumptionsAndWaits) {
+  MetricsRegistry reg;
+  TokenBucket bucket(100.0, 10.0);
+  bucket.attach_metrics(&reg, "probe");
+  // 10 burst consumptions (no wait), then 40 paced ones (10 ms wait each).
+  for (int i = 0; i < 50; ++i) bucket.consume();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("rate.probe.tokens_consumed"), 50u);
+  EXPECT_EQ(snap.counter_value("rate.probe.waits"), 40u);
+  const auto* hist = snap.find("rate.probe.wait_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, MetricKind::kHistogram);
+  // Histogram totals match the counters: one record per consumption, the
+  // 40 paced waits of 10 ms each dominate the sum.
+  EXPECT_EQ(hist->count, snap.counter_value("rate.probe.tokens_consumed"));
+  EXPECT_EQ(hist->sum, 40u * 10000u);
+  // Detach: further consumptions leave the counters untouched.
+  bucket.attach_metrics(nullptr, "probe");
+  bucket.consume();
+  EXPECT_EQ(reg.snapshot().counter_value("rate.probe.tokens_consumed"), 50u);
+}
+
+TEST(TokenBucket, MetricsCountWholeTokensOnBulkConsume) {
+  MetricsRegistry reg;
+  TokenBucket bucket(10.0, 5.0);
+  bucket.attach_metrics(&reg, "bulk");
+  bucket.consume(25.0);  // exceeds burst: waits 2 s
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("rate.bulk.tokens_consumed"), 25u);
+  EXPECT_EQ(snap.counter_value("rate.bulk.waits"), 1u);
+  const auto* hist = snap.find("rate.bulk.wait_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->sum, 2000000u);  // 2 s in µs
+  EXPECT_EQ(hist->buckets.back(), 1u);  // beyond the 1 s top bound
 }
 
 TEST(ScanDuration, ScalesWithProbesAndRate) {

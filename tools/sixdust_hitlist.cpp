@@ -31,6 +31,7 @@ usage: sixdust-hitlist [options]
   --outdir DIR       publish data files into DIR (address/prefix lists,
                      markdown report, timeline + AS-distribution CSVs)
   --archive FILE     additionally save the binary archive
+  --metrics-out FILE write the run-telemetry snapshot as JSON
   --help
 )";
 
@@ -111,6 +112,13 @@ int main(int argc, char** argv) {
     std::printf("archive saved to %s (fingerprint %llu)\n",
                 args.get("archive").c_str(),
                 static_cast<unsigned long long>(fp));
+  }
+
+  if (args.has("metrics-out")) {
+    std::ofstream f(args.get("metrics-out"));
+    if (!f) cli::die("cannot write '" + args.get("metrics-out") + "'");
+    f << service.metrics().snapshot().to_json();
+    std::printf("metrics written to %s\n", args.get("metrics-out").c_str());
   }
   return 0;
 }

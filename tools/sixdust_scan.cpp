@@ -7,8 +7,11 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include <fstream>
+
 #include "cli.hpp"
 #include "netbase/addrio.hpp"
+#include "obs/metrics.hpp"
 #include "scanner/zmap6.hpp"
 #include "topo/world_builder.hpp"
 
@@ -31,6 +34,7 @@ usage: sixdust-scan [options]
                      identical for every value)
   --blocklist FILE   prefix list to exclude
   --out FILE         write responsive addresses (proto=all: any protocol)
+  --metrics-out FILE write the run-telemetry snapshot as JSON
   --help
 )";
 
@@ -79,11 +83,13 @@ int main(int argc, char** argv) {
     for (const auto& p : *prefixes) blocklist.add(p);
   }
 
+  MetricsRegistry metrics;
   Zmap6::Config zc;
   zc.loss = args.get_double("loss", 0.01);
   zc.retries = static_cast<int>(args.get_u64("retries", 1));
   zc.threads = static_cast<unsigned>(args.get_u64("threads", 1));
   zc.blocklist = &blocklist;
+  zc.metrics = &metrics;
   Zmap6 zmap(zc);
 
   std::vector<Proto> protos;
@@ -118,6 +124,13 @@ int main(int argc, char** argv) {
       cli::die("cannot write '" + args.get("out") + "'");
     std::printf("wrote %zu addresses to %s\n", out.size(),
                 args.get("out").c_str());
+  }
+
+  if (args.has("metrics-out")) {
+    std::ofstream f(args.get("metrics-out"));
+    if (!f) cli::die("cannot write '" + args.get("metrics-out") + "'");
+    f << metrics.snapshot().to_json();
+    std::printf("metrics written to %s\n", args.get("metrics-out").c_str());
   }
   return 0;
 }
