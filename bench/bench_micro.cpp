@@ -8,6 +8,7 @@
 #include "alias/apd.hpp"
 #include "netbase/frozen_lpm.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "netbase/prefix_trie.hpp"
 #include "netbase/rng.hpp"
 #include "proto/dns.hpp"
@@ -339,6 +340,70 @@ void BM_ParallelScanMetrics(benchmark::State& state) {
                           static_cast<std::int64_t>(targets.size()));
 }
 BENCHMARK(BM_ParallelScanMetrics)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ParallelScanTraced(benchmark::State& state) {
+  // BM_ParallelScanMetrics with a span recorder attached on top: adds one
+  // stable scan span per sweep and one volatile shard span per shard.
+  // Span cost is a ring push under an uncontended per-thread mutex, so a
+  // traced run must stay within 3% of the untraced one (the PR acceptance
+  // bar; compare against BM_ParallelScan at the same Arg).
+  static auto world = build_test_world(8);
+  static const std::vector<Ipv6> targets = [] {
+    std::vector<KnownAddress> known;
+    world->enumerate_known(ScanDate{0}, known);
+    std::vector<Ipv6> t;
+    for (const auto& k : known) t.push_back(k.addr);
+    for (std::uint64_t i = 0; t.size() < (1u << 16); ++i)
+      t.push_back(pfx("2600:3c00::/32").random_address(0xBE7C4 + i));
+    return t;
+  }();
+  static MetricsRegistry registry;
+  static TraceRecorder recorder;
+  registry.set_tracer(&recorder);
+  Zmap6::Config cfg{.seed = 1,
+                    .loss = 0.01,
+                    .retries = 1,
+                    .threads = static_cast<unsigned>(state.range(0))};
+  cfg.metrics = &registry;
+  Zmap6 zmap(cfg);
+  for (auto _ : state) {
+    auto r = zmap.scan(*world, targets, Proto::Icmp, ScanDate{0});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(targets.size()));
+}
+BENCHMARK(BM_ParallelScanTraced)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_SpanOverhead(benchmark::State& state) {
+  // The raw cost of one open-attr-close span cycle (steady_clock read,
+  // ring push under the thread's own mutex).
+  static TraceRecorder recorder(1 << 10);
+  for (auto _ : state) {
+    Span s = recorder.span("bench.span", SpanCat::kOther);
+    s.attr("k", std::uint64_t{7});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanOverhead);
+
+void BM_TraceExport(benchmark::State& state) {
+  // Chrome-JSON export of a service-run-sized trace (~4k spans).
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder(1 << 13);
+    for (int i = 0; i < 4096; ++i) {
+      Span s = r->span("bench.export", SpanCat::kScanner);
+      s.attr("proto", "icmp").attr("scan", i % 46);
+      r->sim_advance_us(100);
+    }
+    return r;
+  }();
+  for (auto _ : state) {
+    auto json = recorder->chrome_json();
+    benchmark::DoNotOptimize(json);
+  }
+}
+BENCHMARK(BM_TraceExport);
 
 void BM_MetricsIncrement(benchmark::State& state) {
   // The hot-path cost of one counter increment (striped relaxed fetch_add).

@@ -4,6 +4,7 @@
 
 #include "core/parallel.hpp"
 #include "netbase/hash.hpp"
+#include "obs/trace.hpp"
 
 namespace sixdust {
 
@@ -160,6 +161,7 @@ AliasDetector::probe_round(const World& world,
 AliasDetector::Detection AliasDetector::detect(const World& world,
                                                std::span<const Ipv6> input,
                                                ScanDate date) {
+  Span span = trace_span(cfg_.metrics, "alias.apd_round", SpanCat::kAlias);
   const auto cands = candidates(world.rib(), input, cfg_);
   std::uint64_t probes = 0;
   auto round = probe_round(world, cands, date, &probes);
@@ -178,15 +180,26 @@ AliasDetector::Detection AliasDetector::detect(const World& world,
   while (history_.size() > static_cast<std::size_t>(cfg_.history))
     history_.pop_front();
 
-  return finalize(merged, cands.size(), probes);
+  Detection det = finalize(merged, cands.size(), probes);
+  span.attr("scan", date.index)
+      .attr("candidates", static_cast<std::uint64_t>(cands.size()))
+      .attr("probes", probes)
+      .attr("aliased", static_cast<std::uint64_t>(det.aliased.size()));
+  return det;
 }
 
 AliasDetector::Detection AliasDetector::detect_once(
     const World& world, std::span<const Ipv6> input, ScanDate date) const {
+  Span span = trace_span(cfg_.metrics, "alias.apd_round", SpanCat::kAlias);
   const auto cands = candidates(world.rib(), input, cfg_);
   std::uint64_t probes = 0;
   const auto round = probe_round(world, cands, date, &probes);
-  return finalize(round, cands.size(), probes);
+  Detection det = finalize(round, cands.size(), probes);
+  span.attr("scan", date.index)
+      .attr("candidates", static_cast<std::uint64_t>(cands.size()))
+      .attr("probes", probes)
+      .attr("aliased", static_cast<std::uint64_t>(det.aliased.size()));
+  return det;
 }
 
 }  // namespace sixdust

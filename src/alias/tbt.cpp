@@ -2,6 +2,7 @@
 
 #include "netbase/hash.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sixdust {
 
@@ -73,6 +74,7 @@ TooBigTrick::PrefixResult TooBigTrick::test_impl(const World& world,
 TooBigTrick::Summary TooBigTrick::run(const World& world,
                                       std::span<const Prefix> prefixes,
                                       ScanDate date) const {
+  Span span = trace_span(cfg_.metrics, "tbt.run", SpanCat::kAlias);
   Summary sum;
   sum.results.reserve(prefixes.size());
   for (const auto& p : prefixes) {
@@ -88,6 +90,10 @@ TooBigTrick::Summary TooBigTrick::run(const World& world,
     }
     sum.results.push_back(res);
   }
+  span.attr("prefixes", static_cast<std::uint64_t>(prefixes.size()))
+      .attr("usable", static_cast<std::uint64_t>(sum.usable))
+      .attr("all_shared", static_cast<std::uint64_t>(sum.all_shared))
+      .attr("partial_shared", static_cast<std::uint64_t>(sum.partial_shared));
   return sum;
 }
 

@@ -1,0 +1,260 @@
+#include "analysis/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "obs/json_mini.hpp"
+
+namespace sixdust {
+
+namespace {
+
+std::optional<std::uint64_t> counter_of(const MetricsSnapshot& s,
+                                        std::string_view name) {
+  const MetricSample* m = s.find(name);
+  if (m == nullptr || m->kind != MetricKind::kCounter) return std::nullopt;
+  return m->value;
+}
+
+std::optional<std::int64_t> gauge_of(const MetricsSnapshot& s,
+                                     std::string_view name) {
+  const MetricSample* m = s.find(name);
+  if (m == nullptr || m->kind != MetricKind::kGauge) return std::nullopt;
+  return m->gauge;
+}
+
+/// Values of every counter `prefix<key>}` in the snapshot, keyed by the
+/// text between prefix and the closing brace (e.g. proto token, source).
+std::map<std::string, std::uint64_t> keyed_counters(const MetricsSnapshot& s,
+                                                    std::string_view prefix) {
+  std::map<std::string, std::uint64_t> out;
+  for (const MetricSample& m : s.samples) {
+    if (m.kind != MetricKind::kCounter) continue;
+    if (m.name.rfind(prefix, 0) != 0 || m.name.back() != '}') continue;
+    out[m.name.substr(prefix.size(),
+                      m.name.size() - prefix.size() - 1)] = m.value;
+  }
+  return out;
+}
+
+std::string fmt4(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+/// True when the GFW filter stage actually inspected records in both
+/// snapshots — only then is `gfw.records_kept` the right responsiveness
+/// numerator for udp53 (the counter exists, at zero, whenever the filter
+/// was merely attached).
+bool gfw_filter_ran(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+  const auto ia = counter_of(a, "gfw.records_inspected");
+  const auto ib = counter_of(b, "gfw.records_inspected");
+  return ia && ib && *ia > 0 && *ib > 0;
+}
+
+}  // namespace
+
+const char* health_dimension_name(HealthDimension d) {
+  switch (d) {
+    case HealthDimension::kResponsiveness: return "responsiveness";
+    case HealthDimension::kGfw: return "gfw";
+    case HealthDimension::kAliased: return "aliased";
+    case HealthDimension::kInputMix: return "input-mix";
+  }
+  return "?";
+}
+
+HealthReport analyze_health(const MetricsSnapshot& baseline,
+                            const MetricsSnapshot& current,
+                            const HealthThresholds& th) {
+  HealthReport report;
+
+  // --- per-protocol responsive rate --------------------------------------
+  const auto probes_base = keyed_counters(baseline, "scanner.probes_sent{proto=");
+  const auto probes_cur = keyed_counters(current, "scanner.probes_sent{proto=");
+  const bool use_kept = gfw_filter_ran(baseline, current);
+  if (!probes_base.empty() && !probes_cur.empty()) {
+    report.dimensions_checked.emplace_back(
+        health_dimension_name(HealthDimension::kResponsiveness));
+    for (const auto& [proto, pb] : probes_base) {
+      const auto it = probes_cur.find(proto);
+      if (it == probes_cur.end() || pb == 0 || it->second == 0) continue;
+      const auto answered = [&](const MetricsSnapshot& s) {
+        // With the filter active, udp53 responsiveness means *genuine*
+        // answers — injected responses must not read as reachability
+        // (the paper's 134 M-address failure mode).
+        if (proto == "udp53" && use_kept)
+          return counter_of(s, "gfw.records_kept").value_or(0);
+        return counter_of(s, "scanner.answered{proto=" + proto + "}")
+            .value_or(0);
+      };
+      const double before =
+          static_cast<double>(answered(baseline)) / static_cast<double>(pb);
+      const double after = static_cast<double>(answered(current)) /
+                           static_cast<double>(it->second);
+      const double delta = after - before;
+      if (std::fabs(delta) > th.resp_rate_delta) {
+        report.findings.push_back(
+            {HealthDimension::kResponsiveness, proto, before, after, delta,
+             proto + ": responsive rate " + fmt4(before) + " -> " +
+                 fmt4(after)});
+      }
+    }
+  }
+
+  // --- GFW injected share of UDP/53 answers ------------------------------
+  const auto ans_base = counter_of(baseline, "scanner.answered{proto=udp53}");
+  const auto ans_cur = counter_of(current, "scanner.answered{proto=udp53}");
+  const auto inj_base = keyed_counters(baseline, "gfw.injected{kind=");
+  const auto inj_cur = keyed_counters(current, "gfw.injected{kind=");
+  if (ans_base && ans_cur && !inj_base.empty() && !inj_cur.empty()) {
+    report.dimensions_checked.emplace_back(
+        health_dimension_name(HealthDimension::kGfw));
+    const auto total = [](const std::map<std::string, std::uint64_t>& m) {
+      std::uint64_t t = 0;
+      for (const auto& [k, v] : m) t += v;
+      return t;
+    };
+    const double before =
+        *ans_base == 0 ? 0.0
+                       : static_cast<double>(total(inj_base)) /
+                             static_cast<double>(*ans_base);
+    const double after = *ans_cur == 0
+                             ? 0.0
+                             : static_cast<double>(total(inj_cur)) /
+                                   static_cast<double>(*ans_cur);
+    const double delta = after - before;
+    if (std::fabs(delta) > th.gfw_share_delta) {
+      report.findings.push_back(
+          {HealthDimension::kGfw, "udp53", before, after, delta,
+           "injected share of UDP/53 answers " + fmt4(before) + " -> " +
+               fmt4(after)});
+    }
+  }
+
+  // --- aliased-prefix coverage -------------------------------------------
+  const auto alias_base = gauge_of(baseline, "service.aliased_prefixes");
+  const auto alias_cur = gauge_of(current, "service.aliased_prefixes");
+  if (alias_base && alias_cur) {
+    report.dimensions_checked.emplace_back(
+        health_dimension_name(HealthDimension::kAliased));
+    const double before = static_cast<double>(*alias_base);
+    const double after = static_cast<double>(*alias_cur);
+    const double rel =
+        (after - before) / std::max(1.0, std::fabs(before));
+    if (std::fabs(rel) > th.aliased_rel_delta &&
+        std::fabs(after - before) >= 1.0) {
+      report.findings.push_back(
+          {HealthDimension::kAliased, "prefixes", before, after, rel,
+           "aliased prefixes " + std::to_string(*alias_base) + " -> " +
+               std::to_string(*alias_cur) + " (" + fmt4(rel) +
+               " relative)"});
+    }
+  }
+
+  // --- input-source attribution mix --------------------------------------
+  const auto src_base = keyed_counters(baseline, "service.input_new{source=");
+  const auto src_cur = keyed_counters(current, "service.input_new{source=");
+  std::uint64_t tot_base = 0, tot_cur = 0;
+  for (const auto& [k, v] : src_base) tot_base += v;
+  for (const auto& [k, v] : src_cur) tot_cur += v;
+  if (tot_base > 0 && tot_cur > 0) {
+    report.dimensions_checked.emplace_back(
+        health_dimension_name(HealthDimension::kInputMix));
+    for (const auto& [source, vb] : src_base) {
+      const auto it = src_cur.find(source);
+      const std::uint64_t vc = it == src_cur.end() ? 0 : it->second;
+      const double before =
+          static_cast<double>(vb) / static_cast<double>(tot_base);
+      const double after =
+          static_cast<double>(vc) / static_cast<double>(tot_cur);
+      const double delta = after - before;
+      if (std::fabs(delta) > th.input_share_delta) {
+        report.findings.push_back(
+            {HealthDimension::kInputMix, source, before, after, delta,
+             source + ": input share " + fmt4(before) + " -> " +
+                 fmt4(after)});
+      }
+    }
+  }
+
+  return report;
+}
+
+std::string HealthReport::text() const {
+  std::string out = "sixdust-health drift report\n  checked:";
+  for (const auto& d : dimensions_checked) {
+    out += ' ';
+    out += d;
+  }
+  if (dimensions_checked.empty()) out += " (nothing comparable)";
+  out += "\n  status: ";
+  if (healthy()) {
+    out += "HEALTHY\n";
+    return out;
+  }
+  out += "DRIFT (" + std::to_string(findings.size()) + " finding";
+  if (findings.size() != 1) out += 's';
+  out += ")\n";
+  for (const HealthFinding& f : findings) {
+    out += "  - [";
+    out += health_dimension_name(f.dim);
+    out += "] ";
+    out += f.message;
+    out += " (delta ";
+    if (f.delta >= 0) out += '+';
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", f.delta);
+    out += buf;
+    out += ")\n";
+  }
+  return out;
+}
+
+std::optional<std::string> trace_summary(std::string_view chrome_json) {
+  const auto doc = json_parse(chrome_json);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->str != "sixdust-trace/1")
+    return std::nullopt;
+  const JsonValue* events = doc->find("traceEvents");
+  if (events == nullptr || !events->is_array()) return std::nullopt;
+
+  struct CatStat {
+    std::uint64_t spans = 0;
+    std::uint64_t sim_us = 0;
+    double wall_us = 0;
+  };
+  std::map<std::string, CatStat> by_cat;
+  for (const JsonValue& ev : events->arr) {
+    if (!ev.is_object()) continue;
+    const JsonValue* cat = ev.find("cat");
+    CatStat& st = by_cat[cat != nullptr && cat->is_string() ? cat->str
+                                                            : std::string("?")];
+    ++st.spans;
+    if (const JsonValue* args = ev.find("args"); args && args->is_object()) {
+      if (const JsonValue* d = args->find("sim_dur_us"))
+        st.sim_us += d->u64();
+    }
+    if (const JsonValue* d = ev.find("dur"); d && d->is_number())
+      st.wall_us += d->number;
+  }
+
+  std::string out = "trace summary (" +
+                    std::to_string(events->arr.size()) + " spans)\n";
+  for (const auto& [cat, st] : by_cat) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  %-12s %8llu spans  sim %10llu us  wall %12.1f us\n",
+                  cat.c_str(), static_cast<unsigned long long>(st.spans),
+                  static_cast<unsigned long long>(st.sim_us), st.wall_us);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sixdust {
+
+/// Which audit dimension a drift finding belongs to. Mirrors the checks
+/// the paper's Section 4 longitudinal audit runs by hand: responsiveness
+/// per protocol, GFW injection share, aliased-prefix coverage, and the
+/// input-source mix.
+enum class HealthDimension : std::uint8_t {
+  kResponsiveness,
+  kGfw,
+  kAliased,
+  kInputMix,
+};
+
+[[nodiscard]] const char* health_dimension_name(HealthDimension d);
+
+/// One flagged drift between two run snapshots.
+struct HealthFinding {
+  HealthDimension dim = HealthDimension::kResponsiveness;
+  /// What drifted inside the dimension: a protocol token, a source name,
+  /// or "prefixes" for the aliased dimension.
+  std::string subject;
+  double before = 0;
+  double after = 0;
+  double delta = 0;  // after - before, in the dimension's unit
+  std::string message;
+};
+
+/// Flagging thresholds. Each is an absolute delta on the dimension's
+/// natural unit (rates and shares in [0,1]; aliased coverage relative).
+struct HealthThresholds {
+  /// Per-protocol responsive-rate change (answered / probes sent).
+  double resp_rate_delta = 0.05;
+  /// GFW injected share of UDP/53 answers.
+  double gfw_share_delta = 0.02;
+  /// Relative change of the aliased-prefix gauge.
+  double aliased_rel_delta = 0.25;
+  /// Per-source share of new-input attribution.
+  double input_share_delta = 0.10;
+};
+
+/// Drift report between a baseline and a current snapshot.
+struct HealthReport {
+  std::vector<HealthFinding> findings;
+  /// Dimensions that were actually comparable (present in both
+  /// snapshots), for the report header.
+  std::vector<std::string> dimensions_checked;
+
+  [[nodiscard]] bool healthy() const { return findings.empty(); }
+  /// Human-readable drift report (one block per dimension).
+  [[nodiscard]] std::string text() const;
+};
+
+/// Compare two `sixdust-metrics/1` snapshots of the same pipeline.
+///
+/// Dimension details:
+/// - responsiveness: answered/probes_sent per protocol found in the
+///   snapshots. For udp53 the numerator is `gfw.records_kept` when the
+///   filter ran, so GFW injections do not masquerade as responsiveness —
+///   a taint surge moves only the gfw dimension (the paper's Fig. 2
+///   failure mode).
+/// - gfw: (injected{kind=a_record} + injected{kind=teredo}) share of
+///   UDP/53 answers.
+/// - aliased: relative change of the service.aliased_prefixes gauge.
+/// - input mix: per-source share of service.input_new{source=*}.
+[[nodiscard]] HealthReport analyze_health(
+    const MetricsSnapshot& baseline, const MetricsSnapshot& current,
+    const HealthThresholds& thresholds = {});
+
+/// Summarize a `sixdust-trace/1` Chrome trace document: span count and
+/// simulated/wall time per category. nullopt when the text is not that
+/// schema.
+[[nodiscard]] std::optional<std::string> trace_summary(
+    std::string_view chrome_json);
+
+}  // namespace sixdust

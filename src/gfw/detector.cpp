@@ -1,5 +1,7 @@
 #include "gfw/detector.hpp"
 
+#include "obs/trace.hpp"
+
 namespace sixdust {
 
 DnsVerdict classify_dns(const DnsObservation& obs) {
@@ -12,6 +14,7 @@ DnsVerdict classify_dns(const DnsObservation& obs) {
 }
 
 void GfwFilter::set_metrics(MetricsRegistry* reg) {
+  reg_ = reg;
   if (reg == nullptr) {
     m_inspected_ = m_kept_ = m_dropped_ = m_taint_new_ = nullptr;
     m_injected_a_ = m_injected_teredo_ = nullptr;
@@ -42,10 +45,13 @@ void GfwFilter::note(const ScanRecord& rec, int scan_index, DnsVerdict v) {
 }
 
 std::vector<ScanRecord> GfwFilter::filter_scan(const ScanResult& udp53) {
+  Span span = trace_span(reg_, "gfw.filter", SpanCat::kGfw);
+  std::uint64_t inspected = 0, dropped = 0;
   std::vector<ScanRecord> kept;
   kept.reserve(udp53.responsive.size());
   for (const auto& rec : udp53.responsive) {
     if (!rec.dns) continue;
+    ++inspected;
     if (m_inspected_ != nullptr) m_inspected_->inc();
     const DnsVerdict v = classify_dns(*rec.dns);
     if (is_injected(v)) {
@@ -53,6 +59,7 @@ std::vector<ScanRecord> GfwFilter::filter_scan(const ScanResult& udp53) {
       // A genuine answer may still have raced the injection; keep the
       // target only if a clean record was among the responses.
       if (!rec.dns->clean_aaaa) {
+        ++dropped;
         if (m_dropped_ != nullptr) m_dropped_->inc();
         continue;
       }
@@ -60,15 +67,27 @@ std::vector<ScanRecord> GfwFilter::filter_scan(const ScanResult& udp53) {
     if (m_kept_ != nullptr) m_kept_->inc();
     kept.push_back(rec);
   }
+  span.attr("scan", udp53.date.index)
+      .attr("inspected", inspected)
+      .attr("kept", static_cast<std::uint64_t>(kept.size()))
+      .attr("dropped", dropped);
   return kept;
 }
 
 void GfwFilter::observe_scan(const ScanResult& udp53) {
+  Span span = trace_span(reg_, "gfw.observe", SpanCat::kGfw);
+  std::uint64_t injected = 0;
   for (const auto& rec : udp53.responsive) {
     if (!rec.dns) continue;
     const DnsVerdict v = classify_dns(*rec.dns);
-    if (is_injected(v)) note(rec, udp53.date.index, v);
+    if (is_injected(v)) {
+      note(rec, udp53.date.index, v);
+      ++injected;
+    }
   }
+  span.attr("scan", udp53.date.index)
+      .attr("records", static_cast<std::uint64_t>(udp53.responsive.size()))
+      .attr("injected", injected);
 }
 
 const std::vector<Ipv6>& GfwFilter::injected_at(int scan_index) const {

@@ -81,6 +81,8 @@ class GfwFilter {
   std::unordered_map<Ipv6, TaintRecord, Ipv6Hasher> taint_;
   std::unordered_map<int, std::vector<Ipv6>> per_scan_;
 
+  MetricsRegistry* reg_ = nullptr;  // for trace spans (gfw.filter passes)
+
   Counter* m_inspected_ = nullptr;
   Counter* m_kept_ = nullptr;
   Counter* m_dropped_ = nullptr;

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+
 namespace sixdust {
 namespace {
 
@@ -77,8 +80,16 @@ struct Reader {
 
 bool ServiceArchive::save(const HitlistService& service,
                           std::uint64_t fingerprint, const std::string& path) {
+  // Volatile: whether/when archives are written is operator-driven, not
+  // part of the simulated run.
+  Span span = trace_span(&service.metrics(), "archive.save",
+                         SpanCat::kArchive, Stability::kVolatile);
+  span.attr("path", path);
   FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    Logger::global().error("archive", "cannot open '" + path + "' for write");
+    return false;
+  }
   Writer w{f};
   w.u32(kMagic);
   w.u32(kVersion);
@@ -136,6 +147,10 @@ bool ServiceArchive::save(const HitlistService& service,
 
   const bool ok = w.ok;
   std::fclose(f);
+  span.attr("entries", static_cast<std::uint64_t>(entries.size()))
+      .attr("ok", ok ? "true" : "false");
+  if (!ok)
+    Logger::global().error("archive", "short write to '" + path + "'");
   return ok;
 }
 
@@ -143,14 +158,24 @@ std::unique_ptr<HitlistService> ServiceArchive::load(
     const HitlistService::Config& cfg, std::uint64_t fingerprint,
     const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return nullptr;
+  if (f == nullptr) {
+    Logger::global().warn("archive", "cannot open '" + path + "'");
+    return nullptr;
+  }
   Reader r{f};
   if (r.u32() != kMagic || r.u32() != kVersion || r.u64() != fingerprint) {
+    Logger::global().warn(
+        "archive", "'" + path + "' has wrong magic/version/fingerprint");
     std::fclose(f);
     return nullptr;
   }
 
   auto service = std::make_unique<HitlistService>(cfg);
+  // The span rides on the new service's registry, so an attached tracer
+  // (cfg.tracer) sees the restore as part of the run's timeline.
+  Span span = trace_span(&service->metrics(), "archive.load",
+                         SpanCat::kArchive, Stability::kVolatile);
+  span.attr("path", path);
 
   const std::uint64_t n_input = r.u64();
   for (std::uint64_t i = 0; i < n_input && r.ok; ++i) {
@@ -216,7 +241,13 @@ std::unique_ptr<HitlistService> ServiceArchive::load(
 
   const bool ok = r.ok;
   std::fclose(f);
-  if (!ok) return nullptr;
+  span.attr("input", static_cast<std::uint64_t>(n_input))
+      .attr("history", static_cast<std::uint64_t>(n_entries))
+      .attr("ok", ok ? "true" : "false");
+  if (!ok) {
+    Logger::global().warn("archive", "'" + path + "' is truncated");
+    return nullptr;
+  }
   return service;
 }
 

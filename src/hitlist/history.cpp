@@ -1,7 +1,8 @@
 #include "hitlist/history.hpp"
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "obs/log.hpp"
 
 namespace sixdust {
 
@@ -17,7 +18,8 @@ bool History::has(int scan_index) const {
 const History::Entry& History::at(int scan_index) const {
   auto it = by_index_.find(scan_index);
   if (it == by_index_.end()) {
-    std::fprintf(stderr, "History::at: no entry for scan %d\n", scan_index);
+    Logger::global().error(
+        "history", "no entry for scan " + std::to_string(scan_index));
     std::abort();
   }
   return entries_[it->second];

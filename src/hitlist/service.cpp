@@ -5,6 +5,7 @@
 
 #include "core/parallel.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 #include "scanner/rate_limit.hpp"
 
 namespace sixdust {
@@ -40,6 +41,10 @@ HitlistService::HitlistService(Config cfg)
         return c;
       }()) {
   init_metrics();
+  if (cfg_.tracer != nullptr) {
+    metrics_->set_tracer(cfg_.tracer);
+    attached_tracer_ = true;
+  }
   gfw_.set_metrics(metrics_);
   for (const auto& p : cfg_.blocklist_prefixes) blocklist_.add(p);
   // Immutable from here on: freeze for snapshot-backed coverage queries
@@ -52,6 +57,10 @@ HitlistService::HitlistService(Config cfg)
     apd_.set_pool(pool_);
     yarrp_.set_pool(pool_);
   }
+}
+
+HitlistService::~HitlistService() {
+  if (attached_tracer_) metrics_->set_tracer(nullptr);
 }
 
 void HitlistService::init_metrics() {
@@ -111,6 +120,11 @@ std::vector<Ipv6> HitlistService::eligible_targets() const {
 
 HitlistService::ScanOutcome HitlistService::step(const World& world,
                                                  ScanDate date) {
+  // The step span encloses every phase span below; its simulated window
+  // covers the whole scan because each probe stage advances the
+  // recorder's clock by its simulated duration before closing its phase.
+  Span step_span = trace_span(metrics_, "service.step", SpanCat::kService);
+  step_span.attr("scan", date.index);
   PhaseTimer step_timer(metrics_, "service.phase.step");
 
   // 1. Input collection (all sources re-deliver every scan; dedup). New
@@ -128,6 +142,10 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   // 3. Multi-level aliased prefix detection (with 3-round history).
   PhaseTimer apd_timer(metrics_, "service.phase.apd");
   auto detection = apd_.detect(world, targets, date);
+  const double apd_seconds =
+      scan_duration_seconds(detection.probes_sent, cfg_.scanner.pps);
+  if (TraceRecorder* tr = metrics_->tracer())
+    tr->sim_advance_seconds(apd_seconds);
   apd_timer.stop();
   aliased_ = std::move(detection.aliased_set);
   aliased_per_scan_.push_back(std::move(detection.aliased));
@@ -141,8 +159,7 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   History::Entry entry;
   entry.scan_index = date.index;
   // All probe stages share one rate-limited sender; APD probes ran above.
-  double duration_seconds =
-      scan_duration_seconds(detection.probes_sent, cfg_.scanner.pps);
+  double duration_seconds = apd_seconds;
 
   // All five protocol scans are independent reads of the world, so they
   // fan out over the pool; the pool may further split each scan into
@@ -153,7 +170,6 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
       pool_.get(), kAllProtos.size(), [&](std::size_t i) {
         return zmap_.scan(world, targets, kAllProtos[i], date);
       });
-  scan_timer.stop();
 
   for (std::size_t pi = 0; pi < kAllProtos.size(); ++pi) {
     const Proto p = kAllProtos[pi];
@@ -174,6 +190,12 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
     for (const auto& rec : result.responsive)
       responsive[rec.target] |= proto_bit(p);
   }
+  // Advance the simulated clock by the scan phase's share (deterministic:
+  // the per-protocol durations were folded in kAllProtos order above), so
+  // the scan phase span covers it and later phases start after it.
+  if (TraceRecorder* tr = metrics_->tracer())
+    tr->sim_advance_seconds(duration_seconds - apd_seconds);
+  scan_timer.stop();
 
   // 6. 30-day-unresponsive filter bookkeeping.
   std::size_t newly_excluded = 0;
@@ -198,9 +220,12 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   for (const auto& hop : traces.responsive_hops)
     if (input_.add(hop, kSrcTraceroute, date.index, &blocklist_))
       record_new_input(kSrcTraceroute);
-  trace_timer.stop();
-  duration_seconds +=
+  const double trace_seconds =
       scan_duration_seconds(traces.probes_sent, cfg_.scanner.pps);
+  if (TraceRecorder* tr = metrics_->tracer())
+    tr->sim_advance_seconds(trace_seconds);
+  trace_timer.stop();
+  duration_seconds += trace_seconds;
 
   // 8. Record history.
   entry.responsive.reserve(responsive.size());
@@ -222,6 +247,12 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   for (const auto& [a, mask] : entry.responsive)
     for (Proto p : kAllProtos)
       if (mask_has(mask, p)) ++outcome.responsive_per_proto[proto_index(p)];
+
+  step_span.attr("input_total", outcome.input_total)
+      .attr("targets", outcome.scan_targets)
+      .attr("aliased", outcome.aliased_count)
+      .attr("responsive_any", outcome.responsive_any)
+      .attr("newly_excluded", outcome.newly_excluded);
 
   history_.record(std::move(entry));
   record_outcome(outcome);

@@ -51,9 +51,15 @@ class HitlistService {
     /// always on; injection exists so callers can aggregate several
     /// services or assert on a registry they control (see DESIGN.md §9).
     MetricsRegistry* metrics = nullptr;
+    /// Span recorder for the run (borrowed; see DESIGN.md §10). Null (the
+    /// default) disables tracing — spans cost nothing when off. When set,
+    /// the service attaches it to the metrics registry for its lifetime
+    /// and drives the recorder's simulated clock from the scan timeline.
+    TraceRecorder* tracer = nullptr;
   };
 
   explicit HitlistService(Config cfg);
+  ~HitlistService();
 
   struct ScanOutcome {
     ScanDate date;
@@ -142,6 +148,10 @@ class HitlistService {
   /// carry the pointer.
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;
+  /// True when the constructor attached cfg_.tracer to the registry; the
+  /// destructor then detaches it so an injected registry never keeps a
+  /// pointer past the recorder's lifetime.
+  bool attached_tracer_ = false;
   SvcMetrics svc_metrics_;
   /// Shared executor for all pipeline stages (null when threads resolves
   /// to 1); injected into zmap_/apd_/yarrp_ so nested fan-out reuses the

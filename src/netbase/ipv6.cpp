@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/log.hpp"
+
 namespace sixdust {
 namespace {
 
@@ -168,8 +170,8 @@ std::string Ipv6::str() const {
 Ipv6 ip(std::string_view text) {
   auto a = Ipv6::parse(text);
   if (!a) {
-    std::fprintf(stderr, "sixdust::ip: bad IPv6 literal '%.*s'\n",
-                 static_cast<int>(text.size()), text.data());
+    Logger::global().error(
+        "netbase", "bad IPv6 literal '" + std::string(text) + "'");
     std::abort();
   }
   return *a;

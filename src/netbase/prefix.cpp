@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "netbase/hash.hpp"
+#include "obs/log.hpp"
 
 namespace sixdust {
 
@@ -41,8 +42,8 @@ std::string Prefix::str() const {
 Prefix pfx(std::string_view text) {
   auto p = Prefix::parse(text);
   if (!p) {
-    std::fprintf(stderr, "sixdust::pfx: bad prefix literal '%.*s'\n",
-                 static_cast<int>(text.size()), text.data());
+    Logger::global().error(
+        "netbase", "bad prefix literal '" + std::string(text) + "'");
     std::abort();
   }
   return *p;

@@ -8,6 +8,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/json_mini.hpp"
 #include "obs/metrics.hpp"
 
 namespace sixdust {
@@ -56,6 +57,8 @@ std::pair<std::string_view, std::string_view> split_labels(
 }
 
 /// `subsystem.metric{proto=icmp}` -> `subsystem_metric{proto="icmp"}`.
+/// Label values are escaped per the prometheus text exposition format
+/// (backslash, double-quote, and newline must appear as \\, \", \n).
 std::string prometheus_name(std::string_view name) {
   const auto [base, labels] = split_labels(name);
   std::string out;
@@ -65,10 +68,13 @@ std::string prometheus_name(std::string_view name) {
   out += '{';
   bool in_value = false;
   for (const char c : labels.substr(1, labels.size() - 2)) {
-    if (c == '=') {
+    if (in_value && (c == '\\' || c == '"' || c == '\n')) {
+      out += '\\';
+      out += c == '\n' ? 'n' : c;
+    } else if (c == '=') {
       out += "=\"";
       in_value = true;
-    } else if (c == ',') {
+    } else if (c == ',' && in_value) {
       out += "\",";
       in_value = false;
     } else {
@@ -89,9 +95,10 @@ std::string MetricsSnapshot::to_json(bool include_volatile) const {
     if (!include_volatile && s.stability == Stability::kVolatile) continue;
     if (!first) out += ',';
     first = false;
-    out += "\n    ";
-    append_fmt(out, "{\"name\":\"%s\",\"kind\":\"%s\",\"stability\":\"%s\"",
-               s.name.c_str(), kind_name(s.kind),
+    out += "\n    {\"name\":\"";
+    append_json_escaped(out, s.name);
+    append_fmt(out, "\",\"kind\":\"%s\",\"stability\":\"%s\"",
+               kind_name(s.kind),
                s.stability == Stability::kStable ? "stable" : "volatile");
     switch (s.kind) {
       case MetricKind::kCounter:

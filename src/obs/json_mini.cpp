@@ -1,0 +1,287 @@
+#include "obs/json_mini.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sixdust {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::uint64_t JsonValue::u64() const {
+  if (type != Type::kNumber) return 0;
+  return std::strtoull(raw.c_str(), nullptr, 10);
+}
+
+std::int64_t JsonValue::i64() const {
+  if (type != Type::kNumber) return 0;
+  return std::strtoll(raw.c_str(), nullptr, 10);
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor. Depth-limited so a
+/// hostile input cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::optional<JsonValue> run() {
+    JsonValue v;
+    if (!value(v, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs of the
+          // escaped form are not produced by our emitters; treat each
+          // half as-is).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(JsonValue& v) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) return false;
+    v.type = JsonValue::Type::kNumber;
+    v.raw = std::string(s_.substr(start, pos_ - start));
+    v.number = std::strtod(v.raw.c_str(), nullptr);
+    return true;
+  }
+
+  bool value(JsonValue& v, int depth) {
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      v.type = JsonValue::Type::kObject;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!string(key)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+        JsonValue member;
+        if (!value(member, depth + 1)) return false;
+        v.obj.emplace_back(std::move(key), std::move(member));
+        skip_ws();
+        if (pos_ >= s_.size()) return false;
+        const char sep = s_[pos_++];
+        if (sep == '}') return true;
+        if (sep != ',') return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.type = JsonValue::Type::kArray;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        JsonValue item;
+        if (!value(item, depth + 1)) return false;
+        v.arr.push_back(std::move(item));
+        skip_ws();
+        if (pos_ >= s_.size()) return false;
+        const char sep = s_[pos_++];
+        if (sep == ']') return true;
+        if (sep != ',') return false;
+      }
+    }
+    if (c == '"') {
+      v.type = JsonValue::Type::kString;
+      return string(v.str);
+    }
+    if (c == 't') {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      v.type = JsonValue::Type::kNull;
+      return literal("null");
+    }
+    return number(v);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::optional<MetricsSnapshot> parse_metrics_snapshot(std::string_view json) {
+  const auto doc = json_parse(json);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->str != "sixdust-metrics/1")
+    return std::nullopt;
+  const JsonValue* metrics = doc->find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) return std::nullopt;
+
+  MetricsSnapshot snap;
+  snap.samples.reserve(metrics->arr.size());
+  for (const JsonValue& m : metrics->arr) {
+    if (!m.is_object()) return std::nullopt;
+    const JsonValue* name = m.find("name");
+    const JsonValue* kind = m.find("kind");
+    if (name == nullptr || !name->is_string() || kind == nullptr ||
+        !kind->is_string())
+      return std::nullopt;
+    MetricSample s;
+    s.name = name->str;
+    if (kind->str == "counter") s.kind = MetricKind::kCounter;
+    else if (kind->str == "gauge") s.kind = MetricKind::kGauge;
+    else if (kind->str == "histogram") s.kind = MetricKind::kHistogram;
+    else return std::nullopt;
+    const JsonValue* stability = m.find("stability");
+    s.stability = (stability != nullptr && stability->is_string() &&
+                   stability->str == "volatile")
+                      ? Stability::kVolatile
+                      : Stability::kStable;
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        if (const JsonValue* v = m.find("value")) s.value = v->u64();
+        break;
+      case MetricKind::kGauge:
+        if (const JsonValue* v = m.find("value")) s.gauge = v->i64();
+        break;
+      case MetricKind::kHistogram: {
+        const JsonValue* bounds = m.find("bounds");
+        const JsonValue* buckets = m.find("buckets");
+        if (bounds == nullptr || !bounds->is_array() || buckets == nullptr ||
+            !buckets->is_array())
+          return std::nullopt;
+        for (const JsonValue& b : bounds->arr) s.bounds.push_back(b.u64());
+        for (const JsonValue& b : buckets->arr) s.buckets.push_back(b.u64());
+        if (const JsonValue* v = m.find("sum")) s.sum = v->u64();
+        if (const JsonValue* v = m.find("count")) s.count = v->u64();
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+}  // namespace sixdust

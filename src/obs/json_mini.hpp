@@ -1,0 +1,58 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sixdust {
+
+/// Minimal JSON document model, sized for the machine-generated documents
+/// the observability layer itself emits (`sixdust-metrics/1` snapshots,
+/// `sixdust-trace/1` Chrome trace files). Full RFC 8259 value grammar;
+/// numbers keep their source text so 64-bit counters survive a round trip
+/// (a double would truncate above 2^53).
+struct JsonValue {
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string raw;  // number: original token text
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;  // insertion order
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Number as unsigned/signed 64-bit (parsed from the source token; 0
+  /// when this is not a number).
+  [[nodiscard]] std::uint64_t u64() const;
+  [[nodiscard]] std::int64_t i64() const;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+/// nullopt on any syntax error.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
+
+/// Append `s` to `out` with JSON string escaping (quote, backslash,
+/// control characters); does not add the surrounding quotes.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Reconstruct a MetricsSnapshot from a `sixdust-metrics/1` document (the
+/// inverse of MetricsSnapshot::to_json). nullopt when the text is not
+/// valid JSON or not that schema.
+[[nodiscard]] std::optional<MetricsSnapshot> parse_metrics_snapshot(
+    std::string_view json);
+
+}  // namespace sixdust

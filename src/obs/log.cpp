@@ -1,0 +1,103 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/json_mini.hpp"
+#include "obs/trace.hpp"
+
+namespace sixdust {
+
+namespace {
+
+// Logger::global() is a leaked singleton; its state lives here so the
+// header stays free of <atomic>/<mutex> includes for every call site.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+bool g_capture = false;
+std::string g_captured;
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "off";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+Logger& Logger::global() {
+  static Logger* instance = new Logger();
+  return *instance;
+}
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() const {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+bool Logger::enabled(LogLevel level) const {
+  return level >= g_level.load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  if (!enabled(level)) return;
+
+  std::string line = "{\"level\":\"";
+  line += log_level_name(level);
+  line += "\",\"component\":\"";
+  append_json_escaped(line, component);
+  line += '"';
+  const SpanContext ctx = TraceRecorder::current_context();
+  if (ctx.id != 0) {
+    line += ",\"span\":";
+    line += std::to_string(ctx.id);
+    line += ",\"span_name\":\"";
+    append_json_escaped(line, ctx.name);
+    line += '"';
+  }
+  line += ",\"msg\":\"";
+  append_json_escaped(line, msg);
+  line += "\"}\n";
+
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_capture) {
+    g_captured += line;
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+void Logger::set_capture(bool on) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_capture = on;
+  if (!on) g_captured.clear();
+}
+
+std::string Logger::take_captured() {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::string out = std::move(g_captured);
+  g_captured.clear();
+  return out;
+}
+
+}  // namespace sixdust

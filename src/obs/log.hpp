@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sixdust {
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+/// "debug" | "info" | "warn" | "error" | "off" (case-sensitive);
+/// nullopt otherwise.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view s);
+
+/// Process-wide leveled JSONL logger, replacing ad-hoc stderr prints.
+/// Each emitted line is one JSON object:
+///
+///   {"level":"warn","component":"netbase","span":12,
+///    "span_name":"service.step","msg":"..."}
+///
+/// The span fields stamp the calling thread's innermost open trace span
+/// (omitted when none is open), tying log lines to the trace timeline.
+/// Lines go to stderr by default; tests can capture them with
+/// set_capture(). Emission is mutex-serialized so concurrent stages never
+/// interleave bytes; level filtering is a relaxed atomic load on the fast
+/// path.
+class Logger {
+ public:
+  static Logger& global();
+
+  void set_level(LogLevel level);
+  [[nodiscard]] LogLevel level() const;
+  [[nodiscard]] bool enabled(LogLevel level) const;
+
+  void log(LogLevel level, std::string_view component, std::string_view msg);
+  void debug(std::string_view component, std::string_view msg) {
+    log(LogLevel::kDebug, component, msg);
+  }
+  void info(std::string_view component, std::string_view msg) {
+    log(LogLevel::kInfo, component, msg);
+  }
+  void warn(std::string_view component, std::string_view msg) {
+    log(LogLevel::kWarn, component, msg);
+  }
+  void error(std::string_view component, std::string_view msg) {
+    log(LogLevel::kError, component, msg);
+  }
+
+  /// Divert output into an internal buffer (true) or back to stderr
+  /// (false). Test hook.
+  void set_capture(bool on);
+  /// Return and clear the captured buffer.
+  [[nodiscard]] std::string take_captured();
+
+ private:
+  Logger() = default;
+};
+
+}  // namespace sixdust

@@ -148,6 +148,8 @@ class MetricsSnapshot {
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
 };
 
+class TraceRecorder;
+
 /// Lock-cheap metrics registry. Registration (name -> handle) takes a
 /// mutex once; the returned handles are wait-free and stable for the
 /// registry's lifetime. Metric names follow `subsystem.metric{label=v}`;
@@ -157,6 +159,12 @@ class MetricsSnapshot {
 /// per-thread stripes in index order. Every stable metric is derived from
 /// the seeded simulation only, so a stable-only export is byte-identical
 /// for any thread count (see DESIGN.md §9).
+///
+/// A registry can also carry a borrowed TraceRecorder pointer
+/// (set_tracer), so every stage that already holds a `MetricsRegistry*`
+/// reaches the tracer through it — see obs/trace.hpp's trace_span(). The
+/// registry does not own the recorder; whoever attaches it detaches it
+/// (set_tracer(nullptr)) before destroying it.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -178,6 +186,14 @@ class MetricsRegistry {
 
   [[nodiscard]] std::size_t metric_count() const;
 
+  /// Attach/detach a span recorder (borrowed, not owned).
+  void set_tracer(TraceRecorder* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+  [[nodiscard]] TraceRecorder* tracer() const {
+    return tracer_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Entry {
     std::string name;
@@ -193,6 +209,7 @@ class MetricsRegistry {
   mutable std::mutex m_;
   std::vector<Entry> entries_;
   std::unordered_map<std::string, std::size_t> index_;
+  std::atomic<TraceRecorder*> tracer_{nullptr};
 };
 
 }  // namespace sixdust

@@ -1,17 +1,25 @@
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <string>
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sixdust {
 
-/// RAII phase timer for pipeline stages. Each timed phase owns two
+/// RAII phase timer for pipeline stages. Each timed phase owns three
 /// metrics: `<phase>.calls` (stable — how often the stage ran, a pure
-/// function of the run) and `<phase>.wall_ns` (volatile — measured
-/// wall-clock nanoseconds, excluded from deterministic exports). A null
+/// function of the run), `<phase>.wall_ns` (volatile — measured
+/// wall-clock nanoseconds, excluded from deterministic exports), and
+/// `<phase>.duration_us` (volatile histogram — the per-call wall-time
+/// distribution, not just the running total). When the registry carries a
+/// tracer the timer also opens a stable span named after the phase (cat
+/// `phase`), so nested PhaseTimers produce nested spans: the inner
+/// phase's span has the outer phase's span as its per-thread parent, and
+/// structured log lines inside the phase are stamped with it. A null
 /// registry makes the timer a no-op.
 class PhaseTimer {
  public:
@@ -20,6 +28,12 @@ class PhaseTimer {
     const std::string p(phase);
     calls_ = &reg->counter(p + ".calls", Stability::kStable);
     wall_ns_ = &reg->counter(p + ".wall_ns", Stability::kVolatile);
+    // Per-call wall time, 100µs .. 100s bounds (decades).
+    static constexpr std::array<std::uint64_t, 7> kBoundsUs{
+        100, 1000, 10000, 100000, 1000000, 10000000, 100000000};
+    duration_us_ =
+        &reg->histogram(p + ".duration_us", kBoundsUs, Stability::kVolatile);
+    span_ = trace_span(reg, p, SpanCat::kPhase);
     start_ = std::chrono::steady_clock::now();
   }
 
@@ -35,14 +49,20 @@ class PhaseTimer {
                         std::chrono::steady_clock::now() - start_)
                         .count();
     calls_->inc();
-    wall_ns_->add(ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+    const std::uint64_t uns = ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+    wall_ns_->add(uns);
+    duration_us_->record(uns / 1000);
+    span_.end();
     calls_ = nullptr;
     wall_ns_ = nullptr;
+    duration_us_ = nullptr;
   }
 
  private:
   Counter* calls_ = nullptr;
   Counter* wall_ns_ = nullptr;
+  Histogram* duration_us_ = nullptr;
+  Span span_;
   std::chrono::steady_clock::time_point start_;
 };
 

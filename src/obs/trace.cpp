@@ -1,0 +1,356 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json_mini.hpp"
+
+namespace sixdust {
+
+namespace {
+
+/// Process-unique recorder serial. A plain address check is not enough for
+/// the per-thread buffer cache: a new recorder can reuse a destroyed
+/// recorder's address.
+std::atomic<std::uint64_t> g_recorder_serial{1};
+
+/// Innermost-open-span stack of the calling thread. Grows across *all*
+/// recorders (in practice one per process); entries carry the owning
+/// recorder so nested recorders in tests do not cross-link.
+struct OpenSpan {
+  const TraceRecorder* rec;
+  std::uint64_t id;
+  std::string name;
+};
+thread_local std::vector<OpenSpan> t_open_spans;
+
+void append_attrs_json(std::string& out,
+                       const std::vector<std::pair<std::string, std::string>>&
+                           attrs) {
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : attrs) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, k);
+    out += "\":\"";
+    append_json_escaped(out, v);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+const char* span_cat_name(SpanCat c) {
+  switch (c) {
+    case SpanCat::kService: return "service";
+    case SpanCat::kScanner: return "scanner";
+    case SpanCat::kAlias: return "alias";
+    case SpanCat::kTraceroute: return "traceroute";
+    case SpanCat::kGfw: return "gfw";
+    case SpanCat::kArchive: return "archive";
+    case SpanCat::kPhase: return "phase";
+    case SpanCat::kOther: return "other";
+  }
+  return "other";
+}
+
+// ---------------------------------------------------------------------------
+// Span
+
+void Span::move_from(Span& other) noexcept {
+  rec_ = other.rec_;
+  sim_dur_set_ = other.sim_dur_set_;
+  data_ = std::move(other.data_);
+  other.rec_ = nullptr;
+}
+
+Span& Span::attr(std::string_view key, std::string_view value) {
+  if (rec_ != nullptr) data_.attrs.emplace_back(key, value);
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, std::uint64_t value) {
+  return attr(key, std::string_view(std::to_string(value)));
+}
+
+Span& Span::attr(std::string_view key, std::int64_t value) {
+  return attr(key, std::string_view(std::to_string(value)));
+}
+
+Span& Span::sim_range_us(std::uint64_t start_us, std::uint64_t dur_us) {
+  if (rec_ != nullptr) {
+    data_.sim_start_us = start_us;
+    data_.sim_dur_us = dur_us;
+    sim_dur_set_ = true;
+  }
+  return *this;
+}
+
+Span& Span::sim_duration_us(std::uint64_t dur_us) {
+  if (rec_ != nullptr) {
+    data_.sim_dur_us = dur_us;
+    sim_dur_set_ = true;
+  }
+  return *this;
+}
+
+void Span::end() {
+  if (rec_ == nullptr) return;
+  TraceRecorder* rec = rec_;
+  rec_ = nullptr;
+
+  const auto now = std::chrono::steady_clock::now();
+  data_.mono_dur_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count()) -
+      data_.mono_start_ns;
+  if (!sim_dur_set_) {
+    const std::uint64_t now_us = rec->sim_now_us();
+    data_.sim_dur_us =
+        now_us > data_.sim_start_us ? now_us - data_.sim_start_us : 0;
+  }
+
+  // Pop this span from the open stack. Spans normally close LIFO on their
+  // opening thread; a span moved across threads (not done in the
+  // pipeline) just won't find its entry — parent linkage is best-effort
+  // and volatile by contract.
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->rec == rec && it->id == data_.id) {
+      t_open_spans.erase(std::next(it).base());
+      break;
+    }
+  }
+
+  rec->push(std::move(data_));
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+struct TraceRecorder::Buffer {
+  mutable std::mutex m;
+  std::vector<SpanRecord> ring;  // ring[head] = oldest once wrapped
+  std::size_t head = 0;
+  bool wrapped = false;
+  std::uint64_t dropped = 0;
+};
+
+namespace {
+
+/// Per-thread cache: which Buffer this thread writes to, per live
+/// recorder. Serial (not address) identifies the recorder across
+/// destruction/reuse. Opaque pointer because Buffer is private.
+struct BufferRef {
+  std::uint64_t serial;
+  const void* rec;
+  void* buf;
+};
+thread_local std::vector<BufferRef> t_buffers;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity)
+    : serial_(g_recorder_serial.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::Buffer& TraceRecorder::thread_buffer() {
+  for (const BufferRef& ref : t_buffers) {
+    if (ref.serial == serial_ && ref.rec == this)
+      return *static_cast<Buffer*>(ref.buf);
+  }
+  std::lock_guard<std::mutex> lock(m_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer* buf = buffers_.back().get();
+  t_buffers.push_back(BufferRef{serial_, this, buf});
+  return *buf;
+}
+
+Span TraceRecorder::span(std::string_view name, SpanCat cat,
+                         Stability stability) {
+  Span s;
+  s.rec_ = this;
+  s.data_.name.assign(name);
+  s.data_.cat = cat;
+  s.data_.stability = stability;
+  s.data_.sim_start_us = sim_now_us();
+  s.data_.mono_start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  s.data_.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->rec == this) {
+      s.data_.parent = it->id;
+      break;
+    }
+  }
+  t_open_spans.push_back(OpenSpan{this, s.data_.id, s.data_.name});
+  return s;
+}
+
+void TraceRecorder::sim_advance_seconds(double seconds) {
+  if (!(seconds > 0)) return;
+  sim_advance_us(static_cast<std::uint64_t>(std::llround(seconds * 1e6)));
+}
+
+void TraceRecorder::push(SpanRecord&& rec) {
+  Buffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.m);
+  if (buf.ring.size() < capacity_) {
+    rec.buffer = 0;  // assigned at collect()
+    buf.ring.push_back(std::move(rec));
+    return;
+  }
+  buf.ring[buf.head] = std::move(rec);
+  buf.head = (buf.head + 1) % capacity_;
+  buf.wrapped = true;
+  ++buf.dropped;
+}
+
+std::vector<SpanRecord> TraceRecorder::collect() const {
+  std::vector<const Buffer*> bufs;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    bufs.reserve(buffers_.size());
+    for (const auto& b : buffers_) bufs.push_back(b.get());
+  }
+  std::vector<SpanRecord> out;
+  for (unsigned bi = 0; bi < bufs.size(); ++bi) {
+    const Buffer& buf = *bufs[bi];
+    std::lock_guard<std::mutex> lock(buf.m);
+    const std::size_t n = buf.ring.size();
+    const std::size_t start = buf.wrapped ? buf.head : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      SpanRecord rec = buf.ring[(start + i) % n];
+      rec.buffer = bi;
+      out.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(m_);
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->m);
+    total += b->dropped;
+  }
+  return total;
+}
+
+std::string TraceRecorder::to_chrome_json(const std::vector<SpanRecord>& spans,
+                                          bool sim_time) {
+  std::string out;
+  out.reserve(256 + spans.size() * 160);
+  out += "{\"schema\":\"sixdust-trace/1\",\"displayTimeUnit\":\"ms\","
+         "\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, s.name);
+    out += "\",\"cat\":\"";
+    out += span_cat_name(s.cat);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(s.buffer);
+    out += ",\"ts\":";
+    if (sim_time) {
+      out += std::to_string(s.sim_start_us);
+      out += ",\"dur\":";
+      out += std::to_string(s.sim_dur_us);
+    } else {
+      // Chrome trace timestamps are µs; keep sub-µs as a decimal.
+      out += std::to_string(s.mono_start_ns / 1000);
+      out += '.';
+      out += std::to_string((s.mono_start_ns % 1000) / 100);
+      out += ",\"dur\":";
+      out += std::to_string(s.mono_dur_ns / 1000);
+      out += '.';
+      out += std::to_string((s.mono_dur_ns % 1000) / 100);
+    }
+    out += ",\"args\":{\"sim_us\":";
+    out += std::to_string(s.sim_start_us);
+    out += ",\"sim_dur_us\":";
+    out += std::to_string(s.sim_dur_us);
+    out += ",\"mono_ns\":";
+    out += std::to_string(s.mono_start_ns);
+    out += ",\"mono_dur_ns\":";
+    out += std::to_string(s.mono_dur_ns);
+    out += ",\"id\":";
+    out += std::to_string(s.id);
+    out += ",\"parent\":";
+    out += std::to_string(s.parent);
+    out += ",\"stability\":\"";
+    out += s.stability == Stability::kStable ? "stable" : "volatile";
+    out += '"';
+    for (const auto& [k, v] : s.attrs) {
+      out += ",\"";
+      append_json_escaped(out, k);
+      out += "\":\"";
+      append_json_escaped(out, v);
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceRecorder::to_stable_stream(
+    const std::vector<SpanRecord>& spans) {
+  // One self-contained line per stable span; the full line is the sort
+  // key, so any schedule producing the same span multiset produces the
+  // same bytes. Volatile spans (per-shard slices, wall-clock data) are
+  // excluded by design — their very existence can depend on pool size.
+  std::vector<std::string> lines;
+  lines.reserve(spans.size());
+  for (const SpanRecord& s : spans) {
+    if (s.stability != Stability::kStable) continue;
+    std::string line = "{\"name\":\"";
+    append_json_escaped(line, s.name);
+    line += "\",\"cat\":\"";
+    line += span_cat_name(s.cat);
+    line += "\",\"sim_us\":";
+    line += std::to_string(s.sim_start_us);
+    line += ",\"sim_dur_us\":";
+    line += std::to_string(s.sim_dur_us);
+    line += ",\"attrs\":";
+    append_attrs_json(line, s.attrs);
+    line += '}';
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out = "{\"schema\":\"sixdust-trace-stable/1\",\"spans\":";
+  out += std::to_string(lines.size());
+  out += "}\n";
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+SpanContext TraceRecorder::current_context() {
+  if (t_open_spans.empty()) return SpanContext{};
+  const OpenSpan& top = t_open_spans.back();
+  return SpanContext{top.id, top.name};
+}
+
+Span trace_span(MetricsRegistry* reg, std::string_view name, SpanCat cat,
+                Stability stability) {
+  if (reg == nullptr) return Span{};
+  TraceRecorder* tracer = reg->tracer();
+  if (tracer == nullptr) return Span{};
+  return tracer->span(name, cat, stability);
+}
+
+}  // namespace sixdust

@@ -1,0 +1,215 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sixdust {
+
+/// Which pipeline layer a span belongs to — the `cat` field of the Chrome
+/// trace-event export, usable as a Perfetto filter.
+enum class SpanCat : std::uint8_t {
+  kService,     // HitlistService steps and stages
+  kScanner,     // Zmap6 scans and shard slices
+  kAlias,       // AliasDetector rounds, TooBigTrick sweeps
+  kTraceroute,  // Yarrp runs
+  kGfw,         // GfwFilter passes
+  kArchive,     // ServiceArchive load/store
+  kPhase,       // PhaseTimer-instrumented stages
+  kOther,
+};
+
+[[nodiscard]] const char* span_cat_name(SpanCat c);
+
+/// One completed span, as drained from a recorder. Carries **dual
+/// timestamps**: the simulated-clock window (µs on the recorder's
+/// TokenBucket/Zmap6-style simulated timeline — stable, byte-identical
+/// across thread counts for kStable spans) and the steady_clock window
+/// (ns since the recorder's construction — volatile, for real profiling).
+struct SpanRecord {
+  std::string name;
+  SpanCat cat = SpanCat::kOther;
+  Stability stability = Stability::kStable;
+  std::uint64_t sim_start_us = 0;
+  std::uint64_t sim_dur_us = 0;
+  std::uint64_t mono_start_ns = 0;
+  std::uint64_t mono_dur_ns = 0;
+  std::uint64_t id = 0;      // volatile (allocation-order) span id
+  std::uint64_t parent = 0;  // enclosing span on the opening thread, 0 = root
+  unsigned buffer = 0;       // ring-buffer (thread) index — the export tid
+  /// Key/value attributes in call-site order. Values are preformatted
+  /// strings; stable spans must only attach simulation-derived values.
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// The innermost open span on the calling thread (for log stamping).
+struct SpanContext {
+  std::uint64_t id = 0;  // 0 = no open span
+  std::string_view name;
+};
+
+class TraceRecorder;
+
+/// RAII span handle returned by TraceRecorder::span() / trace_span().
+/// Movable, not copyable; a default-constructed (or moved-from) span is
+/// inert and every method on it is a no-op, so call sites can chain
+/// attr()/sim_*() unconditionally.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { move_from(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      end();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~Span() { end(); }
+
+  [[nodiscard]] bool active() const { return rec_ != nullptr; }
+
+  Span& attr(std::string_view key, std::string_view value);
+  Span& attr(std::string_view key, std::uint64_t value);
+  Span& attr(std::string_view key, std::int64_t value);
+  Span& attr(std::string_view key, int value) {
+    return attr(key, static_cast<std::int64_t>(value));
+  }
+
+  /// Override the simulated window. Call sites inside parallel regions use
+  /// this with values derived from the seeded simulation (probe counts /
+  /// pps); without it the span covers [sim-clock at open, sim-clock at
+  /// close] — correct for sequential stages that advance the clock.
+  Span& sim_range_us(std::uint64_t start_us, std::uint64_t dur_us);
+  /// Keep the captured start, set only the duration.
+  Span& sim_duration_us(std::uint64_t dur_us);
+
+  /// Close and enqueue the record now instead of at destruction
+  /// (idempotent).
+  void end();
+
+ private:
+  friend class TraceRecorder;
+  void move_from(Span& other) noexcept;
+
+  TraceRecorder* rec_ = nullptr;
+  bool sim_dur_set_ = false;
+  SpanRecord data_;
+};
+
+/// Span recorder with per-thread ring buffers and a deterministic
+/// simulated clock.
+///
+/// **Write path.** Each thread owns one ring buffer per recorder
+/// (registered on first use, index = export tid); a completed span is one
+/// short critical section on that buffer's own mutex, so concurrent
+/// stages never contend. A full ring drops the oldest record and counts
+/// it (`dropped()`).
+///
+/// **Dual-clock contract.** `sim_now_us()` is the simulated timeline —
+/// advanced only from *sequential* pipeline points (`sim_advance_*`), so
+/// every read from inside a parallel region returns the same value
+/// regardless of scheduling. Stable spans must derive all their exported
+/// fields (name, attrs, simulated window) from the seeded simulation;
+/// the stable stream is then a pure function of the run. steady_clock
+/// timestamps ride along on every span for real profiling and are
+/// exported only on the volatile (Chrome) surface.
+///
+/// **Determinism contract.** Buffer registration order (and therefore
+/// drain order) is scheduling-dependent, so `stable_stream()` does not
+/// rely on it: it serializes each stable span to one JSON line and sorts
+/// the lines — since the sort key is the entire exported content, any
+/// thread count that produces the same span multiset produces the
+/// byte-identical stream (the golden-file surface, mirroring the stable
+/// metrics contract in DESIGN.md §9/§10).
+class TraceRecorder {
+ public:
+  /// `ring_capacity` = retained spans per thread before oldest-first drop.
+  explicit TraceRecorder(std::size_t ring_capacity = 1 << 14);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  ~TraceRecorder();
+
+  /// Open a span. The parent is the calling thread's innermost open span
+  /// (pool tasks therefore start a fresh root — parent linkage is a
+  /// volatile, per-thread notion).
+  [[nodiscard]] Span span(std::string_view name, SpanCat cat,
+                          Stability stability = Stability::kStable);
+
+  // --- simulated clock ------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t sim_now_us() const {
+    return sim_now_us_.load(std::memory_order_relaxed);
+  }
+  /// Advance the simulated timeline. Sequential pipeline points only —
+  /// never from inside a parallel region.
+  void sim_advance_us(std::uint64_t us) {
+    sim_now_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+  void sim_advance_seconds(double seconds);
+
+  // --- drain & export -------------------------------------------------------
+
+  /// Copy out every completed span: buffers in registration order, each
+  /// in chronological (push) order. Spans still open are not included.
+  [[nodiscard]] std::vector<SpanRecord> collect() const;
+
+  /// Spans lost to ring overflow so far.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Chrome trace-event JSON (one complete "X" event per span; loadable
+  /// in Perfetto / chrome://tracing). With `sim_time` the event timeline
+  /// is the simulated clock, otherwise wall time; either way each event's
+  /// args carry both clocks and the span attributes.
+  [[nodiscard]] static std::string to_chrome_json(
+      const std::vector<SpanRecord>& spans, bool sim_time = false);
+  [[nodiscard]] std::string chrome_json(bool sim_time = false) const {
+    return to_chrome_json(collect(), sim_time);
+  }
+
+  /// The deterministic golden surface: stable spans only, one JSON line
+  /// each (`{"name":...,"cat":...,"sim_us":N,"sim_dur_us":N,"attrs":{...}}`),
+  /// sorted lexicographically, preceded by a schema line. Byte-identical
+  /// for every thread count.
+  [[nodiscard]] static std::string to_stable_stream(
+      const std::vector<SpanRecord>& spans);
+  [[nodiscard]] std::string stable_stream() const {
+    return to_stable_stream(collect());
+  }
+
+  /// Innermost open span of the calling thread (log stamping); id 0 when
+  /// no span is open.
+  [[nodiscard]] static SpanContext current_context();
+
+ private:
+  friend class Span;
+  struct Buffer;
+
+  [[nodiscard]] Buffer& thread_buffer();
+  void push(SpanRecord&& rec);
+
+  const std::uint64_t serial_;  // process-unique, guards thread caches
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> sim_now_us_{0};
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex m_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// Open a span on the tracer attached to `reg` (see
+/// MetricsRegistry::set_tracer); inert span when `reg` is null or has no
+/// tracer. The standard call-site entry point.
+[[nodiscard]] Span trace_span(MetricsRegistry* reg, std::string_view name,
+                              SpanCat cat,
+                              Stability stability = Stability::kStable);
+
+}  // namespace sixdust

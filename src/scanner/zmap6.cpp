@@ -1,6 +1,7 @@
 #include "scanner/zmap6.hpp"
 
 #include "core/parallel.hpp"
+#include "obs/trace.hpp"
 #include "scanner/cyclic.hpp"
 #include "scanner/rate_limit.hpp"
 
@@ -127,12 +128,33 @@ std::optional<ScanRecord> Zmap6::probe_one(const World& world,
   return std::nullopt;
 }
 
+namespace {
+
+/// One stable span per protocol scan. The simulated duration comes from
+/// the merged result (a pure function of the run), so the span is
+/// identical whichever pool thread ran the scan; per-shard slices get
+/// their own *volatile* spans because their count is the pool size.
+void trace_scan(MetricsRegistry* reg, const ScanResult& r) {
+  trace_span(reg, "scanner.scan", SpanCat::kScanner)
+      .attr("proto", proto_token(r.proto))
+      .attr("scan", r.date.index)
+      .attr("targets", r.targets)
+      .attr("probes", r.probes_sent)
+      .attr("answered", r.responsive.size())
+      .attr("blocked", r.blocked)
+      .sim_duration_us(
+          static_cast<std::uint64_t>(r.duration_seconds * 1e6));
+}
+
+}  // namespace
+
 ScanResult Zmap6::scan(const World& world, std::span<const Ipv6> targets,
                        Proto proto, ScanDate date) const {
   ThreadPool* pool = pool_.get();
   if (pool == nullptr || targets.size() < kParallelMinTargets) {
     ScanResult merged = scan_shard(world, targets, proto, date, 0, 1);
     record_scan(merged);
+    trace_scan(cfg_.metrics, merged);
     return merged;
   }
 
@@ -157,6 +179,7 @@ ScanResult Zmap6::scan(const World& world, std::span<const Ipv6> targets,
   merged.targets = targets.size();
   merged.duration_seconds = scan_duration_seconds(merged.probes_sent, cfg_.pps);
   record_scan(merged);
+  trace_scan(cfg_.metrics, merged);
   return merged;
 }
 
@@ -169,6 +192,14 @@ ScanResult Zmap6::scan_shard(const World& world,
   result.date = date;
   result.targets = targets.size();
   if (targets.empty() || shards == 0 || shard >= shards) return result;
+
+  // Volatile: the shard fan-out (and so this span's existence) depends on
+  // the pool size, which the stable surface must not see.
+  Span shard_span = trace_span(cfg_.metrics, "scanner.shard",
+                               SpanCat::kScanner, Stability::kVolatile);
+  shard_span.attr("proto", proto_token(proto))
+      .attr("shard", static_cast<std::uint64_t>(shard))
+      .attr("shards", static_cast<std::uint64_t>(shards));
 
   const CyclicPermutation perm(targets.size(),
                                hash_combine(cfg_.seed, proto_index(proto)));
@@ -195,6 +226,7 @@ ScanResult Zmap6::scan_shard(const World& world,
   }
   result.duration_seconds = scan_duration_seconds(result.probes_sent, cfg_.pps);
   record_shard(result);
+  shard_span.attr("probes", result.probes_sent);
   return result;
 }
 

@@ -3,9 +3,25 @@
 #include <unordered_set>
 
 #include "core/parallel.hpp"
+#include "obs/trace.hpp"
 #include "scanner/cyclic.hpp"
 
 namespace sixdust {
+
+namespace {
+
+void trace_run_span(MetricsRegistry* reg, ScanDate date,
+                    const Yarrp::TraceResult& r) {
+  trace_span(reg, "traceroute.run", SpanCat::kTraceroute)
+      .attr("scan", date.index)
+      .attr("targets", r.targets_traced)
+      .attr("probes", r.probes_sent)
+      .attr("hops", static_cast<std::uint64_t>(r.responsive_hops.size()))
+      .attr("gaps",
+            static_cast<std::uint64_t>(r.last_hops_unreachable.size()));
+}
+
+}  // namespace
 
 void Yarrp::init_metrics() {
   MetricsRegistry* reg = cfg_.metrics;
@@ -78,6 +94,7 @@ Yarrp::TraceResult Yarrp::trace(const World& world,
     TraceResult result;
     trace_slice(world, sample, date, result);
     record_run(result);
+    trace_run_span(cfg_.metrics, date, result);
     return result;
   }
 
@@ -106,6 +123,7 @@ Yarrp::TraceResult Yarrp::trace(const World& world,
         part.last_hops_unreachable.begin(), part.last_hops_unreachable.end());
   }
   record_run(result);
+  trace_run_span(cfg_.metrics, date, result);
   return result;
 }
 

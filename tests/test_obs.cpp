@@ -138,6 +138,21 @@ TEST(ObsExport, TextExporterManglesNamesAndLabels) {
   EXPECT_NE(text.find("t_sizes_sum 44"), std::string::npos);
 }
 
+TEST(ObsExport, TextExporterEscapesHostileLabelValues) {
+  // Prometheus text exposition requires backslash, double-quote, and
+  // newline in label values to appear as \\, \", and \n.
+  MetricsRegistry reg;
+  reg.counter("t.hostile{path=C:\\dir,msg=say \"hi\"\nend}").add(1);
+  const std::string text = reg.snapshot().to_text();
+  EXPECT_NE(
+      text.find(
+          "t_hostile{path=\"C:\\\\dir\",msg=\"say \\\"hi\\\"\\nend\"} 1"),
+      std::string::npos)
+      << text;
+  // The JSON export of the same snapshot must stay parseable too.
+  EXPECT_NE(reg.snapshot().to_json().find("\\\"hi\\\""), std::string::npos);
+}
+
 TEST(ObsRegistry, ResetZeroesValuesButKeepsHandles) {
   MetricsRegistry reg;
   Counter& c = reg.counter("t.reset");

@@ -1,0 +1,104 @@
+// sixdust-health: longitudinal run-health analyzer. Compares two or more
+// sixdust-metrics/1 snapshots (see --metrics-out on sixdust-scan /
+// sixdust-hitlist) and flags drift across the audit dimensions the paper's
+// Section 4 checks by hand: per-protocol responsiveness, GFW injection
+// share, aliased-prefix coverage, and input-source attribution.
+//
+// Exit status: 0 = healthy, 1 = drift flagged, 2 = usage or I/O error.
+
+#include <cstdio>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/health.hpp"
+#include "cli.hpp"
+#include "obs/json_mini.hpp"
+
+using namespace sixdust;
+
+namespace {
+
+constexpr const char* kUsage = R"(sixdust-health — drift report across run-metrics snapshots
+
+usage: sixdust-health [options] BASELINE.json CURRENT.json [MORE.json...]
+  positional arguments are sixdust-metrics/1 files in chronological
+  order; each adjacent pair is compared and drift beyond the thresholds
+  is flagged.
+
+  --th-resp X      responsive-rate delta threshold     (default 0.05)
+  --th-gfw X       GFW injected-share delta threshold  (default 0.02)
+  --th-alias X     aliased-coverage relative threshold (default 0.25)
+  --th-input X     input-source share delta threshold  (default 0.10)
+  --trace FILE     also summarize a sixdust-trace/1 Chrome trace file
+  --out FILE       write the report there instead of stdout
+  --help
+
+exit status: 0 healthy, 1 drift flagged, 2 usage/read error
+)";
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+MetricsSnapshot read_snapshot(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) fail("cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  auto snap = parse_metrics_snapshot(buf.str());
+  if (!snap) fail("'" + path + "' is not a sixdust-metrics/1 snapshot");
+  return std::move(*snap);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  args.usage_on_help(kUsage);
+
+  const auto& files = args.positional();
+  if (files.size() < 2) fail("need at least two snapshot files (--help)");
+
+  HealthThresholds th;
+  th.resp_rate_delta = args.get_double("th-resp", th.resp_rate_delta);
+  th.gfw_share_delta = args.get_double("th-gfw", th.gfw_share_delta);
+  th.aliased_rel_delta = args.get_double("th-alias", th.aliased_rel_delta);
+  th.input_share_delta = args.get_double("th-input", th.input_share_delta);
+
+  std::vector<MetricsSnapshot> snaps;
+  snaps.reserve(files.size());
+  for (const auto& f : files) snaps.push_back(read_snapshot(f));
+
+  std::string out;
+  std::size_t total_findings = 0;
+  for (std::size_t i = 0; i + 1 < snaps.size(); ++i) {
+    const HealthReport report = analyze_health(snaps[i], snaps[i + 1], th);
+    total_findings += report.findings.size();
+    out += "== " + files[i] + " -> " + files[i + 1] + "\n";
+    out += report.text();
+  }
+
+  if (args.has("trace")) {
+    const std::string path = args.get("trace");
+    std::ifstream f(path);
+    if (!f) fail("cannot read '" + path + "'");
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    const auto summary = trace_summary(buf.str());
+    if (!summary) fail("'" + path + "' is not a sixdust-trace/1 file");
+    out += *summary;
+  }
+
+  if (args.has("out")) {
+    std::ofstream f(args.get("out"));
+    if (!f) fail("cannot write '" + args.get("out") + "'");
+    f << out;
+    f.flush();
+    if (!f.good()) fail("short write to '" + args.get("out") + "'");
+  } else {
+    std::fputs(out.c_str(), stdout);
+  }
+  return total_findings == 0 ? 0 : 1;
+}

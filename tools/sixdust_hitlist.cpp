@@ -5,12 +5,15 @@
 #include <cstdio>
 
 #include <fstream>
+#include <optional>
 
 #include "cli.hpp"
 #include "hitlist/archive.hpp"
 #include "hitlist/report_gen.hpp"
 #include "hitlist/service.hpp"
 #include "netbase/addrio.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "topo/world_builder.hpp"
 
 using namespace sixdust;
@@ -32,8 +35,21 @@ usage: sixdust-hitlist [options]
                      markdown report, timeline + AS-distribution CSVs)
   --archive FILE     additionally save the binary archive
   --metrics-out FILE write the run-telemetry snapshot as JSON
+  --trace-out FILE   write a Chrome trace-event file of the run (open in
+                     Perfetto / chrome://tracing)
+  --log-level LEVEL  debug | info | warn (default) | error | off
   --help
 )";
+
+/// Write `content` to `path`; any open/write failure is a hard error —
+/// telemetry silently going missing defeats its purpose.
+void write_file_or_die(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) cli::die("cannot open '" + path + "' for writing");
+  f << content;
+  f.flush();
+  if (!f.good()) cli::die("cannot write '" + path + "'");
+}
 
 }  // namespace
 
@@ -41,13 +57,23 @@ int main(int argc, char** argv) {
   cli::Args args(argc, argv);
   args.usage_on_help(kUsage);
 
+  if (args.has("log-level")) {
+    const auto level = parse_log_level(args.get("log-level"));
+    if (!level) cli::die("unknown log level '" + args.get("log-level") + "'");
+    Logger::global().set_level(*level);
+  }
+
   WorldConfig wc;
   wc.seed = args.get_u64("world-seed", 42);
   wc.scale = args.get_double("world-scale", 0.1);
   wc.tail_as_count = static_cast<int>(args.get_u64("tail-ases", 200));
   const auto world = build_world(wc);
 
+  std::optional<TraceRecorder> tracer;
+  if (args.has("trace-out")) tracer.emplace();
+
   HitlistService::Config sc;
+  if (tracer) sc.tracer = &*tracer;
   sc.enable_gfw_filter = !args.has("no-gfw-filter");
   sc.gfw_filter_from_scan =
       static_cast<int>(args.get_u64("gfw-filter-from", 43));
@@ -115,10 +141,16 @@ int main(int argc, char** argv) {
   }
 
   if (args.has("metrics-out")) {
-    std::ofstream f(args.get("metrics-out"));
-    if (!f) cli::die("cannot write '" + args.get("metrics-out") + "'");
-    f << service.metrics().snapshot().to_json();
+    write_file_or_die(args.get("metrics-out"),
+                      service.metrics().snapshot().to_json());
     std::printf("metrics written to %s\n", args.get("metrics-out").c_str());
+  }
+
+  if (tracer) {
+    write_file_or_die(args.get("trace-out"), tracer->chrome_json());
+    std::printf("trace written to %s (%zu spans dropped)\n",
+                args.get("trace-out").c_str(),
+                static_cast<std::size_t>(tracer->dropped()));
   }
   return 0;
 }

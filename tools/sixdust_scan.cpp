@@ -11,7 +11,9 @@
 
 #include "cli.hpp"
 #include "netbase/addrio.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scanner/zmap6.hpp"
 #include "topo/world_builder.hpp"
 
@@ -35,8 +37,21 @@ usage: sixdust-scan [options]
   --blocklist FILE   prefix list to exclude
   --out FILE         write responsive addresses (proto=all: any protocol)
   --metrics-out FILE write the run-telemetry snapshot as JSON
+  --trace-out FILE   write a Chrome trace-event file of the run (open in
+                     Perfetto / chrome://tracing)
+  --log-level LEVEL  debug | info | warn (default) | error | off
   --help
 )";
+
+/// Write `content` to `path`; any open/write failure is a hard error —
+/// telemetry silently going missing defeats its purpose.
+void write_file_or_die(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) cli::die("cannot open '" + path + "' for writing");
+  f << content;
+  f.flush();
+  if (!f.good()) cli::die("cannot write '" + path + "'");
+}
 
 std::optional<Proto> parse_proto(const std::string& name) {
   if (name == "icmp") return Proto::Icmp;
@@ -52,6 +67,12 @@ std::optional<Proto> parse_proto(const std::string& name) {
 int main(int argc, char** argv) {
   cli::Args args(argc, argv);
   args.usage_on_help(kUsage);
+
+  if (args.has("log-level")) {
+    const auto level = parse_log_level(args.get("log-level"));
+    if (!level) cli::die("unknown log level '" + args.get("log-level") + "'");
+    Logger::global().set_level(*level);
+  }
 
   WorldConfig wc;
   wc.seed = args.get_u64("world-seed", 42);
@@ -84,6 +105,11 @@ int main(int argc, char** argv) {
   }
 
   MetricsRegistry metrics;
+  std::optional<TraceRecorder> tracer;
+  if (args.has("trace-out")) {
+    tracer.emplace();
+    metrics.set_tracer(&*tracer);
+  }
   Zmap6::Config zc;
   zc.loss = args.get_double("loss", 0.01);
   zc.retries = static_cast<int>(args.get_u64("retries", 1));
@@ -114,6 +140,10 @@ int main(int argc, char** argv) {
                                 : 100.0 * static_cast<double>(result.responsive.size()) /
                                       static_cast<double>(targets.size()));
     for (const auto& rec : result.responsive) responsive_any.insert(rec.target);
+    // Sequential point between protocol scans: move the simulated
+    // timeline past the scan just consumed (same pacing the service
+    // applies), so successive scan spans do not overlap.
+    if (tracer) tracer->sim_advance_seconds(result.duration_seconds);
   }
   std::printf("responsive to >=1 protocol: %zu\n", responsive_any.size());
 
@@ -127,10 +157,14 @@ int main(int argc, char** argv) {
   }
 
   if (args.has("metrics-out")) {
-    std::ofstream f(args.get("metrics-out"));
-    if (!f) cli::die("cannot write '" + args.get("metrics-out") + "'");
-    f << metrics.snapshot().to_json();
+    write_file_or_die(args.get("metrics-out"), metrics.snapshot().to_json());
     std::printf("metrics written to %s\n", args.get("metrics-out").c_str());
+  }
+
+  if (tracer) {
+    metrics.set_tracer(nullptr);
+    write_file_or_die(args.get("trace-out"), tracer->chrome_json());
+    std::printf("trace written to %s\n", args.get("trace-out").c_str());
   }
   return 0;
 }

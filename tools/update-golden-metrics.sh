@@ -1,26 +1,35 @@
 #!/usr/bin/env sh
-# Regenerate tests/golden/metrics_12scan.json from the current code.
+# Regenerate the golden observability files from the current code:
+#   tests/golden/metrics_12scan.json  (stable metrics snapshot)
+#   tests/golden/trace_12scan.jsonl   (stable span stream)
 #
-# The golden file is the stable-only JSON snapshot of the service metrics
-# after a 12-scan run on the seed-42 test world (see DESIGN.md §9). Run
-# this after an intentional change to the simulation or to the metrics
-# surface, then commit the refreshed golden file together with the change.
+# Both are the stable-only exports of a 12-scan service run on the seed-42
+# test world (see DESIGN.md §9/§10). Run this after an intentional change
+# to the simulation, the metrics surface, or the span surface, then commit
+# the refreshed golden files together with the change.
 #
 # usage: tools/update-golden-metrics.sh [build-dir]   (default: build)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
-test_bin="$build_dir/tests/sixdust_obs_tests"
+obs_bin="$build_dir/tests/sixdust_obs_tests"
+trace_bin="$build_dir/tests/sixdust_trace_tests"
 
-if [ ! -x "$test_bin" ]; then
-  echo "error: $test_bin not found — build first:" >&2
-  echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" -j" >&2
-  exit 1
-fi
+for bin in "$obs_bin" "$trace_bin"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found — build first:" >&2
+    echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" -j" >&2
+    exit 1
+  fi
+done
 
-SIXDUST_UPDATE_GOLDEN=1 "$test_bin" --gtest_filter='ObsGoldenMetrics.*'
+SIXDUST_UPDATE_GOLDEN=1 "$obs_bin" --gtest_filter='ObsGoldenMetrics.*'
 echo "regenerated: $repo_root/tests/golden/metrics_12scan.json"
 
-# Immediately verify the refreshed golden round-trips.
-"$test_bin" --gtest_filter='ObsGoldenMetrics.*'
+SIXDUST_UPDATE_GOLDEN=1 "$trace_bin" --gtest_filter='TraceGolden.*'
+echo "regenerated: $repo_root/tests/golden/trace_12scan.jsonl"
+
+# Immediately verify the refreshed goldens round-trip.
+"$obs_bin" --gtest_filter='ObsGoldenMetrics.*'
+"$trace_bin" --gtest_filter='TraceGolden.*'
