@@ -1,0 +1,233 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace sixdust {
+
+/// Bounded exponential backoff for idle waits: a short busy spin, then
+/// yields, then capped micro-sleeps ("park"). Used by ring waits and the
+/// pipeline scheduler so an empty ring never spin-burns a core (see
+/// DESIGN.md §11). reset() after useful work; pause() when none was found.
+class Backoff {
+ public:
+  /// Spin rounds before the first yield, yields before the first park.
+  static constexpr int kSpinLimit = 64;
+  static constexpr int kYieldLimit = 16;
+  /// Park duration doubles from 8µs up to this cap.
+  static constexpr int kMaxParkUs = 256;
+
+  void pause() {
+    ++waits_;
+    if (level_ < kSpinLimit) {
+      // A handful of relaxed no-op loads approximates a pause instruction
+      // without per-arch intrinsics.
+      for (int i = 0; i < (1 << (level_ / 16)); ++i) dummy_.load(std::memory_order_relaxed);
+      ++level_;
+      return;
+    }
+    if (level_ < kSpinLimit + kYieldLimit) {
+      ++level_;
+      std::this_thread::yield();
+      return;
+    }
+    ++parks_;
+    const int exp = level_ - kSpinLimit - kYieldLimit;
+    int us = 8 << (exp < 6 ? exp : 6);
+    if (us > kMaxParkUs) us = kMaxParkUs;
+    if (level_ < kSpinLimit + kYieldLimit + 8) ++level_;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+
+  void reset() { level_ = 0; }
+
+  /// Total pause() calls / sleeps taken — volatile telemetry material.
+  [[nodiscard]] std::uint64_t waits() const { return waits_; }
+  [[nodiscard]] std::uint64_t parks() const { return parks_; }
+
+ private:
+  int level_ = 0;
+  std::uint64_t waits_ = 0;
+  std::uint64_t parks_ = 0;
+  std::atomic<int> dummy_{0};
+};
+
+/// Fixed-capacity single-producer/single-consumer ring buffer — the link
+/// fabric of the tile pipeline (DESIGN.md §11, after Firedancer's
+/// tile-and-mcache topology).
+///
+/// **Memory layout.** The producer index (`tail_`) and consumer index
+/// (`head_`) live on their own cache lines, as do the producer-side and
+/// consumer-side cached copies of the opposite index, so steady-state
+/// push/pop touch one shared line each only when the cached view runs out.
+/// Indices are free-running 64-bit sequence counters (`pushed()` /
+/// `popped()`); slot = index & mask.
+///
+/// **Ordering contract.** `try_push` publishes the slot write with a
+/// release store of `tail_`; `try_pop` acquires `tail_` before reading the
+/// slot (and symmetrically for `head_`), so element contents need no
+/// atomics of their own. Exactly one thread may push and one may pop at
+/// any moment — but the *identity* of that thread may change over time if
+/// the handoff synchronizes (the pipeline's per-tile locks provide this;
+/// see topo/pipeline.hpp).
+///
+/// **Close protocol.** The producer calls close() after its last push;
+/// pop-side helpers then drain the remaining items and report exhaustion
+/// (`drained()`), which is how downstream tiles learn a stage finished.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  // --- producer side --------------------------------------------------------
+
+  /// False (and no move) when full.
+  bool try_push(T&& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= slots_.size()) {
+        full_stalls_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Move as many of `vs` in as fit; returns how many (batched push).
+  std::size_t try_push_n(std::span<T> vs) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::uint64_t free = slots_.size() - (tail - cached_head_);
+    if (free < vs.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = slots_.size() - (tail - cached_head_);
+      if (free == 0) {
+        full_stalls_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+    }
+    const std::size_t n = free < vs.size() ? free : vs.size();
+    for (std::size_t i = 0; i < n; ++i)
+      slots_[(tail + i) & mask_] = std::move(vs[i]);
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Blocking push with bounded backoff (helper for non-tile producers;
+  /// tiles prefer try_push and let the scheduler run another stage).
+  void push_wait(T&& v) {
+    Backoff b;
+    while (!try_push(std::move(v))) b.pause();
+  }
+
+  /// Producer is done; consumers drain what is left. Idempotent.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  // --- consumer side --------------------------------------------------------
+
+  /// False when empty (item untouched).
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) {
+        empty_stalls_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Pop up to `max` items into `out`; returns how many (batched pop).
+  std::size_t try_pop_n(T* out, std::size_t max) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::uint64_t avail = cached_tail_ - head;
+    if (avail == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+      if (avail == 0) {
+        empty_stalls_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+    }
+    const std::size_t n = avail < max ? avail : max;
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Blocking pop with bounded backoff; false once the ring is closed and
+  /// fully drained (the stream's end).
+  bool pop_wait(T& out) {
+    Backoff b;
+    for (;;) {
+      if (try_pop(out)) return true;
+      if (drained()) return false;
+      b.pause();
+    }
+  }
+
+  // --- introspection (any thread; values are monotonic counters) -----------
+
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+  /// Closed and empty: the stream is over.
+  [[nodiscard]] bool drained() const {
+    return closed() && size() == 0;
+  }
+  [[nodiscard]] std::uint64_t pushed() const {
+    return tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t popped() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  /// Current occupancy (racy snapshot; exact when both sides are quiet).
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+  /// Producer-side full events / consumer-side empty events — the
+  /// backpressure telemetry the pipeline exports as volatile metrics.
+  [[nodiscard]] std::uint64_t full_stalls() const {
+    return full_stalls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t empty_stalls() const {
+    return empty_stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next pop index
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next push index
+  alignas(64) std::uint64_t cached_head_ = 0;       // producer's view of head_
+  std::atomic<std::uint64_t> full_stalls_{0};
+  alignas(64) std::uint64_t cached_tail_ = 0;       // consumer's view of tail_
+  std::atomic<std::uint64_t> empty_stalls_{0};
+  alignas(64) std::atomic<bool> closed_{false};
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace sixdust

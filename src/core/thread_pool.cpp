@@ -1,5 +1,6 @@
 #include "core/thread_pool.hpp"
 
+#include "core/spsc_ring.hpp"
 #include "obs/metrics.hpp"
 
 namespace sixdust {
@@ -43,26 +44,70 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::set_metrics(MetricsRegistry* reg) {
   if (reg == nullptr) {
-    m_batches_ = m_tasks_ = m_tasks_helped_ = m_tasks_worker_ = nullptr;
+    for (auto* p : {&m_batches_, &m_tasks_, &m_tasks_helped_,
+                    &m_tasks_worker_, &m_worker_spins_, &m_worker_parks_})
+      p->store(nullptr, std::memory_order_release);
     return;
   }
-  m_batches_ = &reg->counter("pool.batches", Stability::kVolatile);
-  m_tasks_ = &reg->counter("pool.tasks", Stability::kVolatile);
-  m_tasks_helped_ = &reg->counter("pool.tasks_helped", Stability::kVolatile);
-  m_tasks_worker_ = &reg->counter("pool.tasks_worker", Stability::kVolatile);
+  m_batches_.store(&reg->counter("pool.batches", Stability::kVolatile),
+                   std::memory_order_release);
+  m_tasks_.store(&reg->counter("pool.tasks", Stability::kVolatile),
+                 std::memory_order_release);
+  m_tasks_helped_.store(
+      &reg->counter("pool.tasks_helped", Stability::kVolatile),
+      std::memory_order_release);
+  m_tasks_worker_.store(
+      &reg->counter("pool.tasks_worker", Stability::kVolatile),
+      std::memory_order_release);
+  m_worker_spins_.store(
+      &reg->counter("pool.worker_spins", Stability::kVolatile),
+      std::memory_order_release);
+  m_worker_parks_.store(
+      &reg->counter("pool.worker_parks", Stability::kVolatile),
+      std::memory_order_release);
 }
 
 void ThreadPool::worker_loop() {
+  // Idle discipline: a bounded exponential spin/yield phase before parking
+  // on the condition variable. Long-lived consumers (pipeline tiles
+  // between ring pushes) typically find the next task within the spin
+  // window; when they don't, the worker parks instead of burning a core —
+  // the spin/park split is visible in the volatile pool.worker_* metrics.
   for (;;) {
     Task t;
-    {
+    bool have = false;
+    int spins = 0;
+    Backoff backoff;
+    while (spins < Backoff::kSpinLimit + Backoff::kYieldLimit) {
+      {
+        std::lock_guard lk(m_);
+        if (stop_ && queue_.empty()) break;
+        if (!queue_.empty()) {
+          t = std::move(queue_.front());
+          queue_.pop_front();
+          have = true;
+          break;
+        }
+      }
+      ++spins;
+      backoff.pause();
+    }
+    if (Counter* c = m_worker_spins_.load(std::memory_order_acquire);
+        c != nullptr && spins != 0)
+      c->add(spins);
+    if (!have) {
       std::unique_lock lk(m_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (!stop_ && queue_.empty()) {
+        if (Counter* c = m_worker_parks_.load(std::memory_order_acquire))
+          c->inc();
+        cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      }
       if (queue_.empty()) return;  // stop requested and queue drained
       t = std::move(queue_.front());
       queue_.pop_front();
     }
-    if (m_tasks_worker_ != nullptr) m_tasks_worker_->inc();
+    if (Counter* c = m_tasks_worker_.load(std::memory_order_acquire))
+      c->inc();
     execute(t);
   }
 }
@@ -75,12 +120,13 @@ void ThreadPool::execute(Task& t) {
 
 void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
-  if (m_batches_ != nullptr) {
-    m_batches_->inc();
-    m_tasks_->add(tasks.size());
+  if (Counter* c = m_batches_.load(std::memory_order_acquire)) {
+    c->inc();
+    m_tasks_.load(std::memory_order_acquire)->add(tasks.size());
   }
   if (workers_.empty()) {
-    if (m_tasks_helped_ != nullptr) m_tasks_helped_->add(tasks.size());
+    if (Counter* c = m_tasks_helped_.load(std::memory_order_acquire))
+      c->add(tasks.size());
     for (auto& f : tasks) f();
     return;
   }
@@ -91,17 +137,24 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   }
   cv_.notify_all();
 
-  // Help: drain pending tasks (this batch's or a sibling's) instead of
-  // blocking — this is what makes nested run() calls deadlock-free.
+  // Help: drain pending tasks *of this batch* instead of blocking — this
+  // is what makes nested run() calls deadlock-free: the submitter always
+  // makes progress on its own batch. Helping is deliberately batch-scoped:
+  // stealing a sibling batch's task from a nested frame can pick up a
+  // long-lived task (a pipeline tile scheduler, say) that cannot finish
+  // until the suspended frame resumes — a livelock (see DESIGN.md §11 and
+  // the PipelineNestedPool regression tests).
   for (;;) {
     Task t;
     {
       std::lock_guard lk(m_);
-      if (queue_.empty()) break;
-      t = std::move(queue_.front());
-      queue_.pop_front();
+      auto it = queue_.begin();
+      while (it != queue_.end() && it->batch != batch) ++it;
+      if (it == queue_.end()) break;
+      t = std::move(*it);
+      queue_.erase(it);
     }
-    if (m_tasks_helped_ != nullptr) m_tasks_helped_->inc();
+    if (Counter* c = m_tasks_helped_.load(std::memory_order_acquire)) c->inc();
     execute(t);
   }
 

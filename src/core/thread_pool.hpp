@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -22,8 +23,11 @@ class Counter;
 /// execution — a pool of size T runs with T-1 background workers plus the
 /// caller, so total concurrency equals the configured thread count, and a
 /// nested run() (a parallel scan dispatched from inside a parallel
-/// protocol fan-out) cannot deadlock: the nested caller drains the shared
-/// queue while it waits.
+/// protocol fan-out, or from inside a pipeline tile) cannot deadlock: the
+/// nested caller drains *its own batch's* pending tasks while it waits.
+/// Helping is batch-scoped on purpose — stealing sibling-batch tasks from
+/// a suspended frame can execute a long-lived task (e.g. a pipeline tile
+/// scheduler) that depends on the frame it preempted, which livelocks.
 ///
 /// The pool provides *execution* only; determinism is the callers' job —
 /// they place results into pre-assigned slots and merge in index order
@@ -68,10 +72,15 @@ class ThreadPool {
   static void execute(Task& t);
   void worker_loop();
 
-  Counter* m_batches_ = nullptr;
-  Counter* m_tasks_ = nullptr;
-  Counter* m_tasks_helped_ = nullptr;
-  Counter* m_tasks_worker_ = nullptr;
+  // Atomic: set_metrics() may install the handles while workers are
+  // already inside their idle spin loop (service construction order), so
+  // the pointers are published with release stores and read relaxed.
+  std::atomic<Counter*> m_batches_{nullptr};
+  std::atomic<Counter*> m_tasks_{nullptr};
+  std::atomic<Counter*> m_tasks_helped_{nullptr};
+  std::atomic<Counter*> m_tasks_worker_{nullptr};
+  std::atomic<Counter*> m_worker_spins_{nullptr};
+  std::atomic<Counter*> m_worker_parks_{nullptr};
 
   unsigned size_;
   std::vector<std::thread> workers_;

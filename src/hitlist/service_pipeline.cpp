@@ -1,0 +1,505 @@
+// Pipeline-mode service step (DESIGN.md §11): the probe stages of one
+// iteration run as cooperatively scheduled tiles linked by SPSC rings
+// instead of strictly phase by phase. Two pipelines per step:
+//
+//   apd:   apd_feed ──cand.k──▶ apd_probe.k   (one lane per pool thread)
+//
+//   scan:  gen.p ──probe.p──▶ deliver.p ──out.p──▶ collect ──udp53──▶
+//          classify, plus a ringless yarrp tile — the traceroute runs
+//          concurrently with all five protocol scans, which is where the
+//          wall-clock overlap comes from.
+//
+// Determinism: tiles only move work; every merge point is ordered (ring
+// FIFO order equals the sequential probe order, per-candidate masks are
+// position-addressed, the duration fold and finish_scan calls happen at
+// the barrier in kAllProtos order while the simulated clock is frozen),
+// so hitlist output, stable metrics, and the stable trace stream are
+// byte-identical to the sequential step at any thread count.
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "core/spsc_ring.hpp"
+#include "hitlist/service.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
+#include "scanner/rate_limit.hpp"
+#include "topo/pipeline.hpp"
+
+namespace sixdust {
+
+namespace {
+
+/// Candidates per APD feed range / target indices per probe batch / ring
+/// capacity in batches. Small enough to keep every lane busy, large
+/// enough that ring traffic is amortized across dozens of probes.
+constexpr std::size_t kApdRangeLen = 8;
+constexpr std::size_t kProbeBatchLen = 256;
+constexpr std::size_t kRingDepth = 64;
+
+/// One feed range of APD candidates: indices [lo, hi).
+struct CandRange {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
+
+/// One delivered batch on its way to the collector: responsive records
+/// in probe order plus this batch's probe/blocked accounting.
+struct DeliveryOut {
+  std::vector<ScanRecord> records;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t blocked = 0;
+};
+
+template <typename T>
+std::function<topo::RingInfo()> ring_probe(const SpscRing<T>& r) {
+  return [&r] {
+    topo::RingInfo info;
+    info.capacity = r.capacity();
+    info.occupancy = r.size();
+    info.pushed = r.pushed();
+    info.popped = r.popped();
+    info.full_stalls = r.full_stalls();
+    info.empty_stalls = r.empty_stalls();
+    info.closed = r.closed();
+    return info;
+  };
+}
+
+void add_tile(topo::Pipeline& pipe, std::string name,
+              std::vector<std::string> inputs, std::vector<std::string> outputs,
+              std::function<topo::TileStatus()> step) {
+  topo::TileDesc t;
+  t.name = std::move(name);
+  t.inputs = std::move(inputs);
+  t.outputs = std::move(outputs);
+  t.step = std::move(step);
+  pipe.add_tile(std::move(t));
+}
+
+void add_ring(topo::Pipeline& pipe, std::string name, std::size_t capacity,
+              std::string from, std::string to,
+              std::function<topo::RingInfo()> probe) {
+  topo::RingDesc r;
+  r.name = std::move(name);
+  r.capacity = capacity;
+  r.from = std::move(from);
+  r.to = std::move(to);
+  r.probe = std::move(probe);
+  pipe.add_ring(std::move(r));
+}
+
+// Shared between the live pipelines and topology_json() so the --topo-out
+// dump cannot drift from the executed graph.
+std::string apd_lane_ring(std::size_t k) {
+  return "cand." + std::to_string(k);
+}
+std::string apd_lane_tile(std::size_t k) {
+  return "apd_probe." + std::to_string(k);
+}
+std::string gen_tile_name(Proto p) { return "gen." + proto_token(p); }
+std::string deliver_tile_name(Proto p) { return "deliver." + proto_token(p); }
+std::string probe_ring_name(Proto p) { return "probe." + proto_token(p); }
+std::string out_ring_name(Proto p) { return "out." + proto_token(p); }
+
+}  // namespace
+
+AliasDetector::Detection HitlistService::apd_detect_pipelined(
+    const World& world, std::span<const Ipv6> input, ScanDate date) {
+  const auto cands =
+      AliasDetector::candidates(world.rib(), input, apd_.config());
+  const std::size_t lanes = pool_->size();
+
+  // Position-addressed result slots: lane k only writes the indices of
+  // the ranges it popped, so no two tiles ever touch the same slot.
+  std::vector<std::uint16_t> masks(cands.size());
+  std::vector<std::uint64_t> lane_probes(lanes, 0);
+  std::vector<std::unique_ptr<SpscRing<CandRange>>> feed;
+  feed.reserve(lanes);
+  for (std::size_t k = 0; k < lanes; ++k)
+    feed.push_back(std::make_unique<SpscRing<CandRange>>(kRingDepth));
+
+  topo::Pipeline pipe("apd");
+  struct FeedState {
+    std::size_t next = 0;  // first unfed candidate index
+    std::size_t rr = 0;    // round-robin lane cursor
+  };
+  FeedState fs;
+  std::vector<std::string> lane_rings;
+  for (std::size_t k = 0; k < lanes; ++k) lane_rings.push_back(apd_lane_ring(k));
+
+  add_tile(pipe, "apd_feed", {}, lane_rings, [&, this]() {
+    if (fs.next >= cands.size()) {
+      for (auto& r : feed) r->close();
+      return topo::TileStatus::kDone;
+    }
+    // Deal one range per lane per step, round-robin; a full lane just
+    // means that lane is keeping up — try the next one.
+    bool pushed = false;
+    for (std::size_t tries = 0; tries < lanes && fs.next < cands.size();
+         ++tries) {
+      const auto lo = static_cast<std::uint32_t>(fs.next);
+      const auto hi = static_cast<std::uint32_t>(
+          std::min(cands.size(), fs.next + kApdRangeLen));
+      const std::size_t lane = fs.rr;
+      fs.rr = (fs.rr + 1) % lanes;
+      if (!feed[lane]->try_push(CandRange{lo, hi})) continue;
+      fs.next = hi;
+      pushed = true;
+    }
+    return pushed ? topo::TileStatus::kProgress : topo::TileStatus::kIdle;
+  });
+
+  for (std::size_t k = 0; k < lanes; ++k) {
+    add_tile(pipe, apd_lane_tile(k), {apd_lane_ring(k)}, {}, [&, k]() {
+      CandRange r;
+      if (!feed[k]->try_pop(r))
+        return feed[k]->drained() ? topo::TileStatus::kDone
+                                  : topo::TileStatus::kIdle;
+      for (std::uint32_t i = r.lo; i < r.hi; ++i)
+        masks[i] = apd_.probe_candidate(world, cands[i], date, &lane_probes[k]);
+      return topo::TileStatus::kProgress;
+    });
+    add_ring(pipe, apd_lane_ring(k), kRingDepth, "apd_feed", apd_lane_tile(k),
+             ring_probe(*feed[k]));
+  }
+
+  pipe.run(pool_.get(), metrics_);
+
+  // Probe totals are commutative sums; the round map is rebuilt in
+  // candidate index order — exactly probe_round()'s merge.
+  std::uint64_t probes = 0;
+  for (const std::uint64_t c : lane_probes) probes += c;
+  std::unordered_map<Prefix, std::uint16_t, PrefixHasher> round;
+  round.reserve(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) round[cands[i]] = masks[i];
+  return apd_.detect_from_round(std::move(round), cands.size(), probes, date);
+}
+
+HitlistService::ScanOutcome HitlistService::step_pipeline(const World& world,
+                                                          ScanDate date) {
+  Span step_span = trace_span(metrics_, "service.step", SpanCat::kService);
+  step_span.attr("scan", date.index);
+  PhaseTimer step_timer(metrics_, "service.phase.step");
+
+  // 1./2. Input collection and eligibility — identical to the sequential
+  // step; these phases feed everything downstream, so nothing overlaps.
+  {
+    PhaseTimer t(metrics_, "service.phase.inputs");
+    for (const auto& known : sources_.collect(world, date))
+      if (input_.add(known.addr, known.tags, date.index, &blocklist_))
+        record_new_input(known.tags);
+  }
+  std::vector<Ipv6> targets = eligible_targets();
+
+  // 3. APD behind the apd pipeline. The detection result gates the alias
+  // filter, so this pipeline completes (and the clock advances) before
+  // the scan pipeline starts — same phase boundary as the sequential path.
+  PhaseTimer apd_timer(metrics_, "service.phase.apd");
+  auto detection = apd_detect_pipelined(world, targets, date);
+  const double apd_seconds =
+      scan_duration_seconds(detection.probes_sent, cfg_.scanner.pps);
+  if (TraceRecorder* tr = metrics_->tracer())
+    tr->sim_advance_seconds(apd_seconds);
+  apd_timer.stop();
+  aliased_ = std::move(detection.aliased_set);
+  aliased_per_scan_.push_back(std::move(detection.aliased));
+
+  // 4. Aliased-prefix filter.
+  std::erase_if(targets, [&](const Ipv6& a) { return aliased_.covers(a); });
+
+  // 5.-7. The scan pipeline: five gen→deliver lanes, a fan-in collector,
+  // the GFW classify tile, and the Yarrp traceroute — all overlapped.
+  // The simulated clock stays frozen at the scan phase's start until the
+  // barrier below, so every stable span these tiles emit opens at the
+  // same simulated instant as its sequential counterpart.
+  std::unordered_map<Ipv6, ProtoMask, Ipv6Hasher> responsive;
+  responsive.reserve(targets.size() / 4);
+  History::Entry entry;
+  entry.scan_index = date.index;
+  double duration_seconds = apd_seconds;
+  const bool filter_on =
+      cfg_.enable_gfw_filter && date.index >= cfg_.gfw_filter_from_scan;
+
+  PhaseTimer scan_timer(metrics_, "service.phase.scan");
+
+  struct Lane {
+    explicit Lane(ProbeGen g)
+        : gen(std::move(g)), to_deliver(kRingDepth), to_collect(kRingDepth) {}
+    ProbeGen gen;
+    SpscRing<ProbeBatch> to_deliver;
+    SpscRing<DeliveryOut> to_collect;
+    // Backpressure stashes: a produced item whose ring was full, retried
+    // before any new work (keeps the lane's FIFO order intact).
+    std::optional<ProbeBatch> gen_pending;
+    std::optional<DeliveryOut> deliver_pending;
+    ScanResult merged;
+    bool collected = false;  // out ring fully drained into `merged`
+  };
+  std::vector<std::unique_ptr<Lane>> lanes;
+  lanes.reserve(kAllProtos.size());
+  for (const Proto p : kAllProtos) {
+    auto lane = std::make_unique<Lane>(zmap_.make_gen(targets, p));
+    lane->merged.proto = p;
+    lane->merged.date = date;
+    lane->merged.targets = targets.size();
+    lanes.push_back(std::move(lane));
+  }
+
+  SpscRing<int> udp53_ready(2);
+  std::vector<ScanRecord> udp53_kept;
+  Yarrp::TraceResult traces;
+
+  topo::Pipeline pipe("scan");
+  for (std::size_t pi = 0; pi < kAllProtos.size(); ++pi) {
+    const Proto p = kAllProtos[pi];
+    Lane* lane = lanes[pi].get();
+
+    add_tile(pipe, gen_tile_name(p), {}, {probe_ring_name(p)}, [lane]() {
+      Lane& L = *lane;
+      if (L.gen_pending) {
+        if (!L.to_deliver.try_push(std::move(*L.gen_pending)))
+          return topo::TileStatus::kIdle;
+        L.gen_pending.reset();
+        return topo::TileStatus::kProgress;
+      }
+      ProbeBatch b;
+      if (!L.gen.next(b, kProbeBatchLen)) {
+        L.to_deliver.close();
+        return topo::TileStatus::kDone;
+      }
+      if (!L.to_deliver.try_push(std::move(b))) L.gen_pending = std::move(b);
+      return topo::TileStatus::kProgress;
+    });
+
+    add_tile(pipe, deliver_tile_name(p), {probe_ring_name(p)},
+             {out_ring_name(p)}, [&world, &targets, lane, p, date, this]() {
+               Lane& L = *lane;
+               if (L.deliver_pending) {
+                 if (!L.to_collect.try_push(std::move(*L.deliver_pending)))
+                   return topo::TileStatus::kIdle;
+                 L.deliver_pending.reset();
+                 return topo::TileStatus::kProgress;
+               }
+               ProbeBatch b;
+               if (!L.to_deliver.try_pop(b)) {
+                 if (L.to_deliver.drained()) {
+                   L.to_collect.close();
+                   return topo::TileStatus::kDone;
+                 }
+                 return topo::TileStatus::kIdle;
+               }
+               DeliveryOut out;
+               out.blocked = b.blocked;
+               out.probes_sent = zmap_.deliver_batch(world, targets, b, p,
+                                                     date, out.records);
+               if (!L.to_collect.try_push(std::move(out)))
+                 L.deliver_pending = std::move(out);
+               return topo::TileStatus::kProgress;
+             });
+
+    add_ring(pipe, probe_ring_name(p), kRingDepth, gen_tile_name(p),
+             deliver_tile_name(p), ring_probe(lane->to_deliver));
+    add_ring(pipe, out_ring_name(p), kRingDepth, deliver_tile_name(p),
+             "collect", ring_probe(lane->to_collect));
+  }
+
+  {
+    std::vector<std::string> out_rings;
+    for (const Proto p : kAllProtos) out_rings.push_back(out_ring_name(p));
+    add_tile(pipe, "collect", std::move(out_rings), {"udp53"}, [&]() {
+      // Single fan-in tile: appending each lane's batches in ring FIFO
+      // order reproduces that lane's sequential probe order exactly;
+      // OR-ing masks into the responsive map is commutative across lanes.
+      bool any = false;
+      bool all_collected = true;
+      for (std::size_t pi = 0; pi < kAllProtos.size(); ++pi) {
+        Lane& L = *lanes[pi];
+        if (L.collected) continue;
+        DeliveryOut o;
+        while (L.to_collect.try_pop(o)) {
+          any = true;
+          L.merged.blocked += o.blocked;
+          L.merged.probes_sent += o.probes_sent;
+          if (kAllProtos[pi] != Proto::Udp53)
+            for (const auto& rec : o.records)
+              responsive[rec.target] |= proto_bit(kAllProtos[pi]);
+          L.merged.responsive.insert(
+              L.merged.responsive.end(),
+              std::make_move_iterator(o.records.begin()),
+              std::make_move_iterator(o.records.end()));
+        }
+        if (L.to_collect.drained()) {
+          L.collected = true;
+          any = true;
+          if (kAllProtos[pi] == Proto::Udp53) {
+            // The UDP/53 result is complete — wake the classify tile
+            // without waiting for the other lanes.
+            udp53_ready.push_wait(1);
+            udp53_ready.close();
+          }
+        } else {
+          all_collected = false;
+        }
+      }
+      if (all_collected) return topo::TileStatus::kDone;
+      return any ? topo::TileStatus::kProgress : topo::TileStatus::kIdle;
+    });
+  }
+
+  add_tile(pipe, "classify", {"udp53"}, {}, [&, this]() {
+    int sig = 0;
+    if (!udp53_ready.try_pop(sig))
+      return udp53_ready.drained() ? topo::TileStatus::kDone
+                                   : topo::TileStatus::kIdle;
+    // Runs while other lanes may still be scanning — the GFW stage
+    // overlaps them. The clock is frozen at the scan phase start, so the
+    // gfw.filter/gfw.observe span opens exactly where the sequential
+    // consume loop would open it.
+    ScanResult& udp53 =
+        lanes[static_cast<std::size_t>(proto_index(Proto::Udp53))]->merged;
+    if (filter_on)
+      udp53_kept = gfw_.filter_scan(udp53);
+    else
+      gfw_.observe_scan(udp53);
+    return topo::TileStatus::kProgress;  // next poll observes drained
+  });
+  add_ring(pipe, "udp53", 2, "collect", "classify", ring_probe(udp53_ready));
+
+  add_tile(pipe, "yarrp", {}, {}, [&, this]() {
+    // Pure compute half only: finish_run() must wait for the barrier so
+    // the traceroute.run span opens after the scan clock advance. The
+    // nested pool fan-out inside run() is safe from a tile because
+    // ThreadPool helping is batch-scoped (see core/thread_pool.hpp).
+    traces = yarrp_.run(world, targets, date);
+    return topo::TileStatus::kDone;
+  });
+
+  pipe.run(pool_.get(), metrics_);
+
+  // Barrier: fold the per-protocol results in kAllProtos order with the
+  // clock still frozen — finish_scan emits the stable scanner.scan spans
+  // at the same simulated instant and the float duration sum associates
+  // exactly as the sequential consume loop's.
+  for (std::size_t pi = 0; pi < kAllProtos.size(); ++pi) {
+    ScanResult& merged = lanes[pi]->merged;
+    zmap_.finish_scan(merged);
+    duration_seconds += merged.duration_seconds;
+  }
+  if (filter_on) {
+    for (const auto& rec : udp53_kept)
+      responsive[rec.target] |= proto_bit(Proto::Udp53);
+  } else {
+    const Lane& udp53 =
+        *lanes[static_cast<std::size_t>(proto_index(Proto::Udp53))];
+    for (const auto& rec : udp53.merged.responsive)
+      responsive[rec.target] |= proto_bit(Proto::Udp53);
+  }
+  if (TraceRecorder* tr = metrics_->tracer())
+    tr->sim_advance_seconds(duration_seconds - apd_seconds);
+  scan_timer.stop();
+
+  // 6. 30-day-unresponsive filter bookkeeping (identical).
+  std::size_t newly_excluded = 0;
+  for (const auto& a : targets) {
+    if (responsive.contains(a)) {
+      unresponsive_streak_.erase(a);
+      continue;
+    }
+    const int streak = ++unresponsive_streak_[a];
+    if (streak >= cfg_.unresponsive_scans) {
+      unresponsive_streak_.erase(a);
+      excluded_.insert(a);
+      excluded_order_.push_back(a);
+      ++newly_excluded;
+    }
+  }
+
+  // 7. The traceroute already ran inside the pipeline; what remains is
+  // its deterministic tail, at the post-scan clock position.
+  PhaseTimer trace_timer(metrics_, "service.phase.traceroute");
+  yarrp_.finish_run(date, traces);
+  for (const auto& hop : traces.responsive_hops)
+    if (input_.add(hop, kSrcTraceroute, date.index, &blocklist_))
+      record_new_input(kSrcTraceroute);
+  const double trace_seconds =
+      scan_duration_seconds(traces.probes_sent, cfg_.scanner.pps);
+  if (TraceRecorder* tr = metrics_->tracer())
+    tr->sim_advance_seconds(trace_seconds);
+  trace_timer.stop();
+  duration_seconds += trace_seconds;
+
+  // 8. Record history (identical).
+  entry.responsive.reserve(responsive.size());
+  for (const auto& [a, mask] : responsive)
+    entry.responsive.emplace_back(a, mask);
+  std::sort(entry.responsive.begin(), entry.responsive.end());
+  entry.input_total = input_.size();
+  entry.scan_targets = targets.size();
+  entry.aliased_prefixes = aliased_list().size();
+  entry.duration_days = duration_seconds / 86400.0;
+
+  ScanOutcome outcome;
+  outcome.date = date;
+  outcome.input_total = input_.size();
+  outcome.scan_targets = targets.size();
+  outcome.aliased_count = aliased_list().size();
+  outcome.excluded_total = excluded_.size();
+  outcome.newly_excluded = newly_excluded;
+  outcome.responsive_any = responsive.size();
+  for (const auto& [a, mask] : entry.responsive)
+    for (Proto p : kAllProtos)
+      if (mask_has(mask, p)) ++outcome.responsive_per_proto[proto_index(p)];
+
+  step_span.attr("input_total", outcome.input_total)
+      .attr("targets", outcome.scan_targets)
+      .attr("aliased", outcome.aliased_count)
+      .attr("responsive_any", outcome.responsive_any)
+      .attr("newly_excluded", outcome.newly_excluded);
+
+  history_.record(std::move(entry));
+  record_outcome(outcome);
+  return outcome;
+}
+
+std::string HitlistService::topology_json() const {
+  const unsigned threads = ThreadPool::resolve(cfg_.threads);
+  const std::size_t lanes = threads;
+
+  topo::Pipeline apd("apd");
+  {
+    std::vector<std::string> lane_rings;
+    for (std::size_t k = 0; k < lanes; ++k)
+      lane_rings.push_back(apd_lane_ring(k));
+    add_tile(apd, "apd_feed", {}, lane_rings, nullptr);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      add_tile(apd, apd_lane_tile(k), {apd_lane_ring(k)}, {}, nullptr);
+      add_ring(apd, apd_lane_ring(k), kRingDepth, "apd_feed",
+               apd_lane_tile(k), nullptr);
+    }
+  }
+
+  topo::Pipeline scan("scan");
+  {
+    std::vector<std::string> out_rings;
+    for (const Proto p : kAllProtos) {
+      add_tile(scan, gen_tile_name(p), {}, {probe_ring_name(p)}, nullptr);
+      add_tile(scan, deliver_tile_name(p), {probe_ring_name(p)},
+               {out_ring_name(p)}, nullptr);
+      add_ring(scan, probe_ring_name(p), kRingDepth, gen_tile_name(p),
+               deliver_tile_name(p), nullptr);
+      add_ring(scan, out_ring_name(p), kRingDepth, deliver_tile_name(p),
+               "collect", nullptr);
+      out_rings.push_back(out_ring_name(p));
+    }
+    add_tile(scan, "collect", std::move(out_rings), {"udp53"}, nullptr);
+    add_tile(scan, "classify", {"udp53"}, {}, nullptr);
+    add_ring(scan, "udp53", 2, "collect", "classify", nullptr);
+    add_tile(scan, "yarrp", {}, {}, nullptr);
+  }
+
+  return topo::Pipeline::to_json({&apd, &scan}, threads);
+}
+
+}  // namespace sixdust

@@ -1,0 +1,238 @@
+#include "topo/pipeline.hpp"
+
+#include <algorithm>
+
+#include "core/spsc_ring.hpp"
+#include "obs/metrics.hpp"
+
+namespace sixdust::topo {
+
+namespace {
+
+/// Minimal JSON string escaper (names are metric-label-safe already, but
+/// the dump must stay valid JSON for arbitrary stage names).
+std::string jstr(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string Pipeline::validate() const {
+  for (std::size_t i = 0; i < tiles_.size(); ++i)
+    for (std::size_t j = i + 1; j < tiles_.size(); ++j)
+      if (tiles_[i].name == tiles_[j].name)
+        return "duplicate tile name '" + tiles_[i].name + "'";
+  for (std::size_t i = 0; i < rings_.size(); ++i)
+    for (std::size_t j = i + 1; j < rings_.size(); ++j)
+      if (rings_[i].name == rings_[j].name)
+        return "duplicate ring name '" + rings_[i].name + "'";
+
+  auto tile_named = [&](const std::string& n) {
+    return std::any_of(tiles_.begin(), tiles_.end(),
+                       [&](const TileDesc& t) { return t.name == n; });
+  };
+  auto tile_lists = [&](const std::string& tile, const std::string& ring,
+                        bool output) {
+    for (const TileDesc& t : tiles_) {
+      if (t.name != tile) continue;
+      const auto& v = output ? t.outputs : t.inputs;
+      return std::find(v.begin(), v.end(), ring) != v.end();
+    }
+    return false;
+  };
+
+  for (const RingDesc& r : rings_) {
+    if (!tile_named(r.from))
+      return "ring '" + r.name + "' produced by unknown tile '" + r.from + "'";
+    if (!tile_named(r.to))
+      return "ring '" + r.name + "' consumed by unknown tile '" + r.to + "'";
+    if (!tile_lists(r.from, r.name, /*output=*/true))
+      return "tile '" + r.from + "' does not list ring '" + r.name +
+             "' as an output";
+    if (!tile_lists(r.to, r.name, /*output=*/false))
+      return "tile '" + r.to + "' does not list ring '" + r.name +
+             "' as an input";
+    // SPSC discipline: exactly one producer and one consumer tile.
+    for (const TileDesc& t : tiles_) {
+      if (t.name != r.from &&
+          std::find(t.outputs.begin(), t.outputs.end(), r.name) !=
+              t.outputs.end())
+        return "ring '" + r.name + "' has a second producer '" + t.name + "'";
+      if (t.name != r.to &&
+          std::find(t.inputs.begin(), t.inputs.end(), r.name) !=
+              t.inputs.end())
+        return "ring '" + r.name + "' has a second consumer '" + t.name + "'";
+    }
+  }
+  // Every tile-listed ring must exist.
+  for (const TileDesc& t : tiles_) {
+    for (const auto* v : {&t.inputs, &t.outputs})
+      for (const std::string& rn : *v)
+        if (std::none_of(rings_.begin(), rings_.end(),
+                         [&](const RingDesc& r) { return r.name == rn; }))
+          return "tile '" + t.name + "' references unknown ring '" + rn + "'";
+  }
+  return {};
+}
+
+/// Runtime state of one tile during run(): the busy flag serializes step()
+/// calls (acquire/release so tile-local state and SPSC ring ends are safe
+/// to migrate between workers); `done` is written exactly once, by the
+/// worker that observed kDone.
+struct Pipeline::TileState {
+  TileDesc* desc = nullptr;
+  std::atomic<bool> busy{false};
+  std::atomic<bool> done{false};
+  std::uint64_t steps = 0;       // under busy lock
+  std::uint64_t idle_polls = 0;  // under busy lock
+};
+
+void Pipeline::worker_loop(std::vector<TileState>& states,
+                           std::atomic<std::size_t>& done_count) {
+  Backoff backoff;
+  std::uint64_t steps = 0;
+  std::uint64_t idle_polls = 0;
+  std::uint64_t parks = 0;
+  while (done_count.load(std::memory_order_acquire) < states.size()) {
+    bool progressed = false;
+    for (TileState& st : states) {
+      if (st.done.load(std::memory_order_acquire)) continue;
+      if (st.busy.exchange(true, std::memory_order_acquire)) continue;
+      TileStatus status = TileStatus::kIdle;
+      if (!st.done.load(std::memory_order_relaxed)) {
+        status = st.desc->step();
+        ++st.steps;
+        if (status == TileStatus::kIdle) ++st.idle_polls;
+        if (status == TileStatus::kDone) {
+          st.done.store(true, std::memory_order_release);
+          done_count.fetch_add(1, std::memory_order_acq_rel);
+        }
+      }
+      st.busy.store(false, std::memory_order_release);
+      if (status != TileStatus::kIdle) progressed = true;
+    }
+    ++steps;
+    if (progressed) {
+      backoff.reset();
+    } else {
+      ++idle_polls;
+      backoff.pause();
+    }
+  }
+  sched_steps_.fetch_add(steps, std::memory_order_relaxed);
+  sched_idle_polls_.fetch_add(idle_polls, std::memory_order_relaxed);
+  parks = backoff.parks();
+  sched_parks_.fetch_add(parks, std::memory_order_relaxed);
+}
+
+void Pipeline::run(ThreadPool* pool, MetricsRegistry* metrics) {
+  if (tiles_.empty()) return;
+  std::vector<TileState> states(tiles_.size());
+  for (std::size_t i = 0; i < tiles_.size(); ++i) states[i].desc = &tiles_[i];
+  std::atomic<std::size_t> done_count{0};
+  sched_steps_.store(0, std::memory_order_relaxed);
+  sched_idle_polls_.store(0, std::memory_order_relaxed);
+  sched_parks_.store(0, std::memory_order_relaxed);
+
+  const std::size_t workers =
+      pool == nullptr
+          ? 1
+          : std::min<std::size_t>(pool->size(), tiles_.size());
+  if (workers <= 1) {
+    worker_loop(states, done_count);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      tasks.push_back([this, &states, &done_count] {
+        worker_loop(states, done_count);
+      });
+    pool->run(std::move(tasks));
+  }
+
+  if (metrics == nullptr) return;
+  // All volatile: step counts, idle polls, parks, and ring stalls depend
+  // on scheduling, never on the simulation.
+  const std::string prefix = "pipeline." + name_;
+  metrics->counter(prefix + ".runs", Stability::kVolatile).inc();
+  metrics->counter(prefix + ".sched_steps", Stability::kVolatile)
+      .add(sched_steps_.load(std::memory_order_relaxed));
+  metrics->counter(prefix + ".sched_idle_polls", Stability::kVolatile)
+      .add(sched_idle_polls_.load(std::memory_order_relaxed));
+  metrics->counter(prefix + ".sched_parks", Stability::kVolatile)
+      .add(sched_parks_.load(std::memory_order_relaxed));
+  for (const TileState& st : states) {
+    const std::string label = "{tile=" + st.desc->name + "}";
+    metrics->counter(prefix + ".tile_steps" + label, Stability::kVolatile)
+        .add(st.steps);
+    metrics->counter(prefix + ".tile_idle_polls" + label, Stability::kVolatile)
+        .add(st.idle_polls);
+  }
+  for (const RingDesc& r : rings_) {
+    if (!r.probe) continue;
+    const RingInfo info = r.probe();
+    const std::string label = "{ring=" + r.name + "}";
+    metrics->counter(prefix + ".ring_pushed" + label, Stability::kVolatile)
+        .add(info.pushed);
+    metrics->counter(prefix + ".ring_full_stalls" + label, Stability::kVolatile)
+        .add(info.full_stalls);
+    metrics->counter(prefix + ".ring_empty_stalls" + label,
+                     Stability::kVolatile)
+        .add(info.empty_stalls);
+  }
+}
+
+std::string Pipeline::to_json() const {
+  std::string out = "{\"name\":" + jstr(name_) + ",\"tiles\":[";
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    const TileDesc& t = tiles_[i];
+    if (i != 0) out += ",";
+    out += "{\"name\":" + jstr(t.name) + ",\"inputs\":[";
+    for (std::size_t j = 0; j < t.inputs.size(); ++j) {
+      if (j != 0) out += ",";
+      out += jstr(t.inputs[j]);
+    }
+    out += "],\"outputs\":[";
+    for (std::size_t j = 0; j < t.outputs.size(); ++j) {
+      if (j != 0) out += ",";
+      out += jstr(t.outputs[j]);
+    }
+    out += "]}";
+  }
+  out += "],\"rings\":[";
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    const RingDesc& r = rings_[i];
+    if (i != 0) out += ",";
+    out += "{\"name\":" + jstr(r.name) +
+           ",\"capacity\":" + std::to_string(r.capacity) +
+           ",\"from\":" + jstr(r.from) + ",\"to\":" + jstr(r.to) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Pipeline::to_json(const std::vector<const Pipeline*>& pipelines,
+                              unsigned threads) {
+  std::string out = "{\"schema\":\"sixdust-topo/1\",\"threads\":" +
+                    std::to_string(threads) + ",\"pipelines\":[";
+  for (std::size_t i = 0; i < pipelines.size(); ++i) {
+    if (i != 0) out += ",";
+    out += pipelines[i]->to_json();
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace sixdust::topo

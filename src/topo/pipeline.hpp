@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace sixdust {
+
+class MetricsRegistry;
+
+namespace topo {
+
+/// What one cooperative tile step accomplished. Tiles never block: a tile
+/// whose input ring is empty (or output ring full) returns kIdle and the
+/// scheduler runs another tile — or backs off when nothing is runnable.
+enum class TileStatus : std::uint8_t {
+  kIdle,      // nothing to do right now (waiting on a ring)
+  kProgress,  // did bounded work; call again
+  kDone,      // finished for this run; never called again
+};
+
+/// Live counters of one ring, sampled for introspection and the volatile
+/// pipeline metrics (occupancy and stall counts depend on scheduling, so
+/// none of this is on the stable surface).
+struct RingInfo {
+  std::size_t capacity = 0;
+  std::size_t occupancy = 0;
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t full_stalls = 0;
+  std::uint64_t empty_stalls = 0;
+  bool closed = false;
+};
+
+/// One SPSC link of the topology. `from`/`to` name the producer and
+/// consumer tiles; `probe` (optional) samples the live ring.
+struct RingDesc {
+  std::string name;
+  std::size_t capacity = 0;
+  std::string from;
+  std::string to;
+  std::function<RingInfo()> probe;
+};
+
+/// One tile (stage) of the topology. `step` does a bounded unit of work;
+/// a descriptor-only tile (null step, e.g. for --topo-out dumps) can be
+/// introspected but not run.
+struct TileDesc {
+  std::string name;
+  std::vector<std::string> inputs;   // ring names this tile pops from
+  std::vector<std::string> outputs;  // ring names this tile pushes to
+  std::function<TileStatus()> step;
+};
+
+/// A declarative tile-and-ring topology plus its cooperative scheduler —
+/// the shape of Firedancer's fd_topo (tiles linked by SPSC queues),
+/// adapted to a caller-participates thread pool (DESIGN.md §11).
+///
+/// Build: add_ring()/add_tile() declare the graph; validate() enforces the
+/// SPSC discipline (every ring has exactly one producer tile and one
+/// consumer tile). Introspect: to_json() dumps stages, ring depths, and
+/// the link graph for tools (`sixdust-hitlist --topo-out`).
+///
+/// Run: run(pool, metrics) drives every tile to kDone on `pool`. Workers
+/// (min(pool size, tile count), or the calling thread alone without a
+/// pool) loop over the tiles; a per-tile busy flag guarantees each tile
+/// executes on at most one thread at a time — the acquire/release pair on
+/// that flag is what lets a tile (and its SPSC ring ends) migrate between
+/// workers safely. A worker that finds no runnable tile backs off
+/// exponentially (spin → yield → park) instead of burning the core.
+///
+/// Determinism: the scheduler provides *execution*, never ordering.
+/// Tiles own it — every stage boundary merges in a deterministic order
+/// (ring FIFO order, position-addressed slots, or an ordered collector),
+/// so pipeline output is byte-identical to the sequential path.
+class Pipeline {
+ public:
+  explicit Pipeline(std::string name) : name_(std::move(name)) {}
+
+  void add_ring(RingDesc ring) { rings_.push_back(std::move(ring)); }
+  void add_tile(TileDesc tile) { tiles_.push_back(std::move(tile)); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<RingDesc>& rings() const { return rings_; }
+  [[nodiscard]] const std::vector<TileDesc>& tiles() const { return tiles_; }
+
+  /// Empty string when the topology is well-formed; otherwise a
+  /// description of the first violation (ring without exactly one
+  /// producer/consumer, link to an unknown tile, duplicate names).
+  [[nodiscard]] std::string validate() const;
+
+  /// Drive every tile to completion. Null pool = the calling thread runs
+  /// the scheduler alone (still correct: tiles are cooperative). When
+  /// `metrics` is non-null, volatile per-tile and per-ring telemetry is
+  /// recorded after the run (steps, idle polls, scheduler parks, ring
+  /// stalls — all scheduling-dependent, hence volatile).
+  void run(ThreadPool* pool, MetricsRegistry* metrics);
+
+  /// Topology dump: {"name":..,"tiles":[{name,inputs,outputs}],
+  /// "rings":[{name,capacity,from,to}]} — the introspection surface.
+  [[nodiscard]] std::string to_json() const;
+
+  /// JSON for several pipelines under one {"schema":"sixdust-topo/1",..}
+  /// document (the service dumps its apd and scan phases together).
+  [[nodiscard]] static std::string to_json(
+      const std::vector<const Pipeline*>& pipelines, unsigned threads);
+
+ private:
+  struct TileState;
+  void worker_loop(std::vector<TileState>& states,
+                   std::atomic<std::size_t>& done_count);
+
+  std::string name_;
+  std::vector<RingDesc> rings_;
+  std::vector<TileDesc> tiles_;
+  // Scheduler telemetry accumulated across workers of the last run().
+  std::atomic<std::uint64_t> sched_steps_{0};
+  std::atomic<std::uint64_t> sched_idle_polls_{0};
+  std::atomic<std::uint64_t> sched_parks_{0};
+};
+
+}  // namespace topo
+}  // namespace sixdust

@@ -77,6 +77,19 @@ void Yarrp::trace_slice(const World& world, std::span<const Ipv6> sample,
 Yarrp::TraceResult Yarrp::trace(const World& world,
                                 std::span<const Ipv6> targets,
                                 ScanDate date) const {
+  TraceResult result = run(world, targets, date);
+  finish_run(date, result);
+  return result;
+}
+
+void Yarrp::finish_run(ScanDate date, const TraceResult& r) const {
+  record_run(r);
+  trace_run_span(cfg_.metrics, date, r);
+}
+
+Yarrp::TraceResult Yarrp::run(const World& world,
+                              std::span<const Ipv6> targets,
+                              ScanDate date) const {
   // Budget-limited sample in permuted order (stateless, like Yarrp's
   // random probing order). Drawing the sample is a cheap permutation
   // walk; only the tracing itself is worth parallelizing.
@@ -93,8 +106,6 @@ Yarrp::TraceResult Yarrp::trace(const World& world,
   if (chunks <= 1) {
     TraceResult result;
     trace_slice(world, sample, date, result);
-    record_run(result);
-    trace_run_span(cfg_.metrics, date, result);
     return result;
   }
 
@@ -122,8 +133,6 @@ Yarrp::TraceResult Yarrp::trace(const World& world,
         result.last_hops_unreachable.end(),
         part.last_hops_unreachable.begin(), part.last_hops_unreachable.end());
   }
-  record_run(result);
-  trace_run_span(cfg_.metrics, date, result);
   return result;
 }
 

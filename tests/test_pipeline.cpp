@@ -1,0 +1,464 @@
+// Tests for the tile-and-ring pipeline (DESIGN.md §11): SpscRing edge
+// cases and SPSC stress, topology validation and introspection, the
+// cooperative scheduler, batch-scoped nested-pool helping, and the
+// differential contract — pipeline mode must be byte-identical to the
+// sequential service on every deterministic surface, at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/spsc_ring.hpp"
+#include "core/thread_pool.hpp"
+#include "hitlist/report_gen.hpp"
+#include "hitlist/service.hpp"
+#include "obs/trace.hpp"
+#include "topo/pipeline.hpp"
+#include "topo/world_builder.hpp"
+
+namespace sixdust {
+namespace {
+
+// --- SpscRing edges ---------------------------------------------------------
+
+TEST(SpscRingEdges, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRingEdges, FullAndEmptyBehaviour) {
+  SpscRing<int> ring(2);
+  int v = -1;
+  EXPECT_FALSE(ring.try_pop(v));  // empty
+  EXPECT_EQ(ring.empty_stalls(), 1u);
+  EXPECT_TRUE(ring.try_push(10));
+  EXPECT_TRUE(ring.try_push(11));
+  EXPECT_FALSE(ring.try_push(12));  // full
+  EXPECT_EQ(ring.full_stalls(), 1u);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_TRUE(ring.try_pop(v));
+  EXPECT_EQ(v, 10);
+  EXPECT_TRUE(ring.try_pop(v));
+  EXPECT_EQ(v, 11);
+  EXPECT_FALSE(ring.try_pop(v));
+  EXPECT_FALSE(ring.drained());  // empty but not closed
+  ring.close();
+  EXPECT_TRUE(ring.drained());
+}
+
+TEST(SpscRingEdges, WraparoundPreservesFifoOrder) {
+  SpscRing<int> ring(4);
+  int next_push = 0;
+  int next_pop = 0;
+  // Many times around the ring, always nearly full, to cross the index
+  // wrap repeatedly.
+  for (int round = 0; round < 100; ++round) {
+    while (ring.try_push(int{next_push})) ++next_push;
+    int v = -1;
+    while (ring.try_pop(v)) {
+      EXPECT_EQ(v, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_EQ(ring.pushed(), ring.popped());
+}
+
+TEST(SpscRingEdges, BatchedOpsMatchSingleOps) {
+  SpscRing<int> a(8);
+  SpscRing<int> b(8);
+  std::vector<int> in = {1, 2, 3, 4, 5, 6};
+  // a: batched push / batched pop. b: singles.
+  std::vector<int> in_copy = in;
+  EXPECT_EQ(a.try_push_n(std::span<int>(in_copy)), in.size());
+  for (int v : in) EXPECT_TRUE(b.try_push(int{v}));
+  int out_a[8];
+  const std::size_t got = a.try_pop_n(out_a, 8);
+  ASSERT_EQ(got, in.size());
+  for (std::size_t i = 0; i < got; ++i) {
+    int vb = -1;
+    EXPECT_TRUE(b.try_pop(vb));
+    EXPECT_EQ(out_a[i], vb);
+  }
+  // Batched push into a nearly full ring takes only what fits.
+  std::vector<int> big(10, 7);
+  EXPECT_EQ(a.try_push_n(std::span<int>(big)), 8u);
+  EXPECT_EQ(a.size(), 8u);
+}
+
+// --- SPSC stress (runs under TSan via the tsan-concurrency preset) ----------
+
+TEST(SpscRingConcurrency, StressPreservesSequenceAcrossThreads) {
+  constexpr std::uint64_t kItems = 200000;
+  SpscRing<std::uint64_t> ring(64);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) ring.push_wait(std::uint64_t{i});
+    ring.close();
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t v = 0;
+  while (ring.pop_wait(v)) {
+    ASSERT_EQ(v, expected);  // strict FIFO, no loss, no duplication
+    ++expected;
+    sum += v;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+  EXPECT_TRUE(ring.drained());
+}
+
+TEST(SpscRingConcurrency, BatchedStressDeliversEverything) {
+  constexpr std::uint64_t kItems = 100000;
+  SpscRing<std::uint64_t> ring(32);
+  std::thread producer([&] {
+    std::uint64_t next = 0;
+    std::vector<std::uint64_t> batch;
+    Backoff backoff;
+    while (next < kItems) {
+      batch.clear();
+      for (std::uint64_t i = 0; i < 17 && next < kItems; ++i)
+        batch.push_back(next++);
+      std::span<std::uint64_t> rest(batch);
+      while (!rest.empty()) {
+        const std::size_t pushed = ring.try_push_n(rest);
+        rest = rest.subspan(pushed);
+        if (pushed == 0) backoff.pause();
+      }
+    }
+    ring.close();
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t buf[23];
+  Backoff backoff;
+  for (;;) {
+    const std::size_t got = ring.try_pop_n(buf, 23);
+    for (std::size_t i = 0; i < got; ++i) ASSERT_EQ(buf[i], expected++);
+    if (got == 0) {
+      if (ring.drained()) break;
+      backoff.pause();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+// --- topology validation and introspection ----------------------------------
+
+topo::TileDesc tile(std::string name, std::vector<std::string> in,
+                    std::vector<std::string> out) {
+  topo::TileDesc t;
+  t.name = std::move(name);
+  t.inputs = std::move(in);
+  t.outputs = std::move(out);
+  return t;
+}
+
+topo::RingDesc ring_desc(std::string name, std::string from, std::string to) {
+  topo::RingDesc r;
+  r.name = std::move(name);
+  r.capacity = 8;
+  r.from = std::move(from);
+  r.to = std::move(to);
+  return r;
+}
+
+TEST(PipelineTopology, ValidateAcceptsWellFormedGraph) {
+  topo::Pipeline p("t");
+  p.add_tile(tile("a", {}, {"r"}));
+  p.add_tile(tile("b", {"r"}, {}));
+  p.add_ring(ring_desc("r", "a", "b"));
+  EXPECT_EQ(p.validate(), "");
+}
+
+TEST(PipelineTopology, ValidateRejectsViolations) {
+  {
+    topo::Pipeline p("t");  // ring names unknown producer
+    p.add_tile(tile("b", {"r"}, {}));
+    p.add_ring(ring_desc("r", "ghost", "b"));
+    EXPECT_NE(p.validate().find("unknown tile"), std::string::npos);
+  }
+  {
+    topo::Pipeline p("t");  // second consumer breaks the SPSC discipline
+    p.add_tile(tile("a", {}, {"r"}));
+    p.add_tile(tile("b", {"r"}, {}));
+    p.add_tile(tile("c", {"r"}, {}));
+    p.add_ring(ring_desc("r", "a", "b"));
+    EXPECT_NE(p.validate().find("second consumer"), std::string::npos);
+  }
+  {
+    topo::Pipeline p("t");  // tile references a ring that does not exist
+    p.add_tile(tile("a", {}, {"nope"}));
+    EXPECT_NE(p.validate().find("unknown ring"), std::string::npos);
+  }
+  {
+    topo::Pipeline p("t");  // duplicate tile name
+    p.add_tile(tile("a", {}, {}));
+    p.add_tile(tile("a", {}, {}));
+    EXPECT_NE(p.validate().find("duplicate tile"), std::string::npos);
+  }
+}
+
+TEST(PipelineTopology, ToJsonDumpsTilesAndRings) {
+  topo::Pipeline p("demo");
+  p.add_tile(tile("a", {}, {"r"}));
+  p.add_tile(tile("b", {"r"}, {}));
+  p.add_ring(ring_desc("r", "a", "b"));
+  const std::string json = p.to_json();
+  EXPECT_NE(json.find("\"name\":\"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"tiles\":["), std::string::npos);
+  EXPECT_NE(json.find("\"rings\":["), std::string::npos);
+  EXPECT_NE(json.find("\"from\":\"a\""), std::string::npos);
+
+  const std::string doc = topo::Pipeline::to_json({&p}, 4);
+  EXPECT_NE(doc.find("\"schema\":\"sixdust-topo/1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"threads\":4"), std::string::npos);
+}
+
+TEST(PipelineTopology, ServiceTopologyDumpIsWellFormed) {
+  HitlistService::Config cfg;
+  cfg.threads = 3;
+  HitlistService service(cfg);
+  const std::string doc = service.topology_json();
+  EXPECT_NE(doc.find("\"schema\":\"sixdust-topo/1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"threads\":3"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"apd\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"scan\""), std::string::npos);
+  EXPECT_NE(doc.find("gen.udp53"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"yarrp\""), std::string::npos);
+  EXPECT_NE(doc.find("apd_probe.2"), std::string::npos);
+}
+
+// --- cooperative scheduler --------------------------------------------------
+
+TEST(PipelineScheduler, DrivesTilesToCompletionWithoutPool) {
+  topo::Pipeline p("t");
+  SpscRing<int> ring(4);
+  int produced = 0;
+  int consumed = 0;
+  topo::TileDesc prod = tile("prod", {}, {"r"});
+  prod.step = [&] {
+    if (produced == 100) {
+      ring.close();
+      return topo::TileStatus::kDone;
+    }
+    if (!ring.try_push(int{produced})) return topo::TileStatus::kIdle;
+    ++produced;
+    return topo::TileStatus::kProgress;
+  };
+  topo::TileDesc cons = tile("cons", {"r"}, {});
+  cons.step = [&] {
+    int v = -1;
+    if (!ring.try_pop(v))
+      return ring.drained() ? topo::TileStatus::kDone
+                            : topo::TileStatus::kIdle;
+    EXPECT_EQ(v, consumed);
+    ++consumed;
+    return topo::TileStatus::kProgress;
+  };
+  p.add_tile(std::move(prod));
+  p.add_tile(std::move(cons));
+  p.add_ring(ring_desc("r", "prod", "cons"));
+  ASSERT_EQ(p.validate(), "");
+  p.run(nullptr, nullptr);  // calling thread runs the scheduler alone
+  EXPECT_EQ(produced, 100);
+  EXPECT_EQ(consumed, 100);
+}
+
+TEST(PipelineSchedulerConcurrency, MultiWorkerRunRecordsMetrics) {
+  ThreadPool pool(4);
+  MetricsRegistry reg;
+  topo::Pipeline p("t");
+  SpscRing<int> ring(8);
+  std::atomic<int> consumed{0};
+  int produced = 0;
+  topo::TileDesc prod = tile("prod", {}, {"r"});
+  prod.step = [&] {
+    if (produced == 5000) {
+      ring.close();
+      return topo::TileStatus::kDone;
+    }
+    if (!ring.try_push(int{produced})) return topo::TileStatus::kIdle;
+    ++produced;
+    return topo::TileStatus::kProgress;
+  };
+  topo::TileDesc cons = tile("cons", {"r"}, {});
+  cons.step = [&] {
+    int v = -1;
+    if (!ring.try_pop(v))
+      return ring.drained() ? topo::TileStatus::kDone
+                            : topo::TileStatus::kIdle;
+    consumed.fetch_add(1, std::memory_order_relaxed);
+    return topo::TileStatus::kProgress;
+  };
+  p.add_tile(std::move(prod));
+  p.add_tile(std::move(cons));
+  topo::RingDesc r = ring_desc("r", "prod", "cons");
+  r.probe = [&ring] {
+    topo::RingInfo info;
+    info.pushed = ring.pushed();
+    info.popped = ring.popped();
+    return info;
+  };
+  p.add_ring(std::move(r));
+  p.run(&pool, &reg);
+  EXPECT_EQ(consumed.load(), 5000);
+  const auto snap = reg.snapshot();
+  const auto* steps = snap.find("pipeline.t.tile_steps{tile=prod}");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_GE(steps->value, 5000u);
+  const auto* pushed = snap.find("pipeline.t.ring_pushed{ring=r}");
+  ASSERT_NE(pushed, nullptr);
+  EXPECT_EQ(pushed->value, 5000u);
+}
+
+// --- nested pool use (the AliasDetector/Yarrp-inside-a-tile contract) -------
+
+TEST(ThreadPoolNestedBatch, HelperDrainsOwnBatchNotSiblings) {
+  // Three sibling tasks on two threads: whichever thread runs t_nested
+  // must execute its nested batch itself. The old any-batch helper could
+  // instead pick up t_waiter (a sibling that only finishes once t_nested
+  // completed) and livelock.
+  ThreadPool pool(2);
+  std::atomic<bool> nested_ran{false};
+  std::atomic<bool> release{false};
+  std::vector<std::function<void()>> batch;
+  batch.push_back([&] {  // occupies one thread until the story resolves
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  batch.push_back([&] {  // t_nested
+    pool.run({[&] { nested_ran.store(true, std::memory_order_release); }});
+    release.store(true, std::memory_order_release);
+  });
+  batch.push_back([&] {  // t_waiter: depends on t_nested's completion
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  pool.run(std::move(batch));
+  EXPECT_TRUE(nested_ran.load());
+}
+
+TEST(PipelineNestedPoolConcurrency, NestedRunInsideTileCompletes) {
+  // Yarrp's pipeline tile dispatches a nested parallel batch on the same
+  // pool whose threads are all busy running the tile scheduler. With
+  // batch-scoped helping the nested caller executes its own batch inline;
+  // this must complete for every pool size, including 1.
+  for (const unsigned pool_size : {1u, 2u, 4u}) {
+    ThreadPool pool(pool_size);
+    std::atomic<int> nested_done{0};
+    topo::Pipeline p("t");
+    for (int t = 0; t < 3; ++t) {
+      topo::TileDesc d = tile("tile." + std::to_string(t), {}, {});
+      d.step = [&pool, &nested_done] {
+        std::vector<std::function<void()>> work;
+        for (int i = 0; i < 4; ++i)
+          work.push_back([&nested_done] {
+            nested_done.fetch_add(1, std::memory_order_relaxed);
+          });
+        pool.run(std::move(work));  // nested: tile -> pool.run
+        return topo::TileStatus::kDone;
+      };
+      p.add_tile(std::move(d));
+    }
+    ASSERT_EQ(p.validate(), "");
+    p.run(&pool, nullptr);
+    EXPECT_EQ(nested_done.load(), 12) << "pool size " << pool_size;
+  }
+}
+
+// --- differential: pipeline vs sequential -----------------------------------
+
+struct RunArtifacts {
+  std::string stable_metrics;
+  std::string stable_trace;
+  std::string report_md;
+  std::string timeline_csv;
+};
+
+RunArtifacts run_service(const World& world, unsigned threads, bool pipeline,
+                         int scans) {
+  TraceRecorder tracer;
+  HitlistService::Config cfg;
+  cfg.threads = threads;
+  cfg.pipeline = pipeline;
+  cfg.tracer = &tracer;
+  HitlistService service(cfg);
+  service.run(world, scans);
+  RunArtifacts out;
+  out.stable_metrics =
+      service.metrics().snapshot().to_json(/*include_volatile=*/false);
+  out.stable_trace = tracer.stable_stream();
+  ServiceReport report(&service, &world.rib(), &world.registry());
+  out.report_md = report.markdown();
+  out.timeline_csv = report.timeline_csv();
+  return out;
+}
+
+TEST(PipelineDifferential, ByteIdenticalToSequentialAcrossThreadCounts) {
+  const auto world = build_test_world(42);
+  constexpr int kScans = 12;
+  const RunArtifacts seq = run_service(*world, 1, false, kScans);
+  const RunArtifacts pipe2 = run_service(*world, 2, true, kScans);
+  const RunArtifacts pipe7 = run_service(*world, 7, true, kScans);
+
+  EXPECT_EQ(seq.stable_metrics, pipe2.stable_metrics);
+  EXPECT_EQ(seq.stable_metrics, pipe7.stable_metrics);
+  EXPECT_EQ(seq.stable_trace, pipe2.stable_trace);
+  EXPECT_EQ(seq.stable_trace, pipe7.stable_trace);
+  EXPECT_EQ(seq.report_md, pipe2.report_md);
+  EXPECT_EQ(seq.report_md, pipe7.report_md);
+  EXPECT_EQ(seq.timeline_csv, pipe2.timeline_csv);
+  EXPECT_EQ(seq.timeline_csv, pipe7.timeline_csv);
+}
+
+TEST(PipelineDifferential, PipelineFlagWithOneThreadFallsBackToSequential) {
+  const auto world = build_test_world(7);
+  const RunArtifacts seq = run_service(*world, 1, false, 4);
+  const RunArtifacts pipe1 = run_service(*world, 1, true, 4);
+  EXPECT_EQ(seq.stable_metrics, pipe1.stable_metrics);
+  EXPECT_EQ(seq.stable_trace, pipe1.stable_trace);
+}
+
+TEST(PipelineDifferential, OutcomeStateMatchesSequential) {
+  const auto world = build_test_world(11);
+  HitlistService::Config seq_cfg;
+  seq_cfg.threads = 1;
+  HitlistService seq(seq_cfg);
+  HitlistService::Config pipe_cfg;
+  pipe_cfg.threads = 3;
+  pipe_cfg.pipeline = true;
+  HitlistService pipe(pipe_cfg);
+  for (int i = 0; i < 6; ++i) {
+    const auto a = seq.step(*world, ScanDate{i});
+    const auto b = pipe.step(*world, ScanDate{i});
+    EXPECT_EQ(a.input_total, b.input_total) << "scan " << i;
+    EXPECT_EQ(a.scan_targets, b.scan_targets) << "scan " << i;
+    EXPECT_EQ(a.aliased_count, b.aliased_count) << "scan " << i;
+    EXPECT_EQ(a.excluded_total, b.excluded_total) << "scan " << i;
+    EXPECT_EQ(a.newly_excluded, b.newly_excluded) << "scan " << i;
+    EXPECT_EQ(a.responsive_any, b.responsive_any) << "scan " << i;
+    EXPECT_EQ(a.responsive_per_proto, b.responsive_per_proto) << "scan " << i;
+  }
+  // Accumulated deterministic state: history entries and exclusion pool.
+  ASSERT_EQ(seq.history().entries().size(), pipe.history().entries().size());
+  for (std::size_t s = 0; s < seq.history().entries().size(); ++s) {
+    const auto& ea = seq.history().entries()[s];
+    const auto& eb = pipe.history().entries()[s];
+    EXPECT_EQ(ea.responsive, eb.responsive) << "scan " << s;
+    EXPECT_EQ(ea.duration_days, eb.duration_days) << "scan " << s;
+  }
+  EXPECT_EQ(seq.unresponsive_pool(), pipe.unresponsive_pool());
+  EXPECT_EQ(seq.aliased_list(), pipe.aliased_list());
+  EXPECT_EQ(seq.gfw().tainted_count(), pipe.gfw().tainted_count());
+}
+
+}  // namespace
+}  // namespace sixdust

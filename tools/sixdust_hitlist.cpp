@@ -30,6 +30,11 @@ usage: sixdust-hitlist [options]
   --gfw-filter-from N  filter deployment scan (default 43)
   --threads N        worker threads for the probe stages, 0 = all cores
                      (default 1; results are identical for every value)
+  --pipeline         run each step as a tile-and-ring pipeline (overlaps
+                     probe-gen, scan, GFW classify, and traceroute;
+                     byte-identical output, needs --threads >= 2)
+  --topo-out FILE    write the pipeline topology (tiles, rings, links) as
+                     JSON and exit
   --blocklist FILE   prefix list of opt-out networks
   --outdir DIR       publish data files into DIR (address/prefix lists,
                      markdown report, timeline + AS-distribution CSVs)
@@ -78,12 +83,19 @@ int main(int argc, char** argv) {
   sc.gfw_filter_from_scan =
       static_cast<int>(args.get_u64("gfw-filter-from", 43));
   sc.threads = static_cast<unsigned>(args.get_u64("threads", 1));
+  sc.pipeline = args.has("pipeline");
   if (args.has("blocklist")) {
     auto prefixes = read_prefix_file(args.get("blocklist"));
     if (!prefixes) cli::die("cannot read blocklist");
     sc.blocklist_prefixes = std::move(*prefixes);
   }
   HitlistService service(sc);
+
+  if (args.has("topo-out")) {
+    write_file_or_die(args.get("topo-out"), service.topology_json());
+    std::printf("topology written to %s\n", args.get("topo-out").c_str());
+    return 0;
+  }
 
   const int scans = static_cast<int>(args.get_u64("scans", 12));
   for (int i = 0; i < scans && i < kTimelineScans; ++i) {
