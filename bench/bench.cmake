@@ -14,7 +14,7 @@ file(GLOB SIXDUST_BENCH_SOURCES CONFIGURE_DEPENDS
 #   cmake -DSIXDUST_BENCH_SMOKE_ALL=ON .. && ctest -L bench-smoke
 option(SIXDUST_BENCH_SMOKE_ALL
        "Register ctest smoke runs for every bench binary (slow)" OFF)
-set(SIXDUST_BENCH_SMOKE_CHEAP bench_micro)
+set(SIXDUST_BENCH_SMOKE_CHEAP bench_micro bench_tga_tournament)
 
 foreach(src ${SIXDUST_BENCH_SOURCES})
   get_filename_component(name ${src} NAME_WE)

@@ -5,9 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "alias/apd.hpp"
 #include "hitlist/service.hpp"
+#include "netbase/addr_batch.hpp"
 #include "netbase/frozen_lpm.hpp"
+#include "netbase/hash.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "netbase/prefix_trie.hpp"
@@ -570,6 +575,124 @@ void BM_ChecksumIpv6(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1300);
 }
 BENCHMARK(BM_ChecksumIpv6);
+
+// --- batch address engine ---------------------------------------------------
+//
+// The scalar-vs-columnar pairs below are the acceptance gauge of the batch
+// engine (DESIGN.md §12): at candidate-set scale the batched nibble
+// transpose and the radix sort-unique dedup must each beat the scalar seed
+// path by >= 3x.
+
+/// Candidate-set-shaped input: a handful of /32s, structured low words,
+/// ~20 % duplicates — what the generators actually dedup.
+std::vector<Ipv6> bench_addrs(std::size_t n) {
+  Rng rng(0xBA7C4);
+  std::vector<Ipv6> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (!out.empty() && rng.unit() < 0.2) {
+      out.push_back(out[rng.below(out.size())]);
+      continue;
+    }
+    const std::uint64_t hi = 0x2001'0db8'0000'0000ULL |
+                             (rng.below(16) << 32) | rng.below(0x10000);
+    out.push_back(Ipv6::from_words(hi, rng.below(1u << 20)));
+  }
+  return out;
+}
+
+void BM_AddrBatchSortUniqueScalar(benchmark::State& state) {
+  // The seed path: std::sort + std::unique over the AoS vector.
+  const auto addrs = bench_addrs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<Ipv6> v = addrs;
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AddrBatchSortUniqueScalar)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_AddrBatchSortUniqueRadix(benchmark::State& state) {
+  const auto addrs = bench_addrs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    AddrBatch batch{std::span<const Ipv6>(addrs)};
+    batch.sort_unique();
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AddrBatchSortUniqueRadix)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_AddrBatchTransposeScalar(benchmark::State& state) {
+  // The seed path: 32 nibble() extractions (shift by a variable amount)
+  // per address.
+  const auto addrs = bench_addrs(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> out(addrs.size() * 32);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+      for (int pos = 0; pos < 32; ++pos)
+        out[i * 32 + static_cast<std::size_t>(pos)] =
+            static_cast<std::uint8_t>(addrs[i].nibble(pos));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AddrBatchTransposeScalar)->Arg(1 << 17);
+
+void BM_AddrBatchTransposeColumnar(benchmark::State& state) {
+  const auto addrs = bench_addrs(static_cast<std::size_t>(state.range(0)));
+  const AddrBatch batch{std::span<const Ipv6>(addrs)};
+  std::vector<std::uint8_t> out(addrs.size() * 32);
+  for (auto _ : state) {
+    batch.transpose_nibbles(out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AddrBatchTransposeColumnar)->Arg(1 << 17);
+
+void BM_AddrBatchMembershipScalar(benchmark::State& state) {
+  // The seed path of the evaluate() filter: one hash probe per candidate.
+  const auto addrs = bench_addrs(static_cast<std::size_t>(state.range(0)));
+  const auto known_v = bench_addrs(static_cast<std::size_t>(state.range(0)));
+  const std::unordered_set<Ipv6, Ipv6Hasher> known(known_v.begin(),
+                                                   known_v.end());
+  std::vector<Ipv6> v = addrs;
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  for (auto _ : state) {
+    std::vector<Ipv6> survivors = v;
+    std::erase_if(survivors,
+                  [&](const Ipv6& a) { return known.contains(a); });
+    benchmark::DoNotOptimize(survivors);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AddrBatchMembershipScalar)->Arg(1 << 17);
+
+void BM_AddrBatchMembershipMerge(benchmark::State& state) {
+  const auto addrs = bench_addrs(static_cast<std::size_t>(state.range(0)));
+  AddrBatch known{std::span<const Ipv6>(
+      bench_addrs(static_cast<std::size_t>(state.range(0))))};
+  known.sort_unique();
+  AddrBatch sorted{std::span<const Ipv6>(addrs)};
+  sorted.sort_unique();
+  for (auto _ : state) {
+    AddrBatch batch = sorted;
+    batch.subtract_sorted(known);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AddrBatchMembershipMerge)->Arg(1 << 17);
 
 }  // namespace
 

@@ -1,0 +1,109 @@
+// Generator tournament (google-benchmark): every target-generation
+// algorithm head-to-head on the same multi-operator seed set, measured as
+// candidates/second of generation throughput and hits per CPU-second
+// against the simulated ground truth. Budgets sweep 10^5..10^6 by
+// default; the 10^7 hitlist-scale tier (minutes per iteration) is opt-in:
+//   SIXDUST_BENCH_TOURNAMENT_FULL=1 build/bench/bench_tga_tournament
+// All cases run on process CPU time, so pool parallelism does not
+// flatter the rates — a generator only wins by doing less work.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "tga/distance_clustering.hpp"
+#include "tga/entropyip.hpp"
+#include "tga/sixgan.hpp"
+#include "tga/sixgraph.hpp"
+#include "tga/sixtree.hpp"
+#include "tga/sixveclm.hpp"
+#include "topo/world_builder.hpp"
+
+namespace {
+
+using namespace sixdust;
+
+const World& tournament_world() {
+  static const auto world = build_test_world(171);
+  return *world;
+}
+
+/// Seeds exactly like sixdust-tga's default: the ground-truth responsive
+/// subset of the world's publicly known addresses.
+const std::vector<Ipv6>& tournament_seeds() {
+  static const std::vector<Ipv6> seeds = [] {
+    std::vector<KnownAddress> known;
+    tournament_world().enumerate_known(ScanDate{45}, known);
+    std::vector<Ipv6> s;
+    for (const auto& k : known)
+      if (tournament_world().truth_host(k.addr, ScanDate{45}))
+        s.push_back(k.addr);
+    return s;
+  }();
+  return seeds;
+}
+
+void run_tournament_case(benchmark::State& state,
+                         const std::shared_ptr<TargetGenerator>& gen,
+                         const std::shared_ptr<ThreadPool>& pool) {
+  const auto& seeds = tournament_seeds();
+  const auto budget = static_cast<std::size_t>(state.range(0));
+  gen->set_pool(pool.get());
+  std::vector<Ipv6> out;
+  for (auto _ : state) {
+    out = gen->generate(seeds, budget);
+    benchmark::DoNotOptimize(out);
+  }
+  gen->set_pool(nullptr);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size()));
+  // Ground-truth hits of the final candidate list, untimed: hit_rate is a
+  // quality gauge, hits/cpu-sec the paper's cost-effectiveness axis
+  // (rate counters divide by the measured CPU time).
+  std::size_t hits = 0;
+  for (const auto& a : out)
+    if (tournament_world().truth_host(a, ScanDate{45})) ++hits;
+  state.counters["hit_rate"] = benchmark::Counter(
+      out.empty() ? 0.0
+                  : static_cast<double>(hits) / static_cast<double>(out.size()));
+  state.counters["hits_per_cpusec"] = benchmark::Counter(
+      static_cast<double>(hits) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = std::getenv("SIXDUST_BENCH_TOURNAMENT_FULL") != nullptr;
+  const struct {
+    const char* name;
+    std::shared_ptr<TargetGenerator> gen;
+  } entries[] = {
+      {"6tree", std::make_shared<SixTree>(SixTree::Config{})},
+      {"6graph", std::make_shared<SixGraph>(SixGraph::Config{})},
+      {"6gan", std::make_shared<SixGan>(SixGan::Config{})},
+      {"6veclm", std::make_shared<SixVecLm>(SixVecLm::Config{})},
+      {"dc", std::make_shared<DistanceClustering>(DistanceClustering::Config{})},
+      {"entropyip", std::make_shared<EntropyIp>(EntropyIp::Config{})},
+  };
+  // Shared executor across cases (pool creation is not part of the score);
+  // CPU-time measurement keeps the comparison fair regardless of its size.
+  const auto pool = ThreadPool::create(0);
+  for (const auto& e : entries) {
+    const std::string name = std::string("BM_TgaTournament/") + e.name;
+    auto* bench = benchmark::RegisterBenchmark(
+        name.c_str(), [gen = e.gen, pool](benchmark::State& state) {
+          run_tournament_case(state, gen, pool);
+        });
+    bench->Arg(100000)->MeasureProcessCPUTime()->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+    if (full) bench->Arg(1000000)->Arg(10000000);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

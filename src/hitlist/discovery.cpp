@@ -100,21 +100,27 @@ NewSourceEvaluator::SourceReport NewSourceEvaluator::evaluate(
     bool rescan_responsive_only) const {
   SourceReport rep;
   rep.name = name;
-  dedup_addresses(candidates);
-  rep.raw = candidates.size();
+  AddrBatch batch{std::span<const Ipv6>(candidates)};
+  batch.sort_unique();
+  rep.raw = batch.size();
 
   // Filter 1: only genuinely new candidates (not already service input).
-  // The unresponsive-pool source is exempt: it *is* old input.
+  // The unresponsive-pool source is exempt: it *is* old input. One merge
+  // pass against the sorted input set instead of a hash probe per
+  // candidate (the input DB is the 10^8-scale object here).
   if (!rescan_responsive_only) {
-    std::erase_if(candidates,
-                  [&](const Ipv6& a) { return service_->input().contains(a); });
+    AddrBatch input{std::span<const Ipv6>(service_->input().addresses())};
+    input.sort_unique();
+    batch.subtract_sorted(input);
   }
-  rep.new_candidates = candidates.size();
+  rep.new_candidates = batch.size();
 
-  // Filter 2: known aliased prefixes + blocklist.
-  std::erase_if(candidates, [&](const Ipv6& a) {
-    return service_->aliased().covers(a) || service_->blocklist().covers(a);
-  });
+  // Filter 2: known aliased prefixes + blocklist — two merge passes over
+  // the sorted candidates (both filters drop covered addresses, so the
+  // sequence equals the erase_if over the union).
+  batch.filter_covered(service_->aliased().to_vector());
+  batch.filter_covered(service_->blocklist().to_vector());
+  batch.copy_to(candidates);
   rep.non_aliased = candidates.size();
   rep.candidate_ases =
       AsDistribution::of(world_->rib(), candidates).as_count();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -26,12 +27,10 @@ inline double u128_to_double(u128 v) {
 
 /// floor(log2(v)); returns -1 for v == 0.
 constexpr int u128_log2(u128 v) {
-  int r = -1;
-  while (v) {
-    v >>= 1;
-    ++r;
-  }
-  return r;
+  const auto hi = static_cast<std::uint64_t>(v >> 64);
+  if (hi != 0) return 127 - std::countl_zero(hi);
+  const auto lo = static_cast<std::uint64_t>(v);
+  return lo == 0 ? -1 : 63 - std::countl_zero(lo);
 }
 
 inline std::string u128_str(u128 v) {

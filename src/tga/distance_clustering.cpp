@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/parallel.hpp"
+
 namespace sixdust {
 
 std::vector<Ipv6> DistanceClustering::generate(std::span<const Ipv6> seeds,
@@ -10,32 +12,71 @@ std::vector<Ipv6> DistanceClustering::generate(std::span<const Ipv6> seeds,
   if (seeds.empty() || budget == 0) return out;
 
   std::vector<Ipv6> sorted(seeds.begin(), seeds.end());
-  dedup_addresses(sorted);
+  dedup_addresses(sorted, pool_, metrics_);
 
-  std::size_t cluster_start = 0;
-  auto flush = [&](std::size_t end) {
-    // [cluster_start, end) is a maximal run with gaps <= max_distance.
-    if (end - cluster_start < cfg_.min_cluster) return;
-    const Ipv6& lo = sorted[cluster_start];
-    const Ipv6& hi = sorted[end - 1];
-    std::size_t si = cluster_start;
-    for (Ipv6 a = lo; a < hi && out.size() < budget; a = a.plus(1)) {
-      while (si < end && sorted[si] < a) ++si;
-      if (si < end && sorted[si] == a) continue;  // already known
-      out.push_back(a);
-    }
+  // Maximal runs of seeds whose consecutive gaps are <= max_distance.
+  struct Cluster {
+    std::size_t begin = 0;  // [begin, end) into `sorted`
+    std::size_t end = 0;
+    std::size_t emit = 0;   // gap addresses this cluster contributes
   };
-
+  std::vector<Cluster> clusters;
+  std::size_t cluster_start = 0;
   for (std::size_t i = 1; i <= sorted.size(); ++i) {
     if (i == sorted.size() ||
         sorted[i].distance64(sorted[i - 1]) > cfg_.max_distance) {
-      flush(i);
+      if (i - cluster_start >= cfg_.min_cluster)
+        clusters.push_back(Cluster{cluster_start, i, 0});
       cluster_start = i;
     }
-    if (out.size() >= budget) break;
   }
-  dedup_addresses(out);
-  return out;
+
+  // Emission plan: cluster k owns the gaps of [lo_k, hi_k) — the span
+  // minus the seeds inside — clipped to the budget left after the
+  // clusters before it. The concatenation in cluster order is therefore
+  // the first `budget` gap addresses of the sequential scan, and it is
+  // already ascending-unique (clusters are disjoint ascending ranges).
+  std::size_t planned = 0;
+  for (Cluster& c : clusters) {
+    const Ipv6& lo = sorted[c.begin];
+    const Ipv6& hi = sorted[c.end - 1];
+    const u128 span = AddrBatch::pack(hi.hi(), hi.lo()) -
+                      AddrBatch::pack(lo.hi(), lo.lo());
+    const std::size_t seeds_inside = c.end - c.begin - 1;  // hi excluded
+    const u128 missing = span - seeds_inside;
+    const std::size_t left = budget - planned;
+    c.emit = missing < u128{left} ? static_cast<std::size_t>(missing) : left;
+    planned += c.emit;
+    if (planned >= budget) break;
+  }
+
+  const auto parts = ordered_map<std::vector<Ipv6>>(
+      pool_, clusters.size(), [&](std::size_t k) {
+        const Cluster& c = clusters[k];
+        if (c.emit == 0) return std::vector<Ipv6>{};
+        // The first `emit` gaps lie within the first emit + seeds_inside
+        // consecutive addresses from lo (that window holds at most
+        // seeds_inside seeds, so at least `emit` gaps). Enumerate the
+        // window columnar and subtract the cluster's seeds in one merge
+        // pass instead of re-scanning the seed run per candidate.
+        const std::size_t seeds_inside = c.end - c.begin - 1;
+        AddrBatch window;
+        window.append_range(sorted[c.begin],
+                            static_cast<std::uint64_t>(c.emit + seeds_inside));
+        AddrBatch known(std::span<const Ipv6>(sorted).subspan(
+            c.begin, c.end - c.begin));
+        known.sort_unique();  // already ascending: one compare sweep
+        window.subtract_sorted(known, metrics_);
+        std::vector<Ipv6> part;
+        part.reserve(c.emit);
+        for (std::size_t i = 0; i < c.emit; ++i) part.push_back(window[i]);
+        return part;
+      });
+  out.reserve(planned);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+
+  dedup_addresses(out, pool_, metrics_);
+  return note_generated(seeds, std::move(out));
 }
 
 }  // namespace sixdust

@@ -23,6 +23,7 @@ class DistanceClustering final : public TargetGenerator {
   [[nodiscard]] std::string name() const override {
     return "Distance clustering";
   }
+  [[nodiscard]] std::string token() const override { return "dc"; }
   [[nodiscard]] std::vector<Ipv6> generate(std::span<const Ipv6> seeds,
                                            std::size_t budget) const override;
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "core/parallel.hpp"
 #include "netbase/hash.hpp"
 #include "netbase/rng.hpp"
 
@@ -13,11 +14,14 @@ namespace sixdust {
 std::array<double, 32> EntropyIp::nibble_entropy(std::span<const Ipv6> seeds) {
   std::array<double, 32> entropy{};
   if (seeds.empty()) return entropy;
+  // Columnar histograms: one shift-and-mask scan per position instead of
+  // 32 nibble() calls per seed.
+  const AddrBatch batch(seeds);
   for (int pos = 0; pos < 32; ++pos) {
-    std::array<std::size_t, 16> counts{};
-    for (const auto& a : seeds) ++counts[a.nibble(pos)];
+    std::array<std::uint32_t, 16> counts{};
+    batch.nibble_histogram(pos, counts);
     double h = 0;
-    for (std::size_t c : counts) {
+    for (std::uint32_t c : counts) {
       if (c == 0) continue;
       const double p = static_cast<double>(c) / static_cast<double>(seeds.size());
       h -= p * std::log2(p);
@@ -32,6 +36,8 @@ std::vector<EntropyIp::Segment> EntropyIp::segment(
   std::vector<Segment> segments;
   if (seeds.empty()) return segments;
   const auto entropy = nibble_entropy(seeds);
+  const AddrBatch batch(seeds);
+  std::vector<std::uint64_t> field(seeds.size());
 
   int begin = 0;
   for (int pos = 1; pos <= 32; ++pos) {
@@ -47,13 +53,13 @@ std::vector<EntropyIp::Segment> EntropyIp::segment(
     for (int i = begin; i < pos; ++i) sum += entropy[static_cast<std::size_t>(i)];
     seg.mean_entropy = sum / (pos - begin);
 
-    // Classify by value diversity within the segment.
+    // Classify by value diversity within the segment (batch field scan).
+    // Segments wider than 16 nibbles overflow the 64-bit fold — only the
+    // last 16 nibbles survive, which the clamped field reproduces.
     std::unordered_map<std::uint64_t, std::size_t> values;
-    for (const auto& a : seeds) {
-      std::uint64_t v = 0;
-      for (int i = seg.begin; i < seg.end; ++i) v = v << 4 | a.nibble(i);
-      ++values[v];
-    }
+    batch.nibble_field(std::max(seg.begin, seg.end - 16), seg.end,
+                       field.data());
+    for (const std::uint64_t v : field) ++values[v];
     if (values.size() == 1) {
       seg.kind = Segment::Kind::Constant;
     } else if (static_cast<double>(values.size()) <=
@@ -77,32 +83,43 @@ std::vector<Ipv6> EntropyIp::generate(std::span<const Ipv6> seeds,
 
   // Cluster by operator prefix when the seed set spans several networks
   // (the original Entropy/IP models one prefix at a time); recurse into
-  // each sufficiently large cluster with its budget share.
+  // each sufficiently large cluster with its budget share. The final
+  // sorted-unique-truncated output depends only on the *set* of cluster
+  // outputs, so clusters run in parallel in first-encounter order.
   if (cfg_.cluster_nibbles > 0) {
-    std::unordered_map<std::uint64_t, std::vector<Ipv6>> clusters;
-    for (const auto& a : seeds) {
-      std::uint64_t key = 0;
-      for (int i = 0; i < cfg_.cluster_nibbles; ++i)
-        key = key << 4 | a.nibble(i);
-      clusters[key].push_back(a);
+    const AddrBatch batch(seeds);
+    std::vector<std::uint64_t> key(seeds.size());
+    batch.nibble_field(std::max(0, cfg_.cluster_nibbles - 16),
+                       cfg_.cluster_nibbles, key.data());
+    std::unordered_map<std::uint64_t, std::size_t> cluster_index;
+    std::vector<std::vector<Ipv6>> clusters;
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const auto [it, inserted] =
+          cluster_index.try_emplace(key[i], clusters.size());
+      if (inserted) clusters.emplace_back();
+      clusters[it->second].push_back(seeds[i]);
     }
     if (clusters.size() > 1) {
       std::size_t usable = 0;
-      for (const auto& [key, members] : clusters)
+      for (const auto& members : clusters)
         if (members.size() >= cfg_.min_cluster) usable += members.size();
-      if (usable == 0) return out;
+      if (usable == 0) return note_generated(seeds, std::move(out));
       Config flat = cfg_;
       flat.cluster_nibbles = 0;  // no re-clustering inside a cluster
-      const EntropyIp inner(flat);
-      for (const auto& [key, members] : clusters) {
-        if (members.size() < cfg_.min_cluster) continue;
-        const std::size_t share = budget * members.size() / usable;
-        const auto part = inner.generate(members, share);
+      EntropyIp inner(flat);
+      inner.set_metrics(nullptr);  // inner calls are part of this one
+      const auto parts = ordered_map<std::vector<Ipv6>>(
+          pool_, clusters.size(), [&](std::size_t c) {
+            const auto& members = clusters[c];
+            if (members.size() < cfg_.min_cluster) return std::vector<Ipv6>{};
+            const std::size_t share = budget * members.size() / usable;
+            return inner.generate(members, share);
+          });
+      for (const auto& part : parts)
         out.insert(out.end(), part.begin(), part.end());
-      }
-      dedup_addresses(out);
+      dedup_addresses(out, pool_, metrics_);
       if (out.size() > budget) out.resize(budget);
-      return out;
+      return note_generated(seeds, std::move(out));
     }
   }
 
@@ -110,33 +127,38 @@ std::vector<Ipv6> EntropyIp::generate(std::span<const Ipv6> seeds,
 
   // Per-segment statistics: value dictionary with frequencies, numeric
   // range, and a first-order dependency on the previous segment's value
-  // (value pairs observed together in a seed).
+  // (value pairs observed together in a seed). Segments are independent
+  // (segment si reads the fields of si and si-1 only), so the model
+  // builds fan out over the pool.
   struct Model {
     std::vector<std::pair<std::uint64_t, std::size_t>> dict;  // value,count
     std::uint64_t min = ~std::uint64_t{0};
     std::uint64_t max = 0;
     std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> after;
   };
-  std::vector<Model> models(segments.size());
 
-  auto seg_value = [](const Ipv6& a, const Segment& s) {
-    std::uint64_t v = 0;
-    for (int i = s.begin; i < s.end; ++i) v = v << 4 | a.nibble(i);
-    return v;
-  };
-
+  const AddrBatch batch(seeds);
+  std::vector<std::vector<std::uint64_t>> seg_values(segments.size());
   for (std::size_t si = 0; si < segments.size(); ++si) {
-    std::map<std::uint64_t, std::size_t> counts;
-    for (const auto& a : seeds) {
-      const std::uint64_t v = seg_value(a, segments[si]);
-      ++counts[v];
-      if (v < models[si].min) models[si].min = v;
-      if (v > models[si].max) models[si].max = v;
-      if (si > 0)
-        models[si].after[seg_value(a, segments[si - 1])].push_back(v);
-    }
-    models[si].dict.assign(counts.begin(), counts.end());
+    seg_values[si].resize(seeds.size());
+    // Clamped to the last 16 nibbles: matches the 64-bit overflow of the
+    // scalar fold for oversized segments.
+    batch.nibble_field(std::max(segments[si].begin, segments[si].end - 16),
+                       segments[si].end, seg_values[si].data());
   }
+  auto models = ordered_map<Model>(pool_, segments.size(), [&](std::size_t si) {
+    Model model;
+    std::map<std::uint64_t, std::size_t> counts;
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+      const std::uint64_t v = seg_values[si][k];
+      ++counts[v];
+      if (v < model.min) model.min = v;
+      if (v > model.max) model.max = v;
+      if (si > 0) model.after[seg_values[si - 1][k]].push_back(v);
+    }
+    model.dict.assign(counts.begin(), counts.end());
+    return model;
+  });
 
   Rng rng(hash_combine(cfg_.seed, seeds.size()));
   std::size_t attempts = 0;
@@ -190,9 +212,9 @@ std::vector<Ipv6> EntropyIp::generate(std::span<const Ipv6> seeds,
     }
     out.push_back(cand);
   }
-  dedup_addresses(out);
+  dedup_addresses(out, pool_, metrics_);
   if (out.size() > budget) out.resize(budget);
-  return out;
+  return note_generated(seeds, std::move(out));
 }
 
 }  // namespace sixdust

@@ -35,6 +35,7 @@ class EntropyIp final : public TargetGenerator {
   explicit EntropyIp(Config cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "Entropy/IP"; }
+  [[nodiscard]] std::string token() const override { return "entropyip"; }
   [[nodiscard]] std::vector<Ipv6> generate(std::span<const Ipv6> seeds,
                                            std::size_t budget) const override;
 

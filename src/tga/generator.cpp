@@ -1,0 +1,47 @@
+#include "tga/generator.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace sixdust {
+
+namespace {
+
+constexpr std::uint64_t kCandBounds[] = {100,     1000,     10000,   100000,
+                                         1000000, 10000000, 100000000};
+
+}  // namespace
+
+std::vector<Ipv6> TargetGenerator::note_generated(std::span<const Ipv6> seeds,
+                                                  std::vector<Ipv6> out) const {
+  if (metrics_ != nullptr) {
+    const std::string t = token();
+    metrics_->counter("tga.calls{algo=" + t + "}").inc();
+    metrics_->counter("tga.seeds{algo=" + t + "}").add(seeds.size());
+    metrics_->counter("tga.candidates{algo=" + t + "}").add(out.size());
+    metrics_->histogram("tga.candidates_per_call", kCandBounds)
+        .record(out.size());
+  }
+  return out;
+}
+
+std::vector<Nibbles> to_nibbles_batch(std::span<const Ipv6> addrs) {
+  std::vector<Nibbles> rows(addrs.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    expand_nibbles(addrs[i].hi(), addrs[i].lo(), rows[i].data());
+  return rows;
+}
+
+void append_from_nibbles(std::span<const Nibbles> rows,
+                         std::vector<Ipv6>& out) {
+  const std::size_t base = out.size();
+  out.resize(base + rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    out[base + i] = pack_nibbles(rows[i].data());
+}
+
+void dedup_addresses(std::vector<Ipv6>& addrs, ThreadPool* pool,
+                     MetricsRegistry* reg) {
+  radix_dedup(addrs, pool, reg);
+}
+
+}  // namespace sixdust

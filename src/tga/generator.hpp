@@ -5,25 +5,55 @@
 #include <string>
 #include <vector>
 
+#include "netbase/addr_batch.hpp"
 #include "netbase/ipv6.hpp"
 
 namespace sixdust {
+
+class ThreadPool;
+class MetricsRegistry;
 
 /// Common interface of the IPv6 target generation algorithms evaluated in
 /// Sec. 6 of the paper. All of them share one premise: address plans are
 /// structured, so a set of known-responsive seeds predicts further live
 /// addresses.
+///
+/// Batch contract (DESIGN.md §12): every generator runs on the columnar
+/// AddrBatch primitives for its bulk work (dedup, nibble transpose,
+/// membership filtering) and may fan its generate path out over an
+/// attached ThreadPool. Output is byte-identical for every thread count
+/// (including no pool at all) — the same determinism guarantee the scan
+/// engine gives (DESIGN.md §7).
 class TargetGenerator {
  public:
   virtual ~TargetGenerator() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Label-safe short token for tga.* metric names.
+  [[nodiscard]] virtual std::string token() const = 0;
+
   /// Generate up to `budget` candidate addresses from `seeds`. Output is
   /// deduplicated but may include seed addresses (the evaluation pipeline
   /// subtracts already-known input).
   [[nodiscard]] virtual std::vector<Ipv6> generate(
       std::span<const Ipv6> seeds, std::size_t budget) const = 0;
+
+  /// Attach a worker pool (borrowed; null = sequential). Output does not
+  /// depend on the pool or its size.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Attach tga.* telemetry (borrowed; null = off). All recorded metrics
+  /// are stable: counts derive from the seeded input only.
+  void set_metrics(MetricsRegistry* reg) { metrics_ = reg; }
+
+ protected:
+  /// Record the per-call tga.* counters; returns `out` for tail calls.
+  std::vector<Ipv6> note_generated(std::span<const Ipv6> seeds,
+                                   std::vector<Ipv6> out) const;
+
+  ThreadPool* pool_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Nibble-array view of an address (32 hex digits, most significant first)
@@ -32,18 +62,28 @@ using Nibbles = std::array<std::uint8_t, 32>;
 
 [[nodiscard]] inline Nibbles to_nibbles(const Ipv6& a) {
   Nibbles n;
-  for (int i = 0; i < 32; ++i)
-    n[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(a.nibble(i));
+  expand_nibbles(a.hi(), a.lo(), n.data());
   return n;
 }
 
 [[nodiscard]] inline Ipv6 from_nibbles(const Nibbles& n) {
-  Ipv6 a;
-  for (int i = 0; i < 32; ++i) a.set_nibble(i, n[static_cast<std::size_t>(i)]);
-  return a;
+  return pack_nibbles(n.data());
 }
 
-/// Sort + dedup helper shared by the generators.
-void dedup_addresses(std::vector<Ipv6>& addrs);
+/// Batch transpose: the nibble rows of every address in `addrs`, computed
+/// with the columnar kernel (one sequential read, vectorizable byte
+/// splits) instead of 32 per-address nibble() calls.
+[[nodiscard]] std::vector<Nibbles> to_nibbles_batch(
+    std::span<const Ipv6> addrs);
+
+/// Batch inverse transpose, appending to `out`.
+void append_from_nibbles(std::span<const Nibbles> rows,
+                         std::vector<Ipv6>& out);
+
+/// Sort + dedup helper shared by the generators: radix sort-unique on the
+/// batch engine (optionally parallel over `pool`; byte-identical output
+/// for any thread count).
+void dedup_addresses(std::vector<Ipv6>& addrs, ThreadPool* pool = nullptr,
+                     MetricsRegistry* reg = nullptr);
 
 }  // namespace sixdust

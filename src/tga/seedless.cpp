@@ -1,30 +1,46 @@
 #include "tga/seedless.hpp"
 
-#include <unordered_set>
-
-#include "netbase/hash.hpp"
+#include "core/parallel.hpp"
+#include "netbase/frozen_lpm.hpp"
 #include "netbase/prefix_set.hpp"
+#include "obs/metrics.hpp"
 
 namespace sixdust {
 
 std::vector<Ipv6> Seedless::generate(const Rib& rib,
                                      std::span<const Ipv6> covered,
                                      std::size_t budget) const {
-  // Mark announced prefixes that already contain a seed.
-  PrefixTrie<std::size_t> route_index;
+  // Mark announced prefixes that already contain a seed. The trie is
+  // frozen into an interval table first: the per-address longest-prefix
+  // lookup over the hitlist-scale `covered` set is the hot loop here, and
+  // the frozen form is both faster and safely shared across the pool.
+  // Route membership is a set union, so the per-chunk bitmaps merge
+  // commutatively — any thread count yields the same marks.
+  PrefixTrie<std::size_t> route_trie;
   for (std::size_t i = 0; i < rib.routes().size(); ++i)
-    route_index.insert(rib.routes()[i].prefix, i);
-  std::unordered_set<std::size_t> covered_routes;
-  for (const auto& a : covered) {
-    if (const std::size_t* r = route_index.lookup(a))
-      covered_routes.insert(*r);
-  }
+    route_trie.insert(rib.routes()[i].prefix, i);
+  const FrozenLpm<std::size_t> route_index(route_trie);
+  const std::size_t chunks = parallel_chunks(pool_, covered.size());
+  const auto covered_routes = ordered_reduce(
+      pool_, chunks, std::vector<std::uint8_t>(rib.routes().size(), 0),
+      [&](std::size_t c) {
+        const auto [b, e] = chunk_range(covered.size(), chunks, c);
+        std::vector<std::uint8_t> marks(rib.routes().size(), 0);
+        for (std::size_t k = b; k < e; ++k)
+          if (const std::size_t* r = route_index.lookup(covered[k]))
+            marks[*r] = 1;
+        return marks;
+      },
+      [](std::vector<std::uint8_t>& acc,
+         const std::vector<std::uint8_t>& part) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] |= part[i];
+      });
 
   std::vector<Ipv6> out;
   out.reserve(budget);
   for (std::size_t i = 0; i < rib.routes().size() && out.size() < budget;
        ++i) {
-    if (covered_routes.contains(i)) continue;
+    if (covered_routes[i] != 0) continue;
     const Prefix& p = rib.routes()[i].prefix;
     // Enumerate the first /64s of the announced prefix (or the prefix
     // itself when it is a /64 or longer).
@@ -44,7 +60,12 @@ std::vector<Ipv6> Seedless::generate(const Rib& rib,
       }
     }
   }
-  dedup_addresses(out);
+  dedup_addresses(out, pool_, metrics_);
+  if (metrics_ != nullptr) {
+    metrics_->counter("tga.calls{algo=seedless}").add(1);
+    metrics_->counter("tga.seeds{algo=seedless}").add(covered.size());
+    metrics_->counter("tga.candidates{algo=seedless}").add(out.size());
+  }
   return out;
 }
 

@@ -31,6 +31,12 @@ class Seedless {
 
   [[nodiscard]] std::string name() const { return "Seedless (AddrMiner-style)"; }
 
+  /// Optional worker pool for the covered-route marking pass; results are
+  /// identical at any thread count (same contract as TargetGenerator).
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  /// Optional metrics sink (tga.* counters).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Candidates for every announced prefix that contains no address of
   /// `covered` (the hitlist's current input).
   [[nodiscard]] std::vector<Ipv6> generate(const Rib& rib,
@@ -39,6 +45,8 @@ class Seedless {
 
  private:
   Config cfg_;
+  ThreadPool* pool_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sixdust

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/parallel.hpp"
 #include "netbase/hash.hpp"
 #include "netbase/rng.hpp"
 
@@ -14,6 +15,7 @@ struct Markov {
   // 32 positions x 16 prev x 16 next, flattened.
   std::vector<std::uint32_t> counts = std::vector<std::uint32_t>(32 * 16 * 16, 0);
   std::size_t support = 0;
+  std::vector<std::uint32_t> members;  // seed indices, input order
 
   void train(const Nibbles& n) {
     ++support;
@@ -48,17 +50,31 @@ std::vector<Ipv6> SixGan::generate(std::span<const Ipv6> seeds,
   std::vector<Ipv6> out;
   if (seeds.empty() || budget == 0) return out;
 
-  // Cluster seeds by their leading nibbles (operator-level patterns).
+  const std::vector<Nibbles> nib = to_nibbles_batch(seeds);
+
+  // Cluster seeds by their leading nibbles (operator-level patterns). The
+  // map entries are created in first-encounter order (so downstream
+  // iteration matches the sequential build); training itself — the 32 x N
+  // count updates — runs per cluster on the pool, each cluster walking
+  // its members in input order.
   std::unordered_map<std::uint64_t, Markov> clusters;
   std::unordered_map<std::uint64_t, Nibbles> representative;
-  for (const auto& a : seeds) {
-    const Nibbles n = to_nibbles(a);
+  std::vector<Markov*> cluster_list;
+  for (std::uint32_t i = 0; i < seeds.size(); ++i) {
+    const Nibbles& n = nib[i];
     std::uint64_t key = 0;
-    for (int i = 0; i < cfg_.cluster_nibbles; ++i)
-      key = key << 4 | n[static_cast<std::size_t>(i)];
-    clusters[key].train(n);
+    for (int k = 0; k < cfg_.cluster_nibbles; ++k)
+      key = key << 4 | n[static_cast<std::size_t>(k)];
+    auto [it, inserted] = clusters.try_emplace(key);
+    if (inserted) cluster_list.push_back(&it->second);
+    it->second.members.push_back(i);
     representative.try_emplace(key, n);
   }
+  parallel_for(pool_, cluster_list.size(), cluster_list.size(),
+               [&](std::size_t c, std::size_t, std::size_t) {
+                 Markov& m = *cluster_list[c];
+                 for (const std::uint32_t i : m.members) m.train(nib[i]);
+               });
 
   // Keep only the largest clusters (6GAN's narrow pattern modes).
   std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
@@ -70,31 +86,44 @@ std::vector<Ipv6> SixGan::generate(std::span<const Ipv6> seeds,
 
   std::size_t total_support = 0;
   for (const auto& [key, support] : ranked) total_support += support;
-  if (total_support == 0) return out;
+  if (total_support == 0) return note_generated(seeds, std::move(out));
 
-  out.reserve(budget);
-  for (const auto& [key, support] : ranked) {
-    const Markov& model = clusters[key];
-    const std::size_t share = budget * support / total_support;
-    Rng rng(hash_combine(cfg_.seed, key));
-    const Nibbles& rep = representative[key];
-    for (std::size_t k = 0; k < share; ++k) {
-      Nibbles cand = rep;  // keep the cluster's operator prefix
-      std::uint8_t prev =
-          cand[static_cast<std::size_t>(cfg_.cluster_nibbles - 1)];
-      for (int pos = cfg_.cluster_nibbles; pos < 32; ++pos) {
-        std::uint8_t v = model.sample(pos, prev, rng);
-        if (rng.unit() < cfg_.mutation_rate)
-          v = static_cast<std::uint8_t>(rng.below(16));
-        cand[static_cast<std::size_t>(pos)] = v;
-        prev = v;
-      }
-      out.push_back(from_nibbles(cand));
-    }
-  }
-  dedup_addresses(out);
+  // Every retained cluster samples from its own deterministic RNG stream
+  // (seeded by the cluster key), so emission parallelizes cleanly; parts
+  // concatenate in ranked order — the sequential push order.
+  const auto parts = ordered_map<std::vector<Ipv6>>(
+      pool_, ranked.size(), [&](std::size_t r) {
+        const auto& [key, support] = ranked[r];
+        // .at(): read-only lookups — tasks must not mutate the shared maps.
+        const Markov& model = clusters.at(key);
+        const std::size_t share = budget * support / total_support;
+        Rng rng(hash_combine(cfg_.seed, key));
+        const Nibbles& rep = representative.at(key);
+        std::vector<Ipv6> part;
+        part.reserve(share);
+        for (std::size_t k = 0; k < share; ++k) {
+          Nibbles cand = rep;  // keep the cluster's operator prefix
+          std::uint8_t prev =
+              cand[static_cast<std::size_t>(cfg_.cluster_nibbles - 1)];
+          for (int pos = cfg_.cluster_nibbles; pos < 32; ++pos) {
+            std::uint8_t v = model.sample(pos, prev, rng);
+            if (rng.unit() < cfg_.mutation_rate)
+              v = static_cast<std::uint8_t>(rng.below(16));
+            cand[static_cast<std::size_t>(pos)] = v;
+            prev = v;
+          }
+          part.push_back(from_nibbles(cand));
+        }
+        return part;
+      });
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+
+  dedup_addresses(out, pool_, metrics_);
   if (out.size() > budget) out.resize(budget);
-  return out;
+  return note_generated(seeds, std::move(out));
 }
 
 }  // namespace sixdust

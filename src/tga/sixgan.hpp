@@ -31,6 +31,7 @@ class SixGan final : public TargetGenerator {
   explicit SixGan(Config cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "6GAN"; }
+  [[nodiscard]] std::string token() const override { return "6gan"; }
   [[nodiscard]] std::vector<Ipv6> generate(std::span<const Ipv6> seeds,
                                            std::size_t budget) const override;
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <unordered_map>
 
+#include "core/parallel.hpp"
 #include "netbase/hash.hpp"
 
 namespace sixdust {
@@ -42,6 +43,18 @@ struct Pattern {
   std::array<std::uint16_t, 32> values{};  // bitmask of observed nibble values
   std::size_t support = 0;
 };
+
+/// Number of addresses emit_pattern will produce — used to plan the
+/// parallel emission (and the seed budget cutoff) without generating.
+std::size_t emit_size(const Pattern& pat, std::size_t budget) {
+  double product = 1;
+  for (int p = 0; p < 32; ++p)
+    product *= std::popcount(
+        static_cast<unsigned>(pat.values[static_cast<std::size_t>(p)]));
+  if (product <= static_cast<double>(budget))
+    return static_cast<std::size_t>(product);
+  return budget;
+}
 
 void emit_pattern(const Pattern& pat, std::size_t budget, std::uint64_t seed,
                   std::vector<Ipv6>& out) {
@@ -94,17 +107,27 @@ std::vector<Ipv6> SixGraph::generate(std::span<const Ipv6> seeds,
   if (seeds.empty() || budget == 0) return out;
 
   std::vector<Ipv6> sorted(seeds.begin(), seeds.end());
-  dedup_addresses(sorted);
-  std::vector<Nibbles> nib(sorted.size());
-  for (std::size_t i = 0; i < sorted.size(); ++i) nib[i] = to_nibbles(sorted[i]);
+  dedup_addresses(sorted, pool_, metrics_);
+  const std::vector<Nibbles> nib = to_nibbles_batch(sorted);
 
   // Build the similarity graph via masked-key buckets (distance <= 1).
+  // The 32 x N key hashes dominate the build and are independent, so they
+  // fan out over the pool; the bucket/unite sweep stays sequential in
+  // (skip, i) order — the component partition and the bucket-owner choice
+  // are exactly the sequential ones for any thread count.
+  const auto keys = ordered_map<std::vector<std::uint64_t>>(
+      pool_, 32, [&](std::size_t skip) {
+        std::vector<std::uint64_t> k(sorted.size());
+        for (std::size_t i = 0; i < sorted.size(); ++i)
+          k[i] = masked_key(nib[i], static_cast<int>(skip));
+        return k;
+      });
   UnionFind uf(sorted.size());
   std::unordered_map<std::uint64_t, std::size_t> first_in_bucket;
   first_in_bucket.reserve(sorted.size() * 8);
   for (int skip = 0; skip < 32; ++skip) {
     for (std::size_t i = 0; i < sorted.size(); ++i) {
-      const std::uint64_t key = masked_key(nib[i], skip);
+      const std::uint64_t key = keys[static_cast<std::size_t>(skip)][i];
       auto [it, inserted] = first_in_bucket.try_emplace(key, i);
       if (!inserted) uf.unite(i, it->second);
     }
@@ -138,18 +161,37 @@ std::vector<Ipv6> SixGraph::generate(std::span<const Ipv6> seeds,
     total_support += pat.support;
     usable.push_back(pat);
   }
-  if (usable.empty()) return out;
+  if (usable.empty()) return note_generated(seeds, std::move(out));
 
-  out.reserve(budget);
+  // Emission plan: per-pattern share, sampling seed and output size are
+  // all computable up front, so the memory-guard cutoff (stop after the
+  // pattern that pushes the emitted total past 2x budget) is applied
+  // before generating and the surviving patterns emit in parallel.
   std::uint64_t pattern_seed = cfg_.seed;
+  std::size_t included = 0;
+  std::size_t planned = 0;
+  std::vector<std::pair<std::size_t, std::uint64_t>> plan;  // share, seed
+  plan.reserve(usable.size());
   for (const auto& pat : usable) {
     const std::size_t share = budget * pat.support / total_support + 16;
-    emit_pattern(pat, share, hash_combine(cfg_.seed, ++pattern_seed), out);
-    if (out.size() >= budget * 2) break;  // hard memory guard
+    plan.emplace_back(share, hash_combine(cfg_.seed, ++pattern_seed));
+    ++included;
+    planned += emit_size(pat, share);
+    if (planned >= budget * 2) break;  // hard memory guard
   }
-  dedup_addresses(out);
+  const auto parts = ordered_map<std::vector<Ipv6>>(
+      pool_, included, [&](std::size_t k) {
+        std::vector<Ipv6> part;
+        part.reserve(emit_size(usable[k], plan[k].first));
+        emit_pattern(usable[k], plan[k].first, plan[k].second, part);
+        return part;
+      });
+  out.reserve(planned);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+
+  dedup_addresses(out, pool_, metrics_);
   if (out.size() > budget) out.resize(budget);
-  return out;
+  return note_generated(seeds, std::move(out));
 }
 
 }  // namespace sixdust

@@ -28,6 +28,7 @@ class SixGraph final : public TargetGenerator {
   explicit SixGraph(Config cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "6Graph"; }
+  [[nodiscard]] std::string token() const override { return "6graph"; }
   [[nodiscard]] std::vector<Ipv6> generate(std::span<const Ipv6> seeds,
                                            std::size_t budget) const override;
 

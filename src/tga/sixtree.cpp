@@ -2,15 +2,10 @@
 
 #include <algorithm>
 
+#include "core/parallel.hpp"
 #include "netbase/hash.hpp"
 
 namespace sixdust {
-
-void dedup_addresses(std::vector<Ipv6>& addrs) {
-  std::sort(addrs.begin(), addrs.end());
-  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
-}
-
 namespace {
 
 struct Leaf {
@@ -46,6 +41,48 @@ void split(const std::vector<Ipv6>& seeds, std::size_t begin, std::size_t end,
   }
 }
 
+/// Candidates of one leaf: expand the deepest free nibble dimensions of
+/// every member seed. Depends only on the leaf's slice and its budget
+/// share, so leaves generate independently (and in parallel).
+std::vector<Ipv6> emit_leaf(const std::vector<Ipv6>& sorted, const Leaf& leaf,
+                            std::size_t leaf_budget, int expand_dims) {
+  std::vector<Ipv6> out;
+  const auto rows = to_nibbles_batch(
+      std::span<const Ipv6>(sorted).subspan(leaf.begin, leaf.end - leaf.begin));
+
+  // Free dimensions: nibble positions whose values vary inside the leaf.
+  std::vector<int> dims;
+  for (int pos = 0; pos < 32; ++pos) {
+    const std::uint8_t v0 = rows[0][static_cast<std::size_t>(pos)];
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i][static_cast<std::size_t>(pos)] != v0) {
+        dims.push_back(pos);
+        break;
+      }
+    }
+  }
+  if (dims.empty()) dims.push_back(31);
+  // Expand the deepest `expand_dims` free dimensions.
+  const int nd = std::min<int>(expand_dims, static_cast<int>(dims.size()));
+  std::vector<int> expand(dims.end() - nd, dims.end());
+
+  std::size_t emitted = 0;
+  const std::size_t combos = static_cast<std::size_t>(1) << (4 * nd);
+  out.reserve(std::min(leaf_budget, rows.size() * combos));
+  for (std::size_t s = 0; s < rows.size() && emitted < leaf_budget; ++s) {
+    const Nibbles& base = rows[s];
+    for (std::size_t c = 0; c < combos && emitted < leaf_budget; ++c) {
+      Nibbles cand = base;
+      for (int d = 0; d < nd; ++d)
+        cand[static_cast<std::size_t>(expand[static_cast<std::size_t>(d)])] =
+            static_cast<std::uint8_t>((c >> (4 * d)) & 0xf);
+      out.push_back(from_nibbles(cand));
+      ++emitted;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<Ipv6> SixTree::generate(std::span<const Ipv6> seeds,
@@ -54,51 +91,29 @@ std::vector<Ipv6> SixTree::generate(std::span<const Ipv6> seeds,
   if (seeds.empty() || budget == 0) return out;
 
   std::vector<Ipv6> sorted(seeds.begin(), seeds.end());
-  dedup_addresses(sorted);
+  dedup_addresses(sorted, pool_, metrics_);
 
   std::vector<Leaf> leaves;
   split(sorted, 0, sorted.size(), 0, cfg_.min_leaf, leaves);
 
-  out.reserve(budget);
-  for (const auto& leaf : leaves) {
-    const std::size_t count = leaf.end - leaf.begin;
-    std::size_t leaf_budget =
-        budget * count / sorted.size() + 16;  // floor share + slack
+  // Leaves are independent: generate each one's share on the pool and
+  // concatenate in leaf order (ordered_map), then dedup once.
+  const auto parts = ordered_map<std::vector<Ipv6>>(
+      pool_, leaves.size(), [&](std::size_t k) {
+        const Leaf& leaf = leaves[k];
+        const std::size_t count = leaf.end - leaf.begin;
+        const std::size_t leaf_budget =
+            budget * count / sorted.size() + 16;  // floor share + slack
+        return emit_leaf(sorted, leaf, leaf_budget, cfg_.expand_dims);
+      });
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
 
-    // Free dimensions: nibble positions whose values vary inside the leaf.
-    std::vector<int> dims;
-    for (int pos = 0; pos < 32; ++pos) {
-      const unsigned v0 = sorted[leaf.begin].nibble(pos);
-      for (std::size_t i = leaf.begin + 1; i < leaf.end; ++i) {
-        if (sorted[i].nibble(pos) != v0) {
-          dims.push_back(pos);
-          break;
-        }
-      }
-    }
-    if (dims.empty()) dims.push_back(31);
-    // Expand the deepest `expand_dims` free dimensions.
-    const int nd = std::min<int>(cfg_.expand_dims, static_cast<int>(dims.size()));
-    std::vector<int> expand(dims.end() - nd, dims.end());
-
-    std::size_t emitted = 0;
-    const std::size_t combos = static_cast<std::size_t>(1) << (4 * nd);
-    for (std::size_t s = leaf.begin; s < leaf.end && emitted < leaf_budget;
-         ++s) {
-      Nibbles base = to_nibbles(sorted[s]);
-      for (std::size_t c = 0; c < combos && emitted < leaf_budget; ++c) {
-        Nibbles cand = base;
-        for (int d = 0; d < nd; ++d)
-          cand[static_cast<std::size_t>(expand[static_cast<std::size_t>(d)])] =
-              static_cast<std::uint8_t>((c >> (4 * d)) & 0xf);
-        out.push_back(from_nibbles(cand));
-        ++emitted;
-      }
-    }
-  }
-  dedup_addresses(out);
+  dedup_addresses(out, pool_, metrics_);
   if (out.size() > budget) out.resize(budget);
-  return out;
+  return note_generated(seeds, std::move(out));
 }
 
 }  // namespace sixdust

@@ -25,6 +25,7 @@ class SixTree final : public TargetGenerator {
   explicit SixTree(Config cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "6Tree"; }
+  [[nodiscard]] std::string token() const override { return "6tree"; }
   [[nodiscard]] std::vector<Ipv6> generate(std::span<const Ipv6> seeds,
                                            std::size_t budget) const override;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "netbase/hash.hpp"
 #include "netbase/rng.hpp"
 
@@ -13,29 +14,43 @@ std::vector<Ipv6> SixVecLm::generate(std::span<const Ipv6> seeds,
   std::vector<Ipv6> out;
   if (seeds.empty() || budget == 0) return out;
 
-  // Global position-dependent bigram counts.
-  std::vector<std::uint32_t> counts(32 * 16 * 16, 0);
-  for (const auto& a : seeds) {
-    const Nibbles n = to_nibbles(a);
-    std::uint8_t prev = 0;
-    for (int pos = 0; pos < 32; ++pos) {
-      const std::uint8_t next = n[static_cast<std::size_t>(pos)];
-      ++counts[static_cast<std::size_t>(pos) * 256 + prev * 16 + next];
-      prev = next;
-    }
-  }
+  // Global position-dependent bigram counts. Pure integer sums, so the
+  // chunked training merges in index order to the exact sequential table.
+  const std::size_t chunks = parallel_chunks(pool_, seeds.size());
+  auto counts = ordered_reduce(
+      pool_, chunks, std::vector<std::uint32_t>(32 * 16 * 16, 0),
+      [&](std::size_t c) {
+        const auto [b, e] = chunk_range(seeds.size(), chunks, c);
+        std::vector<std::uint32_t> local(32 * 16 * 16, 0);
+        Nibbles n;
+        for (std::size_t s = b; s < e; ++s) {
+          expand_nibbles(seeds[s].hi(), seeds[s].lo(), n.data());
+          std::uint8_t prev = 0;
+          for (int pos = 0; pos < 32; ++pos) {
+            const std::uint8_t next = n[static_cast<std::size_t>(pos)];
+            ++local[static_cast<std::size_t>(pos) * 256 + prev * 16 + next];
+            prev = next;
+          }
+        }
+        return local;
+      },
+      [](std::vector<std::uint32_t>& acc,
+         const std::vector<std::uint32_t>& part) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += part[i];
+      });
 
   // Low-temperature sampling: mostly argmax continuations with occasional
   // exploration, conditioned on real seed prefixes (the "language model
-  // completes the sentence" behaviour).
+  // completes the sentence" behaviour). The RNG stream is one sequential
+  // chain, so sampling stays on the calling thread.
   Rng rng(cfg_.seed);
   const int prefix_keep = 16;  // keep the seed's /64, generate the IID
   std::size_t attempts = 0;
   while (out.size() < budget && attempts < budget * 4) {
     ++attempts;
-    const Nibbles base =
-        to_nibbles(seeds[rng.below(seeds.size())]);
-    Nibbles cand = base;
+    Nibbles cand;
+    const Ipv6& base = seeds[rng.below(seeds.size())];
+    expand_nibbles(base.hi(), base.lo(), cand.data());
     std::uint8_t prev = cand[prefix_keep - 1];
     for (int pos = prefix_keep; pos < 32; ++pos) {
       const std::uint32_t* row =
@@ -56,9 +71,9 @@ std::vector<Ipv6> SixVecLm::generate(std::span<const Ipv6> seeds,
     }
     out.push_back(from_nibbles(cand));
   }
-  dedup_addresses(out);
+  dedup_addresses(out, pool_, metrics_);
   if (out.size() > budget) out.resize(budget);
-  return out;
+  return note_generated(seeds, std::move(out));
 }
 
 }  // namespace sixdust

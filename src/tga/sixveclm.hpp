@@ -23,6 +23,7 @@ class SixVecLm final : public TargetGenerator {
   explicit SixVecLm(Config cfg) : cfg_(cfg) {}
 
   [[nodiscard]] std::string name() const override { return "6VecLM"; }
+  [[nodiscard]] std::string token() const override { return "6veclm"; }
   [[nodiscard]] std::vector<Ipv6> generate(std::span<const Ipv6> seeds,
                                            std::size_t budget) const override;
 

@@ -1,0 +1,193 @@
+// Tests for the columnar address batch engine (netbase/addr_batch.hpp):
+// radix sort-unique against a reference comparison sort, the membership
+// merge ops, the range filler, and the nibble transpose kernels.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "netbase/addr_batch.hpp"
+#include "netbase/addrio.hpp"
+#include "netbase/hash.hpp"
+#include "netbase/prefix.hpp"
+#include "netbase/rng.hpp"
+
+namespace sixdust {
+namespace {
+
+std::vector<Ipv6> random_addrs(std::size_t n, std::uint64_t seed,
+                               double dup_frac = 0.25) {
+  // Clustered like a real candidate set: few /32s, structured low words,
+  // a share of exact duplicates.
+  Rng rng(seed);
+  std::vector<Ipv6> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (!out.empty() && rng.unit() < dup_frac) {
+      out.push_back(out[rng.below(out.size())]);
+      continue;
+    }
+    const std::uint64_t hi =
+        0x2001'0db8'0000'0000ULL | (rng.below(16) << 32) | rng.below(0x1000);
+    const std::uint64_t lo = rng.unit() < 0.5 ? rng.below(0x10000) : rng.next();
+    out.push_back(Ipv6::from_words(hi, lo));
+  }
+  return out;
+}
+
+std::vector<Ipv6> reference_sorted_unique(std::vector<Ipv6> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+TEST(AddrBatch, SortUniqueMatchesReferenceAcrossSizes) {
+  // Both sides of the kRadixMin cutoff, plus degenerate sizes.
+  for (const std::size_t n : {0u, 1u, 2u, 100u, 511u, 512u, 513u, 5000u}) {
+    const auto addrs = random_addrs(n, hash_combine(7, n));
+    AddrBatch batch{std::span<const Ipv6>(addrs)};
+    batch.sort_unique();
+    EXPECT_TRUE(batch.sorted());
+    EXPECT_EQ(batch.to_vector(), reference_sorted_unique(addrs)) << "n=" << n;
+  }
+}
+
+TEST(AddrBatch, SortUniqueIdenticalAtAnyThreadCount) {
+  const auto addrs = random_addrs(20000, 11);
+  AddrBatch sequential{std::span<const Ipv6>(addrs)};
+  sequential.sort_unique(nullptr);
+  for (const unsigned threads : {2u, 3u, 7u}) {
+    const auto pool = ThreadPool::create(threads);
+    AddrBatch parallel{std::span<const Ipv6>(addrs)};
+    parallel.sort_unique(pool.get());
+    EXPECT_EQ(parallel.to_vector(), sequential.to_vector())
+        << threads << " threads";
+  }
+}
+
+TEST(AddrBatch, SortUniqueHandlesAlreadySortedInput) {
+  auto addrs = reference_sorted_unique(random_addrs(3000, 13));
+  AddrBatch batch{std::span<const Ipv6>(addrs)};
+  batch.sort_unique();
+  EXPECT_EQ(batch.to_vector(), addrs);
+}
+
+TEST(AddrBatch, FilterCoveredDropsOrKeepsPrefixMembers) {
+  const auto addrs = reference_sorted_unique(random_addrs(4000, 17));
+  const std::vector<Prefix> table = {pfx("2001:db8:2::/48"),
+                                     pfx("2001:db8:2:4::/64"),
+                                     pfx("2001:db8:a00::/40")};
+  AddrBatch dropped{std::span<const Ipv6>(addrs)};
+  dropped.sort_unique();
+  dropped.filter_covered(table);
+  AddrBatch kept{std::span<const Ipv6>(addrs)};
+  kept.sort_unique();
+  kept.filter_covered(table, /*keep_covered=*/true);
+
+  auto covered = [&](const Ipv6& a) {
+    return std::any_of(table.begin(), table.end(),
+                       [&](const Prefix& p) { return p.contains(a); });
+  };
+  std::vector<Ipv6> want_dropped, want_kept;
+  for (const auto& a : addrs) (covered(a) ? want_kept : want_dropped).push_back(a);
+  EXPECT_EQ(dropped.to_vector(), want_dropped);
+  EXPECT_EQ(kept.to_vector(), want_kept);
+  EXPECT_EQ(dropped.size() + kept.size(), addrs.size());
+}
+
+TEST(AddrBatch, FilterCoveredHandlesNestedPrefixes) {
+  // Nested table: the inner /64 must not "shadow" its /48 parent's span.
+  std::vector<Ipv6> addrs = {ip("2001:db8:2::1"), ip("2001:db8:2:4::1"),
+                             ip("2001:db8:2:ffff::1"), ip("2001:db8:3::1")};
+  AddrBatch batch{std::span<const Ipv6>(addrs)};
+  batch.sort_unique();
+  const std::vector<Prefix> table = {pfx("2001:db8:2::/48"),
+                                     pfx("2001:db8:2:4::/64")};
+  batch.filter_covered(table);
+  EXPECT_EQ(batch.to_vector(), std::vector<Ipv6>{ip("2001:db8:3::1")});
+}
+
+TEST(AddrBatch, SubtractSortedRemovesExactMatches) {
+  const auto addrs = reference_sorted_unique(random_addrs(3000, 19));
+  // Known set: every third address plus some strangers.
+  std::vector<Ipv6> known_v;
+  for (std::size_t i = 0; i < addrs.size(); i += 3) known_v.push_back(addrs[i]);
+  known_v.push_back(ip("2a00::1"));
+  AddrBatch known{std::span<const Ipv6>(known_v)};
+  known.sort_unique();
+
+  AddrBatch batch{std::span<const Ipv6>(addrs)};
+  batch.sort_unique();
+  batch.subtract_sorted(known);
+
+  std::vector<Ipv6> want;
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    if (i % 3 != 0) want.push_back(addrs[i]);
+  EXPECT_EQ(batch.to_vector(), want);
+}
+
+TEST(AddrBatch, AppendRangeFillsConsecutiveAddressesAcrossWordWrap) {
+  AddrBatch batch;
+  const Ipv6 first = Ipv6::from_words(0x20010db800000000ULL, ~std::uint64_t{0} - 2);
+  batch.append_range(first, 6);
+  ASSERT_EQ(batch.size(), 6u);
+  EXPECT_TRUE(batch.sorted());  // fresh non-wrapping range is ascending
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(batch[i], first.plus(i));
+  EXPECT_EQ(batch[4].hi(), first.hi() + 1);  // crossed the low-word wrap
+}
+
+TEST(AddrBatch, TransposeRoundTripsAndMatchesNibble) {
+  const auto addrs = random_addrs(257, 23, 0.0);
+  AddrBatch batch{std::span<const Ipv6>(addrs)};
+  std::vector<std::uint8_t> nib(addrs.size() * 32);
+  batch.transpose_nibbles(nib.data());
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    for (int pos = 0; pos < 32; ++pos)
+      EXPECT_EQ(nib[i * 32 + static_cast<std::size_t>(pos)],
+                addrs[i].nibble(pos));
+    EXPECT_EQ(pack_nibbles(nib.data() + i * 32), addrs[i]);
+  }
+}
+
+TEST(AddrBatch, NibbleHistogramCountsColumn) {
+  const auto addrs = random_addrs(999, 29, 0.0);
+  const AddrBatch batch{std::span<const Ipv6>(addrs)};
+  for (const int pos : {0, 7, 15, 16, 23, 31}) {
+    std::array<std::uint32_t, 16> counts{};
+    batch.nibble_histogram(pos, counts);
+    std::array<std::uint32_t, 16> want{};
+    for (const auto& a : addrs) ++want[a.nibble(pos)];
+    EXPECT_EQ(counts, want) << "pos=" << pos;
+  }
+}
+
+TEST(AddrBatch, NibbleFieldMatchesScalarFold) {
+  const auto addrs = random_addrs(777, 31, 0.0);
+  const AddrBatch batch{std::span<const Ipv6>(addrs)};
+  std::vector<std::uint64_t> field(addrs.size());
+  // Hi-only, lo-only, boundary-straddling, and full-width windows.
+  const std::pair<int, int> windows[] = {{0, 8},   {4, 16},  {16, 24},
+                                         {20, 32}, {12, 20}, {0, 16},
+                                         {16, 32}, {8, 24},  {5, 5}};
+  for (const auto& [begin, end] : windows) {
+    batch.nibble_field(begin, end, field.data());
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+      std::uint64_t want = 0;
+      for (int p = begin; p < end; ++p)
+        want = want << 4 | addrs[i].nibble(p);
+      EXPECT_EQ(field[i], want) << "window [" << begin << "," << end << ")";
+    }
+  }
+}
+
+TEST(AddrBatch, RadixDedupHelperMatchesReference) {
+  auto addrs = random_addrs(2500, 37);
+  const auto want = reference_sorted_unique(addrs);
+  radix_dedup(addrs);
+  EXPECT_EQ(addrs, want);
+}
+
+}  // namespace
+}  // namespace sixdust

@@ -11,7 +11,9 @@
 #include <optional>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "gfw/detector.hpp"
+#include "netbase/addr_batch.hpp"
 #include "netbase/prefix_trie.hpp"
 #include "netbase/rng.hpp"
 #include "obs/metrics.hpp"
@@ -199,6 +201,59 @@ TEST(PrefixFuzz, StringRoundTrip) {
     EXPECT_EQ(*back, p);
   }
 }
+
+// --- batch engine differential fuzz ----------------------------------------
+//
+// The radix sort-unique against std::sort + std::unique on adversarial
+// address mixes: shared prefixes of every depth (so any subset of the 16
+// digit passes gets skipped), duplicates, runs, and full-random tails.
+
+class AddrBatchFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AddrBatchFuzz, RadixSortUniqueMatchesStdSort) {
+  Rng rng(GetParam());
+  std::vector<Ipv6> addrs;
+  const std::size_t n = 600 + rng.below(4000);  // above the radix cutoff
+  while (addrs.size() < n) {
+    switch (rng.below(4)) {
+      case 0:  // shared-prefix cluster at a random depth
+      {
+        const Prefix p = random_prefix(rng);
+        const std::size_t k = 1 + rng.below(64);
+        for (std::size_t i = 0; i < k; ++i)
+          addrs.push_back(p.random_address(rng.next()));
+        break;
+      }
+      case 1:  // consecutive run (radix worst case: only low digits vary)
+      {
+        Ipv6 base = random_addr(rng);
+        const std::size_t k = 1 + rng.below(64);
+        for (std::size_t i = 0; i < k; ++i) addrs.push_back(base.plus(i));
+        break;
+      }
+      case 2:  // exact duplicates
+        if (!addrs.empty()) addrs.push_back(addrs[rng.below(addrs.size())]);
+        break;
+      default:
+        addrs.push_back(random_addr(rng));
+    }
+  }
+  std::vector<Ipv6> want = addrs;
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+
+  AddrBatch batch{std::span<const Ipv6>(addrs)};
+  batch.sort_unique();
+  EXPECT_EQ(batch.to_vector(), want);
+
+  const auto pool = ThreadPool::create(2 + static_cast<unsigned>(GetParam() % 6));
+  AddrBatch parallel{std::span<const Ipv6>(addrs)};
+  parallel.sort_unique(pool.get());
+  EXPECT_EQ(parallel.to_vector(), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddrBatchFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 // --- metrics differential fuzz ---------------------------------------------
 //

@@ -306,5 +306,19 @@ TEST(U128, Helpers) {
   EXPECT_NEAR(u128_to_double(u128_pow2(64)), 1.8446744e19, 1e13);
 }
 
+TEST(U128, Log2EdgeCases) {
+  // Around the word boundary and the extremes of the countl_zero paths.
+  EXPECT_EQ(u128_log2(u128{1}), 0);
+  EXPECT_EQ(u128_log2(u128{2}), 1);
+  EXPECT_EQ(u128_log2(u128{3}), 1);
+  EXPECT_EQ(u128_log2(u128_pow2(63)), 63);
+  EXPECT_EQ(u128_log2(u128_pow2(64)), 64);
+  EXPECT_EQ(u128_log2(u128_pow2(64) - 1), 63);
+  EXPECT_EQ(u128_log2(u128_pow2(64) + 1), 64);
+  EXPECT_EQ(u128_log2(u128_pow2(127)), 127);
+  EXPECT_EQ(u128_log2(~u128{0}), 127);
+  static_assert(u128_log2(u128{1} << 127) == 127);  // stays constexpr
+}
+
 }  // namespace
 }  // namespace sixdust

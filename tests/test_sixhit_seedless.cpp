@@ -5,6 +5,7 @@
 
 #include <unordered_set>
 
+#include "core/thread_pool.hpp"
 #include "netbase/hash.hpp"
 #include "tga/seedless.hpp"
 #include "tga/sixhit.hpp"
@@ -125,6 +126,25 @@ TEST(Seedless, RespectsBudget) {
   const auto cands = gen.generate(rib, {}, 73);
   EXPECT_LE(cands.size(), 73u);
   EXPECT_GE(cands.size(), 60u);
+}
+
+TEST(TgaThreadInvarianceSeedless, ByteIdenticalAtAnyThreadCount) {
+  // The covered-route marking fans out over the pool; the emitted list
+  // must not depend on the thread count (DESIGN.md §12 contract).
+  auto w = build_test_world(93);
+  std::vector<KnownAddress> known;
+  w->enumerate_known(ScanDate{45}, known);
+  std::vector<Ipv6> covered;
+  for (const auto& k : known) covered.push_back(k.addr);
+  Seedless gen{Seedless::Config{}};
+  const auto sequential = gen.generate(w->rib(), covered, 5000);
+  for (const unsigned threads : {2u, 7u}) {
+    const auto pool = ThreadPool::create(threads);
+    gen.set_pool(pool.get());
+    const auto parallel = gen.generate(w->rib(), covered, 5000);
+    gen.set_pool(nullptr);
+    EXPECT_EQ(parallel, sequential) << threads << " threads";
+  }
 }
 
 TEST(Seedless, FindsRealHostsInTheSimulatedTail) {

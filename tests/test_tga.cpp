@@ -8,6 +8,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "core/thread_pool.hpp"
 #include "netbase/hash.hpp"
 #include "netbase/prefix.hpp"
 #include "tga/distance_clustering.hpp"
@@ -202,6 +203,52 @@ TEST(DistanceClusteringGen, IgnoresCrossSlash64Runs) {
   }
   DistanceClustering dc{DistanceClustering::Config{}};
   EXPECT_TRUE(dc.generate(seeds, 1000).empty());
+}
+
+/// A wider plan (several /48s, hundreds of hosts each) so the parallel
+/// paths actually chunk: leaf fan-out in 6Tree, cluster fan-out in 6GAN /
+/// Entropy/IP, and the radix dedup all cross their sequential cutoffs.
+std::vector<Ipv6> wide_seeds() {
+  std::vector<Ipv6> seeds;
+  for (std::uint32_t net = 0; net < 12; ++net) {
+    for (std::uint32_t s = 0; s < 16; ++s) {
+      for (std::uint64_t iid = 1; iid <= 20; ++iid) {
+        if (unit_from_hash(hash_combine(net, (s << 8) | iid)) > 0.7) continue;
+        Ipv6 a = ip("2001:db8::");
+        a.set_nibble(8, net & 0xf);
+        a.set_nibble(9, s);
+        seeds.push_back(Ipv6::from_words(a.hi(), iid));
+      }
+    }
+  }
+  return seeds;
+}
+
+/// The batch contract of DESIGN.md §12: generator output is byte-identical
+/// for every thread count, including no pool at all. (The suite name
+/// matches the tsan-concurrency preset filter, so the parallel paths also
+/// run under TSan.)
+TEST(TgaThreadInvariance, GeneratorsAreByteIdenticalAtAnyThreadCount) {
+  const std::vector<std::shared_ptr<TargetGenerator>> generators = {
+      std::make_shared<SixTree>(SixTree::Config{}),
+      std::make_shared<SixGraph>(SixGraph::Config{}),
+      std::make_shared<SixGan>(SixGan::Config{}),
+      std::make_shared<SixVecLm>(SixVecLm::Config{}),
+      std::make_shared<DistanceClustering>(DistanceClustering::Config{}),
+      std::make_shared<EntropyIp>(EntropyIp::Config{})};
+  const auto seeds = wide_seeds();
+  ASSERT_GT(seeds.size(), 512u);  // deep enough to hit the radix path
+  for (const auto& gen : generators) {
+    const auto sequential = gen->generate(seeds, 3000);
+    for (const unsigned threads : {1u, 2u, 7u}) {
+      const auto pool = ThreadPool::create(threads);
+      gen->set_pool(pool.get());
+      const auto parallel = gen->generate(seeds, 3000);
+      gen->set_pool(nullptr);  // pool dies at loop end
+      EXPECT_EQ(parallel, sequential)
+          << gen->name() << " with " << threads << " threads";
+    }
+  }
 }
 
 TEST(Nibbles, RoundTrip) {

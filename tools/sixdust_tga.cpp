@@ -3,11 +3,14 @@
 // candidates to measure the hit rate.
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <unordered_set>
 
 #include "cli.hpp"
+#include "core/thread_pool.hpp"
 #include "netbase/addrio.hpp"
+#include "obs/metrics.hpp"
 #include "scanner/zmap6.hpp"
 #include "tga/distance_clustering.hpp"
 #include "tga/entropyip.hpp"
@@ -28,12 +31,25 @@ usage: sixdust-tga --algorithm NAME [options]
   --seeds FILE       seed address list (default: responsive addresses of
                      the simulated world's public candidates)
   --budget N         candidate budget (default 10000)
+  --threads N        worker threads for generation, 0 = all cores
+                     (default 1; output is byte-identical at any count)
   --scan             scan the candidates and report the hit rate
   --world-seed N     world seed (default 42)
   --world-scale X    world scale (default 0.1)
   --out FILE         write generated candidates
+  --metrics-out FILE write the tga.* telemetry snapshot as JSON
   --help
 )";
+
+/// Write `content` to `path`; any open/write failure is a hard error —
+/// telemetry silently going missing defeats its purpose.
+void write_file_or_die(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) cli::die("cannot open '" + path + "' for writing");
+  f << content;
+  f.flush();
+  if (!f.good()) cli::die("cannot write '" + path + "'");
+}
 
 std::unique_ptr<TargetGenerator> make_generator(const std::string& name) {
   if (name == "6tree") return std::make_unique<SixTree>(SixTree::Config{});
@@ -56,6 +72,12 @@ int main(int argc, char** argv) {
   auto generator = make_generator(args.get("algorithm", "6tree"));
   if (generator == nullptr)
     cli::die("unknown algorithm '" + args.get("algorithm") + "'");
+
+  const auto pool =
+      ThreadPool::create(static_cast<unsigned>(args.get_u64("threads", 1)));
+  MetricsRegistry metrics;
+  generator->set_pool(pool.get());
+  generator->set_metrics(&metrics);
 
   WorldConfig wc;
   wc.seed = args.get_u64("world-seed", 42);
@@ -102,6 +124,10 @@ int main(int argc, char** argv) {
       cli::die("cannot write '" + args.get("out") + "'");
     std::printf("wrote %zu candidates to %s\n", candidates.size(),
                 args.get("out").c_str());
+  }
+  if (args.has("metrics-out")) {
+    write_file_or_die(args.get("metrics-out"), metrics.snapshot().to_json());
+    std::printf("metrics written to %s\n", args.get("metrics-out").c_str());
   }
   return 0;
 }
