@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
 #include "alias/apd.hpp"
@@ -21,6 +22,9 @@
 #include "proto/wire.hpp"
 #include "scanner/cyclic.hpp"
 #include "scanner/zmap6.hpp"
+#include "serve/protocol.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_manager.hpp"
 #include "tga/sixgraph.hpp"
 #include "tga/sixtree.hpp"
 #include "topo/world_builder.hpp"
@@ -693,6 +697,89 @@ void BM_AddrBatchMembershipMerge(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_AddrBatchMembershipMerge)->Arg(1 << 17);
+
+// --- serving layer (DESIGN.md §13) ------------------------------------------
+
+void BM_ServeQuery(benchmark::State& state) {
+  // The daemon's in-process read path: pin the current epoch snapshot,
+  // dispatch one protocol request through the QueryEngine, build the
+  // response frame. Besides the mean per-request time, reports the
+  // p50/p95/p99 request latency — the serve tail is what a live client
+  // feels, and a mean hides it.
+  static auto world = build_test_world(42);
+  static HitlistService* service = [] {
+    auto* s = new HitlistService(HitlistService::Config{});
+    s->run(*world, 3);
+    return s;
+  }();
+  static serve::SnapshotManager* snaps = [] {
+    auto* m = new serve::SnapshotManager();
+    m->publish(serve::freeze_epoch(*service, *world, 2));
+    return m;
+  }();
+  static MetricsRegistry reg;
+  const serve::QueryEngine engine(snaps, &reg);
+
+  // A seeded request mix: half the addresses known-responsive (lookup
+  // hits), half random (misses), across all four query ops.
+  const auto& rows = snaps->current()->responsive();
+  Rng rng(9);
+  std::vector<std::vector<std::uint8_t>> pool;
+  pool.reserve(1024);
+  for (int i = 0; i < 1024; ++i) {
+    const Ipv6 addr = (i % 2 == 0 && !rows.empty())
+                          ? rows[rng.below(rows.size())].first
+                          : Ipv6::from_words(rng.next(), rng.next());
+    switch (i % 4) {
+      case 0: pool.push_back(serve::request_lookup(addr)); break;
+      case 1: pool.push_back(serve::request_origin(addr)); break;
+      case 2: pool.push_back(serve::request_alias(addr)); break;
+      default: pool.push_back(serve::request_epoch_info()); break;
+    }
+  }
+
+  std::vector<double> lat_us;
+  lat_us.reserve(1 << 16);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto response = engine.handle(pool[next++ & 1023]);
+    benchmark::DoNotOptimize(response);
+    const auto t1 = std::chrono::steady_clock::now();
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  const auto pct = [&](double p) {
+    if (lat_us.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(p *
+                                              static_cast<double>(lat_us.size()));
+    return lat_us[std::min(lat_us.size() - 1, idx)];
+  };
+  state.counters["p50_us"] = pct(0.50);
+  state.counters["p95_us"] = pct(0.95);
+  state.counters["p99_us"] = pct(0.99);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeQuery);
+
+void BM_ServeEpochFreeze(benchmark::State& state) {
+  // Cost of the epoch barrier itself: freeze the service into an
+  // immutable snapshot (copy the responsive table, rebuild the aliased
+  // FrozenLpm, fingerprint everything) and publish it — the work the
+  // daemon adds on top of each batch step.
+  static auto world = build_test_world(42);
+  static HitlistService* service = [] {
+    auto* s = new HitlistService(HitlistService::Config{});
+    s->run(*world, 3);
+    return s;
+  }();
+  serve::SnapshotManager snaps;
+  for (auto _ : state)
+    snaps.publish(serve::freeze_epoch(*service, *world, 2));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeEpochFreeze);
 
 }  // namespace
 

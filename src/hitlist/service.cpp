@@ -264,8 +264,12 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
   return outcome;
 }
 
-void HitlistService::run(const World& world, int scans) {
-  for (int i = 0; i < scans; ++i) step(world, ScanDate{i});
+void HitlistService::run(const World& world, int scans,
+                         const EpochHook& on_epoch) {
+  for (int i = 0; i < scans; ++i) {
+    const ScanOutcome outcome = step(world, ScanDate{i});
+    if (on_epoch) on_epoch(outcome);
+  }
 }
 
 }  // namespace sixdust

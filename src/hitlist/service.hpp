@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_set>
 
@@ -87,8 +88,18 @@ class HitlistService {
   /// One service iteration.
   ScanOutcome step(const World& world, ScanDate date);
 
-  /// Run scans 0 .. scans-1.
-  void run(const World& world, int scans);
+  /// Epoch-barrier hook: invoked after a step's state is fully folded
+  /// (history recorded, metrics flushed) and before the next step begins.
+  /// This is the daemon's publication point — the hook may freeze service
+  /// state (it runs on the epoch thread, never concurrently with a step)
+  /// but must not mutate it.
+  using EpochHook = std::function<void(const ScanOutcome&)>;
+
+  /// Run scans 0 .. scans-1; `on_epoch`, when set, fires at each epoch
+  /// barrier. A batch run and a daemon run differ *only* in this hook, so
+  /// everything stable is byte-identical between the two (asserted by the
+  /// serve differential tests).
+  void run(const World& world, int scans, const EpochHook& on_epoch = {});
 
   // --- accumulated state ----------------------------------------------------
 
@@ -117,6 +128,13 @@ class HitlistService {
     return excluded_.contains(a);
   }
   [[nodiscard]] const PrefixSet& blocklist() const { return blocklist_; }
+
+  /// The shared stage executor (null when threads resolve to 1). The
+  /// daemon hosts its reader lanes on this pool so query serving and the
+  /// scan stages share one set of workers (see src/serve/server.hpp).
+  [[nodiscard]] const std::shared_ptr<ThreadPool>& pool() const {
+    return pool_;
+  }
 
   /// The run-telemetry registry (the injected one, or the service's own).
   /// Snapshot it after run()/step() for the RunReport / --metrics-out

@@ -1,0 +1,117 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace sixdust::serve {
+
+namespace {
+
+int connect_once(const ListenSpec& spec) {
+  if (spec.kind == ListenSpec::Kind::kUnix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, spec.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return fd;
+    ::close(fd);
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(spec.port);
+  if (::inet_pton(AF_INET, spec.host.c_str(), &addr.sin_addr) == 1 &&
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+    return fd;
+  ::close(fd);
+  return -1;
+}
+
+bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::read(fd, out, n);
+    if (r == 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    out += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Client::connect(const ListenSpec& spec, int timeout_ms) {
+  close();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    fd_ = connect_once(spec);
+    if (fd_ >= 0) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Response> Client::request(std::span<const std::uint8_t> body) {
+  if (fd_ < 0) return std::nullopt;
+  const std::vector<std::uint8_t> out = frame(body);
+  if (!write_all(fd_, out.data(), out.size())) {
+    close();
+    return std::nullopt;
+  }
+  std::uint8_t lenbuf[4];
+  if (!read_exact(fd_, lenbuf, 4)) {
+    close();
+    return std::nullopt;
+  }
+  const std::uint32_t len = get_u32(lenbuf);
+  if (len > kMaxResponseBody) {
+    close();
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> resp(len);
+  if (len > 0 && !read_exact(fd_, resp.data(), len)) {
+    close();
+    return std::nullopt;
+  }
+  auto parsed = parse_response(resp);
+  if (!parsed) close();
+  return parsed;
+}
+
+}  // namespace sixdust::serve

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace sixdust::serve {
+
+/// Blocking single-connection client of the sixdust-serve protocol — the
+/// building block of sixdust-loadgen and the end-to-end tests. One client
+/// is one socket; it is not thread-safe (the loadgen gives each worker
+/// its own).
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+  /// Connect to `spec`, retrying on refusal/absence until `timeout_ms`
+  /// elapses (0 = single attempt) — covers the races of a daemon that is
+  /// still binding its socket.
+  [[nodiscard]] bool connect(const ListenSpec& spec, int timeout_ms = 0);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request body and read the matching response frame. nullopt
+  /// on any transport failure or malformed response (the connection is
+  /// closed then — the protocol has no resync point).
+  [[nodiscard]] std::optional<Response> request(
+      std::span<const std::uint8_t> body);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace sixdust::serve

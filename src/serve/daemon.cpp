@@ -1,0 +1,53 @@
+#include "serve/daemon.hpp"
+
+#include <cstdio>
+
+#include "topo/world.hpp"
+
+namespace sixdust::serve {
+
+std::string epoch_records_json(std::span<const EpochRecord> records) {
+  std::string out = "{\"schema\":\"sixdust-serve-epochs/1\",\"epochs\":[\n";
+  char buf[320];
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const EpochRecord& r = records[i];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"epoch\":%d,\"date\":\"%s\",\"input_total\":%llu,"
+        "\"scan_targets\":%llu,\"aliased_prefixes\":%llu,"
+        "\"responsive\":%llu,\"excluded_total\":%llu,"
+        "\"digest\":\"%016llx\"}%s\n",
+        r.epoch, r.date.c_str(),
+        static_cast<unsigned long long>(r.input_total),
+        static_cast<unsigned long long>(r.scan_targets),
+        static_cast<unsigned long long>(r.aliased_prefixes),
+        static_cast<unsigned long long>(r.responsive),
+        static_cast<unsigned long long>(r.excluded_total),
+        static_cast<unsigned long long>(r.digest),
+        i + 1 == records.size() ? "" : ",");
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+EpochPublisher::EpochPublisher(const HitlistService* service,
+                               const World* world, SnapshotManager* snaps)
+    : service_(service), world_(world), snaps_(snaps) {}
+
+void EpochPublisher::on_epoch(const HitlistService::ScanOutcome& outcome) {
+  auto snap = freeze_epoch(*service_, *world_, outcome.date.index);
+  EpochRecord rec;
+  rec.epoch = snap->epoch();
+  rec.date = snap->info().date;
+  rec.input_total = snap->info().input_total;
+  rec.scan_targets = snap->info().scan_targets;
+  rec.aliased_prefixes = snap->info().aliased_prefixes;
+  rec.responsive = snap->info().responsive;
+  rec.excluded_total = snap->info().excluded_total;
+  rec.digest = snap->digest();
+  records_.push_back(std::move(rec));
+  if (snaps_ != nullptr) snaps_->publish(std::move(snap));
+}
+
+}  // namespace sixdust::serve

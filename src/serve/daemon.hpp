@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hitlist/service.hpp"
+#include "serve/snapshot_manager.hpp"
+
+namespace sixdust {
+class World;
+}
+
+namespace sixdust::serve {
+
+/// One published epoch, as the daemon records it — the serve-mode golden
+/// surface (schema sixdust-serve-epochs/1). Every field is a pure
+/// function of the seeded simulation, so the record stream is
+/// byte-identical for any thread count, any scheduling mode, and with or
+/// without live query traffic.
+struct EpochRecord {
+  int epoch = -1;
+  std::string date;
+  std::uint64_t input_total = 0;
+  std::uint64_t scan_targets = 0;
+  std::uint64_t aliased_prefixes = 0;
+  std::uint64_t responsive = 0;
+  std::uint64_t excluded_total = 0;
+  std::uint64_t digest = 0;  // EpochSnapshot::digest()
+
+  friend bool operator==(const EpochRecord&, const EpochRecord&) = default;
+};
+
+/// JSON document (sixdust-serve-epochs/1) of a record stream — one line
+/// per epoch, digests in hex; the format of tests/golden/serve_epochs.json.
+[[nodiscard]] std::string epoch_records_json(
+    std::span<const EpochRecord> records);
+
+/// The daemon's epoch barrier: freezes the service into an EpochSnapshot
+/// after each step, publishes it through the SnapshotManager, and keeps
+/// the per-epoch record stream. Wire its on_epoch() into
+/// HitlistService::run()'s epoch hook:
+///
+///   EpochPublisher pub(&service, &world, &snaps);
+///   service.run(world, epochs,
+///               [&](const auto& o) { pub.on_epoch(o); });
+///
+/// The publisher only *reads* service state (from the epoch thread, at
+/// the barrier — never concurrently with a step), so a daemon run stays
+/// byte-identical to a batch run of the same service.
+class EpochPublisher {
+ public:
+  /// All pointers borrowed; `snaps` may be null (record-only mode, used
+  /// by the differential tests' batch side).
+  EpochPublisher(const HitlistService* service, const World* world,
+                 SnapshotManager* snaps);
+
+  void on_epoch(const HitlistService::ScanOutcome& outcome);
+
+  [[nodiscard]] const std::vector<EpochRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::string records_json() const {
+    return epoch_records_json(records_);
+  }
+
+ private:
+  const HitlistService* service_;
+  const World* world_;
+  SnapshotManager* snaps_;
+  std::vector<EpochRecord> records_;
+};
+
+}  // namespace sixdust::serve

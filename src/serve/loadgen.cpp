@@ -1,0 +1,175 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "serve/client.hpp"
+
+namespace sixdust::serve {
+
+namespace {
+
+/// Per-connection tally, merged under a mutex at thread exit.
+struct ConnStats {
+  std::uint64_t sent = 0, ok = 0, not_found = 0, dropped = 0, incoherent = 0;
+  std::uint32_t first_epoch = kNoEpoch;
+  std::uint32_t last_epoch = kNoEpoch;
+  std::vector<std::uint32_t> epochs;  // distinct, in observation order
+  std::vector<std::uint64_t> lat_us;
+};
+
+Ipv6 workload_addr(Rng& rng) {
+  // Cluster the hi word into a handful of /32-ish bands (so LPM lookups
+  // descend into populated parts of the tables) and randomize the rest.
+  static constexpr std::uint64_t kBands[] = {
+      0x2001'0db8'0000'0000ULL, 0x2a01'0000'0000'0000ULL,
+      0x2400'0000'0000'0000ULL, 0x2600'0000'0000'0000ULL};
+  const std::uint64_t band = kBands[rng.below(4)];
+  const std::uint64_t hi = band | (rng.next() & 0x0000'0000'ffff'ffffULL);
+  return Ipv6::from_words(hi, rng.next());
+}
+
+void run_conn(const LoadgenConfig& cfg, unsigned id, ConnStats* stats) {
+  Client client;
+  if (!client.connect(cfg.target, cfg.connect_timeout_ms)) return;
+  Rng rng(cfg.seed * 7919 + id);
+  for (std::uint64_t i = 0; i < cfg.requests; ++i) {
+    const unsigned roll = static_cast<unsigned>(rng.below(100));
+    std::vector<std::uint8_t> req;
+    bool expects_payload_op = true;
+    if (roll < cfg.pct_lookup) {
+      req = request_lookup(workload_addr(rng));
+    } else if (roll < cfg.pct_lookup + cfg.pct_origin) {
+      req = request_origin(workload_addr(rng));
+    } else if (roll < cfg.pct_lookup + cfg.pct_origin + cfg.pct_alias) {
+      req = request_alias(workload_addr(rng));
+    } else {
+      req = request_epoch_info();
+      expects_payload_op = false;
+    }
+    (void)expects_payload_op;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto resp = client.request(req);
+    const auto t1 = std::chrono::steady_clock::now();
+    ++stats->sent;
+    if (!resp) {
+      ++stats->dropped;
+      // The connection is gone; reconnecting would blur the epoch
+      // monotonicity check, so this worker retires.
+      break;
+    }
+    stats->lat_us.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count()));
+    if (resp->op == Op::kError) {
+      ++stats->incoherent;  // server rejected a well-formed request
+      continue;
+    }
+    if (resp->status == Status::kOk)
+      ++stats->ok;
+    else
+      ++stats->not_found;
+    if (resp->epoch != kNoEpoch) {
+      if (stats->first_epoch == kNoEpoch) stats->first_epoch = resp->epoch;
+      if (stats->last_epoch != kNoEpoch && resp->epoch < stats->last_epoch)
+        ++stats->incoherent;  // epoch went backwards on one connection
+      if (stats->epochs.empty() || stats->epochs.back() != resp->epoch)
+        stats->epochs.push_back(resp->epoch);
+      stats->last_epoch = resp->epoch;
+    }
+  }
+}
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, int pct) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1, (sorted.size() * static_cast<std::size_t>(pct)) / 100);
+  return sorted[idx];
+}
+
+}  // namespace
+
+std::string LoadgenReport::str() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "requests=%llu ok=%llu not_found=%llu dropped=%llu incoherent=%llu\n"
+      "epochs: first=%d last=%d distinct=%u\n"
+      "latency: p50=%lluus p95=%lluus p99=%lluus\n"
+      "throughput: %.0f queries/sec over %.2fs\n",
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(not_found),
+      static_cast<unsigned long long>(dropped),
+      static_cast<unsigned long long>(incoherent),
+      first_epoch == kNoEpoch ? -1 : static_cast<int>(first_epoch),
+      last_epoch == kNoEpoch ? -1 : static_cast<int>(last_epoch), epochs_seen,
+      static_cast<unsigned long long>(p50_us),
+      static_cast<unsigned long long>(p95_us),
+      static_cast<unsigned long long>(p99_us), qps, seconds);
+  return buf;
+}
+
+bool run_loadgen(const LoadgenConfig& cfg, LoadgenReport* report,
+                 std::string* error) {
+  // Probe the endpoint once up front so an unreachable server fails fast
+  // and unambiguously.
+  {
+    Client probe;
+    if (!probe.connect(cfg.target, cfg.connect_timeout_ms)) {
+      if (error != nullptr)
+        *error = "cannot connect to " + cfg.target.str();
+      return false;
+    }
+  }
+
+  const unsigned n = std::max(1u, cfg.concurrency);
+  std::vector<ConnStats> stats(n);
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned i = 0; i < n; ++i)
+    workers.emplace_back(run_conn, std::cref(cfg), i, &stats[i]);
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  LoadgenReport out;
+  std::vector<std::uint64_t> all_lat;
+  std::vector<std::uint32_t> distinct;
+  for (const ConnStats& s : stats) {
+    out.sent += s.sent;
+    out.ok += s.ok;
+    out.not_found += s.not_found;
+    out.dropped += s.dropped;
+    out.incoherent += s.incoherent;
+    if (s.first_epoch != kNoEpoch &&
+        (out.first_epoch == kNoEpoch || s.first_epoch < out.first_epoch))
+      out.first_epoch = s.first_epoch;
+    if (s.last_epoch != kNoEpoch &&
+        (out.last_epoch == kNoEpoch || s.last_epoch > out.last_epoch))
+      out.last_epoch = s.last_epoch;
+    distinct.insert(distinct.end(), s.epochs.begin(), s.epochs.end());
+    all_lat.insert(all_lat.end(), s.lat_us.begin(), s.lat_us.end());
+  }
+  std::sort(distinct.begin(), distinct.end());
+  out.epochs_seen = static_cast<unsigned>(
+      std::unique(distinct.begin(), distinct.end()) - distinct.begin());
+  std::sort(all_lat.begin(), all_lat.end());
+  out.p50_us = percentile(all_lat, 50);
+  out.p95_us = percentile(all_lat, 95);
+  out.p99_us = percentile(all_lat, 99);
+  out.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  out.qps = out.seconds > 0 ? static_cast<double>(out.sent) / out.seconds : 0;
+  if (report != nullptr) *report = out;
+  return true;
+}
+
+}  // namespace sixdust::serve

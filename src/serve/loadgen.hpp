@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace sixdust::serve {
+
+/// Workload driver against a live sixdust-serve endpoint: `concurrency`
+/// client threads, each on its own connection, replaying a seeded op mix
+/// (lookups biased toward addresses near announced space, plus origin /
+/// alias / epoch-info probes) while timing every request.
+struct LoadgenConfig {
+  ListenSpec target;
+  unsigned concurrency = 4;
+  /// Requests per connection.
+  std::uint64_t requests = 1000;
+  std::uint64_t seed = 1;
+  /// Keep retrying the initial connect for this long (ms; 0 = one shot).
+  int connect_timeout_ms = 0;
+  /// Op mix in percent; the remainder (of 100) is epoch-info.
+  unsigned pct_lookup = 70;
+  unsigned pct_origin = 15;
+  unsigned pct_alias = 10;
+};
+
+struct LoadgenReport {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;         // status kOk
+  std::uint64_t not_found = 0;  // status kNotFound / kNoSnapshot
+  /// Transport failures / unparsable responses — "dropped".
+  std::uint64_t dropped = 0;
+  /// Protocol-coherence violations: error responses to well-formed
+  /// requests, or the stamped epoch going *backwards* on one connection.
+  std::uint64_t incoherent = 0;
+  std::uint32_t first_epoch = kNoEpoch;
+  std::uint32_t last_epoch = kNoEpoch;
+  /// Distinct epochs observed across all connections.
+  unsigned epochs_seen = 0;
+  double seconds = 0;
+  double qps = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Run the workload. False (with `*error` set) when no connection could
+/// be established at all; a report is produced otherwise, even if some
+/// requests failed mid-run (see the dropped/incoherent counters).
+[[nodiscard]] bool run_loadgen(const LoadgenConfig& cfg, LoadgenReport* report,
+                               std::string* error);
+
+}  // namespace sixdust::serve

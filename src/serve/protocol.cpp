@@ -1,0 +1,247 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace sixdust::serve {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void put_addr(std::vector<std::uint8_t>& out, const Ipv6& a) {
+  for (int i = 0; i < 16; ++i) out.push_back(a.byte(i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+Ipv6 get_addr(const std::uint8_t* p) {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | p[i];
+  for (int i = 8; i < 16; ++i) lo = (lo << 8) | p[i];
+  return Ipv6::from_words(hi, lo);
+}
+
+std::vector<std::uint8_t> frame(std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + body.size());
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+namespace {
+
+std::vector<std::uint8_t> addr_request(Op op, const Ipv6& a) {
+  std::vector<std::uint8_t> body;
+  body.reserve(17);
+  body.push_back(static_cast<std::uint8_t>(op));
+  put_addr(body, a);
+  return body;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> request_lookup(const Ipv6& a) {
+  return addr_request(Op::kLookup, a);
+}
+std::vector<std::uint8_t> request_origin(const Ipv6& a) {
+  return addr_request(Op::kOrigin, a);
+}
+std::vector<std::uint8_t> request_alias(const Ipv6& a) {
+  return addr_request(Op::kAlias, a);
+}
+std::vector<std::uint8_t> request_epoch_info() {
+  return {static_cast<std::uint8_t>(Op::kEpochInfo)};
+}
+std::vector<std::uint8_t> request_metrics() {
+  return {static_cast<std::uint8_t>(Op::kMetrics)};
+}
+
+std::optional<Response> parse_response(std::span<const std::uint8_t> body) {
+  if (body.size() < 6) return std::nullopt;
+  Response r;
+  switch (body[0]) {
+    case static_cast<std::uint8_t>(Op::kLookup):
+    case static_cast<std::uint8_t>(Op::kOrigin):
+    case static_cast<std::uint8_t>(Op::kAlias):
+    case static_cast<std::uint8_t>(Op::kEpochInfo):
+    case static_cast<std::uint8_t>(Op::kMetrics):
+    case static_cast<std::uint8_t>(Op::kError):
+      r.op = static_cast<Op>(body[0]);
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (body[1] > static_cast<std::uint8_t>(Status::kNoSnapshot))
+    return std::nullopt;
+  r.status = static_cast<Status>(body[1]);
+  r.epoch = get_u32(body.data() + 2);
+  r.payload.assign(body.begin() + 6, body.end());
+  return r;
+}
+
+bool FrameDecoder::feed(
+    std::span<const std::uint8_t> data,
+    const std::function<void(std::span<const std::uint8_t>)>& sink) {
+  if (dead_) return false;
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  std::size_t off = 0;
+  while (buf_.size() - off >= 4) {
+    const std::uint32_t len = get_u32(buf_.data() + off);
+    if (len > max_body_) {
+      dead_ = true;
+      buf_.clear();
+      return false;
+    }
+    if (buf_.size() - off - 4 < len) break;  // truncated: wait for more
+    sink(std::span<const std::uint8_t>(buf_.data() + off + 4, len));
+    off += 4 + len;
+  }
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(off));
+  return true;
+}
+
+QueryEngine::QueryEngine(const SnapshotManager* snaps,
+                         MetricsRegistry* metrics)
+    : snaps_(snaps), metrics_(metrics) {
+  if (metrics_ == nullptr) return;
+  // Volatile on purpose: request traffic is client-driven, never part of
+  // the deterministic (stable) export surface.
+  proto_errors_ =
+      &metrics_->counter("serve.proto_errors", Stability::kVolatile);
+  req_lookup_ =
+      &metrics_->counter("serve.requests{op=lookup}", Stability::kVolatile);
+  req_origin_ =
+      &metrics_->counter("serve.requests{op=origin}", Stability::kVolatile);
+  req_alias_ =
+      &metrics_->counter("serve.requests{op=alias}", Stability::kVolatile);
+  req_epoch_ =
+      &metrics_->counter("serve.requests{op=epoch_info}", Stability::kVolatile);
+  req_metrics_ =
+      &metrics_->counter("serve.requests{op=metrics}", Stability::kVolatile);
+}
+
+std::vector<std::uint8_t> QueryEngine::respond(
+    Op op, Status status, std::uint32_t epoch,
+    std::span<const std::uint8_t> payload) const {
+  std::vector<std::uint8_t> body;
+  body.reserve(6 + payload.size());
+  body.push_back(static_cast<std::uint8_t>(op));
+  body.push_back(static_cast<std::uint8_t>(status));
+  put_u32(body, epoch);
+  body.insert(body.end(), payload.begin(), payload.end());
+  return frame(body);
+}
+
+std::vector<std::uint8_t> QueryEngine::error_frame(
+    std::string_view reason) const {
+  if (proto_errors_ != nullptr) proto_errors_->inc();
+  const auto* p = reinterpret_cast<const std::uint8_t*>(reason.data());
+  return respond(Op::kError, Status::kBadRequest, kNoEpoch,
+                 std::span<const std::uint8_t>(p, reason.size()));
+}
+
+std::vector<std::uint8_t> QueryEngine::handle(
+    std::span<const std::uint8_t> body) const {
+  if (body.empty()) return error_frame("empty request");
+  const auto op = static_cast<Op>(body[0]);
+  const std::span<const std::uint8_t> payload = body.subspan(1);
+
+  // Pin one epoch for the whole request: every lookup below resolves
+  // against this snapshot even if the epoch loop swaps mid-request.
+  const std::shared_ptr<const EpochSnapshot> snap =
+      snaps_ == nullptr ? nullptr : snaps_->current();
+  const std::uint32_t epoch =
+      snap == nullptr ? kNoEpoch : static_cast<std::uint32_t>(snap->epoch());
+
+  switch (op) {
+    case Op::kLookup: {
+      if (payload.size() != 16) return error_frame("lookup wants 16 bytes");
+      if (req_lookup_ != nullptr) req_lookup_->inc();
+      if (snap == nullptr)
+        return respond(op, Status::kNoSnapshot, epoch, {});
+      const auto mask = snap->lookup(get_addr(payload.data()));
+      if (!mask) return respond(op, Status::kNotFound, epoch, {});
+      const std::uint8_t m = *mask;
+      return respond(op, Status::kOk, epoch, std::span(&m, 1));
+    }
+    case Op::kOrigin: {
+      if (payload.size() != 16) return error_frame("origin wants 16 bytes");
+      if (req_origin_ != nullptr) req_origin_->inc();
+      if (snap == nullptr)
+        return respond(op, Status::kNoSnapshot, epoch, {});
+      const auto route = snap->origin(get_addr(payload.data()));
+      if (!route) return respond(op, Status::kNotFound, epoch, {});
+      std::vector<std::uint8_t> out;
+      out.reserve(21);
+      put_addr(out, route->prefix.base());
+      out.push_back(static_cast<std::uint8_t>(route->prefix.len()));
+      put_u32(out, static_cast<std::uint32_t>(route->origin));
+      return respond(op, Status::kOk, epoch, out);
+    }
+    case Op::kAlias: {
+      if (payload.size() != 16) return error_frame("alias wants 16 bytes");
+      if (req_alias_ != nullptr) req_alias_->inc();
+      if (snap == nullptr)
+        return respond(op, Status::kNoSnapshot, epoch, {});
+      const auto p = snap->alias_prefix(get_addr(payload.data()));
+      std::vector<std::uint8_t> out;
+      out.push_back(p ? 1 : 0);
+      if (p) {
+        put_addr(out, p->base());
+        out.push_back(static_cast<std::uint8_t>(p->len()));
+      }
+      return respond(op, Status::kOk, epoch, out);
+    }
+    case Op::kEpochInfo: {
+      if (!payload.empty()) return error_frame("epoch_info wants no payload");
+      if (req_epoch_ != nullptr) req_epoch_->inc();
+      if (snap == nullptr)
+        return respond(op, Status::kNoSnapshot, epoch, {});
+      const EpochSnapshot::Info& info = snap->info();
+      std::vector<std::uint8_t> out;
+      out.reserve(4 + 6 * 8 + 8);
+      put_u32(out, epoch);
+      put_u64(out, info.input_total);
+      put_u64(out, info.scan_targets);
+      put_u64(out, info.aliased_prefixes);
+      put_u64(out, info.responsive);
+      put_u64(out, info.excluded_total);
+      put_u64(out, snap->digest());
+      return respond(op, Status::kOk, epoch, out);
+    }
+    case Op::kMetrics: {
+      if (!payload.empty()) return error_frame("metrics wants no payload");
+      if (req_metrics_ != nullptr) req_metrics_->inc();
+      const std::string json =
+          metrics_ == nullptr ? std::string{}
+                              : metrics_->snapshot().to_json();
+      const auto* p = reinterpret_cast<const std::uint8_t*>(json.data());
+      return respond(op, Status::kOk, epoch,
+                     std::span<const std::uint8_t>(p, json.size()));
+    }
+    case Op::kError:
+      break;  // not a request op
+  }
+  return error_frame("unknown op");
+}
+
+}  // namespace sixdust::serve

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ipv6.hpp"
+#include "obs/metrics.hpp"
+#include "serve/snapshot_manager.hpp"
+
+namespace sixdust::serve {
+
+/// The sixdust-serve wire protocol: length-prefixed binary frames over a
+/// stream socket (TCP loopback or a Unix domain socket).
+///
+///   frame    := u32le body_len | body            (body_len = |body|)
+///   request  := u8 op | payload
+///   response := u8 op | u8 status | u32le epoch | payload
+///
+/// Every request yields exactly one response on the same connection, in
+/// order. The epoch field stamps which published snapshot answered — a
+/// client observing it *decrease* on one connection has caught an
+/// incoherent swap (the loadgen asserts it never does). Malformed input
+/// never kills the server: an undecodable body yields an op=kError
+/// response (and a serve.proto_errors bump); a frame whose declared length
+/// exceeds kMaxRequestBody poisons only its connection, which sends one
+/// final error frame and closes.
+inline constexpr std::uint32_t kMaxRequestBody = 512;
+/// Responses can carry a full metrics JSON export; cap generously.
+inline constexpr std::uint32_t kMaxResponseBody = 4u << 20;
+/// Epoch stamp before the first snapshot is published.
+inline constexpr std::uint32_t kNoEpoch = 0xffffffffu;
+
+enum class Op : std::uint8_t {
+  kLookup = 1,     // payload: 16-byte address -> u8 proto mask
+  kOrigin = 2,     // payload: 16-byte address -> 16B base | u8 plen | u32 asn
+  kAlias = 3,      // payload: 16-byte address -> u8 covered | [16B | u8 plen]
+  kEpochInfo = 4,  // empty -> u32 epoch | 6x u64 counters | u64 digest
+  kMetrics = 5,    // empty -> metrics JSON (volatile included)
+  kError = 0x7f,   // response-only: payload = ASCII reason
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,    // well-formed query, no entry in this epoch
+  kBadRequest = 2,  // undecodable body / unknown op / wrong payload size
+  kNoSnapshot = 3,  // no epoch published yet
+};
+
+// --- little-endian scalar helpers -------------------------------------------
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_addr(std::vector<std::uint8_t>& out, const Ipv6& a);
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p);
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p);
+[[nodiscard]] Ipv6 get_addr(const std::uint8_t* p);
+
+/// Wrap `body` in a length prefix.
+[[nodiscard]] std::vector<std::uint8_t> frame(
+    std::span<const std::uint8_t> body);
+
+// --- request builders (client side) -----------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> request_lookup(const Ipv6& a);
+[[nodiscard]] std::vector<std::uint8_t> request_origin(const Ipv6& a);
+[[nodiscard]] std::vector<std::uint8_t> request_alias(const Ipv6& a);
+[[nodiscard]] std::vector<std::uint8_t> request_epoch_info();
+[[nodiscard]] std::vector<std::uint8_t> request_metrics();
+
+/// A decoded response body.
+struct Response {
+  Op op = Op::kError;
+  Status status = Status::kBadRequest;
+  std::uint32_t epoch = kNoEpoch;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Parse a response *body* (frame prefix already stripped); nullopt when
+/// it is not a well-formed response.
+[[nodiscard]] std::optional<Response> parse_response(
+    std::span<const std::uint8_t> body);
+
+/// Incremental splitter of a length-prefixed byte stream into frame
+/// bodies. feed() buffers partial input (a truncated frame simply waits
+/// for more bytes) and invokes `sink` once per completed body, in order.
+/// A declared length above the limit marks the decoder dead — feed()
+/// returns false, the stream can no longer be trusted, and the server
+/// answers with one error frame and closes the connection.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_body = kMaxRequestBody)
+      : max_body_(max_body) {}
+
+  bool feed(std::span<const std::uint8_t> data,
+            const std::function<void(std::span<const std::uint8_t>)>& sink);
+
+  [[nodiscard]] bool dead() const { return dead_; }
+  /// Bytes buffered mid-frame (a truncated frame in flight).
+  [[nodiscard]] std::size_t pending() const { return buf_.size(); }
+
+ private:
+  std::uint32_t max_body_;
+  std::vector<std::uint8_t> buf_;
+  bool dead_ = false;
+};
+
+/// Stateless request dispatcher shared by every reader lane (and driven
+/// directly by the fuzz tests, no socket required). handle() never throws
+/// and never crashes on hostile input: every malformed body produces a
+/// clean error *frame* and a serve.proto_errors increment.
+class QueryEngine {
+ public:
+  /// Both pointers are borrowed; `metrics` may be null (no accounting,
+  /// kMetrics then answers with an empty export).
+  QueryEngine(const SnapshotManager* snaps, MetricsRegistry* metrics);
+
+  /// Request body in, complete response frame (length prefix included)
+  /// out.
+  [[nodiscard]] std::vector<std::uint8_t> handle(
+      std::span<const std::uint8_t> body) const;
+
+  /// An op=kError response frame carrying `reason` (also counted as a
+  /// protocol error) — the final frame of a poisoned connection.
+  [[nodiscard]] std::vector<std::uint8_t> error_frame(
+      std::string_view reason) const;
+
+ private:
+  [[nodiscard]] std::vector<std::uint8_t> respond(
+      Op op, Status status, std::uint32_t epoch,
+      std::span<const std::uint8_t> payload) const;
+
+  const SnapshotManager* snaps_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* proto_errors_ = nullptr;
+  Counter* req_lookup_ = nullptr;
+  Counter* req_origin_ = nullptr;
+  Counter* req_alias_ = nullptr;
+  Counter* req_epoch_ = nullptr;
+  Counter* req_metrics_ = nullptr;
+};
+
+}  // namespace sixdust::serve

@@ -1,0 +1,263 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sixdust::serve {
+
+namespace {
+
+constexpr int kPollMs = 50;
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ListenSpec::str() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+std::optional<ListenSpec> parse_listen_spec(const std::string& spec) {
+  ListenSpec out;
+  if (spec.rfind("unix:", 0) == 0) {
+    out.kind = ListenSpec::Kind::kUnix;
+    out.path = spec.substr(5);
+    if (out.path.empty() || out.path.size() >= sizeof(sockaddr_un{}.sun_path))
+      return std::nullopt;
+    return out;
+  }
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  out.kind = ListenSpec::Kind::kTcp;
+  out.host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  if (port.empty() ||
+      port.find_first_not_of("0123456789") != std::string::npos)
+    return std::nullopt;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(port.c_str(), &end, 10);
+  if (v > 65535) return std::nullopt;
+  out.port = static_cast<std::uint16_t>(v);
+  std::string resolved = out.host == "localhost" ? "127.0.0.1" : out.host;
+  in_addr probe{};
+  if (::inet_pton(AF_INET, resolved.c_str(), &probe) != 1) return std::nullopt;
+  out.host = std::move(resolved);
+  return out;
+}
+
+Server::Server(Config cfg, const SnapshotManager* snaps)
+    : cfg_(std::move(cfg)), engine_(snaps, cfg_.metrics) {
+  if (cfg_.readers < 1) cfg_.readers = 1;
+  if (cfg_.metrics != nullptr) {
+    connections_ =
+        &cfg_.metrics->counter("serve.connections", Stability::kVolatile);
+    bytes_in_ = &cfg_.metrics->counter("serve.bytes_in", Stability::kVolatile);
+    bytes_out_ =
+        &cfg_.metrics->counter("serve.bytes_out", Stability::kVolatile);
+  }
+  inbox_m_.reserve(cfg_.readers);
+  inbox_.resize(cfg_.readers);
+  for (unsigned i = 0; i < cfg_.readers; ++i)
+    inbox_m_.push_back(std::make_unique<std::mutex>());
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  if (cfg_.listen.kind == ListenSpec::Kind::kUnix) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return fail("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, cfg_.listen.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(cfg_.listen.path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return fail("bind " + cfg_.listen.path);
+    unix_path_ = cfg_.listen.path;
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return fail("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.listen.port);
+    if (::inet_pton(AF_INET, cfg_.listen.host.c_str(), &addr.sin_addr) != 1)
+      return fail("bad host " + cfg_.listen.host);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return fail("bind " + cfg_.listen.str());
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+  // Non-blocking accepts: lane 0 drains every pending connection per
+  // POLLIN wakeup and must not block once the backlog is empty.
+  ::fcntl(listen_fd_, F_SETFL,
+          ::fcntl(listen_fd_, F_GETFL, 0) | O_NONBLOCK);
+
+  stop_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  // Host the lanes. On the shared pool the host thread submits them as one
+  // batch and (per the pool contract) helps execute it, so every lane is
+  // live even when the pool's workers are busy scanning.
+  if (cfg_.pool != nullptr) {
+    host_ = std::thread([this] {
+      std::vector<std::function<void()>> lanes;
+      for (unsigned r = 0; r < cfg_.readers; ++r)
+        lanes.emplace_back([this, r] { lane_loop(r); });
+      cfg_.pool->run(std::move(lanes));
+    });
+  } else {
+    for (unsigned r = 1; r < cfg_.readers; ++r)
+      lane_threads_.emplace_back([this, r] { lane_loop(r); });
+    host_ = std::thread([this] { lane_loop(0); });
+  }
+  return true;
+}
+
+void Server::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (host_.joinable()) host_.join();
+  for (auto& t : lane_threads_) t.join();
+  lane_threads_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& inbox : inbox_) {
+    for (int fd : inbox) ::close(fd);
+    inbox.clear();
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+  started_ = false;
+}
+
+std::string Server::endpoint() const {
+  if (cfg_.listen.kind == ListenSpec::Kind::kUnix) return cfg_.listen.str();
+  return cfg_.listen.host + ":" + std::to_string(bound_port_);
+}
+
+void Server::accept_ready(unsigned lane) {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN / EINTR: nothing (more) pending
+    if (connections_ != nullptr) connections_->inc();
+    const unsigned target = next_lane_;
+    next_lane_ = (next_lane_ + 1) % cfg_.readers;
+    if (target == lane) {
+      // Deal to self without the detour through the inbox.
+      std::lock_guard lk(*inbox_m_[lane]);
+      inbox_[lane].push_back(fd);
+    } else {
+      std::lock_guard lk(*inbox_m_[target]);
+      inbox_[target].push_back(fd);
+    }
+  }
+}
+
+bool Server::service_conn(Conn& conn) {
+  std::uint8_t buf[4096];
+  const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+  if (n == 0) return false;  // orderly close
+  if (n < 0) return errno == EINTR || errno == EAGAIN;
+  if (bytes_in_ != nullptr) bytes_in_->add(static_cast<std::uint64_t>(n));
+
+  bool write_ok = true;
+  const bool frames_ok = conn.decoder.feed(
+      std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)),
+      [&](std::span<const std::uint8_t> body) {
+        if (!write_ok) return;
+        const std::vector<std::uint8_t> out = engine_.handle(body);
+        write_ok = write_all(conn.fd, out.data(), out.size());
+        if (write_ok && bytes_out_ != nullptr) bytes_out_->add(out.size());
+      });
+  if (!frames_ok) {
+    // Oversized declared length: the stream is unframeable from here on.
+    // One final error frame, then hang up.
+    const std::vector<std::uint8_t> out = engine_.error_frame("frame too big");
+    (void)write_all(conn.fd, out.data(), out.size());
+    return false;
+  }
+  return write_ok;
+}
+
+void Server::lane_loop(unsigned lane) {
+  std::vector<Conn> conns;
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Adopt freshly dealt connections.
+    {
+      std::lock_guard lk(*inbox_m_[lane]);
+      for (int fd : inbox_[lane]) conns.push_back(Conn{fd, FrameDecoder{}});
+      inbox_[lane].clear();
+    }
+
+    fds.clear();
+    if (lane == 0)
+      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns) fds.push_back(pollfd{c.fd, POLLIN, 0});
+
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                             kPollMs);
+    if (ready <= 0) continue;
+
+    std::size_t fi = 0;
+    if (lane == 0) {
+      if ((fds[0].revents & POLLIN) != 0) accept_ready(lane);
+      fi = 1;
+    }
+    for (std::size_t ci = 0; ci < conns.size(); ++ci, ++fi) {
+      const short ev = fds[fi].revents;
+      if (ev == 0) continue;
+      bool keep = (ev & (POLLERR | POLLNVAL)) == 0;
+      if (keep && (ev & (POLLIN | POLLHUP)) != 0)
+        keep = service_conn(conns[ci]);
+      if (!keep) {
+        ::close(conns[ci].fd);
+        conns[ci].fd = -1;
+      }
+    }
+    std::erase_if(conns, [](const Conn& c) { return c.fd < 0; });
+  }
+  for (const Conn& c : conns) ::close(c.fd);
+}
+
+}  // namespace sixdust::serve

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/snapshot_manager.hpp"
+
+namespace sixdust::serve {
+
+/// Where to listen/connect: `unix:/path/to.sock` or `host:port` (TCP;
+/// IPv4 dotted-quad or `localhost`; port 0 binds an ephemeral port).
+struct ListenSpec {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kTcp;
+  std::string path;  // unix socket path
+  std::string host;  // tcp host
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Parse a listen/connect spec; nullopt on a malformed one.
+[[nodiscard]] std::optional<ListenSpec> parse_listen_spec(
+    const std::string& spec);
+
+/// The query front-end: accepts connections on one listening socket and
+/// serves sixdust-serve protocol requests against the SnapshotManager's
+/// live epoch.
+///
+/// Threading: the serve plane is `readers` poll-driven lanes. Lane 0 owns
+/// the listening socket and deals new connections round-robin to all
+/// lanes; each lane multiplexes its connections with poll() (so a handful
+/// of lanes serve many concurrent clients) and answers each complete
+/// frame synchronously through the shared QueryEngine. When the service's
+/// shared core::ThreadPool is available the lanes run as one long-lived
+/// pool batch (dispatched from a private host thread — the pool's
+/// caller-participates contract keeps the epoch loop's own nested batches
+/// live on the remaining workers); without a pool (--threads 1) the lanes
+/// get plain threads. Either way the query path only ever touches
+/// immutable snapshots, the engine, and volatile serve.* metrics, so it
+/// cannot perturb the deterministic epoch pipeline.
+class Server {
+ public:
+  struct Config {
+    ListenSpec listen;
+    /// Poll lanes serving connections (>= 1; lane 0 also accepts).
+    unsigned readers = 2;
+    /// Borrowed; may be null (metrics off).
+    MetricsRegistry* metrics = nullptr;
+    /// Shared executor to host the lanes on; null = dedicated threads.
+    std::shared_ptr<ThreadPool> pool;
+  };
+
+  Server(Config cfg, const SnapshotManager* snaps);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + launch the lanes. False (with `*error` set) when the
+  /// socket cannot be set up.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Stop accepting, close every connection, join the lanes. Idempotent.
+  void stop();
+
+  /// The actual bound endpoint in spec syntax (resolves port 0).
+  [[nodiscard]] std::string endpoint() const;
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameDecoder decoder;
+  };
+
+  void lane_loop(unsigned lane);
+  void accept_ready(unsigned lane);
+  /// Drain readable bytes from one connection; false = close it.
+  [[nodiscard]] bool service_conn(Conn& conn);
+
+  Config cfg_;
+  QueryEngine engine_;
+  Counter* connections_ = nullptr;
+  Counter* bytes_in_ = nullptr;
+  Counter* bytes_out_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string unix_path_;  // unlink on stop
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread host_;
+  std::vector<std::thread> lane_threads_;
+
+  /// Round-robin inboxes of freshly accepted fds, one per lane.
+  std::vector<std::unique_ptr<std::mutex>> inbox_m_;
+  std::vector<std::vector<int>> inbox_;
+  unsigned next_lane_ = 0;
+};
+
+}  // namespace sixdust::serve

@@ -1,0 +1,39 @@
+#include "serve/snapshot_manager.hpp"
+
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace sixdust::serve {
+
+SnapshotManager::SnapshotManager(MetricsRegistry* metrics)
+    : metrics_(metrics) {
+  if (metrics_ == nullptr) return;
+  swaps_ = &metrics_->counter("serve.epoch_swaps", Stability::kVolatile);
+  current_epoch_ = &metrics_->gauge("serve.current_epoch",
+                                    Stability::kVolatile);
+  responsive_size_ = &metrics_->gauge("serve.snapshot_responsive",
+                                      Stability::kVolatile);
+}
+
+void SnapshotManager::publish(std::shared_ptr<const EpochSnapshot> snap) {
+  Span span = trace_span(metrics_, "serve.epoch_swap", SpanCat::kService,
+                         Stability::kVolatile);
+  if (snap != nullptr) {
+    span.attr("epoch", snap->epoch())
+        .attr("responsive", snap->info().responsive);
+    if (current_epoch_ != nullptr)
+      current_epoch_->set(snap->epoch());
+    if (responsive_size_ != nullptr)
+      responsive_size_->set(static_cast<std::int64_t>(snap->info().responsive));
+  }
+  std::shared_ptr<const EpochSnapshot> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired = std::exchange(cur_, std::move(snap));
+  }
+  published_count_.fetch_add(1, std::memory_order_relaxed);
+  if (swaps_ != nullptr) swaps_->inc();
+}
+
+}  // namespace sixdust::serve

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "serve/snapshot.hpp"
+
+namespace sixdust::serve {
+
+/// RCU-style publication point between the epoch loop and the query
+/// readers.
+///
+/// The epoch thread freezes the world into an EpochSnapshot at each epoch
+/// barrier and publish()es it; readers current() the live snapshot and
+/// hold it by shared_ptr for as long as one query needs it. The swap is a
+/// pointer exchange under a mutex whose critical section is exactly one
+/// shared_ptr copy — the mutex hands the release/acquire edge to the
+/// reader, so a reader that observes the new pointer observes every byte
+/// of the fully-built snapshot behind it, and a reader still holding the
+/// old pointer keeps the old epoch alive until its reference drops —
+/// in-flight queries drain on the epoch they started on, nobody blocks
+/// past the copy, and the retired snapshot frees itself (outside the
+/// lock) when the last reader lets go (see DESIGN.md §13). libstdc++'s
+/// std::atomic<shared_ptr> would buy nothing here: it is itself a lock
+/// bit spun on inside the control word, with the added cost of being
+/// opaque to TSan.
+///
+/// All serve.* metrics are volatile: the serving plane is wall-clock and
+/// client-driven territory, so none of it may leak into the stable
+/// (deterministic, thread-invariant) export surface that the daemon must
+/// share byte-for-byte with a batch run.
+class SnapshotManager {
+ public:
+  /// `metrics` is borrowed and may be null (no accounting).
+  explicit SnapshotManager(MetricsRegistry* metrics = nullptr);
+
+  /// Swap `snap` in as the current epoch. Epoch-thread only (publication
+  /// order is the epoch order); readers may call current() concurrently.
+  void publish(std::shared_ptr<const EpochSnapshot> snap);
+
+  /// The live snapshot, or null before the first publish(). The returned
+  /// shared_ptr pins the epoch: hold it for the duration of one query (or
+  /// one coherent group of lookups), then drop it.
+  [[nodiscard]] std::shared_ptr<const EpochSnapshot> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cur_;
+  }
+
+  /// Epochs published so far (monotonic).
+  [[nodiscard]] std::uint64_t published() const {
+    return published_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const EpochSnapshot> cur_;
+  std::atomic<std::uint64_t> published_count_{0};
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* swaps_ = nullptr;
+  Gauge* current_epoch_ = nullptr;
+  Gauge* responsive_size_ = nullptr;
+};
+
+}  // namespace sixdust::serve

@@ -1,6 +1,14 @@
-// Tests for the CLI argument parser shared by the sixdust-* tools.
+// Tests for the CLI argument parser shared by the sixdust-* tools, and
+// spawn-level checks of the daemon tools' fail-fast paths (bad --listen,
+// unwritable output files, unreachable server).
 
 #include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
 
 #include "cli.hpp"
 
@@ -49,6 +57,61 @@ TEST(Cli, PositionalArguments) {
 TEST(Cli, LaterValueWins) {
   const auto args = parse({"--seed", "1", "--seed", "2"});
   EXPECT_EQ(args.get_u64("seed", 0), 2u);
+}
+
+// --- daemon tool fail-fast paths (spawned binaries) -------------------------
+
+#ifndef SIXDUST_BIN_DIR
+#error "SIXDUST_BIN_DIR must be defined for the tool spawn tests"
+#endif
+
+/// Run a tool with `args`, returning its exit code (-1 when it did not
+/// exit normally). Output is discarded — these tests only check the code.
+int run_tool(const std::string& name, const std::string& args) {
+  const std::string bin = std::string(SIXDUST_BIN_DIR) + "/" + name;
+  if (::access(bin.c_str(), X_OK) != 0) return -2;  // binary not built
+  const int status =
+      std::system((bin + " " + args + " >/dev/null 2>&1").c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+TEST(CliServeTool, DiesNonzeroOnBadListenSpec) {
+  const int code = run_tool("sixdust-serve", "--listen not-a-spec --epochs 1");
+  if (code == -2) GTEST_SKIP() << "sixdust-serve not built";
+  EXPECT_GT(code, 0);
+}
+
+TEST(CliServeTool, DiesNonzeroOnUnwritableMetricsOut) {
+  const int code = run_tool(
+      "sixdust-serve",
+      "--listen 127.0.0.1:0 --epochs 1 "
+      "--metrics-out /nonexistent-sixdust-dir/metrics.json");
+  if (code == -2) GTEST_SKIP() << "sixdust-serve not built";
+  EXPECT_GT(code, 0);
+}
+
+TEST(CliServeTool, DiesNonzeroOnUnwritableSnapshotLog) {
+  const int code = run_tool(
+      "sixdust-serve",
+      "--listen 127.0.0.1:0 --epochs 1 "
+      "--snapshot-log /nonexistent-sixdust-dir/epochs.json");
+  if (code == -2) GTEST_SKIP() << "sixdust-serve not built";
+  EXPECT_GT(code, 0);
+}
+
+TEST(CliLoadgenTool, ExitsNonzeroWhenServerUnreachable) {
+  const int code = run_tool(
+      "sixdust-loadgen",
+      "--connect unix:/nonexistent-sixdust.sock --requests 1 --concurrency 1");
+  if (code == -2) GTEST_SKIP() << "sixdust-loadgen not built";
+  EXPECT_EQ(code, 2);  // exit 2 = could not connect at all
+}
+
+TEST(CliLoadgenTool, ExitsNonzeroOnBadConnectSpec) {
+  const int code = run_tool("sixdust-loadgen", "--connect nonsense");
+  if (code == -2) GTEST_SKIP() << "sixdust-loadgen not built";
+  EXPECT_GT(code, 0);
 }
 
 }  // namespace

@@ -18,6 +18,9 @@
 #include "netbase/rng.hpp"
 #include "obs/metrics.hpp"
 #include "scanner/zmap6.hpp"
+#include "serve/protocol.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_manager.hpp"
 #include "topo/world_builder.hpp"
 
 namespace sixdust {
@@ -370,6 +373,182 @@ TEST_P(MetricsFuzz, GfwFilterCountersDecomposeAnswered) {
 
 INSTANTIATE_TEST_SUITE_P(RandomWorlds, MetricsFuzz,
                          ::testing::Values(201u, 202u, 203u));
+
+// --- serve protocol fuzz ----------------------------------------------------
+//
+// Hostile bytes against the daemon's query plane: random, truncated, and
+// oversized frames through the FrameDecoder, and random request bodies
+// through the QueryEngine. Nothing may crash; every malformed body must
+// yield a parseable error frame plus a serve.proto_errors bump; valid
+// random requests must agree with direct snapshot lookups.
+
+/// A small fixed snapshot for the engine to answer from.
+std::shared_ptr<const serve::EpochSnapshot> fuzz_snapshot(Rng& rng) {
+  serve::EpochSnapshot::Info info;
+  info.epoch = 5;
+  info.date = "fuzz";
+  std::vector<std::pair<Ipv6, ProtoMask>> responsive;
+  for (int i = 0; i < 64; ++i)
+    responsive.emplace_back(random_addr(rng), static_cast<ProtoMask>(1));
+  std::sort(responsive.begin(), responsive.end());
+  responsive.erase(std::unique(responsive.begin(), responsive.end()),
+                   responsive.end());
+  info.responsive = responsive.size();
+  std::vector<Prefix> aliased = {random_prefix(rng), random_prefix(rng)};
+  return std::make_shared<const serve::EpochSnapshot>(
+      info, std::move(responsive), aliased, nullptr);
+}
+
+/// Parse a complete response frame; fails the test if it is malformed.
+std::optional<serve::Response> parse_frame(
+    const std::vector<std::uint8_t>& frame) {
+  if (frame.size() < 4) return std::nullopt;
+  if (serve::get_u32(frame.data()) + 4 != frame.size()) return std::nullopt;
+  return serve::parse_response(
+      std::span<const std::uint8_t>(frame.data() + 4, frame.size() - 4));
+}
+
+class ServeProtoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServeProtoFuzz, RandomBodiesAlwaysGetACleanResponse) {
+  Rng rng(GetParam());
+  serve::SnapshotManager snaps;
+  MetricsRegistry reg;
+  serve::QueryEngine engine(&snaps, &reg);
+  const auto snap = fuzz_snapshot(rng);
+  snaps.publish(snap);
+
+  std::uint64_t malformed = 0;
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<std::uint8_t> body(rng.below(40), 0);
+    for (auto& b : body) b = static_cast<std::uint8_t>(rng.below(256));
+    // Half the time force a plausible op byte so the payload-size checks
+    // get exercised, not just the unknown-op path.
+    if (!body.empty() && i % 2 == 0)
+      body[0] = static_cast<std::uint8_t>(1 + rng.below(5));
+
+    const auto response = parse_frame(engine.handle(body));
+    ASSERT_TRUE(response.has_value()) << "unparseable response, iter " << i;
+    if (response->op == serve::Op::kError) {
+      ++malformed;
+      EXPECT_EQ(response->status, serve::Status::kBadRequest);
+    }
+  }
+  ASSERT_GT(malformed, 0u);
+  // Every error frame was counted, nothing more.
+  EXPECT_EQ(reg.snapshot().counter_value("serve.proto_errors"), malformed);
+}
+
+TEST_P(ServeProtoFuzz, ValidRequestsAgreeWithDirectSnapshotCalls) {
+  Rng rng(GetParam() + 5000);
+  serve::SnapshotManager snaps;
+  MetricsRegistry reg;
+  serve::QueryEngine engine(&snaps, &reg);
+  const auto snap = fuzz_snapshot(rng);
+  snaps.publish(snap);
+  const auto& rows = snap->responsive();
+
+  for (int i = 0; i < 1000; ++i) {
+    // Mix known-responsive addresses with random ones.
+    const Ipv6 addr = (i % 3 == 0 && !rows.empty())
+                          ? rows[rng.below(rows.size())].first
+                          : random_addr(rng);
+    switch (rng.below(3)) {
+      case 0: {
+        const auto r = parse_frame(engine.handle(serve::request_lookup(addr)));
+        ASSERT_TRUE(r.has_value());
+        const auto want = snap->lookup(addr);
+        if (want) {
+          ASSERT_EQ(r->status, serve::Status::kOk) << addr.str();
+          ASSERT_EQ(r->payload.size(), 1u);
+          EXPECT_EQ(r->payload[0], *want);
+        } else {
+          EXPECT_EQ(r->status, serve::Status::kNotFound) << addr.str();
+        }
+        break;
+      }
+      case 1: {
+        const auto r = parse_frame(engine.handle(serve::request_alias(addr)));
+        ASSERT_TRUE(r.has_value());
+        ASSERT_EQ(r->status, serve::Status::kOk);
+        ASSERT_FALSE(r->payload.empty());
+        EXPECT_EQ(r->payload[0] != 0, snap->alias_covers(addr)) << addr.str();
+        break;
+      }
+      default: {
+        const auto r =
+            parse_frame(engine.handle(serve::request_epoch_info()));
+        ASSERT_TRUE(r.has_value());
+        ASSERT_EQ(r->status, serve::Status::kOk);
+        ASSERT_EQ(r->payload.size(), 4u + 6 * 8u);
+        EXPECT_EQ(serve::get_u64(r->payload.data() + 44), snap->digest());
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(reg.snapshot().counter_value("serve.proto_errors"), 0u);
+}
+
+TEST_P(ServeProtoFuzz, HostileStreamsNeverBreakTheFrameDecoder) {
+  Rng rng(GetParam() + 9000);
+  for (int round = 0; round < 200; ++round) {
+    // A stream of valid frames with random bodies, chopped at random
+    // boundaries: every body must come back intact, in order.
+    std::vector<std::vector<std::uint8_t>> bodies;
+    std::vector<std::uint8_t> stream;
+    const std::size_t n = 1 + rng.below(8);
+    for (std::size_t f = 0; f < n; ++f) {
+      std::vector<std::uint8_t> body(rng.below(serve::kMaxRequestBody), 0);
+      for (auto& b : body) b = static_cast<std::uint8_t>(rng.below(256));
+      const auto framed = serve::frame(body);
+      stream.insert(stream.end(), framed.begin(), framed.end());
+      bodies.push_back(std::move(body));
+    }
+    const bool truncate = rng.below(2) == 0;
+    std::size_t cut = stream.size();
+    if (truncate && !stream.empty()) {
+      cut = rng.below(stream.size());
+      stream.resize(cut);
+    }
+
+    serve::FrameDecoder decoder;
+    std::vector<std::vector<std::uint8_t>> got;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.below(64), stream.size() - off);
+      ASSERT_TRUE(decoder.feed(
+          std::span<const std::uint8_t>(stream.data() + off, chunk),
+          [&](std::span<const std::uint8_t> b) {
+            got.emplace_back(b.begin(), b.end());
+          }));
+      off += chunk;
+    }
+    // Exactly the complete frames arrive; the truncated tail stays pending.
+    ASSERT_LE(got.size(), bodies.size());
+    for (std::size_t f = 0; f < got.size(); ++f) EXPECT_EQ(got[f], bodies[f]);
+    if (!truncate) {
+      EXPECT_EQ(got.size(), bodies.size());
+      EXPECT_EQ(decoder.pending(), 0u);
+    }
+    EXPECT_FALSE(decoder.dead());
+
+    // An oversized declared length always kills the decoder, whatever came
+    // before.
+    std::vector<std::uint8_t> poison;
+    serve::put_u32(poison, serve::kMaxRequestBody + 1 + static_cast<std::uint32_t>(rng.below(1 << 20)));
+    serve::FrameDecoder fresh;
+    EXPECT_FALSE(
+        fresh.feed(poison, [](std::span<const std::uint8_t>) {
+          FAIL() << "oversized frame reached the sink";
+        }));
+    EXPECT_TRUE(fresh.dead());
+    EXPECT_FALSE(fresh.feed(poison, [](std::span<const std::uint8_t>) {}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServeProtoFuzz,
+                         ::testing::Values(301u, 302u, 303u));
 
 }  // namespace
 }  // namespace sixdust

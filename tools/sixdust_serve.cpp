@@ -1,0 +1,146 @@
+// sixdust-serve: the long-running hitlist daemon. Runs scan epochs
+// continuously and serves concurrent hitlist/alias/origin queries against
+// immutable per-epoch snapshots over a length-prefixed binary protocol
+// (see DESIGN.md §13). Pair with sixdust-loadgen for client load.
+
+#include <cstdio>
+
+#include <chrono>
+#include <fstream>
+#include <optional>
+#include <thread>
+
+#include "cli.hpp"
+#include "netbase/addrio.hpp"
+#include "obs/log.hpp"
+#include "serve/daemon.hpp"
+#include "serve/server.hpp"
+#include "topo/world_builder.hpp"
+
+using namespace sixdust;
+
+namespace {
+
+constexpr const char* kUsage = R"(sixdust-serve — long-running hitlist daemon with a query front-end
+
+usage: sixdust-serve [options]
+  --listen SPEC      where to serve queries: HOST:PORT (TCP, port 0 =
+                     ephemeral) or unix:/path.sock (default 127.0.0.1:7653)
+  --readers N        poll lanes serving connections (default 2)
+  --epochs N         scan epochs to run, 0 = the full timeline (default 12)
+  --epoch-interval-ms N  pause between epochs while serving (default 0)
+  --linger-ms N      keep serving this long after the last epoch (default 0)
+  --world-seed N     world seed (default 42)
+  --world-scale X    world scale (default 0.1 = test world)
+  --threads N        worker threads for the probe stages, 0 = all cores
+  --pipeline         run each epoch as a tile-and-ring pipeline
+  --no-gfw-filter    run the pre-2022 pipeline
+  --blocklist FILE   prefix list of opt-out networks
+  --snapshot-log FILE  write the per-epoch record stream
+                     (sixdust-serve-epochs/1 JSON) on exit
+  --metrics-out FILE write the run-telemetry snapshot as JSON on exit
+  --log-level LEVEL  debug | info | warn (default) | error | off
+  --help
+
+The stable half of every export is byte-identical to a batch
+sixdust-hitlist run of the same world — serving never perturbs the
+simulation (the serve.* metrics are volatile by design).
+)";
+
+/// Fail fast on output paths: a daemon must refuse to start if it will be
+/// unable to publish its telemetry hours later.
+void require_writable(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) cli::die("cannot open '" + path + "' for writing");
+}
+
+void write_file_or_die(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) cli::die("cannot open '" + path + "' for writing");
+  f << content;
+  f.flush();
+  if (!f.good()) cli::die("cannot write '" + path + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  args.usage_on_help(kUsage);
+
+  if (args.has("log-level")) {
+    const auto level = parse_log_level(args.get("log-level"));
+    if (!level) cli::die("unknown log level '" + args.get("log-level") + "'");
+    Logger::global().set_level(*level);
+  }
+
+  // Validate everything that can fail *before* the (slow) world build.
+  const std::string listen_str = args.get("listen", "127.0.0.1:7653");
+  const auto listen = serve::parse_listen_spec(listen_str);
+  if (!listen)
+    cli::die("bad --listen spec '" + listen_str +
+             "' (want HOST:PORT or unix:/path.sock)");
+  if (args.has("metrics-out")) require_writable(args.get("metrics-out"));
+  if (args.has("snapshot-log")) require_writable(args.get("snapshot-log"));
+
+  WorldConfig wc;
+  wc.seed = args.get_u64("world-seed", 42);
+  wc.scale = args.get_double("world-scale", 0.1);
+  const auto world = build_world(wc);
+
+  HitlistService::Config sc;
+  sc.enable_gfw_filter = !args.has("no-gfw-filter");
+  sc.threads = static_cast<unsigned>(args.get_u64("threads", 1));
+  sc.pipeline = args.has("pipeline");
+  if (args.has("blocklist")) {
+    auto prefixes = read_prefix_file(args.get("blocklist"));
+    if (!prefixes) cli::die("cannot read blocklist");
+    sc.blocklist_prefixes = std::move(*prefixes);
+  }
+  HitlistService service(sc);
+
+  serve::SnapshotManager snaps(&service.metrics());
+  serve::Server::Config server_cfg;
+  server_cfg.listen = *listen;
+  server_cfg.readers = static_cast<unsigned>(args.get_u64("readers", 2));
+  server_cfg.metrics = &service.metrics();
+  server_cfg.pool = service.pool();  // null at --threads 1: plain threads
+  serve::Server server(server_cfg, &snaps);
+  std::string error;
+  if (!server.start(&error)) cli::die("cannot serve: " + error);
+  std::printf("serving on %s\n", server.endpoint().c_str());
+
+  int epochs = static_cast<int>(args.get_u64("epochs", 12));
+  if (epochs <= 0 || epochs > kTimelineScans) epochs = kTimelineScans;
+  const auto interval =
+      std::chrono::milliseconds(args.get_u64("epoch-interval-ms", 0));
+
+  serve::EpochPublisher publisher(&service, world.get(), &snaps);
+  service.run(*world, epochs, [&](const HitlistService::ScanOutcome& o) {
+    publisher.on_epoch(o);
+    std::printf("epoch %2d (%s): input=%zu targets=%zu aliased=%zu "
+                "responsive=%zu\n",
+                o.date.index, o.date.str().c_str(), o.input_total,
+                o.scan_targets, o.aliased_count, o.responsive_any);
+    std::fflush(stdout);
+    if (interval.count() > 0) std::this_thread::sleep_for(interval);
+  });
+
+  const auto linger = std::chrono::milliseconds(args.get_u64("linger-ms", 0));
+  if (linger.count() > 0) std::this_thread::sleep_for(linger);
+  server.stop();
+
+  if (args.has("snapshot-log"))
+    write_file_or_die(args.get("snapshot-log"), publisher.records_json());
+  if (args.has("metrics-out"))
+    write_file_or_die(args.get("metrics-out"),
+                      service.metrics().snapshot().to_json());
+
+  const auto snap = snaps.current();
+  std::printf("served %llu epoch swaps; final epoch %d (%llu responsive)\n",
+              static_cast<unsigned long long>(snaps.published()),
+              snap ? snap->epoch() : -1,
+              snap ? static_cast<unsigned long long>(snap->info().responsive)
+                   : 0ULL);
+  return 0;
+}
