@@ -34,7 +34,9 @@ std::vector<Prefix> AliasDetector::candidates(const Rib& rib,
   // Rule (a): BGP prefixes.
   for (const auto& r : rib.routes()) out.push_back(r.prefix);
 
+  // sixdust-lint: allow(det-unordered-iter) — collection; sorted below.
   for (const auto& [p, c] : per64) out.push_back(p);
+  // sixdust-lint: allow(det-unordered-iter) — collection; sorted below.
   for (const auto& [p, c] : longer)
     if (c >= cfg.long_prefix_min_addrs) out.push_back(p);
   std::sort(out.begin(), out.end());
@@ -45,13 +47,14 @@ std::vector<Prefix> AliasDetector::candidates(const Rib& rib,
 void AliasDetector::init_metrics() {
   MetricsRegistry* reg = cfg_.metrics;
   if (reg == nullptr) return;
-  m_rounds_ = &reg->counter("apd.rounds");
-  m_candidates_ = &reg->counter("apd.candidates_tested");
-  m_probes_ = &reg->counter("apd.probes_sent");
-  m_aliased_ = &reg->counter("apd.aliased_verdicts");
+  m_rounds_ = &reg->counter("apd.rounds", Stability::kStable);
+  m_candidates_ = &reg->counter("apd.candidates_tested", Stability::kStable);
+  m_probes_ = &reg->counter("apd.probes_sent", Stability::kStable);
+  m_aliased_ = &reg->counter("apd.aliased_verdicts", Stability::kStable);
   static constexpr std::uint64_t kBounds[] = {256,   1024,   4096,  16384,
                                               65536, 262144, 1048576};
-  m_probes_per_round_ = &reg->histogram("apd.probes_per_round", kBounds);
+  m_probes_per_round_ = &reg->histogram("apd.probes_per_round", kBounds,
+                                        Stability::kStable);
 }
 
 bool AliasDetector::lost(const Ipv6& a, ScanDate d, int proto_tag) const {
@@ -105,6 +108,8 @@ AliasDetector::Detection AliasDetector::finalize(
   det.probes_sent = probes;
 
   std::vector<Prefix> aliased;
+  // sixdust-lint: allow(det-unordered-iter) — the fully-responsive
+  // prefixes are collected then sorted (len, value) before aggregation.
   for (const auto& [p, m] : masks)
     if (m == 0xffff) aliased.push_back(p);
   // Aggregate: shortest first; drop candidates covered by an already
@@ -173,6 +178,8 @@ AliasDetector::Detection AliasDetector::detect_from_round(
   // responsive if it responded in any merged round.
   std::unordered_map<Prefix, std::uint16_t, PrefixHasher> merged = round;
   for (const auto& old : history_) {
+    // sixdust-lint: allow(det-unordered-iter) — each entry is OR-merged
+    // with its own lookup in the old round; entries never interact.
     for (auto& [p, m] : merged) {
       auto it = old.find(p);
       if (it != old.end()) m |= it->second;

@@ -11,13 +11,14 @@ TooBigTrick::TooBigTrick(Config cfg) : cfg_(cfg) { init_metrics(); }
 void TooBigTrick::init_metrics() {
   if (cfg_.metrics == nullptr) return;
   MetricsRegistry& reg = *cfg_.metrics;
-  m_tested_ = &reg.counter("tbt.prefixes_tested");
-  m_usable_ = &reg.counter("tbt.usable");
+  m_tested_ = &reg.counter("tbt.prefixes_tested", Stability::kStable);
+  m_usable_ = &reg.counter("tbt.usable", Stability::kStable);
   constexpr const char* kOutcomes[4] = {"not_usable", "all_shared",
                                         "none_shared", "partial_shared"};
   for (std::size_t i = 0; i < m_verdicts_.size(); ++i)
     m_verdicts_[i] =
-        &reg.counter(std::string("tbt.verdicts{outcome=") + kOutcomes[i] + "}");
+        &reg.counter(std::string("tbt.verdicts{outcome=") + kOutcomes[i] + "}",
+                     Stability::kStable);
 }
 
 TooBigTrick::PrefixResult TooBigTrick::test(const World& world,

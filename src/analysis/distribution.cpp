@@ -22,6 +22,8 @@ void AsDistribution::add(Asn asn, std::size_t count) {
 std::vector<AsDistribution::Row> AsDistribution::ranked() const {
   std::vector<Row> rows;
   rows.reserve(counts_.size());
+  // sixdust-lint: allow(det-unordered-iter) — rows are sorted below with
+  // a total order (count desc, then asn), so build order cannot show.
   for (const auto& [asn, c] : counts_)
     rows.push_back(Row{asn, c, total_ ? static_cast<double>(c) / total_ : 0});
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {

@@ -14,9 +14,13 @@ EuiStats eui_stats(std::span<const Ipv6> addrs) {
   }
   s.distinct_macs = macs.size();
   std::uint64_t top = 0;
+  // sixdust-lint: allow(det-unordered-iter) — singleton counting is a
+  // commutative fold and the top-MAC max tie-breaks on the value, so the
+  // result is the same in any iteration order.
   for (const auto& [value, count] : macs) {
     if (count == 1) ++s.singleton_macs;
-    if (count > s.top_mac_count) {
+    if (count > s.top_mac_count ||
+        (count == s.top_mac_count && count > 0 && value < top)) {
       s.top_mac_count = count;
       top = value;
     }

@@ -20,12 +20,14 @@ void GfwFilter::set_metrics(MetricsRegistry* reg) {
     m_injected_a_ = m_injected_teredo_ = nullptr;
     return;
   }
-  m_inspected_ = &reg->counter("gfw.records_inspected");
-  m_kept_ = &reg->counter("gfw.records_kept");
-  m_dropped_ = &reg->counter("gfw.records_dropped");
-  m_taint_new_ = &reg->counter("gfw.taint_new");
-  m_injected_a_ = &reg->counter("gfw.injected{kind=a_record}");
-  m_injected_teredo_ = &reg->counter("gfw.injected{kind=teredo}");
+  m_inspected_ = &reg->counter("gfw.records_inspected", Stability::kStable);
+  m_kept_ = &reg->counter("gfw.records_kept", Stability::kStable);
+  m_dropped_ = &reg->counter("gfw.records_dropped", Stability::kStable);
+  m_taint_new_ = &reg->counter("gfw.taint_new", Stability::kStable);
+  m_injected_a_ = &reg->counter("gfw.injected{kind=a_record}",
+                                Stability::kStable);
+  m_injected_teredo_ = &reg->counter("gfw.injected{kind=teredo}",
+                                     Stability::kStable);
 }
 
 void GfwFilter::note(const ScanRecord& rec, int scan_index, DnsVerdict v) {

@@ -147,6 +147,7 @@ NewSourceEvaluator::SourceReport NewSourceEvaluator::evaluate(
       // revisit what answered in round one.
       std::vector<Ipv6> survivors;
       survivors.reserve(responsive.size());
+      // sixdust-lint: allow(det-unordered-iter) — collection; sorted next.
       for (const auto& [a, m] : responsive) survivors.push_back(a);
       std::sort(survivors.begin(), survivors.end());
       round_targets = std::move(survivors);
@@ -158,6 +159,8 @@ NewSourceEvaluator::SourceReport NewSourceEvaluator::evaluate(
   rep.gfw_filtered = gfw.tainted_count();
 
   rep.responsive.reserve(responsive.size());
+  // sixdust-lint: allow(det-unordered-iter) — per-proto tallies are a
+  // commutative fold and rep.responsive is sorted right below.
   for (const auto& [a, mask] : responsive) {
     rep.responsive.push_back(a);
     for (Proto p : kAllProtos)

@@ -59,6 +59,7 @@ History::Counts History::cumulative(int until_scan,
     }
   }
   Counts c;
+  // sixdust-lint: allow(det-unordered-iter) — pure commutative counting.
   for (const auto& [a, m] : seen) {
     ++c.any;
     for (Proto p : kAllProtos)
@@ -86,6 +87,8 @@ History::Churn History::churn(int scan_index, const GfwFilter* cleaner) const {
   for (const auto& [a, mask] : entries_[it->second].responsive)
     if (cleaned_mask(a, mask, scan_index, cleaner) != 0) cur.insert(a);
 
+  // sixdust-lint: allow(det-unordered-iter) — classifies each address
+  // independently into churn counters; a commutative fold.
   for (const auto& a : cur) {
     if (prev.contains(a)) {
       ++ch.stable;
@@ -95,6 +98,7 @@ History::Churn History::churn(int scan_index, const GfwFilter* cleaner) const {
       ++ch.completely_new;
     }
   }
+  // sixdust-lint: allow(det-unordered-iter) — pure commutative counting.
   for (const auto& a : prev)
     if (!cur.contains(a)) ++ch.lost;
   return ch;
@@ -108,6 +112,7 @@ std::size_t History::always_responsive(const GfwFilter* cleaner) const {
       if (cleaned_mask(a, mask, e.scan_index, cleaner) != 0) ++hits[a];
   }
   std::size_t n = 0;
+  // sixdust-lint: allow(det-unordered-iter) — pure commutative counting.
   for (const auto& [a, count] : hits)
     if (count == entries_.size()) ++n;
   return n;

@@ -65,24 +65,34 @@ HitlistService::~HitlistService() {
 
 void HitlistService::init_metrics() {
   MetricsRegistry& reg = *metrics_;
-  svc_metrics_.steps = &reg.counter("service.steps");
-  svc_metrics_.input_total = &reg.gauge("service.input_total");
-  svc_metrics_.input_blocked = &reg.gauge("service.input_blocked");
-  svc_metrics_.scan_targets = &reg.gauge("service.scan_targets");
-  svc_metrics_.aliased_prefixes = &reg.gauge("service.aliased_prefixes");
-  svc_metrics_.excluded_total = &reg.gauge("service.excluded_total");
-  svc_metrics_.newly_excluded = &reg.counter("service.newly_excluded");
-  svc_metrics_.responsive_any = &reg.counter("service.responsive{proto=any}");
+  svc_metrics_.steps = &reg.counter("service.steps", Stability::kStable);
+  svc_metrics_.input_total = &reg.gauge("service.input_total",
+                                        Stability::kStable);
+  svc_metrics_.input_blocked = &reg.gauge("service.input_blocked",
+                                          Stability::kStable);
+  svc_metrics_.scan_targets = &reg.gauge("service.scan_targets",
+                                         Stability::kStable);
+  svc_metrics_.aliased_prefixes = &reg.gauge("service.aliased_prefixes",
+                                             Stability::kStable);
+  svc_metrics_.excluded_total = &reg.gauge("service.excluded_total",
+                                           Stability::kStable);
+  svc_metrics_.newly_excluded = &reg.counter("service.newly_excluded",
+                                             Stability::kStable);
+  svc_metrics_.responsive_any = &reg.counter("service.responsive{proto=any}",
+                                             Stability::kStable);
   for (Proto p : kAllProtos)
     svc_metrics_.responsive[static_cast<std::size_t>(proto_index(p))] =
-        &reg.counter("service.responsive{proto=" + proto_token(p) + "}");
+        &reg.counter("service.responsive{proto=" + proto_token(p) + "}",
+                     Stability::kStable);
   for (std::size_t bit = 0; bit < svc_metrics_.input_new.size(); ++bit)
     svc_metrics_.input_new[bit] = &reg.counter(
-        std::string("service.input_new{source=") + kSourceNames[bit] + "}");
+        std::string("service.input_new{source=") + kSourceNames[bit] + "}",
+        Stability::kStable);
   static constexpr std::uint64_t kRespBounds[] = {16,   64,    256,  1024,
                                                   4096, 16384, 65536};
   svc_metrics_.responsive_per_scan =
-      &reg.histogram("service.responsive_per_scan", kRespBounds);
+      &reg.histogram("service.responsive_per_scan", kRespBounds,
+                     Stability::kStable);
 }
 
 void HitlistService::record_new_input(std::uint16_t tags) {
@@ -234,6 +244,7 @@ HitlistService::ScanOutcome HitlistService::step(const World& world,
 
   // 8. Record history.
   entry.responsive.reserve(responsive.size());
+  // sixdust-lint: allow(det-unordered-iter) — collection; sorted next.
   for (const auto& [a, mask] : responsive) entry.responsive.emplace_back(a, mask);
   std::sort(entry.responsive.begin(), entry.responsive.end());
   entry.input_total = input_.size();

@@ -432,6 +432,7 @@ HitlistService::ScanOutcome HitlistService::step_pipeline(const World& world,
 
   // 8. Record history (identical).
   entry.responsive.reserve(responsive.size());
+  // sixdust-lint: allow(det-unordered-iter) — collection; sorted next.
   for (const auto& [a, mask] : responsive)
     entry.responsive.emplace_back(a, mask);
   std::sort(entry.responsive.begin(), entry.responsive.end());

@@ -1,0 +1,143 @@
+#include "lint/annotations.hpp"
+
+#include <algorithm>
+
+namespace sixdust::lint {
+
+namespace {
+
+constexpr std::string_view kMarker = "sixdust-lint:";
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Split the `rule[, rule...]` list; empty items are grammar errors.
+[[nodiscard]] bool split_rules(std::string_view list,
+                               std::vector<std::string>* out) {
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    const std::string_view item =
+        trim(comma == std::string_view::npos ? list : list.substr(0, comma));
+    if (item.empty()) return false;
+    out->emplace_back(item);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  return !out->empty();
+}
+
+/// Strip the reason separator: an em-dash (U+2014, "\xe2\x80\x94"),
+/// "--", or a single "-". Returns false when none leads `rest`.
+[[nodiscard]] bool strip_separator(std::string_view* rest) {
+  if (rest->rfind("\xe2\x80\x94", 0) == 0) {
+    rest->remove_prefix(3);
+    return true;
+  }
+  if (rest->rfind("--", 0) == 0) {
+    rest->remove_prefix(2);
+    return true;
+  }
+  if (rest->rfind("-", 0) == 0) {
+    rest->remove_prefix(1);
+    return true;
+  }
+  return false;
+}
+
+/// First source line at or after `from` that carries a token — where an
+/// own-line annotation attaches.
+[[nodiscard]] std::size_t next_code_line(const TokenStream& ts,
+                                         std::size_t from) {
+  std::size_t best = 0;
+  for (const Tok& t : ts.toks)
+    if (t.line >= from && (best == 0 || t.line < best)) best = t.line;
+  return best;
+}
+
+}  // namespace
+
+bool AnnotationSet::allows_finding(const std::string& rule, std::size_t line,
+                                   std::string* reason) {
+  for (Annotation& a : allows) {
+    if (!a.file_scope && a.target_line != line) continue;
+    if (std::find(a.rules.begin(), a.rules.end(), rule) == a.rules.end())
+      continue;
+    a.used = true;
+    if (reason != nullptr) *reason = a.reason;
+    return true;
+  }
+  return false;
+}
+
+AnnotationSet parse_annotations(const TokenStream& ts) {
+  AnnotationSet out;
+  for (const Comment& c : ts.comments) {
+    // Only a comment that *begins* with the marker is an annotation;
+    // prose that mentions sixdust-lint mid-sentence is ignored.
+    const std::string_view head = trim(c.text);
+    if (head.rfind(kMarker, 0) != 0) continue;
+    std::string_view rest = trim(head.substr(kMarker.size()));
+
+    bool file_scope = false;
+    if (rest.rfind("allow-file(", 0) == 0) {
+      file_scope = true;
+      rest.remove_prefix(std::string_view("allow-file(").size());
+    } else if (rest.rfind("allow(", 0) == 0) {
+      rest.remove_prefix(std::string_view("allow(").size());
+    } else {
+      out.errors.push_back(
+          {c.line, "expected 'allow(...)' or 'allow-file(...)' after "
+                   "'sixdust-lint:'"});
+      continue;
+    }
+
+    const std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      out.errors.push_back({c.line, "unterminated rule list (missing ')')"});
+      continue;
+    }
+
+    Annotation a;
+    a.line = c.line;
+    a.file_scope = file_scope;
+    if (!split_rules(rest.substr(0, close), &a.rules)) {
+      out.errors.push_back({c.line, "empty rule list in allow(...)"});
+      continue;
+    }
+
+    std::string_view tail = trim(rest.substr(close + 1));
+    if (!strip_separator(&tail)) {
+      out.errors.push_back(
+          {c.line,
+           "missing '\xe2\x80\x94 reason' after the rule list (every "
+           "allow must say why)"});
+      continue;
+    }
+    tail = trim(tail);
+    if (tail.empty()) {
+      out.errors.push_back({c.line, "empty reason after the separator"});
+      continue;
+    }
+    a.reason.assign(tail);
+
+    if (!file_scope) {
+      a.target_line = c.own_line ? next_code_line(ts, c.line + 1) : c.line;
+      if (a.target_line == 0) {
+        out.errors.push_back(
+            {c.line, "own-line allow has no following code line to attach "
+                     "to"});
+        continue;
+      }
+    }
+    out.allows.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace sixdust::lint

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace sixdust::lint {
+
+/// One parsed `sixdust-lint:` annotation.
+///
+/// Grammar (one per comment):
+///   // sixdust-lint: allow(rule[, rule...]) — reason
+///   // sixdust-lint: allow-file(rule[, rule...]) — reason
+///
+/// The separator before the reason may be an em-dash (—), "--", or "-";
+/// the reason must be non-empty — an allow with no justification is
+/// itself a lint error. A trailing annotation suppresses findings on its
+/// own line; an own-line annotation suppresses findings on the next line
+/// that carries code; allow-file suppresses the rule anywhere in the file.
+struct Annotation {
+  std::vector<std::string> rules;
+  std::string reason;
+  std::size_t line = 0;        // line the comment starts on
+  std::size_t target_line = 0; // line it suppresses (0 for allow-file)
+  bool file_scope = false;
+  bool used = false;           // set when it suppresses at least one finding
+};
+
+/// A malformed `sixdust-lint:` comment (bad grammar, empty rule list,
+/// missing reason). `message` explains what failed to parse.
+struct AnnotationError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct AnnotationSet {
+  std::vector<Annotation> allows;
+  std::vector<AnnotationError> errors;
+
+  /// Does an annotation cover `rule` at `line`? Marks the matching
+  /// annotation used. `reason` (optional out) receives its justification.
+  [[nodiscard]] bool allows_finding(const std::string& rule,
+                                    std::size_t line, std::string* reason);
+};
+
+/// Extract annotations from a lexed file. Comments that do not contain
+/// the literal `sixdust-lint:` marker are ignored.
+[[nodiscard]] AnnotationSet parse_annotations(const TokenStream& ts);
+
+}  // namespace sixdust::lint

@@ -1,0 +1,244 @@
+#include "lint/lexer.hpp"
+
+namespace sixdust::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return ident_start(c) || (c >= '0' && c <= '9');
+}
+[[nodiscard]] bool digit(char c) { return c >= '0' && c <= '9'; }
+
+/// String-literal encoding prefixes that may precede a quote with no gap.
+[[nodiscard]] bool is_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "u8" || ident == "u" || ident == "U" ||
+         ident == "L" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  TokenStream run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_had_token_ = false;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && !line_had_token_) {
+        preproc_line();
+        continue;
+      }
+      if (c == '"') {
+        string_literal(pos_);
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (digit(c) || (c == '.' && pos_ + 1 < src_.size() &&
+                       digit(src_[pos_ + 1]))) {
+        number();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void emit(TokKind kind, std::size_t begin, std::size_t end,
+            std::size_t line) {
+    out_.toks.push_back({kind, src_.substr(begin, end - begin), line});
+    line_had_token_ = true;
+  }
+
+  void line_comment() {
+    const std::size_t line = line_;
+    const bool own = !line_had_token_;
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back({src_.substr(begin, pos_ - begin), line, own});
+  }
+
+  void block_comment() {
+    const std::size_t line = line_;
+    const bool own = !line_had_token_;
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      ++pos_;
+    }
+    out_.comments.push_back({src_.substr(begin, end - begin), line, own});
+  }
+
+  /// Consume a whole preprocessor logical line, honoring backslash
+  /// continuations. Comments inside it are still collected so an
+  /// annotation can sit on a directive line.
+  void preproc_line() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_had_token_ = false;
+        ++pos_;
+        return;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        line_comment();
+        return;  // a // comment ends the directive's last line
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        block_comment();
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  /// `begin` points at the opening quote; any encoding prefix has already
+  /// been consumed by identifier().
+  void string_literal(std::size_t begin, bool raw = false) {
+    const std::size_t line = line_;
+    if (raw) {
+      // R"delim( ... )delim"
+      std::size_t p = pos_ + 1;  // past the quote
+      const std::size_t dbegin = p;
+      while (p < src_.size() && src_[p] != '(') ++p;
+      const std::string_view delim = src_.substr(dbegin, p - dbegin);
+      std::size_t body = p + 1;
+      std::size_t content_end = src_.size();
+      std::size_t after = src_.size();
+      while (body < src_.size()) {
+        if (src_[body] == '\n') ++line_;
+        if (src_[body] == ')' &&
+            src_.compare(body + 1, delim.size(), delim) == 0 &&
+            body + 1 + delim.size() < src_.size() &&
+            src_[body + 1 + delim.size()] == '"') {
+          content_end = body;
+          after = body + delim.size() + 2;
+          break;
+        }
+        ++body;
+      }
+      emit(TokKind::kString, p + 1, content_end, line);
+      pos_ = after;
+      return;
+    }
+    std::size_t p = pos_ + 1;
+    while (p < src_.size() && src_[p] != '"' && src_[p] != '\n') {
+      if (src_[p] == '\\' && p + 1 < src_.size()) ++p;
+      ++p;
+    }
+    emit(TokKind::kString, begin + 1, p, line);
+    pos_ = p < src_.size() ? p + 1 : p;
+  }
+
+  void char_literal() {
+    const std::size_t line = line_;
+    std::size_t p = pos_ + 1;
+    while (p < src_.size() && src_[p] != '\'' && src_[p] != '\n') {
+      if (src_[p] == '\\' && p + 1 < src_.size()) ++p;
+      ++p;
+    }
+    emit(TokKind::kChar, pos_ + 1, p, line);
+    pos_ = p < src_.size() ? p + 1 : p;
+  }
+
+  void number() {
+    const std::size_t begin = pos_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs bind to the literal only after e/E/p/P.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, begin, pos_, line_);
+  }
+
+  void identifier() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    const std::string_view ident = src_.substr(begin, pos_ - begin);
+    if (pos_ < src_.size() && src_[pos_] == '"' && is_string_prefix(ident)) {
+      string_literal(pos_, ident.back() == 'R');
+      return;
+    }
+    emit(TokKind::kIdent, begin, pos_, line_);
+  }
+
+  void punct() {
+    const std::size_t begin = pos_;
+    if (src_[pos_] == ':' && pos_ + 1 < src_.size() &&
+        src_[pos_ + 1] == ':') {
+      pos_ += 2;
+    } else if (src_[pos_] == '-' && pos_ + 1 < src_.size() &&
+               src_[pos_ + 1] == '>') {
+      pos_ += 2;
+    } else {
+      ++pos_;
+    }
+    emit(TokKind::kPunct, begin, pos_, line_);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  bool line_had_token_ = false;
+  TokenStream out_;
+};
+
+}  // namespace
+
+TokenStream lex(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace sixdust::lint

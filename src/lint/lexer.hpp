@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sixdust::lint {
+
+/// Token classes the contract rules care about. Preprocessor directives
+/// are consumed as whole logical lines (continuations included) and not
+/// tokenized — an `#include <unordered_map>` must not look like a use of
+/// `unordered_map`.
+enum class TokKind : std::uint8_t {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. digit separators, exponents)
+  kString,  // "...", R"(...)", prefix forms; text excludes the quotes
+  kChar,    // '...'
+  kPunct,   // one punctuation glyph, except "::" and "->" (one token each)
+};
+
+/// One lexed token. `text` views into the source buffer handed to lex(),
+/// which must outlive the stream.
+struct Tok {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;
+  std::size_t line = 0;  // 1-based
+};
+
+/// One comment, kept out of the token stream (rules never see comment
+/// text as code) but retained for the annotation grammar.
+struct Comment {
+  std::string_view text;  // without the // or /* */ markers
+  std::size_t line = 0;   // 1-based line the comment starts on
+  bool own_line = false;  // nothing but whitespace precedes it on its line
+};
+
+struct TokenStream {
+  std::vector<Tok> toks;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize one C++ translation unit. The lexer is deliberately lossy —
+/// it understands exactly enough of the grammar (comments, string/char
+/// literals including raw strings, preprocessor lines, "::" and "->") for
+/// token-level contract rules; it never needs to parse declarations.
+[[nodiscard]] TokenStream lex(std::string_view src);
+
+}  // namespace sixdust::lint

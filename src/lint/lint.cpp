@@ -1,0 +1,272 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "lint/annotations.hpp"
+#include "obs/json_mini.hpp"
+
+namespace sixdust::lint {
+
+namespace {
+
+[[nodiscard]] const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& info : rule_table())
+    if (info.id == id) return &info;
+  return nullptr;
+}
+
+/// Companion header of a .cpp ("src/a/b.cpp" -> "src/a/b.hpp"): member
+/// declarations live there, iterations in the .cpp.
+[[nodiscard]] std::string companion_header(const std::string& path) {
+  if (path.size() < 4 || path.compare(path.size() - 4, 4, ".cpp") != 0)
+    return {};
+  return path.substr(0, path.size() - 4) + ".hpp";
+}
+
+void sort_findings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+}  // namespace
+
+std::size_t LintResult::count(Severity s, bool allowed) const {
+  std::size_t n = 0;
+  for (const Finding& f : findings)
+    if (f.severity == s && f.allowed == allowed) ++n;
+  return n;
+}
+
+LintResult run_lint(const std::vector<SourceFile>& files) {
+  LintResult result;
+  result.files = files.size();
+
+  std::vector<TokenStream> streams;
+  streams.reserve(files.size());
+  for (const SourceFile& f : files) streams.push_back(lex(f.text));
+
+  // Unordered-container names per file, so a .cpp sees the members its
+  // companion header declares.
+  std::vector<std::vector<std::string>> unordered_names;
+  unordered_names.reserve(files.size());
+  for (const TokenStream& ts : streams)
+    unordered_names.push_back(collect_unordered_names(ts));
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const SourceFile& file = files[i];
+    const std::vector<std::string>* extra = nullptr;
+    const std::string companion = companion_header(file.path);
+    if (!companion.empty()) {
+      for (std::size_t j = 0; j < files.size(); ++j)
+        if (files[j].path == companion) {
+          extra = &unordered_names[j];
+          break;
+        }
+    }
+
+    std::vector<RawFinding> raw;
+    FileCtx ctx{file.path, &streams[i], extra, &raw};
+    for (const RuleDef& rule : rules())
+      if (rule.in_scope(file.path)) rule.run(ctx);
+
+    AnnotationSet anns = parse_annotations(streams[i]);
+
+    // Grammar errors and unknown rule ids are findings themselves.
+    for (const AnnotationError& e : anns.errors)
+      result.findings.push_back({"lint-annotation", Severity::kError,
+                                 file.path, e.line, e.message,
+                                 std::string(find_rule("lint-annotation")->fixit),
+                                 false, {}});
+    std::vector<std::size_t> bad_annotations;
+    for (std::size_t a = 0; a < anns.allows.size(); ++a) {
+      for (const std::string& rule_id : anns.allows[a].rules) {
+        if (find_rule(rule_id) != nullptr) continue;
+        bad_annotations.push_back(a);
+        result.findings.push_back(
+            {"lint-annotation", Severity::kError, file.path,
+             anns.allows[a].line,
+             "allow names unknown rule '" + rule_id + "'",
+             std::string(find_rule("lint-annotation")->fixit), false, {}});
+      }
+    }
+
+    for (RawFinding& rf : raw) {
+      const RuleInfo* info = find_rule(rf.rule);
+      Finding f;
+      f.rule = std::string(rf.rule);
+      f.severity = info->severity;
+      f.file = file.path;
+      f.line = rf.line;
+      f.message = std::move(rf.message);
+      f.fixit = std::string(info->fixit);
+      f.allowed = anns.allows_finding(f.rule, f.line, &f.reason);
+      result.findings.push_back(std::move(f));
+    }
+
+    for (std::size_t a = 0; a < anns.allows.size(); ++a) {
+      if (anns.allows[a].used) continue;
+      if (std::find(bad_annotations.begin(), bad_annotations.end(), a) !=
+          bad_annotations.end())
+        continue;
+      result.findings.push_back(
+          {"lint-unused-allow", Severity::kWarning, file.path,
+           anns.allows[a].line,
+           "allow(" + anns.allows[a].rules.front() +
+               (anns.allows[a].rules.size() > 1 ? ", ..." : "") +
+               ") suppresses nothing",
+           std::string(find_rule("lint-unused-allow")->fixit), false, {}});
+    }
+
+    // Manifest rows come from library and tool registrations only.
+    if (file.path.rfind("src/", 0) == 0 || file.path.rfind("tools/", 0) == 0) {
+      for (const RegSite& site : scan_registrations(streams[i]))
+        result.manifest.push_back({site.prefix, site.exact, site.kind,
+                                   site.stability, file.path, site.line});
+    }
+  }
+
+  sort_findings(&result.findings);
+  std::sort(result.manifest.begin(), result.manifest.end(),
+            [](const ManifestRow& a, const ManifestRow& b) {
+              return std::tie(a.prefix, a.file, a.line, a.kind) <
+                     std::tie(b.prefix, b.file, b.line, b.kind);
+            });
+  return result;
+}
+
+std::vector<Finding> check_manifest_coverage(
+    const std::vector<ManifestRow>& manifest, std::string_view golden_json,
+    std::string_view golden_path) {
+  std::vector<Finding> out;
+  const auto snap = parse_metrics_snapshot(golden_json);
+  if (!snap) {
+    out.push_back({"obs-manifest", Severity::kError,
+                   std::string(golden_path), 1,
+                   "golden file is not a sixdust-metrics/1 snapshot",
+                   std::string(find_rule("obs-manifest")->fixit), false, {}});
+    return out;
+  }
+  for (const MetricSample& sample : snap->samples) {
+    if (sample.stability != Stability::kStable) continue;
+    bool covered = false;
+    for (const ManifestRow& row : manifest) {
+      if (row.stability == "volatile" || row.prefix.empty()) continue;
+      if (row.exact ? (row.prefix == sample.name)
+                    : (sample.name.rfind(row.prefix, 0) == 0)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered)
+      out.push_back({"obs-manifest", Severity::kError,
+                     std::string(golden_path), 1,
+                     "stable metric '" + sample.name +
+                         "' has no statically recoverable registration "
+                         "site in src/ or tools/",
+                     std::string(find_rule("obs-manifest")->fixit), false,
+                     {}});
+  }
+  sort_findings(&out);
+  return out;
+}
+
+std::string result_to_json(const LintResult& result) {
+  std::string out = "{\n  \"schema\": \"sixdust-lint/1\",\n";
+  out += "  \"summary\": {\"files\": " + std::to_string(result.files) +
+         ", \"errors\": " +
+         std::to_string(result.count(Severity::kError, false)) +
+         ", \"warnings\": " +
+         std::to_string(result.count(Severity::kWarning, false)) +
+         ", \"allowed\": " +
+         std::to_string(result.count(Severity::kError, true) +
+                        result.count(Severity::kWarning, true)) +
+         "},\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    out += "    {\"rule\":\"";
+    append_json_escaped(out, f.rule);
+    out += "\",\"severity\":\"";
+    out += severity_name(f.severity);
+    out += "\",\"file\":\"";
+    append_json_escaped(out, f.file);
+    out += "\",\"line\":" + std::to_string(f.line) + ",\"message\":\"";
+    append_json_escaped(out, f.message);
+    out += "\",\"fixit\":\"";
+    append_json_escaped(out, f.fixit);
+    out += "\",\"allowed\":";
+    out += f.allowed ? "true" : "false";
+    out += ",\"reason\":\"";
+    append_json_escaped(out, f.reason);
+    out += "\"}";
+    if (i + 1 < result.findings.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n  \"manifest\": [\n";
+  for (std::size_t i = 0; i < result.manifest.size(); ++i) {
+    const ManifestRow& row = result.manifest[i];
+    out += "    {\"prefix\":\"";
+    append_json_escaped(out, row.prefix);
+    out += "\",\"exact\":";
+    out += row.exact ? "true" : "false";
+    out += ",\"kind\":\"";
+    append_json_escaped(out, row.kind);
+    out += "\",\"stability\":\"";
+    append_json_escaped(out, row.stability);
+    out += "\",\"file\":\"";
+    append_json_escaped(out, row.file);
+    out += "\",\"line\":" + std::to_string(row.line) + "}";
+    if (i + 1 < result.manifest.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool load_tree(const std::string& root,
+               const std::vector<std::string>& subdirs,
+               std::vector<SourceFile>* out, std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& subdir : subdirs) {
+    const fs::path base = fs::path(root) / subdir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) {
+      if (error != nullptr) *error = "not a directory: " + base.string();
+      return false;
+    }
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      paths.push_back(
+          fs::relative(it->path(), root, ec).generic_string());
+    }
+    if (ec) {
+      if (error != nullptr)
+        *error = "walking " + base.string() + ": " + ec.message();
+      return false;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& p : paths) {
+    std::ifstream f(fs::path(root) / p, std::ios::binary);
+    if (!f) {
+      if (error != nullptr) *error = "cannot read " + p;
+      return false;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    out->push_back({p, std::move(buf).str()});
+  }
+  return true;
+}
+
+}  // namespace sixdust::lint

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace sixdust::lint {
+
+/// One file to analyze. `path` is repo-relative with '/' separators —
+/// rule scoping (stable-path vs test, allowlists) keys off it.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+/// One reported contract violation (or annotation problem).
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+  std::string fixit;
+  bool allowed = false;   // suppressed by a sixdust-lint: allow
+  std::string reason;     // the allow's justification, when allowed
+};
+
+/// One stable-name manifest row (see RegSite); `file`/`line` locate the
+/// registration. Only src/ and tools/ registrations contribute.
+struct ManifestRow {
+  std::string prefix;
+  bool exact = false;
+  std::string kind;
+  std::string stability;  // stable | volatile | expr | default
+  std::string file;
+  std::size_t line = 0;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;   // sorted by (file, line, rule)
+  std::vector<ManifestRow> manifest;
+  std::size_t files = 0;
+
+  [[nodiscard]] std::size_t count(Severity s, bool allowed) const;
+  /// Unannotated errors — what --strict fails on.
+  [[nodiscard]] std::size_t blocking() const {
+    return count(Severity::kError, false);
+  }
+};
+
+/// Run every rule over `files` (pre-sorted or not — findings come back
+/// sorted), match allow annotations, and extract the stable-name
+/// manifest.
+[[nodiscard]] LintResult run_lint(const std::vector<SourceFile>& files);
+
+/// Check that the manifest covers every metric of a sixdust-metrics/1
+/// golden document: each name must equal an exact stable row or extend a
+/// non-exact stable row's prefix. Returns obs-manifest findings anchored
+/// at `golden_path` (empty == full coverage).
+[[nodiscard]] std::vector<Finding> check_manifest_coverage(
+    const std::vector<ManifestRow>& manifest, std::string_view golden_json,
+    std::string_view golden_path);
+
+/// JSON export, schema sixdust-lint/1: summary, findings (one per line,
+/// sorted), manifest rows (sorted by prefix). Deterministic.
+[[nodiscard]] std::string result_to_json(const LintResult& result);
+
+/// Recursively collect .hpp/.cpp files under `root`/`subdir` for each
+/// subdir, paths stored root-relative, sorted. Returns false (and sets
+/// `error`) when a subdir is missing or a file is unreadable.
+[[nodiscard]] bool load_tree(const std::string& root,
+                             const std::vector<std::string>& subdirs,
+                             std::vector<SourceFile>* out,
+                             std::string* error);
+
+}  // namespace sixdust::lint

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace sixdust::lint {
+
+enum class Severity : std::uint8_t { kError, kWarning };
+
+[[nodiscard]] std::string_view severity_name(Severity s);
+
+/// Static description of one rule — the row rendered by --list-rules and
+/// DESIGN.md §14's rule table.
+struct RuleInfo {
+  std::string_view id;
+  Severity severity = Severity::kError;
+  std::string_view summary;
+  std::string_view fixit;
+};
+
+/// A rule violation before annotation matching (file and allow state are
+/// attached by the engine).
+struct RawFinding {
+  std::string_view rule;
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// One MetricsRegistry registration call site, recovered statically. The
+/// `prefix` is the longest leading name text known at the call site (a
+/// whole literal, or a literal reached through one local
+/// `name = "lit" + ...` assignment); `exact` means the prefix IS the full
+/// name. Stability reflects the explicit argument: "stable", "volatile",
+/// "expr" (passed through a variable), or "default" (argument omitted).
+struct RegSite {
+  std::size_t line = 0;
+  std::string kind;       // counter | gauge | histogram
+  std::string prefix;
+  bool exact = false;
+  bool has_stability = false;
+  std::string stability;  // stable | volatile | expr | default
+};
+
+/// Scan a token stream for registration call sites (`.counter(`,
+/// `->gauge(`, ...). Shared by the observability rules and the
+/// stable-name manifest extractor.
+[[nodiscard]] std::vector<RegSite> scan_registrations(const TokenStream& ts);
+
+/// Names declared in `ts` with an `unordered_*` type (variables, members,
+/// parameters) — the iteration targets det-unordered-iter watches. The
+/// engine feeds a .cpp file its companion header's names as well.
+[[nodiscard]] std::vector<std::string> collect_unordered_names(
+    const TokenStream& ts);
+
+/// Per-file context handed to each rule's matcher.
+struct FileCtx {
+  std::string_view path;          // repo-relative, '/'-separated
+  const TokenStream* ts = nullptr;
+  const std::vector<std::string>* extra_unordered = nullptr;
+  std::vector<RawFinding>* out = nullptr;
+
+  void emit(std::string_view rule, std::size_t line, std::string message) {
+    out->push_back({rule, line, std::move(message)});
+  }
+};
+
+struct RuleDef {
+  RuleInfo info;
+  bool (*in_scope)(std::string_view path);
+  void (*run)(FileCtx&);
+};
+
+/// The rule table. Order is the reporting order for same-line findings.
+[[nodiscard]] const std::vector<RuleDef>& rules();
+
+/// Info rows only (adds the engine-level rules that have no per-file
+/// matcher: obs-manifest, lint-annotation, lint-unused-allow).
+[[nodiscard]] const std::vector<RuleInfo>& rule_table();
+
+}  // namespace sixdust::lint

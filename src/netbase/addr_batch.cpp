@@ -115,7 +115,8 @@ void AddrBatch::sort_unique(ThreadPool* pool, MetricsRegistry* reg) {
     }
     if (ascending) {
       sorted_ = true;
-      if (reg != nullptr) reg->counter("tga.batch.sorted_addrs").add(n);
+      if (reg != nullptr) reg->counter("tga.batch.sorted_addrs",
+                                       Stability::kStable).add(n);
       return;
     }
     // Comparison-sort fallback: zip, sort, unzip (assign refreshes the
@@ -170,7 +171,8 @@ void AddrBatch::sort_unique(ThreadPool* pool, MetricsRegistry* reg) {
     sorted_ = true;
     summary_ = m;
     summary_.valid = true;
-    if (reg != nullptr) reg->counter("tga.batch.sorted_addrs").add(n);
+    if (reg != nullptr) reg->counter("tga.batch.sorted_addrs",
+                                     Stability::kStable).add(n);
     return;
   }
   const std::uint64_t diff_hi = m.or_hi ^ m.and_hi;
@@ -189,8 +191,8 @@ void AddrBatch::sort_unique(ThreadPool* pool, MetricsRegistry* reg) {
     summary_.ascending = true;
     summary_.valid = true;
     if (reg != nullptr) {
-      reg->counter("tga.batch.sorted_addrs").add(n);
-      reg->counter("tga.batch.dup_removed").add(n - 1);
+      reg->counter("tga.batch.sorted_addrs", Stability::kStable).add(n);
+      reg->counter("tga.batch.dup_removed", Stability::kStable).add(n - 1);
     }
     return;
   }
@@ -470,11 +472,11 @@ void AddrBatch::sort_unique(ThreadPool* pool, MetricsRegistry* reg) {
   summary_.valid = true;
 
   if (reg != nullptr) {
-    reg->counter("tga.batch.sorted_addrs").add(n);
-    reg->counter("tga.batch.radix_passes").add(passes_run);
-    reg->counter("tga.batch.radix_passes_skipped")
+    reg->counter("tga.batch.sorted_addrs", Stability::kStable).add(n);
+    reg->counter("tga.batch.radix_passes", Stability::kStable).add(passes_run);
+    reg->counter("tga.batch.radix_passes_skipped", Stability::kStable)
         .add(static_cast<std::uint64_t>(16 - active.size()));
-    reg->counter("tga.batch.dup_removed").add(n - write);
+    reg->counter("tga.batch.dup_removed", Stability::kStable).add(n - write);
   }
 }
 
@@ -505,7 +507,8 @@ void AddrBatch::filter_covered(std::span<const Prefix> sorted_prefixes,
     lo_[write] = lo_[i];
     ++write;
   }
-  if (reg != nullptr) reg->counter("tga.batch.filtered_out").add(n - write);
+  if (reg != nullptr) reg->counter("tga.batch.filtered_out",
+                                   Stability::kStable).add(n - write);
   hi_.resize(write);
   lo_.resize(write);
 }
@@ -524,7 +527,8 @@ void AddrBatch::subtract_sorted(const AddrBatch& known, MetricsRegistry* reg) {
     lo_[write] = lo_[i];
     ++write;
   }
-  if (reg != nullptr) reg->counter("tga.batch.filtered_out").add(n - write);
+  if (reg != nullptr) reg->counter("tga.batch.filtered_out",
+                                   Stability::kStable).add(n - write);
   hi_.resize(write);
   lo_.resize(write);
 }

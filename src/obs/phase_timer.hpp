@@ -1,5 +1,9 @@
 #pragma once
 
+// sixdust-lint: allow-file(det-wallclock) — the timer's wall-clock side
+// feeds only the volatile metrics (.wall_ns, .duration_us); the stable
+// .calls counter and the span's stable timestamps never read the clock.
+
 #include <array>
 #include <chrono>
 #include <string>

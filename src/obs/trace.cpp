@@ -1,5 +1,9 @@
 #include "obs/trace.hpp"
 
+// sixdust-lint: allow-file(det-wallclock) — spans carry dual clocks; the
+// steady_clock side fills only the mono_* fields, which feed the volatile
+// chrome export. Stable exports read the simulated sim_* fields alone.
+
 #include <algorithm>
 #include <cmath>
 

@@ -198,6 +198,8 @@ class TraceRecorder {
 
   const std::uint64_t serial_;  // process-unique, guards thread caches
   const std::size_t capacity_;
+  // sixdust-lint: allow(det-wallclock) — mono epoch for the volatile
+  // chrome export only; stable exports never read it.
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> sim_now_us_{0};
   std::atomic<std::uint64_t> next_id_{1};

@@ -12,11 +12,12 @@ void TokenBucket::attach_metrics(MetricsRegistry* reg, std::string_view name) {
     return;
   }
   const std::string prefix = "rate." + std::string(name);
-  m_consumed_ = &reg->counter(prefix + ".tokens_consumed");
-  m_waits_ = &reg->counter(prefix + ".waits");
+  m_consumed_ = &reg->counter(prefix + ".tokens_consumed", Stability::kStable);
+  m_waits_ = &reg->counter(prefix + ".waits", Stability::kStable);
   static constexpr std::uint64_t kWaitBoundsUs[] = {
       1, 10, 100, 1000, 10000, 100000, 1000000};
-  m_wait_us_ = &reg->histogram(prefix + ".wait_us", kWaitBoundsUs);
+  m_wait_us_ = &reg->histogram(prefix + ".wait_us", kWaitBoundsUs,
+                               Stability::kStable);
 }
 
 double TokenBucket::consume(double n) {

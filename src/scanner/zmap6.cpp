@@ -26,13 +26,13 @@ void Zmap6::init_metrics() {
   for (Proto p : kAllProtos) {
     ProtoMetrics& m = proto_metrics_[static_cast<std::size_t>(proto_index(p))];
     const std::string label = "{proto=" + proto_token(p) + "}";
-    m.sent = &reg->counter("scanner.probes_sent" + label);
-    m.answered = &reg->counter("scanner.answered" + label);
-    m.blocked = &reg->counter("scanner.blocked" + label);
-    m.scans = &reg->counter("scanner.scans" + label);
+    m.sent = &reg->counter("scanner.probes_sent" + label, Stability::kStable);
+    m.answered = &reg->counter("scanner.answered" + label, Stability::kStable);
+    m.blocked = &reg->counter("scanner.blocked" + label, Stability::kStable);
+    m.scans = &reg->counter("scanner.scans" + label, Stability::kStable);
   }
   probes_per_scan_ = &reg->histogram("scanner.probes_per_scan",
-                                     kProbeCountBounds);
+                                     kProbeCountBounds, Stability::kStable);
 }
 
 void Zmap6::record_shard(const ScanResult& r) const {

@@ -1,5 +1,8 @@
 #include "serve/client.hpp"
 
+// sixdust-lint: allow-file(det-wallclock) — connect/read deadlines on a
+// real socket need a real clock; the client never produces stable output.
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>

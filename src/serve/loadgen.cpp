@@ -1,5 +1,12 @@
 #include "serve/loadgen.hpp"
 
+// sixdust-lint: allow-file(det-wallclock) — the load generator measures
+// real client-observed latency over real sockets; nothing here feeds the
+// stable output surface.
+// sixdust-lint: allow-file(conc-raw-thread) — loadgen connections are
+// blocking-socket clients driven to a fixed request count; the shared
+// pool is for simulation work, not for client I/O that parks in recv().
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>

@@ -135,6 +135,9 @@ bool Server::start(std::string* error) {
   // batch and (per the pool contract) helps execute it, so every lane is
   // live even when the pool's workers are busy scanning.
   if (cfg_.pool != nullptr) {
+    // sixdust-lint: allow(conc-raw-thread) — the host must outlive
+    // start(); it blocks inside pool->run() until stop() flips the flag,
+    // so it cannot itself be a pool task.
     host_ = std::thread([this] {
       std::vector<std::function<void()>> lanes;
       for (unsigned r = 0; r < cfg_.readers; ++r)
@@ -144,6 +147,8 @@ bool Server::start(std::string* error) {
   } else {
     for (unsigned r = 1; r < cfg_.readers; ++r)
       lane_threads_.emplace_back([this, r] { lane_loop(r); });
+    // sixdust-lint: allow(conc-raw-thread) — no pool configured: the
+    // daemon lanes park in poll() and need dedicated threads.
     host_ = std::thread([this] { lane_loop(0); });
   }
   return true;

@@ -98,7 +98,10 @@ class Server {
   std::string unix_path_;  // unlink on stop
   std::atomic<bool> stop_{false};
   bool started_ = false;
+  // sixdust-lint: allow(conc-raw-thread) — long-lived daemon lanes that
+  // park in poll(); see start() for why they cannot be pool tasks.
   std::thread host_;
+  // sixdust-lint: allow(conc-raw-thread) — dedicated lanes, no-pool mode.
   std::vector<std::thread> lane_threads_;
 
   /// Round-robin inboxes of freshly accepted fds, one per lane.

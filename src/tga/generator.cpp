@@ -15,10 +15,13 @@ std::vector<Ipv6> TargetGenerator::note_generated(std::span<const Ipv6> seeds,
                                                   std::vector<Ipv6> out) const {
   if (metrics_ != nullptr) {
     const std::string t = token();
-    metrics_->counter("tga.calls{algo=" + t + "}").inc();
-    metrics_->counter("tga.seeds{algo=" + t + "}").add(seeds.size());
-    metrics_->counter("tga.candidates{algo=" + t + "}").add(out.size());
-    metrics_->histogram("tga.candidates_per_call", kCandBounds)
+    metrics_->counter("tga.calls{algo=" + t + "}", Stability::kStable).inc();
+    metrics_->counter("tga.seeds{algo=" + t + "}",
+                      Stability::kStable).add(seeds.size());
+    metrics_->counter("tga.candidates{algo=" + t + "}",
+                      Stability::kStable).add(out.size());
+    metrics_->histogram("tga.candidates_per_call", kCandBounds,
+                        Stability::kStable)
         .record(out.size());
   }
   return out;

@@ -62,9 +62,11 @@ std::vector<Ipv6> Seedless::generate(const Rib& rib,
   }
   dedup_addresses(out, pool_, metrics_);
   if (metrics_ != nullptr) {
-    metrics_->counter("tga.calls{algo=seedless}").add(1);
-    metrics_->counter("tga.seeds{algo=seedless}").add(covered.size());
-    metrics_->counter("tga.candidates{algo=seedless}").add(out.size());
+    metrics_->counter("tga.calls{algo=seedless}", Stability::kStable).add(1);
+    metrics_->counter("tga.seeds{algo=seedless}",
+                      Stability::kStable).add(covered.size());
+    metrics_->counter("tga.candidates{algo=seedless}",
+                      Stability::kStable).add(out.size());
   }
   return out;
 }

@@ -79,9 +79,13 @@ std::vector<Ipv6> SixGan::generate(std::span<const Ipv6> seeds,
   // Keep only the largest clusters (6GAN's narrow pattern modes).
   std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
   ranked.reserve(clusters.size());
+  // sixdust-lint: allow(det-unordered-iter) — collection only; the sort
+  // below imposes a total order (support, then key) before truncation.
   for (const auto& [key, m] : clusters) ranked.emplace_back(key, m.support);
-  std::sort(ranked.begin(), ranked.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // tie-break so truncation is deterministic
+  });
   if (ranked.size() > cfg_.max_clusters) ranked.resize(cfg_.max_clusters);
 
   std::size_t total_support = 0;

@@ -143,10 +143,18 @@ std::vector<Ipv6> SixGraph::generate(std::span<const Ipv6> seeds,
           static_cast<std::uint16_t>(1u << nib[i][static_cast<std::size_t>(p)]);
   }
 
-  // Widen diverse positions to wildcards; drop tiny components.
+  // Widen diverse positions to wildcards; drop tiny components. Pattern
+  // order decides per-pattern sampling seeds and the memory-guard cutoff,
+  // so walk the components by ascending root index, not hash order.
+  std::vector<std::size_t> roots;
+  roots.reserve(patterns.size());
+  // sixdust-lint: allow(det-unordered-iter) — key collection, sorted next.
+  for (const auto& [root, pat] : patterns) roots.push_back(root);
+  std::sort(roots.begin(), roots.end());
   std::vector<Pattern> usable;
   std::size_t total_support = 0;
-  for (auto& [root, pat] : patterns) {
+  for (const std::size_t root : roots) {
+    Pattern& pat = patterns[root];
     if (pat.support < cfg_.min_component) continue;
     int wildcards = 0;
     // Widen from the deepest position upward (host bits first).

@@ -44,6 +44,8 @@ SixHit::Result SixHit::run(std::span<const Ipv6> seeds,
 
   std::vector<Region*> ordered;
   ordered.reserve(regions.size());
+  // sixdust-lint: allow(det-unordered-iter) — collection; the sort below
+  // totally orders regions by their (distinct) fixed-nibble keys.
   for (auto& [key, region] : regions) ordered.push_back(&region);
   std::sort(ordered.begin(), ordered.end(), [](Region* a, Region* b) {
     return to_nibbles(from_nibbles(a->fixed)) < to_nibbles(from_nibbles(b->fixed));

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "netbase/ipv6.hpp"
 #include "proto/tcp.hpp"
 #include "proto/types.hpp"
 

@@ -1,5 +1,6 @@
 #include "topo/isp_pool.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 
@@ -125,8 +126,13 @@ std::optional<HostBehavior> IspPool::host(const Ipv6& a, ScanDate d) const {
 void IspPool::enumerate_known(ScanDate d,
                               std::vector<KnownAddress>& out) const {
   if (d.index < cfg_.appears) return;
-  // Atlas-style traceroutes observe every currently active CPE ...
-  for (std::uint32_t s : active_set(epoch(d)))
+  // Atlas-style traceroutes observe every currently active CPE. Delivery
+  // order feeds InputDb insertion order, so walk the set sorted rather
+  // than in hash order.
+  const auto& active = active_set(epoch(d));
+  std::vector<std::uint32_t> subs(active.begin(), active.end());
+  std::sort(subs.begin(), subs.end());
+  for (std::uint32_t s : subs)
     out.push_back(KnownAddress{cpe_address(s), cfg_.known_tags});
   // ... plus a larger set of transient CPEs that answered at some point
   // during the scan window but have rotated away by probing time.

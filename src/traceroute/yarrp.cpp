@@ -26,11 +26,11 @@ void trace_run_span(MetricsRegistry* reg, ScanDate date,
 void Yarrp::init_metrics() {
   MetricsRegistry* reg = cfg_.metrics;
   if (reg == nullptr) return;
-  m_runs_ = &reg->counter("traceroute.runs");
-  m_targets_ = &reg->counter("traceroute.targets_traced");
-  m_probes_ = &reg->counter("traceroute.probes_sent");
-  m_hops_ = &reg->counter("traceroute.hops_discovered");
-  m_gaps_ = &reg->counter("traceroute.gaps");
+  m_runs_ = &reg->counter("traceroute.runs", Stability::kStable);
+  m_targets_ = &reg->counter("traceroute.targets_traced", Stability::kStable);
+  m_probes_ = &reg->counter("traceroute.probes_sent", Stability::kStable);
+  m_hops_ = &reg->counter("traceroute.hops_discovered", Stability::kStable);
+  m_gaps_ = &reg->counter("traceroute.gaps", Stability::kStable);
 }
 
 void Yarrp::record_run(const TraceResult& r) const {

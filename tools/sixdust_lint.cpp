@@ -1,0 +1,117 @@
+// sixdust-lint — contract-enforcing static analysis over the sixdust
+// sources. The determinism, observability, and concurrency contracts of
+// DESIGN.md (stable outputs byte-identical at any thread count, serve.*
+// telemetry volatile, RAII/explicit-order concurrency discipline) are
+// checked token-by-token on every build instead of only after the fact by
+// the differential tests. Violations are either fixed or carry an
+// explicit `// sixdust-lint: allow(rule) — reason` annotation, so the
+// repo self-lints clean. See DESIGN.md §14.
+//
+// Exit status: 0 = clean, 1 = blocking findings (with --strict: any
+// unannotated error, including manifest coverage gaps), 2 = usage or I/O
+// error.
+
+#include <cstdio>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "lint/lint.hpp"
+
+using namespace sixdust;
+
+namespace {
+
+constexpr const char* kUsage = R"(sixdust-lint — static contract checks for the sixdust sources
+
+usage: sixdust-lint [options] [subdir...]
+  subdirs are lint roots relative to --root (default: src tools tests).
+
+  --root DIR       repository root to lint               (default .)
+  --strict         exit 1 on any unannotated error finding
+  --json FILE      write the sixdust-lint/1 findings + manifest document
+  --golden FILE    stable-metrics golden the manifest must cover
+                   (default tests/golden/metrics_12scan.json under
+                   --root; pass --golden off to skip the coverage check)
+  --show-allowed   also print findings suppressed by allow annotations
+  --list-rules     print the rule table and exit
+  --help
+
+exit status: 0 clean, 1 findings, 2 usage/IO error
+)";
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+void print_finding(const lint::Finding& f) {
+  std::printf("%s:%zu: %s [%s]%s%s\n", f.file.c_str(), f.line,
+              f.message.c_str(), f.rule.c_str(),
+              f.allowed ? " (allowed: " : "",
+              f.allowed ? (f.reason + ")").c_str() : "");
+  if (!f.allowed && !f.fixit.empty())
+    std::printf("    fix: %s\n", f.fixit.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  args.usage_on_help(kUsage);
+
+  if (args.has("list-rules")) {
+    for (const lint::RuleInfo& info : lint::rule_table())
+      std::printf("%-20s %-7s %s\n", std::string(info.id).c_str(),
+                  std::string(lint::severity_name(info.severity)).c_str(),
+                  std::string(info.summary).c_str());
+    return 0;
+  }
+
+  const std::string root = args.get("root", ".");
+  std::vector<std::string> subdirs = args.positional();
+  if (subdirs.empty()) subdirs = {"src", "tools", "tests"};
+
+  std::vector<lint::SourceFile> files;
+  std::string error;
+  if (!lint::load_tree(root, subdirs, &files, &error)) fail(error);
+
+  lint::LintResult result = lint::run_lint(files);
+
+  std::string golden = args.get("golden", "");
+  if (golden.empty()) golden = root + "/tests/golden/metrics_12scan.json";
+  if (golden != "off") {
+    std::ifstream g(golden);
+    if (!g) fail("cannot read golden '" + golden + "' (--golden off to skip)");
+    std::ostringstream buf;
+    buf << g.rdbuf();
+    for (lint::Finding& f :
+         lint::check_manifest_coverage(result.manifest, buf.str(), golden))
+      result.findings.push_back(std::move(f));
+  }
+
+  const std::string json_out = args.get("json", "");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << lint::result_to_json(result);
+    if (!out.good()) fail("cannot write '" + json_out + "'");
+  }
+
+  const bool show_allowed = args.has("show-allowed");
+  for (const lint::Finding& f : result.findings)
+    if (!f.allowed || show_allowed) print_finding(f);
+
+  const std::size_t errors = result.count(lint::Severity::kError, false);
+  const std::size_t warnings = result.count(lint::Severity::kWarning, false);
+  const std::size_t allowed = result.count(lint::Severity::kError, true) +
+                              result.count(lint::Severity::kWarning, true);
+  std::printf(
+      "sixdust-lint: %zu files, %zu errors, %zu warnings, %zu allowed\n",
+      result.files, errors, warnings, allowed);
+
+  if (errors > 0 && args.has("strict")) return 1;
+  return 0;
+}
