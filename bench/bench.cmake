@@ -26,5 +26,11 @@ foreach(src ${SIXDUST_BENCH_SOURCES})
     add_test(NAME smoke.${name}
              COMMAND ${name} --benchmark_min_time=0.01)
     set_tests_properties(smoke.${name} PROPERTIES LABELS bench-smoke)
+    # The micro smoke run doubles as the machine-readable bench artifact:
+    # every run (re)writes BENCH_micro.json next to the build tree.
+    if(name STREQUAL "bench_micro")
+      set_tests_properties(smoke.${name} PROPERTIES
+        ENVIRONMENT "SIXDUST_BENCH_JSON=${CMAKE_BINARY_DIR}/BENCH_micro.json")
+    endif()
   endif()
 endforeach()

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <unordered_set>
 
@@ -14,6 +15,7 @@
 #include "netbase/addr_batch.hpp"
 #include "netbase/frozen_lpm.hpp"
 #include "netbase/hash.hpp"
+#include "obs/latency_histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "netbase/prefix_trie.hpp"
@@ -25,9 +27,12 @@
 #include "serve/protocol.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/snapshot_manager.hpp"
+#include "serve/telemetry.hpp"
 #include "tga/sixgraph.hpp"
 #include "tga/sixtree.hpp"
 #include "topo/world_builder.hpp"
+
+#include "support.hpp"
 
 namespace {
 
@@ -700,50 +705,56 @@ BENCHMARK(BM_AddrBatchMembershipMerge)->Arg(1 << 17);
 
 // --- serving layer (DESIGN.md §13) ------------------------------------------
 
-void BM_ServeQuery(benchmark::State& state) {
-  // The daemon's in-process read path: pin the current epoch snapshot,
-  // dispatch one protocol request through the QueryEngine, build the
-  // response frame. Besides the mean per-request time, reports the
-  // p50/p95/p99 request latency — the serve tail is what a live client
-  // feels, and a mean hides it.
-  static auto world = build_test_world(42);
-  static HitlistService* service = [] {
-    auto* s = new HitlistService(HitlistService::Config{});
-    s->run(*world, 3);
-    return s;
-  }();
-  static serve::SnapshotManager* snaps = [] {
-    auto* m = new serve::SnapshotManager();
-    m->publish(serve::freeze_epoch(*service, *world, 2));
-    return m;
-  }();
-  static MetricsRegistry reg;
-  const serve::QueryEngine engine(snaps, &reg);
-
-  // A seeded request mix: half the addresses known-responsive (lookup
-  // hits), half random (misses), across all four query ops.
-  const auto& rows = snaps->current()->responsive();
-  Rng rng(9);
+/// Shared fixture for the serve-path benches: one world + 3-scan service
+/// run + published snapshot, and a seeded request mix — half the
+/// addresses known-responsive (lookup hits), half random (misses),
+/// across all four query ops.
+struct ServeFixture {
+  HitlistService* service = nullptr;
+  serve::SnapshotManager* snaps = nullptr;
   std::vector<std::vector<std::uint8_t>> pool;
-  pool.reserve(1024);
-  for (int i = 0; i < 1024; ++i) {
-    const Ipv6 addr = (i % 2 == 0 && !rows.empty())
-                          ? rows[rng.below(rows.size())].first
-                          : Ipv6::from_words(rng.next(), rng.next());
-    switch (i % 4) {
-      case 0: pool.push_back(serve::request_lookup(addr)); break;
-      case 1: pool.push_back(serve::request_origin(addr)); break;
-      case 2: pool.push_back(serve::request_alias(addr)); break;
-      default: pool.push_back(serve::request_epoch_info()); break;
-    }
-  }
+};
 
+const ServeFixture& serve_fixture() {
+  static const ServeFixture fx = [] {
+    static auto world = build_test_world(42);
+    ServeFixture f;
+    f.service = new HitlistService(HitlistService::Config{});
+    f.service->run(*world, 3);
+    f.snaps = new serve::SnapshotManager();
+    f.snaps->publish(serve::freeze_epoch(*f.service, *world, 2));
+    const auto& rows = f.snaps->current()->responsive();
+    Rng rng(9);
+    f.pool.reserve(1024);
+    for (int i = 0; i < 1024; ++i) {
+      const Ipv6 addr = (i % 2 == 0 && !rows.empty())
+                            ? rows[rng.below(rows.size())].first
+                            : Ipv6::from_words(rng.next(), rng.next());
+      switch (i % 4) {
+        case 0: f.pool.push_back(serve::request_lookup(addr)); break;
+        case 1: f.pool.push_back(serve::request_origin(addr)); break;
+        case 2: f.pool.push_back(serve::request_alias(addr)); break;
+        default: f.pool.push_back(serve::request_epoch_info()); break;
+      }
+    }
+    return f;
+  }();
+  return fx;
+}
+
+/// Drives one engine over the fixture's request mix and reports the
+/// p50/p95/p99 request latency — the serve tail is what a live client
+/// feels, and a mean hides it. Also emits SIXDUST_BENCH_JSON rows so CI
+/// can diff the with/without-telemetry quantiles across runs.
+void run_serve_query(benchmark::State& state, const serve::QueryEngine& engine,
+                     const char* name) {
+  const auto& fx = serve_fixture();
   std::vector<double> lat_us;
   lat_us.reserve(1 << 16);
   std::size_t next = 0;
   for (auto _ : state) {
     const auto t0 = std::chrono::steady_clock::now();
-    auto response = engine.handle(pool[next++ & 1023]);
+    auto response = engine.handle(fx.pool[next++ & 1023]);
     benchmark::DoNotOptimize(response);
     const auto t1 = std::chrono::steady_clock::now();
     lat_us.push_back(
@@ -759,9 +770,52 @@ void BM_ServeQuery(benchmark::State& state) {
   state.counters["p50_us"] = pct(0.50);
   state.counters["p95_us"] = pct(0.95);
   state.counters["p99_us"] = pct(0.99);
+  bench::bench_json_row(name, "p50_us", pct(0.50), "us");
+  bench::bench_json_row(name, "p95_us", pct(0.95), "us");
+  bench::bench_json_row(name, "p99_us", pct(0.99), "us");
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
+
+void BM_ServeQuery(benchmark::State& state) {
+  // The daemon's in-process read path: pin the current epoch snapshot,
+  // dispatch one protocol request through the QueryEngine, build the
+  // response frame.
+  static MetricsRegistry reg;
+  const serve::QueryEngine engine(serve_fixture().snaps, &reg);
+  run_serve_query(state, engine, "BM_ServeQuery");
+}
 BENCHMARK(BM_ServeQuery);
+
+void BM_ServeQueryTelemetry(benchmark::State& state) {
+  // The same read path with the live telemetry plane attached: every
+  // handled request also times itself into the per-op striped HDR
+  // histogram (DESIGN.md §15). Compare against BM_ServeQuery — the
+  // recording overhead budget is < 5%.
+  static MetricsRegistry reg;
+  static serve::LiveTelemetry* telemetry = [] {
+    serve::LiveTelemetry::Config cfg;
+    cfg.metrics = &reg;
+    cfg.snaps = serve_fixture().snaps;
+    return new serve::LiveTelemetry(cfg);  // sampler thread not started:
+  }();                                     // this measures the hot path only
+  serve::QueryEngine engine(serve_fixture().snaps, &reg);
+  engine.set_telemetry(telemetry);
+  run_serve_query(state, engine, "BM_ServeQueryTelemetry");
+}
+BENCHMARK(BM_ServeQueryTelemetry);
+
+void BM_LatencyHistogramRecord(benchmark::State& state) {
+  // The telemetry hot-path primitive on its own: one striped relaxed
+  // record into the 512-bucket log-linear ladder.
+  static LatencyHistogram hist;
+  std::array<std::uint64_t, 1024> vals{};
+  Rng rng(7);
+  for (auto& v : vals) v = rng.next() & 0xFFFFFULL;  // ns values up to ~1ms
+  std::size_t next = 0;
+  for (auto _ : state) hist.record(vals[next++ & 1023]);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LatencyHistogramRecord);
 
 void BM_ServeEpochFreeze(benchmark::State& state) {
   // Cost of the epoch barrier itself: freeze the service into an

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "tga/distance_clustering.hpp"
 #include "tga/sixgan.hpp"
@@ -113,6 +114,44 @@ void report_metric(const std::string& name, double measured, double expected,
                                 : (measured >= lo && measured <= hi);
   std::printf("  %-52s measured %12.1f   paper(scaled) %12.1f   %s\n",
               name.c_str(), measured, expected, ok ? "[ok]" : "[diverges]");
+  bench_json_row(name, "measured", measured);
+  bench_json_row(name, "expected", expected);
+}
+
+namespace {
+
+void append_escaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+void bench_json_row(const std::string& bench, const std::string& metric,
+                    double value, const std::string& unit) {
+  const char* path = std::getenv("SIXDUST_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  static std::mutex mu;
+  const std::scoped_lock lock(mu);
+  // Opened once per process with "w": the first row truncates whatever a
+  // previous run left behind, later rows append through the same handle.
+  static std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::string row = "{\"bench\":\"";
+  append_escaped(&row, bench);
+  row += "\",\"metric\":\"";
+  append_escaped(&row, metric);
+  row += "\",\"value\":";
+  char num[64];
+  std::snprintf(num, sizeof num, "%.6g", value);
+  row += num;
+  row += ",\"unit\":\"";
+  append_escaped(&row, unit);
+  row += "\"}\n";
+  std::fputs(row.c_str(), f);
+  std::fflush(f);
 }
 
 }  // namespace sixdust::bench

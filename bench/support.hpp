@@ -41,4 +41,13 @@ const SourceEvaluation& source_evaluation();
 void report_metric(const std::string& name, double measured, double expected,
                    double rel_tolerance = 0.5);
 
+/// Machine-readable bench telemetry: when the SIXDUST_BENCH_JSON
+/// environment variable names a file, appends one
+///   {"bench":...,"metric":...,"value":...,"unit":...}
+/// JSONL row per call. The first row a process writes truncates the file,
+/// so one bench run yields one complete document (CI uploads it as an
+/// artifact). No-op when the variable is unset or empty.
+void bench_json_row(const std::string& bench, const std::string& metric,
+                    double value, const std::string& unit = "");
+
 }  // namespace sixdust::bench

@@ -1,0 +1,102 @@
+#include "obs/latency_histogram.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sixdust {
+
+namespace {
+
+void append_us(std::string& out, const char* key, std::uint64_t ns,
+               bool trailing_comma) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.3f%s", key,
+                static_cast<double>(ns) / 1000.0, trailing_comma ? "," : "");
+  out += buf;
+}
+
+}  // namespace
+
+void LatencySnapshot::merge(const LatencySnapshot& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_ns += other.sum_ns;
+  if (other.max_ns > max_ns) max_ns = other.max_ns;
+}
+
+std::uint64_t LatencySnapshot::quantile_ns(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cum += buckets[i];
+    if (cum >= rank) return LatencyHistogram::bucket_floor(i);
+  }
+  return LatencyHistogram::bucket_floor(kBucketCount - 1);
+}
+
+void LatencySnapshot::append_stats_json(std::string& out) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{\"count\":%llu,\"sum_ns\":%llu,",
+                static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(sum_ns));
+  out += buf;
+  append_us(out, "max_us", max_ns, true);
+  append_us(out, "p50_us", p50_ns(), true);
+  append_us(out, "p90_us", p90_ns(), true);
+  append_us(out, "p99_us", p99_ns(), true);
+  append_us(out, "p999_us", p999_ns(), false);
+  out += '}';
+}
+
+LatencyHistogram::LatencyHistogram()
+    : cells_(new std::atomic<std::uint64_t>[obs_detail::kStripes * kRow]) {
+  for (std::size_t i = 0; i < obs_detail::kStripes * kRow; ++i)
+    cells_[i].store(0, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::record(std::uint64_t ns) noexcept {
+  auto* row = cells_.get() +
+              static_cast<std::size_t>(obs_detail::thread_stripe()) * kRow;
+  row[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+  row[kSumSlot].fetch_add(ns, std::memory_order_relaxed);
+  // Relaxed CAS max: losing a race only means another thread published a
+  // larger value, which is exactly the value we want kept.
+  std::uint64_t seen = row[kMaxSlot].load(std::memory_order_relaxed);
+  while (ns > seen && !row[kMaxSlot].compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed,
+                          std::memory_order_relaxed)) {
+  }
+}
+
+LatencySnapshot LatencyHistogram::snapshot() const {
+  LatencySnapshot out;
+  for (unsigned s = 0; s < obs_detail::kStripes; ++s) {
+    const auto* row = cells_.get() + static_cast<std::size_t>(s) * kRow;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      const std::uint64_t v = row[i].load(std::memory_order_relaxed);
+      out.buckets[i] += v;
+      out.count += v;
+    }
+    out.sum_ns += row[kSumSlot].load(std::memory_order_relaxed);
+    const std::uint64_t m = row[kMaxSlot].load(std::memory_order_relaxed);
+    if (m > out.max_ns) out.max_ns = m;
+  }
+  return out;
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < obs_detail::kStripes; ++s) {
+    const auto* row = cells_.get() + static_cast<std::size_t>(s) * kRow;
+    for (std::size_t i = 0; i < kBucketCount; ++i)
+      total += row[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace sixdust

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace sixdust {
+
+/// Snapshot of one LatencyHistogram: exact bucket counts merged from the
+/// per-thread stripes in index order, plus count / sum / max. Quantiles
+/// resolve to the *lower bound* of the bucket holding the requested rank,
+/// so two snapshots with the same bucket contents always report the same
+/// quantile (no interpolation, no float accumulation).
+struct LatencySnapshot {
+  /// Bucket ladder (see LatencyHistogram): 16 exact 1 ns buckets, then 16
+  /// sub-buckets per power of two up to ~34 s. 512 buckets total.
+  static constexpr std::size_t kBucketCount = 512;
+
+  std::array<std::uint64_t, kBucketCount> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  /// Exact bucket-wise accumulation of another snapshot.
+  void merge(const LatencySnapshot& other);
+
+  /// Value (ns) at quantile q in [0, 1]: the lower bound of the bucket
+  /// holding rank ceil(q * count). 0 when the snapshot is empty. The
+  /// relative error is bounded by the sub-bucket width: 1/16 = 6.25%.
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const;
+
+  [[nodiscard]] std::uint64_t p50_ns() const { return quantile_ns(0.50); }
+  [[nodiscard]] std::uint64_t p90_ns() const { return quantile_ns(0.90); }
+  [[nodiscard]] std::uint64_t p99_ns() const { return quantile_ns(0.99); }
+  [[nodiscard]] std::uint64_t p999_ns() const { return quantile_ns(0.999); }
+
+  /// Append a JSON object `{"count":..,"sum_ns":..,"max_us":..,
+  /// "p50_us":..,"p90_us":..,"p99_us":..,"p999_us":..}` (µs as fixed
+  /// 3-decimal values) — the /stats per-op latency block.
+  void append_stats_json(std::string& out) const;
+};
+
+/// Log-bucketed HDR-style latency histogram over nanosecond values.
+///
+/// Bucket ladder: values below 16 ns land in 16 exact buckets; above
+/// that, each power-of-two range [2^m, 2^(m+1)) is split into 16 linear
+/// sub-buckets, giving a fixed <= 6.25% relative resolution from sub-µs
+/// up to the cap at 2^35 ns (~34 s, everything above clamps into the last
+/// bucket). That is the whole useful range of a query/epoch duration in
+/// one flat 512-slot array — no allocation, no rescaling, no dropped
+/// samples.
+///
+/// record() is wait-free: one relaxed fetch_add on the calling thread's
+/// stripe row (same striping discipline as obs::Counter — see
+/// obs_detail::kStripes), so reader lanes can record every request with
+/// no shared-line contention. snapshot() merges the stripes strictly in
+/// index order; because every cell is an unsigned integer the merge is
+/// exact, and merging two snapshots (LatencySnapshot::merge) is exact
+/// too — counts never smear the way averaged summaries do.
+///
+/// The histogram holds durations only; it never reads a clock itself
+/// (callers time and pass nanoseconds in), so it is safe to use anywhere
+/// without a det-wallclock annotation.
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 4;                  // 16 sub-buckets
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;
+  static constexpr unsigned kMaxMsb = 34;                  // caps at 2^35 ns
+  static constexpr std::size_t kBucketCount = LatencySnapshot::kBucketCount;
+  static_assert(kBucketCount ==
+                (static_cast<std::size_t>(kMaxMsb) - kSubBits + 2) *
+                    kSubBuckets);
+
+  LatencyHistogram();
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Bucket index of a nanosecond value (total order, monotone in ns).
+  [[nodiscard]] static constexpr std::size_t bucket_index(
+      std::uint64_t ns) noexcept {
+    if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+    unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(ns));
+    if (msb > kMaxMsb) return kBucketCount - 1;
+    const std::uint64_t sub = (ns >> (msb - kSubBits)) & (kSubBuckets - 1);
+    return ((static_cast<std::size_t>(msb) - (kSubBits - 1)) << kSubBits) |
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Smallest nanosecond value mapping to bucket `idx` (the quantile
+  /// representative).
+  [[nodiscard]] static constexpr std::uint64_t bucket_floor(
+      std::size_t idx) noexcept {
+    if (idx < kSubBuckets) return static_cast<std::uint64_t>(idx);
+    const unsigned msb =
+        static_cast<unsigned>(idx >> kSubBits) + (kSubBits - 1);
+    const std::uint64_t sub = idx & (kSubBuckets - 1);
+    return (std::uint64_t{1} << msb) | (sub << (msb - kSubBits));
+  }
+
+  /// Record one duration. Wait-free; safe from any thread.
+  void record(std::uint64_t ns) noexcept;
+
+  /// Merge every stripe (in index order) into an exact snapshot.
+  [[nodiscard]] LatencySnapshot snapshot() const;
+
+  /// Total recorded observations (stripe sum; cheaper than snapshot()).
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+ private:
+  // Stripe-major rows: [bucket 0 .. bucket 511, sum, max], padded to a
+  // cache-line multiple so two stripes never share a line.
+  static constexpr std::size_t kSumSlot = kBucketCount;
+  static constexpr std::size_t kMaxSlot = kBucketCount + 1;
+  static constexpr std::size_t kRow = ((kBucketCount + 2 + 7) / 8) * 8;
+
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+};
+
+}  // namespace sixdust

@@ -72,10 +72,11 @@ std::uint64_t Histogram::sum() const {
 
 // --- MetricsRegistry ---------------------------------------------------------
 
+// Caller holds m_: the entry (including its lazily-built histogram) must
+// be fully constructed before any concurrent snapshot() can observe it.
 MetricsRegistry::Entry& MetricsRegistry::get_or_create(std::string_view name,
                                                        MetricKind kind,
                                                        Stability s) {
-  std::lock_guard lk(m_);
   auto it = index_.find(std::string(name));
   if (it != index_.end()) return entries_[it->second];
   Entry e;
@@ -98,16 +99,19 @@ MetricsRegistry::Entry& MetricsRegistry::get_or_create(std::string_view name,
 }
 
 Counter& MetricsRegistry::counter(std::string_view name, Stability s) {
+  std::lock_guard lk(m_);
   return *get_or_create(name, MetricKind::kCounter, s).c;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, Stability s) {
+  std::lock_guard lk(m_);
   return *get_or_create(name, MetricKind::kGauge, s).g;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const std::uint64_t> bounds,
                                       Stability s) {
+  std::lock_guard lk(m_);
   Entry& e = get_or_create(name, MetricKind::kHistogram, s);
   if (!e.h) e.h.reset(new Histogram(bounds));
   return *e.h;

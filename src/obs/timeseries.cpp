@@ -1,0 +1,141 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+
+#include "obs/json_mini.hpp"
+
+namespace sixdust {
+
+TimeSeriesRecorder::TimeSeriesRecorder() : TimeSeriesRecorder(Config{}) {}
+
+TimeSeriesRecorder::TimeSeriesRecorder(Config cfg) : cfg_(cfg) {
+  if (cfg_.capacity == 0) cfg_.capacity = 1;
+  ring_.resize(cfg_.capacity);
+}
+
+void TimeSeriesRecorder::sample(std::uint64_t t_ms,
+                                const MetricsSnapshot& snap) {
+  Sample s;
+  s.t_ms = t_ms;
+  s.points.reserve(snap.samples.size());
+  for (const MetricSample& m : snap.samples) {
+    Point p;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        p.name = m.name;
+        p.value = static_cast<std::int64_t>(m.value);
+        p.is_counter = true;
+        break;
+      case MetricKind::kGauge:
+        p.name = m.name;
+        p.value = m.gauge;
+        break;
+      case MetricKind::kHistogram:
+        // The observation count is the rateable part of a histogram.
+        p.name = m.name + ".count";
+        p.value = static_cast<std::int64_t>(m.count);
+        p.is_counter = true;
+        break;
+    }
+    s.points.push_back(std::move(p));
+  }
+
+  std::lock_guard lk(m_);
+  s.seq = seq_++;
+  if (count_ > 0) {
+    const Sample& prev = ring_[(first_ + count_ - 1) % cfg_.capacity];
+    const std::uint64_t dt_ms = t_ms > prev.t_ms ? t_ms - prev.t_ms : 0;
+    // Both point lists come from sorted snapshots; walk them in lockstep.
+    std::size_t j = 0;
+    for (Point& p : s.points) {
+      if (!p.is_counter) continue;
+      while (j < prev.points.size() && prev.points[j].name < p.name) ++j;
+      if (j < prev.points.size() && prev.points[j].name == p.name &&
+          prev.points[j].is_counter) {
+        p.delta = p.value - prev.points[j].value;
+        p.has_rate = dt_ms > 0;
+        p.rate_per_s = dt_ms > 0 ? static_cast<double>(p.delta) * 1000.0 /
+                                       static_cast<double>(dt_ms)
+                                 : 0.0;
+      }
+    }
+  }
+  if (count_ < cfg_.capacity) {
+    ring_[(first_ + count_) % cfg_.capacity] = std::move(s);
+    ++count_;
+  } else {
+    ring_[first_] = std::move(s);
+    first_ = (first_ + 1) % cfg_.capacity;
+  }
+}
+
+std::size_t TimeSeriesRecorder::size() const {
+  std::lock_guard lk(m_);
+  return count_;
+}
+
+std::uint64_t TimeSeriesRecorder::total_samples() const {
+  std::lock_guard lk(m_);
+  return seq_;
+}
+
+std::vector<TimeSeriesRecorder::Sample> TimeSeriesRecorder::tail(
+    std::size_t n) const {
+  std::lock_guard lk(m_);
+  const std::size_t take = n < count_ ? n : count_;
+  std::vector<Sample> out;
+  out.reserve(take);
+  for (std::size_t i = count_ - take; i < count_; ++i)
+    out.push_back(ring_[(first_ + i) % cfg_.capacity]);
+  return out;
+}
+
+void TimeSeriesRecorder::append_sample_json(std::string& out,
+                                            const Sample& s) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{\"seq\":%llu,\"t_ms\":%llu,\"metrics\":{",
+                static_cast<unsigned long long>(s.seq),
+                static_cast<unsigned long long>(s.t_ms));
+  out += buf;
+  bool first = true;
+  for (const Point& p : s.points) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, p.name);
+    std::snprintf(buf, sizeof buf, "\":%lld",
+                  static_cast<long long>(p.value));
+    out += buf;
+  }
+  out += "},\"rates\":{";
+  first = true;
+  for (const Point& p : s.points) {
+    if (!p.has_rate) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, p.name);
+    std::snprintf(buf, sizeof buf, "\":%.3f", p.rate_per_s);
+    out += buf;
+  }
+  out += "}}";
+}
+
+std::string TimeSeriesRecorder::jsonl() const {
+  std::lock_guard lk(m_);
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "{\"schema\":\"sixdust-timeseries/1\",\"capacity\":%zu,"
+                "\"samples\":%zu,\"total\":%llu}\n",
+                cfg_.capacity, count_,
+                static_cast<unsigned long long>(seq_));
+  out += buf;
+  for (std::size_t i = 0; i < count_; ++i) {
+    append_sample_json(out, ring_[(first_ + i) % cfg_.capacity]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sixdust

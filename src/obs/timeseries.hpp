@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sixdust {
+
+/// Fixed-capacity ring of MetricsRegistry samples — the daemon's flight
+/// recorder. The daemon loop (or the telemetry sampler thread) calls
+/// sample() on a configurable interval with a caller-supplied timestamp;
+/// the recorder itself never reads a clock, so it carries no det-wallclock
+/// obligations and the wraparound/rate logic is unit-testable with
+/// synthetic times.
+///
+/// Each sample stores every counter and gauge of the snapshot (histograms
+/// contribute their observation count under `<name>.count`, which is
+/// counter-shaped and therefore rateable), plus per-counter deltas and
+/// per-second rates against the immediately preceding sample. When the
+/// ring is full the oldest sample is dropped; `seq` stays monotonic so an
+/// exported series makes gaps visible.
+///
+/// Export format (`sixdust-timeseries/1` JSONL): one header line
+/// `{"schema":"sixdust-timeseries/1",...}` then one line per retained
+/// sample, metrics sorted by name (snapshot order) — deterministic for a
+/// given sequence of snapshots and timestamps.
+class TimeSeriesRecorder {
+ public:
+  struct Config {
+    /// Retained samples; older ones fall off the back.
+    std::size_t capacity = 256;
+  };
+
+  struct Point {
+    std::string name;
+    std::int64_t value = 0;    // counter/histogram-count value, or gauge
+    bool is_counter = false;   // rateable (monotonic) metric
+    bool has_rate = false;     // delta/rate computed vs previous sample
+    std::int64_t delta = 0;
+    double rate_per_s = 0.0;
+  };
+
+  struct Sample {
+    std::uint64_t seq = 0;  // monotonic across drops
+    std::uint64_t t_ms = 0;
+    std::vector<Point> points;  // sorted by name
+  };
+
+  TimeSeriesRecorder();
+  explicit TimeSeriesRecorder(Config cfg);
+
+  /// Record one snapshot taken at `t_ms` (caller's clock, milliseconds).
+  void sample(std::uint64_t t_ms, const MetricsSnapshot& snap);
+
+  /// Retained samples (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Samples ever recorded (monotonic; size() once the ring wraps).
+  [[nodiscard]] std::uint64_t total_samples() const;
+
+  /// The most recent `n` samples, oldest first.
+  [[nodiscard]] std::vector<Sample> tail(std::size_t n) const;
+
+  /// Full export, header + one JSON line per retained sample.
+  [[nodiscard]] std::string jsonl() const;
+
+  /// One sample as a JSON object (the JSONL line body, no newline).
+  static void append_sample_json(std::string& out, const Sample& s);
+
+ private:
+  mutable std::mutex m_;
+  Config cfg_;
+  std::vector<Sample> ring_;  // ring_[ (first_ + i) % capacity ]
+  std::size_t first_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace sixdust

@@ -1,7 +1,9 @@
 #include "serve/daemon.hpp"
 
+#include <chrono>
 #include <cstdio>
 
+#include "serve/telemetry.hpp"
 #include "topo/world.hpp"
 
 namespace sixdust::serve {
@@ -31,12 +33,31 @@ std::string epoch_records_json(std::span<const EpochRecord> records) {
   return out;
 }
 
+namespace {
+
+/// Nanoseconds on the monotonic clock — only read when a LiveTelemetry is
+/// attached, and only to time the freeze/publish barrier work.
+std::uint64_t mono_ns() {
+  // sixdust-lint: allow(det-wallclock) — feeds the volatile telemetry
+  // histograms only; the EpochRecord stream stays purely simulation-driven.
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 EpochPublisher::EpochPublisher(const HitlistService* service,
-                               const World* world, SnapshotManager* snaps)
-    : service_(service), world_(world), snaps_(snaps) {}
+                               const World* world, SnapshotManager* snaps,
+                               LiveTelemetry* telemetry)
+    : service_(service), world_(world), snaps_(snaps), telemetry_(telemetry) {}
 
 void EpochPublisher::on_epoch(const HitlistService::ScanOutcome& outcome) {
+  const std::uint64_t t0 = telemetry_ != nullptr ? mono_ns() : 0;
   auto snap = freeze_epoch(*service_, *world_, outcome.date.index);
+  if (telemetry_ != nullptr) telemetry_->record_freeze(mono_ns() - t0);
   EpochRecord rec;
   rec.epoch = snap->epoch();
   rec.date = snap->info().date;
@@ -46,8 +67,18 @@ void EpochPublisher::on_epoch(const HitlistService::ScanOutcome& outcome) {
   rec.responsive = snap->info().responsive;
   rec.excluded_total = snap->info().excluded_total;
   rec.digest = snap->digest();
+  const int epoch = snap->epoch();
   records_.push_back(std::move(rec));
-  if (snaps_ != nullptr) snaps_->publish(std::move(snap));
+  if (snaps_ != nullptr) {
+    // Grab the snapshot this publish supersedes *before* the swap so the
+    // telemetry plane can watch its readers drain.
+    std::shared_ptr<const EpochSnapshot> superseded =
+        telemetry_ != nullptr ? snaps_->current() : nullptr;
+    const std::uint64_t t1 = telemetry_ != nullptr ? mono_ns() : 0;
+    snaps_->publish(std::move(snap));
+    if (telemetry_ != nullptr)
+      telemetry_->record_publish(epoch, mono_ns() - t1, std::move(superseded));
+  }
 }
 
 }  // namespace sixdust::serve

@@ -14,6 +14,8 @@ class World;
 
 namespace sixdust::serve {
 
+class LiveTelemetry;
+
 /// One published epoch, as the daemon records it — the serve-mode golden
 /// surface (schema sixdust-serve-epochs/1). Every field is a pure
 /// function of the seeded simulation, so the record stream is
@@ -52,9 +54,10 @@ struct EpochRecord {
 class EpochPublisher {
  public:
   /// All pointers borrowed; `snaps` may be null (record-only mode, used
-  /// by the differential tests' batch side).
+  /// by the differential tests' batch side), and so may `telemetry` (no
+  /// freeze/publish duration recording).
   EpochPublisher(const HitlistService* service, const World* world,
-                 SnapshotManager* snaps);
+                 SnapshotManager* snaps, LiveTelemetry* telemetry = nullptr);
 
   void on_epoch(const HitlistService::ScanOutcome& outcome);
 
@@ -69,6 +72,7 @@ class EpochPublisher {
   const HitlistService* service_;
   const World* world_;
   SnapshotManager* snaps_;
+  LiveTelemetry* telemetry_;
   std::vector<EpochRecord> records_;
 };
 

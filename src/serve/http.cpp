@@ -1,0 +1,438 @@
+#include "serve/http.hpp"
+
+// sixdust-lint: allow-file(det-wallclock) — the scrape plane fronts real
+// sockets: connect retries and read deadlines in http_get() need a real
+// clock. Nothing here feeds the stable export surface.
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace sixdust::serve {
+
+namespace {
+
+constexpr int kPollMs = 50;
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+void set_nonblocking(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+}
+
+bool token_is_sane(std::string_view t) {
+  if (t.empty()) return false;
+  for (const char c : t)
+    if (static_cast<unsigned char>(c) < 0x21 ||
+        static_cast<unsigned char>(c) > 0x7e)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+std::optional<HttpRequest> parse_http_request_line(std::string_view line) {
+  // Strip one trailing CRLF / LF if the caller handed us the raw line.
+  if (!line.empty() && line.back() == '\n') line.remove_suffix(1);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return std::nullopt;
+
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+
+  if (!token_is_sane(method) || !token_is_sane(target)) return std::nullopt;
+  if (version.rfind("HTTP/", 0) != 0 || version.size() < 8 ||
+      version.size() > 10)
+    return std::nullopt;
+  if (target[0] != '/') return std::nullopt;
+
+  const std::size_t q = target.find('?');
+  if (q != std::string_view::npos) target = target.substr(0, q);
+
+  HttpRequest out;
+  out.method.assign(method);
+  out.path.assign(target);
+  return out;
+}
+
+std::string render_http_response(const HttpResponse& r) {
+  std::string out = "HTTP/1.0 " + std::to_string(r.status) + " " +
+                    status_reason(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+HttpServer::HttpServer(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.readers < 1) cfg_.readers = 1;
+  if (cfg_.max_request_bytes < 64) cfg_.max_request_bytes = 64;
+  if (cfg_.metrics != nullptr) {
+    requests_ =
+        &cfg_.metrics->counter("serve.http.requests", Stability::kVolatile);
+    bad_requests_ = &cfg_.metrics->counter("serve.http.bad_requests",
+                                           Stability::kVolatile);
+    rejected_ =
+        &cfg_.metrics->counter("serve.http.rejected", Stability::kVolatile);
+    bytes_out_ =
+        &cfg_.metrics->counter("serve.http.bytes_out", Stability::kVolatile);
+  }
+  inbox_m_.reserve(cfg_.readers);
+  inbox_.resize(cfg_.readers);
+  for (unsigned i = 0; i < cfg_.readers; ++i)
+    inbox_m_.push_back(std::make_unique<std::mutex>());
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (!cfg_.handler) {
+    if (error != nullptr) *error = "http server needs a handler";
+    return false;
+  }
+
+  if (cfg_.listen.kind == ListenSpec::Kind::kUnix) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return fail("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, cfg_.listen.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(cfg_.listen.path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return fail("bind " + cfg_.listen.path);
+    unix_path_ = cfg_.listen.path;
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return fail("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.listen.port);
+    if (::inet_pton(AF_INET, cfg_.listen.host.c_str(), &addr.sin_addr) != 1)
+      return fail("bad host " + cfg_.listen.host);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      return fail("bind " + cfg_.listen.str());
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+  set_nonblocking(listen_fd_);
+
+  stop_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  if (cfg_.pool != nullptr) {
+    // sixdust-lint: allow(conc-raw-thread) — the host blocks inside
+    // pool->run() until stop(); same contract as serve::Server::start().
+    host_ = std::thread([this] {
+      std::vector<std::function<void()>> lanes;
+      for (unsigned r = 0; r < cfg_.readers; ++r)
+        lanes.emplace_back([this, r] { lane_loop(r); });
+      cfg_.pool->run(std::move(lanes));
+    });
+  } else {
+    for (unsigned r = 1; r < cfg_.readers; ++r)
+      lane_threads_.emplace_back([this, r] { lane_loop(r); });
+    // sixdust-lint: allow(conc-raw-thread) — no pool configured: scrape
+    // lanes park in poll() and need dedicated threads.
+    host_ = std::thread([this] { lane_loop(0); });
+  }
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (host_.joinable()) host_.join();
+  for (auto& t : lane_threads_) t.join();
+  lane_threads_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& inbox : inbox_) {
+    for (int fd : inbox) ::close(fd);
+    inbox.clear();
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+  started_ = false;
+}
+
+std::string HttpServer::endpoint() const {
+  if (cfg_.listen.kind == ListenSpec::Kind::kUnix) return cfg_.listen.str();
+  return cfg_.listen.host + ":" + std::to_string(bound_port_);
+}
+
+void HttpServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    if (open_conns_.load(std::memory_order_relaxed) >= cfg_.max_conns) {
+      if (rejected_ != nullptr) rejected_->inc();
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    const unsigned target = next_lane_;
+    next_lane_ = (next_lane_ + 1) % cfg_.readers;
+    {
+      std::lock_guard lk(*inbox_m_[target]);
+      inbox_[target].push_back(fd);
+    }
+  }
+}
+
+void HttpServer::respond(Conn& conn, const HttpResponse& r) {
+  if (r.status >= 400 && bad_requests_ != nullptr) bad_requests_->inc();
+  conn.out = render_http_response(r);
+  conn.out_off = 0;
+  conn.responding = true;
+}
+
+bool HttpServer::read_ready(Conn& conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n == 0) return false;  // peer gone before a full request
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+    conn.in.append(buf, static_cast<std::size_t>(n));
+    break;
+  }
+
+  // The cap applies whether or not the blank line has arrived: a request
+  // that is already over budget is answered 431 even if its terminator
+  // landed in the same read.
+  if (conn.in.size() > cfg_.max_request_bytes) {
+    respond(conn, HttpResponse{431, "text/plain; charset=utf-8",
+                               "headers too large\n"});
+    return true;
+  }
+  const std::size_t head_end = conn.in.find("\r\n\r\n");
+  const std::size_t head_end_lf =
+      head_end == std::string::npos ? conn.in.find("\n\n") : head_end;
+  if (head_end_lf == std::string::npos) return true;
+
+  const std::size_t line_end = conn.in.find('\n');
+  const auto req = parse_http_request_line(
+      std::string_view(conn.in).substr(0, line_end == std::string::npos
+                                              ? conn.in.size()
+                                              : line_end + 1));
+  if (!req) {
+    respond(conn, HttpResponse{400, "text/plain; charset=utf-8",
+                               "bad request line\n"});
+    return true;
+  }
+  if (req->method != "GET") {
+    respond(conn, HttpResponse{405, "text/plain; charset=utf-8",
+                               "only GET is served here\n"});
+    return true;
+  }
+  if (requests_ != nullptr) requests_->inc();
+  respond(conn, cfg_.handler(*req));
+  return true;
+}
+
+bool HttpServer::write_ready(Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t w = ::write(conn.fd, conn.out.data() + conn.out_off,
+                              conn.out.size() - conn.out_off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+    conn.out_off += static_cast<std::size_t>(w);
+    if (bytes_out_ != nullptr) bytes_out_->add(static_cast<std::uint64_t>(w));
+  }
+  return false;  // fully flushed: HTTP/1.0 closes after one response
+}
+
+void HttpServer::lane_loop(unsigned lane) {
+  std::vector<Conn> conns;
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard lk(*inbox_m_[lane]);
+      for (int fd : inbox_[lane]) conns.push_back(Conn{fd, {}, {}, 0, false});
+      inbox_[lane].clear();
+    }
+
+    fds.clear();
+    if (lane == 0) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns)
+      fds.push_back(
+          pollfd{c.fd, static_cast<short>(c.responding ? POLLOUT : POLLIN),
+                 0});
+
+    const int ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), kPollMs);
+    if (ready <= 0) continue;
+
+    std::size_t fi = 0;
+    if (lane == 0) {
+      if ((fds[0].revents & POLLIN) != 0) accept_ready();
+      fi = 1;
+    }
+    for (std::size_t ci = 0; ci < conns.size(); ++ci, ++fi) {
+      Conn& c = conns[ci];
+      const short ev = fds[fi].revents;
+      if (ev == 0) continue;
+      bool keep = (ev & (POLLERR | POLLNVAL)) == 0;
+      if (keep && !c.responding && (ev & (POLLIN | POLLHUP)) != 0)
+        keep = read_ready(c);
+      if (keep && c.responding && (ev & (POLLOUT | POLLIN | POLLHUP)) != 0)
+        keep = write_ready(c);
+      if (!keep) {
+        ::close(c.fd);
+        c.fd = -1;
+        open_conns_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    std::erase_if(conns, [](const Conn& c) { return c.fd < 0; });
+  }
+  for (const Conn& c : conns) {
+    ::close(c.fd);
+    open_conns_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+int http_connect_once(const ListenSpec& spec) {
+  if (spec.kind == ListenSpec::Kind::kUnix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, spec.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return fd;
+    ::close(fd);
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(spec.port);
+  if (::inet_pton(AF_INET, spec.host.c_str(), &addr.sin_addr) == 1 &&
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+    return fd;
+  ::close(fd);
+  return -1;
+}
+
+}  // namespace
+
+std::optional<HttpGetResult> http_get(const ListenSpec& spec,
+                                      const std::string& path, int timeout_ms,
+                                      int connect_timeout_ms) {
+  int fd = http_connect_once(spec);
+  if (fd < 0 && connect_timeout_ms > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(connect_timeout_ms);
+    while (fd < 0 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      fd = http_connect_once(spec);
+    }
+  }
+  if (fd < 0) return std::nullopt;
+
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: sixdust\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t w = ::write(fd, req.data() + off, req.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 NNN reason\r\n...\r\n\r\nbody"
+  if (raw.rfind("HTTP/", 0) != 0) return std::nullopt;
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || raw.size() < sp + 4) return std::nullopt;
+  int status = 0;
+  for (int i = 0; i < 3; ++i) {
+    const char c = raw[sp + 1 + static_cast<std::size_t>(i)];
+    if (c < '0' || c > '9') return std::nullopt;
+    status = status * 10 + (c - '0');
+  }
+  std::size_t body_at = raw.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (body_at == std::string::npos) {
+    body_at = raw.find("\n\n");
+    skip = 2;
+  }
+  if (body_at == std::string::npos) return std::nullopt;
+  HttpGetResult out;
+  out.status = status;
+  out.body = raw.substr(body_at + skip);
+  return out;
+}
+
+}  // namespace sixdust::serve

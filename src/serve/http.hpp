@@ -1,0 +1,146 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace sixdust::serve {
+
+/// A parsed HTTP request line (the only part of a scrape request the
+/// server acts on; headers are consumed and ignored).
+struct HttpRequest {
+  std::string method;
+  std::string path;  // query string stripped
+};
+
+/// Parse `METHOD SP TARGET SP HTTP/x.y`; nullopt on anything malformed
+/// (missing fields, control bytes, non-HTTP version token). Exposed for
+/// the fuzz tests — this is the exact parser the server runs on hostile
+/// input.
+[[nodiscard]] std::optional<HttpRequest> parse_http_request_line(
+    std::string_view line);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Serialize a full HTTP/1.0 response (status line, Content-Type,
+/// Content-Length, Connection: close).
+[[nodiscard]] std::string render_http_response(const HttpResponse& r);
+
+/// Minimal HTTP/1.0 scrape endpoint for the daemon's second listen
+/// socket (`--http`): GET-only, one response per connection, then close.
+///
+/// It reuses the binary server's poll-driven lane machinery: lane 0 owns
+/// the non-blocking listen socket and deals accepted fds round-robin;
+/// each lane multiplexes its connections with poll(). Unlike the binary
+/// plane, responses here can be large (a /metrics export) and scrape
+/// clients can be arbitrarily slow, so connection fds are non-blocking
+/// and a partially written response parks in a per-connection buffer
+/// drained on POLLOUT — a slowloris-style reader stalls only its own
+/// connection, never a lane. A request whose headers exceed
+/// `max_request_bytes` is answered 431 and closed; a malformed request
+/// line gets 400; a non-GET method 405.
+///
+/// All serve.http.* metrics are volatile: scrape traffic is wall-clock
+/// territory and never part of the stable export surface.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Config {
+    ListenSpec listen;
+    /// Poll lanes (>= 1; lane 0 also accepts). Scrape traffic is light —
+    /// one lane is plenty.
+    unsigned readers = 1;
+    /// Cap on buffered request bytes before the blank line.
+    std::size_t max_request_bytes = 8192;
+    /// Open connections across all lanes; beyond this, accepts are
+    /// dropped immediately.
+    std::size_t max_conns = 128;
+    /// Borrowed; may be null (metrics off).
+    MetricsRegistry* metrics = nullptr;
+    /// Shared executor to host the lanes on; null = dedicated threads.
+    std::shared_ptr<ThreadPool> pool;
+    /// Routes requests to responses; required. Runs on a lane thread.
+    Handler handler;
+  };
+
+  explicit HttpServer(Config cfg);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  [[nodiscard]] bool start(std::string* error);
+  void stop();
+
+  [[nodiscard]] std::string endpoint() const;
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;       // bytes before the blank line
+    std::string out;      // rendered response
+    std::size_t out_off = 0;
+    bool responding = false;  // headers complete, draining `out`
+  };
+
+  void lane_loop(unsigned lane);
+  void accept_ready();
+  /// Read request bytes; transition to responding (or close). False =
+  /// close the connection now.
+  [[nodiscard]] bool read_ready(Conn& conn);
+  /// Flush pending response bytes. False = done or broken: close.
+  [[nodiscard]] bool write_ready(Conn& conn);
+  void respond(Conn& conn, const HttpResponse& r);
+
+  Config cfg_;
+  Counter* requests_ = nullptr;
+  Counter* bad_requests_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* bytes_out_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string unix_path_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::atomic<std::uint64_t> open_conns_{0};
+  // sixdust-lint: allow(conc-raw-thread) — long-lived scrape lanes park
+  // in poll(), same hosting contract as serve::Server.
+  std::thread host_;
+  // sixdust-lint: allow(conc-raw-thread) — dedicated lanes, no-pool mode.
+  std::vector<std::thread> lane_threads_;
+
+  std::vector<std::unique_ptr<std::mutex>> inbox_m_;
+  std::vector<std::vector<int>> inbox_;
+  unsigned next_lane_ = 0;
+};
+
+/// Blocking HTTP/1.0 GET against a live endpoint (test and sixdust-top
+/// client side): connect, send the request, read to EOF, split the status
+/// code and body out. nullopt on any transport failure or unparsable
+/// response. `connect_timeout_ms` > 0 keeps retrying the connect.
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+};
+[[nodiscard]] std::optional<HttpGetResult> http_get(
+    const ListenSpec& spec, const std::string& path, int timeout_ms = 2000,
+    int connect_timeout_ms = 0);
+
+}  // namespace sixdust::serve

@@ -123,6 +123,28 @@ std::string LoadgenReport::str() const {
   return buf;
 }
 
+std::string LoadgenReport::json() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"schema\":\"sixdust-loadgen/1\",\"sent\":%llu,\"ok\":%llu,"
+      "\"not_found\":%llu,\"dropped\":%llu,\"incoherent\":%llu,"
+      "\"first_epoch\":%d,\"last_epoch\":%d,\"epochs_seen\":%u,"
+      "\"p50_us\":%llu,\"p95_us\":%llu,\"p99_us\":%llu,"
+      "\"qps\":%.1f,\"seconds\":%.3f}\n",
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(not_found),
+      static_cast<unsigned long long>(dropped),
+      static_cast<unsigned long long>(incoherent),
+      first_epoch == kNoEpoch ? -1 : static_cast<int>(first_epoch),
+      last_epoch == kNoEpoch ? -1 : static_cast<int>(last_epoch), epochs_seen,
+      static_cast<unsigned long long>(p50_us),
+      static_cast<unsigned long long>(p95_us),
+      static_cast<unsigned long long>(p99_us), qps, seconds);
+  return buf;
+}
+
 bool run_loadgen(const LoadgenConfig& cfg, LoadgenReport* report,
                  std::string* error) {
   // Probe the endpoint once up front so an unreachable server fails fast

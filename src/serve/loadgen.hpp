@@ -45,6 +45,10 @@ struct LoadgenReport {
   std::uint64_t p99_us = 0;
 
   [[nodiscard]] std::string str() const;
+
+  /// Machine-readable summary (schema sixdust-loadgen/1) for CI and the
+  /// latency-agreement tests — same numbers as str(), as one JSON object.
+  [[nodiscard]] std::string json() const;
 };
 
 /// Run the workload. False (with `*error` set) when no connection could

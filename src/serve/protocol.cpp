@@ -1,6 +1,9 @@
 #include "serve/protocol.hpp"
 
+#include <chrono>
 #include <cstring>
+
+#include "serve/telemetry.hpp"
 
 namespace sixdust::serve {
 
@@ -160,6 +163,25 @@ std::vector<std::uint8_t> QueryEngine::error_frame(
 }
 
 std::vector<std::uint8_t> QueryEngine::handle(
+    std::span<const std::uint8_t> body) const {
+  if (telemetry_ == nullptr) return handle_impl(body);
+  // Server-side latency: time exactly the dispatch below, so the /stats
+  // quantiles are a strict lower bound on anything a client can observe.
+  // sixdust-lint: allow(det-wallclock) — feeds only the volatile
+  // telemetry plane, never the stable export surface.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint8_t> out = handle_impl(body);
+  // sixdust-lint: allow(det-wallclock) — see above.
+  const auto t1 = std::chrono::steady_clock::now();
+  telemetry_->record_query(
+      body.empty() ? Op::kError : static_cast<Op>(body[0]),
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+  return out;
+}
+
+std::vector<std::uint8_t> QueryEngine::handle_impl(
     std::span<const std::uint8_t> body) const {
   if (body.empty()) return error_frame("empty request");
   const auto op = static_cast<Op>(body[0]);

@@ -14,6 +14,8 @@
 
 namespace sixdust::serve {
 
+class LiveTelemetry;
+
 /// The sixdust-serve wire protocol: length-prefixed binary frames over a
 /// stream socket (TCP loopback or a Unix domain socket).
 ///
@@ -124,6 +126,11 @@ class QueryEngine {
   [[nodiscard]] std::vector<std::uint8_t> handle(
       std::span<const std::uint8_t> body) const;
 
+  /// Attach the live telemetry plane (borrowed; may be null = recording
+  /// off). With it set, handle() times itself and records one server-side
+  /// per-op latency sample per request.
+  void set_telemetry(LiveTelemetry* telemetry) { telemetry_ = telemetry; }
+
   /// An op=kError response frame carrying `reason` (also counted as a
   /// protocol error) — the final frame of a poisoned connection.
   [[nodiscard]] std::vector<std::uint8_t> error_frame(
@@ -133,9 +140,12 @@ class QueryEngine {
   [[nodiscard]] std::vector<std::uint8_t> respond(
       Op op, Status status, std::uint32_t epoch,
       std::span<const std::uint8_t> payload) const;
+  [[nodiscard]] std::vector<std::uint8_t> handle_impl(
+      std::span<const std::uint8_t> body) const;
 
   const SnapshotManager* snaps_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  LiveTelemetry* telemetry_ = nullptr;
   Counter* proto_errors_ = nullptr;
   Counter* req_lookup_ = nullptr;
   Counter* req_origin_ = nullptr;

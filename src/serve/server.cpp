@@ -68,6 +68,13 @@ std::optional<ListenSpec> parse_listen_spec(const std::string& spec) {
 Server::Server(Config cfg, const SnapshotManager* snaps)
     : cfg_(std::move(cfg)), engine_(snaps, cfg_.metrics) {
   if (cfg_.readers < 1) cfg_.readers = 1;
+  engine_.set_telemetry(cfg_.telemetry);
+  lane_ticks_.reset(new std::atomic<std::uint64_t>[cfg_.readers]);
+  lane_conns_.reset(new std::atomic<std::uint64_t>[cfg_.readers]);
+  for (unsigned i = 0; i < cfg_.readers; ++i) {
+    lane_ticks_[i].store(0, std::memory_order_relaxed);
+    lane_conns_[i].store(0, std::memory_order_relaxed);
+  }
   if (cfg_.metrics != nullptr) {
     connections_ =
         &cfg_.metrics->counter("serve.connections", Stability::kVolatile);
@@ -180,6 +187,17 @@ std::string Server::endpoint() const {
   return cfg_.listen.host + ":" + std::to_string(bound_port_);
 }
 
+std::vector<Server::LaneStats> Server::lane_stats() const {
+  std::vector<LaneStats> out(cfg_.readers);
+  for (unsigned i = 0; i < cfg_.readers; ++i) {
+    out[i].ticks = lane_ticks_[i].load(std::memory_order_relaxed);
+    out[i].conns = lane_conns_[i].load(std::memory_order_relaxed);
+    std::lock_guard lk(*inbox_m_[i]);
+    out[i].inbox = inbox_[i].size();
+  }
+  return out;
+}
+
 void Server::accept_ready(unsigned lane) {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -228,12 +246,16 @@ void Server::lane_loop(unsigned lane) {
   std::vector<Conn> conns;
   std::vector<pollfd> fds;
   while (!stop_.load(std::memory_order_relaxed)) {
+    // Heartbeat for the watchdog: a healthy lane returns here at least
+    // once per poll timeout.
+    lane_ticks_[lane].fetch_add(1, std::memory_order_relaxed);
     // Adopt freshly dealt connections.
     {
       std::lock_guard lk(*inbox_m_[lane]);
       for (int fd : inbox_[lane]) conns.push_back(Conn{fd, FrameDecoder{}});
       inbox_[lane].clear();
     }
+    lane_conns_[lane].store(conns.size(), std::memory_order_relaxed);
 
     fds.clear();
     if (lane == 0)

@@ -16,6 +16,8 @@
 
 namespace sixdust::serve {
 
+class LiveTelemetry;
+
 /// Where to listen/connect: `unix:/path/to.sock` or `host:port` (TCP;
 /// IPv4 dotted-quad or `localhost`; port 0 binds an ephemeral port).
 struct ListenSpec {
@@ -58,6 +60,18 @@ class Server {
     MetricsRegistry* metrics = nullptr;
     /// Shared executor to host the lanes on; null = dedicated threads.
     std::shared_ptr<ThreadPool> pool;
+    /// Borrowed; may be null (no latency recording). When set, the engine
+    /// records a per-op server-side latency sample for every request.
+    LiveTelemetry* telemetry = nullptr;
+  };
+
+  /// Liveness/queue-depth view of one poll lane, read by the watchdog and
+  /// /stats. `ticks` advances on every poll cycle (at least every 50 ms
+  /// while the lane is healthy), so a frozen value is a wedged lane.
+  struct LaneStats {
+    std::uint64_t ticks = 0;
+    std::uint64_t conns = 0;  // connections owned by the lane
+    std::uint64_t inbox = 0;  // accepted fds waiting to be adopted
   };
 
   Server(Config cfg, const SnapshotManager* snaps);
@@ -75,6 +89,10 @@ class Server {
   /// The actual bound endpoint in spec syntax (resolves port 0).
   [[nodiscard]] std::string endpoint() const;
   [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+  /// One entry per reader lane. Safe to call from any thread, including
+  /// after stop() (the counters freeze at their final values).
+  [[nodiscard]] std::vector<LaneStats> lane_stats() const;
 
  private:
   struct Conn {
@@ -108,6 +126,11 @@ class Server {
   std::vector<std::unique_ptr<std::mutex>> inbox_m_;
   std::vector<std::vector<int>> inbox_;
   unsigned next_lane_ = 0;
+
+  /// Per-lane liveness counters (see LaneStats). Plain arrays of atomics
+  /// sized `readers`, written only by the owning lane.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> lane_ticks_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> lane_conns_;
 };
 
 }  // namespace sixdust::serve

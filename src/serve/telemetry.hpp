@@ -1,0 +1,227 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+#include "obs/timeseries.hpp"
+#include "serve/http.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot_manager.hpp"
+
+namespace sixdust::serve {
+
+/// Latency lane of a protocol op: one LatencyHistogram per request kind,
+/// with everything malformed/unknown pooled under kError.
+enum class OpLane : unsigned {
+  kLookup = 0,
+  kOrigin,
+  kAlias,
+  kEpochInfo,
+  kMetrics,
+  kError,
+  kCount,
+};
+
+[[nodiscard]] OpLane op_lane(Op op) noexcept;
+[[nodiscard]] const char* op_lane_name(OpLane lane) noexcept;
+
+/// What the watchdog currently thinks. Healthy means: no reader lane has
+/// stopped draining, and the most recent epoch swap finished inside its
+/// budget. `reasons` spells out every failing check.
+struct WatchdogVerdict {
+  bool healthy = true;
+  std::vector<std::string> reasons;
+
+  [[nodiscard]] std::string json() const;
+};
+
+/// The daemon's live telemetry plane (DESIGN.md §15): per-op server-side
+/// latency histograms, per-epoch freeze/publish/drain durations, a
+/// TimeSeriesRecorder sampling the full metrics registry, a watchdog, and
+/// the /stats //healthz /timeseries payload builders for the HTTP scrape
+/// endpoint.
+///
+/// Split of responsibilities:
+///   - recording (record_query / record_freeze / record_publish) happens
+///     on the hot paths — reader lanes and the epoch thread — and is
+///     wait-free except for the rare slow-query log append;
+///   - tick() runs the periodic work (time-series sample, watchdog
+///     checks, atomic --metrics-out rewrite) either on the internal
+///     sampler thread (start()/stop()) or driven directly by tests with
+///     synthetic timestamps;
+///   - the stats_json()/healthz()/timeseries_jsonl() readers assemble
+///     exports from snapshots and may be called from any thread.
+///
+/// Everything in here is wall-clock, client- and scheduler-driven —
+/// volatile territory by definition. No stable metric is ever registered
+/// or touched from this file, which is what keeps the batch-vs-daemon
+/// differential byte-identical with the full plane enabled.
+class LiveTelemetry {
+ public:
+  struct Config {
+    /// All borrowed; any may be null (the matching block goes dark).
+    MetricsRegistry* metrics = nullptr;
+    const SnapshotManager* snaps = nullptr;
+
+    /// Time-series sampling interval; 0 disables the recorder (watchdog
+    /// checks then ride on the metrics rewrite interval, if any).
+    std::uint64_t sample_interval_ms = 1000;
+    std::size_t timeseries_capacity = 512;
+
+    /// Periodic atomic rewrite of the metrics JSON export (write temp +
+    /// rename); empty path or 0 interval disables it.
+    std::string metrics_out;
+    std::uint64_t metrics_interval_ms = 0;
+
+    /// Watchdog thresholds.
+    std::uint64_t slow_query_us = 10'000;
+    std::uint64_t epoch_swap_budget_ms = 5'000;
+    std::uint64_t lane_stall_ms = 2'000;
+
+    /// JSONL slow-query log (appended); empty = in-memory ring only.
+    std::string slow_query_log;
+  };
+
+  explicit LiveTelemetry(Config cfg);
+  ~LiveTelemetry();
+  LiveTelemetry(const LiveTelemetry&) = delete;
+  LiveTelemetry& operator=(const LiveTelemetry&) = delete;
+
+  /// Lane stats source for the watchdog and /stats (borrowed; may stay
+  /// null). Set before start().
+  void set_server(const Server* server) { server_ = server; }
+
+  // --- hot-path recording ---------------------------------------------------
+
+  /// One served request: op + time spent inside QueryEngine::handle().
+  void record_query(Op op, std::uint64_t ns);
+  /// Epoch freeze duration (epoch thread, at the barrier).
+  void record_freeze(std::uint64_t ns);
+  /// Epoch publish duration; `superseded` is the snapshot this publish
+  /// replaced (its drain — how long readers keep it alive — is tracked
+  /// until the last reference drops).
+  void record_publish(int epoch, std::uint64_t ns,
+                      std::shared_ptr<const EpochSnapshot> superseded);
+
+  // --- periodic work --------------------------------------------------------
+
+  /// Launch the sampler thread; no-op when both intervals are 0. False
+  /// (with *error set) when the slow-query log cannot be opened.
+  [[nodiscard]] bool start(std::string* error);
+  void stop();
+
+  /// One sampler step at `now_ms`: time-series sample + watchdog checks +
+  /// metrics rewrite, each when due by its own interval. Tests drive this
+  /// directly with synthetic clocks.
+  void tick(std::uint64_t now_ms);
+
+  // --- exports --------------------------------------------------------------
+
+  [[nodiscard]] std::string stats_json() const;
+  [[nodiscard]] std::string timeseries_jsonl() const {
+    return timeseries_.jsonl();
+  }
+  [[nodiscard]] WatchdogVerdict verdict() const;
+
+  [[nodiscard]] LatencySnapshot op_snapshot(OpLane lane) const {
+    return op_lat_[static_cast<unsigned>(lane)].snapshot();
+  }
+  [[nodiscard]] const TimeSeriesRecorder& timeseries() const {
+    return timeseries_;
+  }
+  [[nodiscard]] std::uint64_t slow_query_count() const {
+    return slow_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t epoch_overruns() const {
+    return overruns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct SlowQuery {
+    std::uint64_t t_ms = 0;
+    OpLane lane = OpLane::kError;
+    std::uint64_t us = 0;
+  };
+  struct PendingDrain {
+    std::weak_ptr<const EpochSnapshot> snap;
+    int epoch = -1;
+    std::uint64_t superseded_at_ms = 0;
+  };
+
+  void note_slow(OpLane lane, std::uint64_t ns);
+  void check_lanes(std::uint64_t now_ms);
+  void check_drains(std::uint64_t now_ms);
+  void rewrite_metrics();
+
+  Config cfg_;
+  const Server* server_ = nullptr;
+
+  std::array<LatencyHistogram, static_cast<unsigned>(OpLane::kCount)> op_lat_;
+  LatencyHistogram freeze_lat_;
+  LatencyHistogram publish_lat_;
+  LatencyHistogram drain_lat_;  // ms resolution is enough; stored as ns
+
+  TimeSeriesRecorder timeseries_;
+
+  // Registered volatile counters (null when metrics off).
+  Counter* samples_ = nullptr;
+  Counter* metrics_writes_ = nullptr;
+  Counter* write_errors_ = nullptr;
+  Counter* slow_queries_ = nullptr;
+  Counter* overruns_ctr_ = nullptr;
+  Counter* lane_stalls_ctr_ = nullptr;
+
+  // Watchdog + epoch bookkeeping.
+  std::atomic<std::uint64_t> slow_count_{0};
+  std::atomic<std::uint64_t> overruns_{0};
+  std::atomic<bool> last_swap_overrun_{false};
+  std::atomic<std::uint64_t> last_freeze_ns_{0};
+  std::atomic<std::uint64_t> last_publish_ns_{0};
+  std::atomic<std::int64_t> last_epoch_{-1};
+  std::atomic<std::uint64_t> last_publish_ms_{0};
+  std::uint64_t created_ms_ = 0;
+
+  mutable std::mutex slow_m_;
+  std::deque<SlowQuery> slow_ring_;
+  std::FILE* slow_file_ = nullptr;
+
+  mutable std::mutex wd_m_;
+  std::vector<std::uint64_t> lane_last_ticks_;
+  std::vector<std::uint64_t> lane_last_change_ms_;
+  std::vector<bool> lane_stalled_;
+  std::vector<PendingDrain> drains_;
+  std::uint64_t last_sample_ms_ = 0;
+  std::uint64_t last_rewrite_ms_ = 0;
+
+  // Sampler thread.
+  std::mutex run_m_;
+  std::condition_variable run_cv_;
+  bool run_stop_ = false;
+  bool running_ = false;
+  // sixdust-lint: allow(conc-raw-thread) — the sampler parks in a timed
+  // condition-variable wait between ticks; it must outlive arbitrary
+  // epoch batches, so it cannot be a pool task.
+  std::thread sampler_;
+};
+
+/// The daemon's scrape routes, shared by sixdust-serve and the tests:
+///   /metrics    Prometheus text exposition (volatile included)
+///   /stats      LiveTelemetry::stats_json()
+///   /healthz    200 "ok" when healthy, 503 + verdict JSON when not
+///   /timeseries sixdust-timeseries/1 JSONL
+/// `metrics` and `telemetry` are borrowed and may be null (their routes
+/// then answer 404).
+[[nodiscard]] HttpServer::Handler scrape_handler(MetricsRegistry* metrics,
+                                                 LiveTelemetry* telemetry);
+
+}  // namespace sixdust::serve

@@ -114,5 +114,46 @@ TEST(CliLoadgenTool, ExitsNonzeroOnBadConnectSpec) {
   EXPECT_GT(code, 0);
 }
 
+TEST(CliLoadgenTool, DiesNonzeroOnUnwritableJsonOut) {
+  // The probe runs before any load is generated, so this dies fast even
+  // though the endpoint is also unreachable.
+  const int code = run_tool(
+      "sixdust-loadgen",
+      "--connect unix:/nonexistent-sixdust.sock "
+      "--json-out /nonexistent-sixdust-dir/loadgen.json");
+  if (code == -2) GTEST_SKIP() << "sixdust-loadgen not built";
+  EXPECT_GT(code, 0);
+  EXPECT_NE(code, 2);  // not the unreachable-server code: it never connected
+}
+
+TEST(CliServeTool, DiesNonzeroOnBadHttpSpec) {
+  const int code = run_tool("sixdust-serve",
+                            "--listen 127.0.0.1:0 --http not-a-spec");
+  if (code == -2) GTEST_SKIP() << "sixdust-serve not built";
+  EXPECT_GT(code, 0);
+}
+
+TEST(CliServeTool, DiesNonzeroOnUnwritableTimeseriesOut) {
+  const int code = run_tool(
+      "sixdust-serve",
+      "--listen 127.0.0.1:0 --epochs 1 "
+      "--timeseries-out /nonexistent-sixdust-dir/ts.jsonl");
+  if (code == -2) GTEST_SKIP() << "sixdust-serve not built";
+  EXPECT_GT(code, 0);
+}
+
+TEST(CliTopTool, ExitsTwoWhenEndpointUnreachable) {
+  const int code = run_tool(
+      "sixdust-top", "--connect unix:/nonexistent-sixdust.sock --iterations 1");
+  if (code == -2) GTEST_SKIP() << "sixdust-top not built";
+  EXPECT_EQ(code, 2);  // documented: 2 = unreachable on the first poll
+}
+
+TEST(CliTopTool, ExitsNonzeroOnBadConnectSpec) {
+  const int code = run_tool("sixdust-top", "--connect nonsense");
+  if (code == -2) GTEST_SKIP() << "sixdust-top not built";
+  EXPECT_GT(code, 0);
+}
+
 }  // namespace
 }  // namespace sixdust

@@ -18,6 +18,7 @@
 #include "netbase/rng.hpp"
 #include "obs/metrics.hpp"
 #include "scanner/zmap6.hpp"
+#include "serve/http.hpp"
 #include "serve/protocol.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/snapshot_manager.hpp"
@@ -549,6 +550,57 @@ TEST_P(ServeProtoFuzz, HostileStreamsNeverBreakTheFrameDecoder) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServeProtoFuzz,
                          ::testing::Values(301u, 302u, 303u));
+
+// --- http request-line fuzz (the scrape endpoint's hostile surface) ---------
+
+TEST(HttpLineFuzz, RandomBytesNeverCrashTheParserAndAcceptsStaySane) {
+  Rng rng(777);
+  for (int iter = 0; iter < 50000; ++iter) {
+    const std::size_t len = rng.below(120);
+    std::string line;
+    line.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+      line.push_back(static_cast<char>(rng.below(256)));
+    const auto req = serve::parse_http_request_line(line);
+    if (req.has_value()) {
+      // Whatever survives must be fully sane: non-empty printable method,
+      // an origin-form target, no query-string residue.
+      ASSERT_FALSE(req->method.empty());
+      ASSERT_FALSE(req->path.empty());
+      EXPECT_EQ(req->path[0], '/');
+      EXPECT_EQ(req->path.find('?'), std::string::npos);
+      for (const char c : req->method) {
+        EXPECT_GE(static_cast<unsigned char>(c), 0x21u);
+        EXPECT_LE(static_cast<unsigned char>(c), 0x7eu);
+      }
+    }
+  }
+}
+
+TEST(HttpLineFuzz, MutatedValidLinesParseOrRejectCleanly) {
+  Rng rng(778);
+  const std::string base = "GET /stats?limit=5 HTTP/1.0\r\n";
+  for (int iter = 0; iter < 50000; ++iter) {
+    std::string line = base;
+    const unsigned mutations = 1 + static_cast<unsigned>(rng.below(4));
+    for (unsigned m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.below(line.size());
+      switch (rng.below(3)) {
+        case 0: line[pos] = static_cast<char>(rng.below(256)); break;
+        case 1: line.erase(pos, 1); break;
+        default:
+          line.insert(pos, 1, static_cast<char>(rng.below(256)));
+          break;
+      }
+      if (line.empty()) line = "x";
+    }
+    const auto req = serve::parse_http_request_line(line);
+    if (req.has_value()) {
+      ASSERT_FALSE(req->path.empty());
+      EXPECT_EQ(req->path[0], '/');
+    }
+  }
+}
 
 }  // namespace
 }  // namespace sixdust

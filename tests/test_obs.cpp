@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -13,8 +14,11 @@
 #include <vector>
 
 #include "hitlist/service.hpp"
+#include "obs/json_mini.hpp"
+#include "obs/latency_histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/timeseries.hpp"
 #include "topo/world_builder.hpp"
 
 namespace sixdust {
@@ -183,6 +187,218 @@ TEST(ObsPhaseTimer, CountsCallsAndIsIdempotent) {
   ASSERT_NE(wall, nullptr);
   EXPECT_EQ(wall->stability, Stability::kVolatile);
   PhaseTimer null_timer(nullptr, "t.none");  // null registry: no-op
+}
+
+// --- latency histogram (DESIGN.md §15) -------------------------------------
+
+TEST(ObsLatencyBuckets, ExactBelowSixteenThenMonotone) {
+  for (std::uint64_t ns = 0; ns < LatencyHistogram::kSubBuckets; ++ns) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(ns), ns);
+    EXPECT_EQ(LatencyHistogram::bucket_floor(ns), ns);
+  }
+  std::size_t prev = 0;
+  for (std::uint64_t ns = 0; ns < (1u << 22); ns += 41) {
+    const std::size_t idx = LatencyHistogram::bucket_index(ns);
+    EXPECT_GE(idx, prev) << "index not monotone at " << ns;
+    prev = idx;
+  }
+}
+
+TEST(ObsLatencyBuckets, FloorBoundsValueWithinOneSixteenth) {
+  const std::uint64_t values[] = {15,        16,         17,
+                                  31,        32,         33,
+                                  1000,      999'999,    1'000'000'007ULL,
+                                  (1ULL << 35) - 1};
+  for (const std::uint64_t v : values) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    const std::uint64_t floor = LatencyHistogram::bucket_floor(idx);
+    EXPECT_LE(floor, v);
+    // Bucket width is 2^(msb-4) <= v/16: the documented 6.25% resolution.
+    EXPECT_LE(v - floor, v / 16) << "bucket too wide at " << v;
+    // The floor maps back into the same bucket (it is the representative).
+    EXPECT_EQ(LatencyHistogram::bucket_index(floor), idx);
+  }
+  // Everything at/above the 2^35 ns cap clamps into the last bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_index(1ULL << 35),
+            LatencySnapshot::kBucketCount - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(~0ULL),
+            LatencySnapshot::kBucketCount - 1);
+}
+
+TEST(ObsLatencyHistogram, QuantilesWithinBucketResolution) {
+  LatencyHistogram h;
+  // 1..10000 µs, uniformly: true pXX is exactly XX00 µs.
+  for (std::uint64_t i = 1; i <= 10000; ++i) h.record(i * 1000);
+  const LatencySnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 10000u);
+  EXPECT_EQ(snap.sum_ns, 10000ULL * 10001 / 2 * 1000);
+  EXPECT_EQ(snap.max_ns, 10'000'000u);
+  const struct {
+    double q;
+    std::uint64_t true_ns;
+  } cases[] = {{0.50, 5'000'000}, {0.90, 9'000'000}, {0.99, 9'900'000}};
+  for (const auto& c : cases) {
+    const std::uint64_t got = snap.quantile_ns(c.q);
+    EXPECT_LE(got, c.true_ns);
+    EXPECT_GE(got, c.true_ns - c.true_ns / 16)
+        << "quantile " << c.q << " below bucket resolution";
+  }
+  EXPECT_EQ(LatencySnapshot{}.quantile_ns(0.5), 0u);  // empty: no samples
+}
+
+TEST(ObsLatencySnapshot, MergeIsExact) {
+  LatencyHistogram a, b, both;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    a.record(i * 7);
+    both.record(i * 7);
+    b.record(i * 13 + 5);
+    both.record(i * 13 + 5);
+  }
+  LatencySnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const LatencySnapshot expect = both.snapshot();
+  EXPECT_EQ(merged.count, expect.count);
+  EXPECT_EQ(merged.sum_ns, expect.sum_ns);
+  EXPECT_EQ(merged.max_ns, expect.max_ns);
+  EXPECT_EQ(merged.buckets, expect.buckets);
+  EXPECT_EQ(merged.p999_ns(), expect.p999_ns());
+}
+
+TEST(ObsLatencyHistogram, ConcurrentRecordsMergeExactly) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPer = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPer; ++i)
+        h.record(static_cast<std::uint64_t>(t) * 1000 + i);
+    });
+  for (auto& t : threads) t.join();
+  const LatencySnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPer);
+  std::uint64_t in_buckets = 0;
+  for (const std::uint64_t c : snap.buckets) in_buckets += c;
+  EXPECT_EQ(in_buckets, snap.count);  // nothing dropped, nothing doubled
+  std::uint64_t expect_sum = 0;
+  for (int t = 0; t < kThreads; ++t)
+    for (int i = 0; i < kPer; ++i)
+      expect_sum += static_cast<std::uint64_t>(t) * 1000 + i;
+  EXPECT_EQ(snap.sum_ns, expect_sum);
+  EXPECT_EQ(snap.max_ns, (kThreads - 1) * 1000ULL + kPer - 1);
+  EXPECT_EQ(h.count(), snap.count);
+}
+
+TEST(ObsLatencySnapshot, StatsJsonParsesAndCarriesQuantiles) {
+  LatencyHistogram h;
+  for (std::uint64_t i = 1; i <= 100; ++i) h.record(i * 10000);  // 10µs..1ms
+  std::string out;
+  h.snapshot().append_stats_json(out);
+  const auto doc = json_parse(out);
+  ASSERT_TRUE(doc && doc->is_object()) << out;
+  EXPECT_EQ(doc->find("count")->u64(), 100u);
+  const double p50 = doc->find("p50_us")->number;
+  EXPECT_GT(p50, 400.0);  // true p50 = 500µs, bucket floor >= 468.75
+  EXPECT_LE(p50, 500.0);
+  EXPECT_DOUBLE_EQ(doc->find("max_us")->number, 1000.0);
+}
+
+// --- time-series recorder (DESIGN.md §15) ----------------------------------
+
+TEST(ObsTimeSeries, WraparoundKeepsNewestWithMonotonicSeq) {
+  TimeSeriesRecorder rec(TimeSeriesRecorder::Config{.capacity = 4});
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t.reqs");
+  for (int i = 0; i < 10; ++i) {
+    c.add(5);
+    rec.sample(1000ULL * (i + 1), reg.snapshot());
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_samples(), 10u);
+  const auto kept = rec.tail(10);  // asking for more than retained is fine
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].seq, 6 + i);  // oldest six dropped, order preserved
+    EXPECT_EQ(kept[i].t_ms, 1000ULL * (7 + i));
+  }
+  EXPECT_EQ(rec.tail(1).back().seq, 9u);
+}
+
+TEST(ObsTimeSeries, CounterDeltasAndRatesAgainstPreviousSample) {
+  TimeSeriesRecorder rec;
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t.reqs");
+  Gauge& g = reg.gauge("t.depth");
+  c.add(100);
+  g.set(3);
+  rec.sample(1000, reg.snapshot());
+  c.add(250);
+  g.set(7);
+  rec.sample(3000, reg.snapshot());
+
+  const auto last = rec.tail(1).back();
+  const TimeSeriesRecorder::Point* reqs = nullptr;
+  const TimeSeriesRecorder::Point* depth = nullptr;
+  for (const auto& p : last.points) {
+    if (p.name == "t.reqs") reqs = &p;
+    if (p.name == "t.depth") depth = &p;
+  }
+  ASSERT_NE(reqs, nullptr);
+  EXPECT_TRUE(reqs->is_counter);
+  EXPECT_TRUE(reqs->has_rate);
+  EXPECT_EQ(reqs->value, 350);
+  EXPECT_EQ(reqs->delta, 250);
+  EXPECT_DOUBLE_EQ(reqs->rate_per_s, 125.0);  // 250 over 2 s
+  ASSERT_NE(depth, nullptr);
+  EXPECT_FALSE(depth->is_counter);  // gauges carry values, never rates
+  EXPECT_FALSE(depth->has_rate);
+  EXPECT_EQ(depth->value, 7);
+  // The very first sample has nothing to diff against.
+  EXPECT_FALSE(rec.tail(2).front().points.front().has_rate);
+}
+
+TEST(ObsTimeSeries, JsonlRoundTripsThroughJsonMini) {
+  TimeSeriesRecorder rec(TimeSeriesRecorder::Config{.capacity = 8});
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t.reqs");
+  static constexpr std::uint64_t kBounds[] = {10, 100};
+  reg.histogram("t.lat", kBounds);
+  for (int i = 0; i < 3; ++i) {
+    c.add(40);
+    rec.sample(500ULL * (i + 1), reg.snapshot());
+  }
+  const std::string jsonl = rec.jsonl();
+  std::vector<std::string> lines;
+  std::stringstream ss(jsonl);
+  for (std::string line; std::getline(ss, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // header + 3 samples
+
+  const auto header = json_parse(lines[0]);
+  ASSERT_TRUE(header && header->is_object());
+  EXPECT_EQ(header->find("schema")->str, "sixdust-timeseries/1");
+  EXPECT_EQ(header->find("capacity")->u64(), 8u);
+  EXPECT_EQ(header->find("samples")->u64(), 3u);
+  EXPECT_EQ(header->find("total")->u64(), 3u);
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto doc = json_parse(lines[i]);
+    ASSERT_TRUE(doc && doc->is_object()) << lines[i];
+    EXPECT_EQ(doc->find("seq")->u64(), i - 1);
+    const JsonValue* metrics = doc->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_EQ(metrics->find("t.reqs")->u64(), 40u * i);
+    // The histogram appears as its rateable observation count.
+    ASSERT_NE(metrics->find("t.lat.count"), nullptr);
+    const JsonValue* rates = doc->find("rates");
+    ASSERT_NE(rates, nullptr);
+    if (i == 1) {
+      EXPECT_TRUE(rates->obj.empty());  // first sample: no predecessor
+    } else {
+      ASSERT_NE(rates->find("t.reqs"), nullptr);
+      EXPECT_DOUBLE_EQ(rates->find("t.reqs")->number, 80.0);  // 40 per 500ms
+    }
+  }
 }
 
 // --- service-level determinism ---------------------------------------------

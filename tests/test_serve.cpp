@@ -2,12 +2,16 @@
 // freezing and lookups, the RCU-style SnapshotManager swap, the wire
 // protocol round trip, the batch-vs-daemon differential (byte-identical
 // stable artifacts and per-epoch records at threads 1/2/7, with and
-// without live query traffic), the serve-mode golden regression, the
-// snapshot-isolation stress (TSan via the tsan-concurrency preset), and
-// an in-process end-to-end run across several epoch swaps.
+// without live query traffic and the full telemetry plane), the
+// serve-mode golden regression, the snapshot-isolation stress (TSan via
+// the tsan-concurrency preset), in-process end-to-end runs across
+// several epoch swaps, and the HTTP scrape endpoint + watchdog of the
+// live telemetry plane (DESIGN.md §15).
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <array>
@@ -24,13 +28,17 @@
 #include "hitlist/report_gen.hpp"
 #include "hitlist/service.hpp"
 #include "netbase/rng.hpp"
+#include "obs/json_mini.hpp"
+#include "obs/latency_histogram.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
+#include "serve/http.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/snapshot_manager.hpp"
+#include "serve/telemetry.hpp"
 #include "topo/world_builder.hpp"
 
 namespace sixdust {
@@ -266,6 +274,8 @@ enum class Mode {
   kBatchRecord,  // epoch hook in record-only mode (no SnapshotManager)
   kDaemon,       // full daemon path: freeze + publish every epoch
   kDaemonLoad,   // kDaemon with a live server and query traffic on top
+  kDaemonFull,   // kDaemonLoad plus the whole telemetry plane: LiveTelemetry
+                 // sampler + watchdog, HTTP scrape endpoint, scrape traffic
 };
 
 RunArtifacts run_epochs(const World& world, unsigned threads, int scans,
@@ -276,22 +286,65 @@ RunArtifacts run_epochs(const World& world, unsigned threads, int scans,
 
   SnapshotManager snaps(&service.metrics());
   SnapshotManager* publish_to =
-      (mode == Mode::kDaemon || mode == Mode::kDaemonLoad) ? &snaps : nullptr;
-  serve::EpochPublisher publisher(&service, &world, publish_to);
+      mode == Mode::kBatchPlain || mode == Mode::kBatchRecord ? nullptr
+                                                              : &snaps;
+
+  std::unique_ptr<serve::LiveTelemetry> telemetry;
+  if (mode == Mode::kDaemonFull) {
+    serve::LiveTelemetry::Config tc;
+    tc.metrics = &service.metrics();
+    tc.snaps = &snaps;
+    tc.sample_interval_ms = 20;  // sample aggressively while epochs run
+    tc.slow_query_us = 1;        // every query trips the slow-query ring
+    telemetry = std::make_unique<serve::LiveTelemetry>(tc);
+  }
+  serve::EpochPublisher publisher(&service, &world, publish_to,
+                                  telemetry.get());
 
   std::unique_ptr<serve::Server> server;
+  std::unique_ptr<serve::HttpServer> http;
   std::thread traffic;
+  std::thread scraper;
   std::atomic<bool> traffic_stop{false};
-  if (mode == Mode::kDaemonLoad) {
+  if (mode == Mode::kDaemonLoad || mode == Mode::kDaemonFull) {
     serve::Server::Config sc;
     sc.listen.kind = serve::ListenSpec::Kind::kUnix;
     sc.listen.path = "/tmp/sixdust-serve-diff-" + std::to_string(::getpid()) +
                      "-" + std::to_string(threads) + ".sock";
     sc.metrics = &service.metrics();
     sc.pool = service.pool();
+    sc.telemetry = telemetry.get();
     server = std::make_unique<serve::Server>(sc, &snaps);
     std::string error;
     if (!server->start(&error)) ADD_FAILURE() << "server start: " << error;
+    if (telemetry != nullptr) {
+      telemetry->set_server(server.get());
+      if (!telemetry->start(&error))
+        ADD_FAILURE() << "telemetry start: " << error;
+      serve::HttpServer::Config hc;
+      hc.listen.kind = serve::ListenSpec::Kind::kUnix;
+      hc.listen.path = "/tmp/sixdust-serve-diff-http-" +
+                       std::to_string(::getpid()) + "-" +
+                       std::to_string(threads) + ".sock";
+      hc.metrics = &service.metrics();
+      hc.pool = service.pool();
+      hc.handler =
+          serve::scrape_handler(&service.metrics(), telemetry.get());
+      http = std::make_unique<serve::HttpServer>(std::move(hc));
+      if (!http->start(&error)) ADD_FAILURE() << "http start: " << error;
+      scraper = std::thread([&http, &traffic_stop] {
+        const auto spec = serve::parse_listen_spec(http->endpoint());
+        if (!spec) return;
+        const char* paths[] = {"/stats", "/metrics", "/healthz",
+                               "/timeseries"};
+        std::size_t i = 0;
+        while (!traffic_stop.load(std::memory_order_relaxed)) {
+          const auto res = serve::http_get(*spec, paths[i++ % 4], 2000);
+          if (res.has_value()) EXPECT_NE(res->status, 0);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      });
+    }
     traffic = std::thread([&server, &traffic_stop] {
       serve::Client client;
       if (!client.connect(
@@ -327,9 +380,12 @@ RunArtifacts run_epochs(const World& world, unsigned threads, int scans,
     });
   }
 
-  if (mode == Mode::kDaemonLoad) {
+  if (mode == Mode::kDaemonLoad || mode == Mode::kDaemonFull) {
     traffic_stop.store(true, std::memory_order_relaxed);
     traffic.join();
+    if (scraper.joinable()) scraper.join();
+    if (http != nullptr) http->stop();
+    if (telemetry != nullptr) telemetry->stop();
     server->stop();
   }
 
@@ -377,6 +433,29 @@ TEST(ServeDifferential, LiveQueryTrafficDoesNotPerturbTheEpochs) {
   EXPECT_EQ(batch.report_md, loaded.report_md);
   EXPECT_EQ(batch.timeline_csv, loaded.timeline_csv);
   ASSERT_EQ(loaded.records.size(), static_cast<std::size_t>(kScans));
+}
+
+TEST(ServeDifferential, TelemetryPlaneDoesNotPerturbStableOutputs) {
+  // The strongest form of the volatile-only contract (DESIGN.md §15):
+  // with the ENTIRE telemetry plane on — per-query recording, the
+  // watchdog sampler, the HTTP scrape endpoint under scrape traffic, the
+  // slow-query ring tripping on every request — every stable artifact
+  // and every per-epoch record is still byte-identical to the plain
+  // batch run, at every thread count.
+  const auto world = build_test_world(42);
+  constexpr int kScans = 6;
+  const RunArtifacts batch = run_epochs(*world, 1, kScans, Mode::kBatchPlain);
+  const RunArtifacts ref = run_epochs(*world, 1, kScans, Mode::kDaemon);
+  for (const unsigned threads : {1u, 2u, 7u}) {
+    const RunArtifacts full =
+        run_epochs(*world, threads, kScans, Mode::kDaemonFull);
+    EXPECT_EQ(batch.stable_metrics, full.stable_metrics)
+        << "threads=" << threads;
+    EXPECT_EQ(batch.report_md, full.report_md) << "threads=" << threads;
+    EXPECT_EQ(batch.timeline_csv, full.timeline_csv) << "threads=" << threads;
+    EXPECT_EQ(ref.records, full.records) << "threads=" << threads;
+    ASSERT_EQ(full.records.size(), static_cast<std::size_t>(kScans));
+  }
 }
 
 // --- serve-mode golden ------------------------------------------------------
@@ -672,6 +751,405 @@ TEST(ServeEndToEnd, ListenSpecParsing) {
   EXPECT_FALSE(serve::parse_listen_spec("not.an.ip:80").has_value());
   EXPECT_FALSE(
       serve::parse_listen_spec("unix:" + std::string(200, 'x')).has_value());
+}
+
+// --- HTTP scrape endpoint (DESIGN.md §15) -----------------------------------
+
+TEST(ServeHttp, RequestLineParsing) {
+  const auto ok = serve::parse_http_request_line("GET /stats HTTP/1.0\r\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->method, "GET");
+  EXPECT_EQ(ok->path, "/stats");
+  const auto q = serve::parse_http_request_line("GET /stats?x=1&y=2 HTTP/1.1");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->path, "/stats");  // query string stripped
+  EXPECT_FALSE(serve::parse_http_request_line("").has_value());
+  EXPECT_FALSE(serve::parse_http_request_line("GET").has_value());
+  EXPECT_FALSE(serve::parse_http_request_line("GET /stats").has_value());
+  EXPECT_FALSE(
+      serve::parse_http_request_line("GET stats HTTP/1.0").has_value());
+  EXPECT_FALSE(
+      serve::parse_http_request_line("GET /stats SPDY/1.0").has_value());
+  EXPECT_FALSE(
+      serve::parse_http_request_line("G\x01T /stats HTTP/1.0").has_value());
+}
+
+/// Raw-bytes HTTP exchange over a unix socket: send exactly `bytes`, read
+/// to EOF. The hostile-input path the typed client can't exercise.
+std::string raw_http_exchange(const std::string& sock_path,
+                              const std::string& bytes) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", sock_path.c_str());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: the server may 431-and-close mid-send; that is the
+    // expected outcome, not a reason to die of SIGPIPE.
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::recv(fd, buf, sizeof buf, 0);
+    if (r <= 0) break;
+    out.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+struct HttpFixture {
+  MetricsRegistry reg;
+  std::unique_ptr<serve::LiveTelemetry> telemetry;
+  std::unique_ptr<serve::HttpServer> http;
+  std::string sock_path;
+  serve::ListenSpec spec;
+
+  explicit HttpFixture(const std::string& tag) {
+    serve::LiveTelemetry::Config tc;
+    tc.metrics = &reg;
+    tc.sample_interval_ms = 0;  // no sampler thread; tests drive tick()
+    telemetry = std::make_unique<serve::LiveTelemetry>(tc);
+    sock_path = "/tmp/sixdust-http-" + tag + "-" +
+                std::to_string(::getpid()) + ".sock";
+    serve::HttpServer::Config hc;
+    hc.listen.kind = serve::ListenSpec::Kind::kUnix;
+    hc.listen.path = sock_path;
+    hc.metrics = &reg;
+    hc.handler = serve::scrape_handler(&reg, telemetry.get());
+    http = std::make_unique<serve::HttpServer>(std::move(hc));
+    std::string error;
+    EXPECT_TRUE(http->start(&error)) << error;
+    spec.kind = serve::ListenSpec::Kind::kUnix;
+    spec.path = sock_path;
+  }
+  ~HttpFixture() { http->stop(); }
+};
+
+TEST(ServeHttp, ScrapeRoutesAnswerMetricsStatsHealthz) {
+  HttpFixture fx("routes");
+  fx.reg.counter("t.scrape_total", Stability::kVolatile).add(7);
+  fx.telemetry->record_query(Op::kLookup, 42'000);
+
+  const auto metrics = serve::http_get(fx.spec, "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("t_scrape_total"), std::string::npos)
+      << "/metrics must include volatile metrics";
+
+  const auto stats = serve::http_get(fx.spec, "/stats");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->status, 200);
+  const auto doc = json_parse(stats->body);
+  ASSERT_TRUE(doc && doc->is_object()) << stats->body;
+  EXPECT_EQ(doc->find("schema")->str, "sixdust-stats/1");
+  const JsonValue* ops = doc->find("ops");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->find("lookup")->find("count")->u64(), 1u);
+
+  const auto health = serve::http_get(fx.spec, "/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  // Query strings are stripped before routing; unknown routes 404.
+  const auto with_query = serve::http_get(fx.spec, "/stats?pretty=1");
+  ASSERT_TRUE(with_query.has_value());
+  EXPECT_EQ(with_query->status, 200);
+  const auto missing = serve::http_get(fx.spec, "/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+
+  const auto ts = serve::http_get(fx.spec, "/timeseries");
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_EQ(ts->status, 200);
+  EXPECT_NE(ts->body.find("sixdust-timeseries/1"), std::string::npos);
+}
+
+TEST(ServeHttp, HostileRequestsGetStatusCodesNotCrashes) {
+  HttpFixture fx("hostile");
+  // Malformed request line.
+  EXPECT_NE(raw_http_exchange(fx.sock_path, "BOGUS\r\n\r\n")
+                .find("HTTP/1.0 400"),
+            std::string::npos);
+  // Control bytes in the request line.
+  EXPECT_NE(raw_http_exchange(fx.sock_path, "G\x02T /x HTTP/1.0\r\n\r\n")
+                .find("HTTP/1.0 400"),
+            std::string::npos);
+  // Missing version token.
+  EXPECT_NE(raw_http_exchange(fx.sock_path, "GET /stats\r\n\r\n")
+                .find("HTTP/1.0 400"),
+            std::string::npos);
+  // Well-formed but non-GET.
+  EXPECT_NE(raw_http_exchange(fx.sock_path, "POST /stats HTTP/1.0\r\n\r\n")
+                .find("HTTP/1.0 405"),
+            std::string::npos);
+  // Headers larger than max_request_bytes (8 KiB default): 431.
+  const std::string oversized =
+      "GET /stats HTTP/1.0\r\nX-Pad: " + std::string(9000, 'a') + "\r\n\r\n";
+  EXPECT_NE(raw_http_exchange(fx.sock_path, oversized).find("HTTP/1.0 431"),
+            std::string::npos);
+  // And the endpoint still serves normally after all of that.
+  const auto after = serve::http_get(fx.spec, "/healthz");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->status, 200);
+}
+
+TEST(ServeHttp, SlowlorisConnectionNeverWedgesItsLane) {
+  HttpFixture fx("slowloris");  // one reader lane: the worst case
+  // A client that sends half a request line and then just... stops.
+  const int slow_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(slow_fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s",
+                fx.sock_path.c_str());
+  ASSERT_EQ(::connect(slow_fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  ASSERT_GT(::send(slow_fd, "GET /st", 7, MSG_NOSIGNAL), 0);
+
+  // The stalled connection must not block anyone else on the same lane.
+  for (int i = 0; i < 5; ++i) {
+    const auto res = serve::http_get(fx.spec, "/healthz");
+    ASSERT_TRUE(res.has_value()) << "request " << i << " wedged";
+    EXPECT_EQ(res->status, 200);
+  }
+
+  // The slow client finally finishes its request — and still gets served.
+  ASSERT_GT(::send(slow_fd, "ats HTTP/1.0\r\n\r\n", 16, MSG_NOSIGNAL), 0);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::recv(slow_fd, buf, sizeof buf, 0);
+    if (r <= 0) break;
+    out.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(slow_fd);
+  EXPECT_NE(out.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(out.find("sixdust-stats/1"), std::string::npos);
+}
+
+// --- watchdog (synthetic clocks via tick()) ---------------------------------
+
+TEST(ServeTelemetryWatchdog, SlowQueriesAreCountedAndLogged) {
+  const std::string log_path = "/tmp/sixdust-slowlog-" +
+                               std::to_string(::getpid()) + ".jsonl";
+  std::remove(log_path.c_str());
+  serve::LiveTelemetry::Config tc;
+  tc.sample_interval_ms = 0;
+  tc.slow_query_us = 100;
+  tc.slow_query_log = log_path;
+  serve::LiveTelemetry telemetry(tc);
+  std::string error;
+  ASSERT_TRUE(telemetry.start(&error)) << error;  // opens the log
+
+  telemetry.record_query(Op::kLookup, 150'000);  // 150 µs: slow
+  telemetry.record_query(Op::kLookup, 50'000);   // 50 µs: fine
+  telemetry.record_query(Op::kAlias, 2'000'000);  // 2 ms: slow
+  EXPECT_EQ(telemetry.slow_query_count(), 2u);
+  // Slow queries inform, they do not flip health on their own.
+  EXPECT_TRUE(telemetry.verdict().healthy);
+  telemetry.stop();
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  const auto first = json_parse(lines[0]);
+  ASSERT_TRUE(first && first->is_object()) << lines[0];
+  EXPECT_EQ(first->find("op")->str, "lookup");
+  EXPECT_EQ(first->find("us")->u64(), 150u);
+  EXPECT_EQ(first->find("threshold_us")->u64(), 100u);
+  const auto second = json_parse(lines[1]);
+  ASSERT_TRUE(second && second->is_object());
+  EXPECT_EQ(second->find("op")->str, "alias");
+  std::remove(log_path.c_str());
+}
+
+TEST(ServeTelemetryWatchdog, EpochSwapOverrunFlipsVerdictUntilAGoodSwap) {
+  serve::LiveTelemetry::Config tc;
+  tc.sample_interval_ms = 0;
+  tc.epoch_swap_budget_ms = 1;
+  serve::LiveTelemetry telemetry(tc);
+  EXPECT_TRUE(telemetry.verdict().healthy);
+
+  telemetry.record_freeze(5'000'000);            // 5 ms freeze
+  telemetry.record_publish(3, 2'000'000, {});    // +2 ms publish: overrun
+  EXPECT_EQ(telemetry.epoch_overruns(), 1u);
+  const auto bad = telemetry.verdict();
+  EXPECT_FALSE(bad.healthy);
+  ASSERT_EQ(bad.reasons.size(), 1u);
+  EXPECT_NE(bad.reasons[0].find("overran its budget"), std::string::npos);
+  // The verdict JSON carries the reason too (what /healthz serves as 503).
+  EXPECT_NE(bad.json().find("overran its budget"), std::string::npos);
+
+  // A swap back inside the budget restores health; the overrun stays
+  // counted.
+  telemetry.record_freeze(100'000);
+  telemetry.record_publish(4, 100'000, {});
+  EXPECT_TRUE(telemetry.verdict().healthy);
+  EXPECT_EQ(telemetry.epoch_overruns(), 1u);
+}
+
+TEST(ServeTelemetryWatchdog, StalledReaderLaneIsFlagged) {
+  MetricsRegistry reg;
+  SnapshotManager snaps;
+  serve::Server::Config sc;
+  sc.listen.kind = serve::ListenSpec::Kind::kUnix;
+  sc.listen.path = "/tmp/sixdust-serve-stall-" + std::to_string(::getpid()) +
+                   ".sock";
+  sc.readers = 2;
+  sc.metrics = &reg;
+  serve::Server server(sc, &snaps);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  serve::LiveTelemetry::Config tc;
+  tc.sample_interval_ms = 0;
+  tc.lane_stall_ms = 2'000;
+  serve::LiveTelemetry telemetry(tc);
+  telemetry.set_server(&server);
+
+  // Wait until every lane has polled at least once.
+  for (int i = 0; i < 200; ++i) {
+    const auto lanes = server.lane_stats();
+    bool all = !lanes.empty();
+    for (const auto& l : lanes) all = all && l.ticks > 0;
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Live lanes tick between the two synthetic samples: healthy.
+  telemetry.tick(10'000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));  // > kPollMs
+  telemetry.tick(13'000);
+  EXPECT_TRUE(telemetry.verdict().healthy);
+
+  // Stop the server: tick counters freeze, and a synthetic 3 s gap with
+  // no movement crosses the 2 s stall threshold.
+  server.stop();
+  telemetry.tick(20'000);
+  telemetry.tick(23'000);
+  const auto verdict = telemetry.verdict();
+  EXPECT_FALSE(verdict.healthy);
+  ASSERT_FALSE(verdict.reasons.empty());
+  EXPECT_NE(verdict.reasons[0].find("stopped draining"), std::string::npos);
+}
+
+TEST(ServeTelemetryWatchdog, MetricsRewriteIsAtomicTempPlusRename) {
+  const std::string out_path = "/tmp/sixdust-metrics-rw-" +
+                               std::to_string(::getpid()) + ".json";
+  std::remove(out_path.c_str());
+  MetricsRegistry reg;
+  reg.counter("t.rewrites", Stability::kVolatile).add(3);
+  serve::LiveTelemetry::Config tc;
+  tc.metrics = &reg;
+  tc.sample_interval_ms = 0;
+  tc.metrics_out = out_path;
+  tc.metrics_interval_ms = 100;
+  serve::LiveTelemetry telemetry(tc);
+
+  telemetry.tick(1'000);  // first rewrite
+  {
+    std::ifstream in(out_path);
+    ASSERT_TRUE(in.good()) << "metrics file missing after tick";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("t.rewrites"), std::string::npos);
+  }
+  // No leftover temp file — the rename happened.
+  std::ifstream tmp(out_path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  reg.counter("t.rewrites", Stability::kVolatile).add(4);
+  telemetry.tick(1'050);  // before the interval: no rewrite yet
+  telemetry.tick(1'200);  // due again
+  std::ifstream in(out_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"value\":7"), std::string::npos) << buf.str();
+  std::remove(out_path.c_str());
+}
+
+// --- end to end: server-side vs client-side latency -------------------------
+
+TEST(ServeEndToEnd, StatsQuantilesLowerBoundLoadgenClientLatency) {
+  const auto world = build_test_world(42);
+  HitlistService service(HitlistService::Config{});
+  service.run(*world, 2);
+  SnapshotManager snaps(&service.metrics());
+  snaps.publish(serve::freeze_epoch(service, *world, 1));
+
+  serve::LiveTelemetry::Config tc;
+  tc.metrics = &service.metrics();
+  tc.snaps = &snaps;
+  tc.sample_interval_ms = 0;
+  serve::LiveTelemetry telemetry(tc);
+
+  serve::Server::Config sc;
+  sc.listen.kind = serve::ListenSpec::Kind::kUnix;
+  sc.listen.path = "/tmp/sixdust-serve-agree-" + std::to_string(::getpid()) +
+                   ".sock";
+  sc.readers = 2;
+  sc.metrics = &service.metrics();
+  sc.telemetry = &telemetry;
+  serve::Server server(sc, &snaps);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  telemetry.set_server(&server);
+
+  serve::LoadgenConfig lg;
+  lg.target = serve::parse_listen_spec(server.endpoint()).value();
+  lg.concurrency = 3;
+  lg.requests = 1500;
+  lg.connect_timeout_ms = 2000;
+  serve::LoadgenReport report;
+  ASSERT_TRUE(serve::run_loadgen(lg, &report, &error)) << error;
+  server.stop();
+  ASSERT_EQ(report.dropped, 0u);
+
+  // Every request the clients sent was recorded in exactly one op lane.
+  LatencySnapshot server_all;
+  for (unsigned lane = 0;
+       lane < static_cast<unsigned>(serve::OpLane::kCount); ++lane)
+    server_all.merge(
+        telemetry.op_snapshot(static_cast<serve::OpLane>(lane)));
+  EXPECT_EQ(server_all.count, report.sent);
+
+  // Agreement within bucket resolution: the server-side handle time is a
+  // strict lower bound on the client RTT, so every server quantile must
+  // sit at or below the matching client quantile, modulo one histogram
+  // sub-bucket (6.25%) of slack on the client value.
+  const auto client_ns = [](std::uint64_t us) { return us * 1000; };
+  const auto slack = [](std::uint64_t ns) { return ns / 16 + 1000; };
+  EXPECT_LE(server_all.p50_ns(),
+            client_ns(report.p50_us) + slack(client_ns(report.p50_us)));
+  EXPECT_LE(server_all.quantile_ns(0.95),
+            client_ns(report.p95_us) + slack(client_ns(report.p95_us)));
+  EXPECT_LE(server_all.p99_ns(),
+            client_ns(report.p99_us) + slack(client_ns(report.p99_us)));
+  EXPECT_GT(server_all.p50_ns(), 0u);
+
+  // And /stats reports exactly what op_snapshot() reports.
+  const auto doc = json_parse(telemetry.stats_json());
+  ASSERT_TRUE(doc && doc->is_object());
+  const JsonValue* ops = doc->find("ops");
+  ASSERT_NE(ops, nullptr);
+  std::uint64_t stats_count = 0;
+  for (const auto& [name, v] : ops->obj) stats_count += v.find("count")->u64();
+  EXPECT_EQ(stats_count, report.sent);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <cstdio>
 
+#include <fstream>
+
 #include "cli.hpp"
 #include "serve/loadgen.hpp"
 
@@ -24,6 +26,8 @@ usage: sixdust-loadgen [options]
                      (default 0 = one attempt)
   --mix L,O,A        op mix percentages for lookup,origin,alias — the
                      remainder of 100 is epoch-info (default 70,15,10)
+  --json-out FILE    also write the summary as one JSON object
+                     (sixdust-loadgen/1); '-' = stdout
   --help
 
 exit status: 0 = clean run; 1 = dropped or incoherent responses; 2 =
@@ -57,6 +61,13 @@ int main(int argc, char** argv) {
     cfg.pct_alias = a;
   }
 
+  // Fail fast on an unwritable summary path, before generating any load.
+  const std::string json_out = args.get("json-out", "");
+  if (!json_out.empty() && json_out != "-") {
+    std::ofstream probe(json_out);
+    if (!probe) cli::die("cannot open '" + json_out + "' for writing");
+  }
+
   serve::LoadgenReport report;
   std::string error;
   if (!serve::run_loadgen(cfg, &report, &error)) {
@@ -64,6 +75,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::fputs(report.str().c_str(), stdout);
+  if (json_out == "-") {
+    std::fputs(report.json().c_str(), stdout);
+  } else if (!json_out.empty()) {
+    std::ofstream f(json_out);
+    f << report.json();
+    f.flush();
+    if (!f.good()) cli::die("cannot write '" + json_out + "'");
+  }
   if (report.dropped > 0 || report.incoherent > 0) {
     std::fprintf(stderr, "error: %llu dropped, %llu incoherent responses\n",
                  static_cast<unsigned long long>(report.dropped),
